@@ -1,0 +1,92 @@
+"""Ablation E7 — the paper's 2-hop cover vs plain Dijkstra distances.
+
+The paper adopts pruned landmark labeling [1] "to find the shortest path
+between any two nodes in constant time".  This ablation quantifies that
+design choice on our substrate:
+
+* index construction cost (PLL pays it once; Dijkstra pays nothing);
+* batched point-to-point query cost (PLL should win decisively once the
+  per-source cache of the Dijkstra oracle stops helping);
+* end-to-end ``find_team`` cost under either oracle;
+
+and asserts both oracles return teams with identical greedy scores.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import GreedyTeamFinder, TeamEvaluator
+from repro.graph import DijkstraOracle, PrunedLandmarkLabeling
+from repro.eval.workload import sample_projects
+
+
+@pytest.fixture(scope="module")
+def query_workload(small_network):
+    rng = random.Random(31)
+    nodes = sorted(small_network.expert_ids())
+    return [(rng.choice(nodes), rng.choice(nodes)) for _ in range(500)]
+
+
+def test_pll_build(benchmark, small_network):
+    index = benchmark(PrunedLandmarkLabeling, small_network.graph)
+    assert index.average_label_size >= 1.0
+
+
+def test_pll_query_batch(benchmark, small_network, query_workload):
+    index = PrunedLandmarkLabeling(small_network.graph)
+
+    def run():
+        return sum(
+            d
+            for d in (index.distance(u, v) for u, v in query_workload)
+            if d != float("inf")
+        )
+
+    total = benchmark(run)
+    assert total > 0.0
+
+
+def test_dijkstra_query_batch(benchmark, small_network, query_workload):
+    # A small cache forces realistic recomputation, as in the root loop
+    # of Algorithm 1 where every root is a fresh source.
+    oracle = DijkstraOracle(small_network.graph, max_cached_sources=8)
+
+    def run():
+        return sum(
+            d
+            for d in (oracle.distance(u, v) for u, v in query_workload)
+            if d != float("inf")
+        )
+
+    total = benchmark(run)
+    assert total > 0.0
+
+
+@pytest.mark.parametrize("oracle_kind", ["pll", "dijkstra"])
+def test_find_team_under_oracle(benchmark, small_network, oracle_kind):
+    projects = sample_projects(small_network, 4, 2, seed=37)
+    finder = GreedyTeamFinder(
+        small_network, objective="sa-ca-cc", oracle_kind=oracle_kind
+    )
+    team = benchmark.pedantic(
+        lambda: finder.find_team(projects[0]), rounds=2, iterations=1
+    )
+    assert team is not None
+
+
+def test_oracles_equivalent_results(small_network):
+    projects = sample_projects(small_network, 4, 3, seed=41)
+    evaluator = TeamEvaluator(small_network, gamma=0.6, lam=0.6)
+    for project in projects:
+        via_pll = GreedyTeamFinder(
+            small_network, objective="sa-ca-cc", oracle_kind="pll"
+        ).find_team(project)
+        via_dijkstra = GreedyTeamFinder(
+            small_network, objective="sa-ca-cc", oracle_kind="dijkstra"
+        ).find_team(project)
+        assert evaluator.sa_ca_cc(via_pll) == pytest.approx(
+            evaluator.sa_ca_cc(via_dijkstra), abs=1e-9
+        )

@@ -1,0 +1,34 @@
+"""Dataset characterization — the analogue of the paper's setup paragraph.
+
+Verifies that the synthetic benchmark networks land in the regime the
+paper's DBLP subgraph lives in (sparse, clustered, junior skill holders
+with markedly lower authority than the senior connectors), and records
+the numbers for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments import run_dataset_stats
+from repro.eval.workload import benchmark_network
+
+from .conftest import write_result
+
+SCALES = ("tiny", "small", "medium")
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_dataset_characterization(benchmark, scale, results_dir):
+    network = benchmark_network(scale, seed=0)
+    stats = benchmark.pedantic(
+        run_dataset_stats, args=(network,), rounds=1, iterations=1
+    )
+    write_result(results_dir, f"dataset_{scale}", stats.format())
+
+    # paper regime checks
+    assert stats.mean_h_index_holders < stats.mean_h_index_others
+    assert 0.0 < stats.density < 0.2  # sparse, like co-authorship graphs
+    assert stats.average_clustering > 0.1  # strongly clustered
+    assert stats.num_skill_holders >= 10
+    assert 0.0 < stats.mean_edge_weight <= 1.0  # Jaccard distances

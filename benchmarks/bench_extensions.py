@@ -1,0 +1,74 @@
+"""Extensions beyond the paper's tables: replacement, diversity, portfolio.
+
+Each benchmark exercises one production-oriented capability built on the
+paper's core, asserting its contract:
+
+* replacement proposals never break Definition 1 and rank by objective;
+* diverse top-k honors the pairwise overlap bound while keeping the
+  optimum;
+* portfolio staffing returns member-disjoint teams.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GreedyTeamFinder, ReplacementRecommender, diverse_top_k
+from repro.core.multi_project import MultiProjectStaffing
+from repro.eval.workload import sample_projects
+from repro.expertise import jaccard_similarity
+
+
+@pytest.fixture(scope="module")
+def finder(small_network):
+    return GreedyTeamFinder(small_network, objective="sa-ca-cc", oracle_kind="pll")
+
+
+def test_replacement_recommendation(benchmark, small_network, finder):
+    project = sample_projects(small_network, 4, 1, seed=61)[0]
+    team = finder.find_team(project)
+    departing = sorted(team.skill_holders)[0]
+    recommender = ReplacementRecommender(small_network)
+
+    proposals = benchmark.pedantic(
+        lambda: recommender.recommend(team, departing, k=3),
+        rounds=2,
+        iterations=1,
+    )
+    assert proposals
+    scores = [p.score for p in proposals]
+    assert scores == sorted(scores)
+    for p in proposals:
+        p.team.validate(set(project), small_network)
+
+
+def test_diverse_top_k(benchmark, small_network, finder):
+    project = sample_projects(small_network, 4, 1, seed=67)[0]
+
+    teams = benchmark.pedantic(
+        lambda: diverse_top_k(finder, project, k=5, max_overlap=0.4),
+        rounds=2,
+        iterations=1,
+    )
+    assert teams
+    plain_best = finder.find_team(project)
+    assert teams[0].key() == plain_best.key()
+    for i, a in enumerate(teams):
+        for b in teams[i + 1 :]:
+            assert jaccard_similarity(a.members, b.members) <= 0.4 + 1e-9
+
+
+def test_portfolio_staffing(benchmark, small_network):
+    projects = sample_projects(small_network, 3, 4, seed=71)
+    staffing = MultiProjectStaffing(small_network, order="cheapest-first")
+
+    result = benchmark.pedantic(
+        lambda: staffing.staff(projects), rounds=1, iterations=1
+    )
+    assert result.num_staffed >= 2
+    seen: set[str] = set()
+    for assignment in result.assignments:
+        if assignment.team is None:
+            continue
+        assert not (assignment.team.members & seen)
+        seen |= assignment.team.members

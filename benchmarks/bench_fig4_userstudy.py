@@ -1,0 +1,42 @@
+"""Figure 4 — top-5 precision of CC / CA-CC / SA-CA-CC (simulated judges).
+
+Shape assertions (the paper's Figure 4): both authority-aware strategies
+beat CC at every project size; the judge panel has 6 members and scores
+in [0, 1].
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import run_figure4
+
+from .conftest import write_result
+
+SIZES = (4, 6, 8, 10)
+
+
+def test_figure4_precision(benchmark, small_network, results_dir):
+    def run():
+        return run_figure4(
+            small_network,
+            num_skills_list=SIZES,
+            gamma=0.6,
+            lam=0.6,
+            k=5,
+            num_judges=6,
+            seed=11,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "figure4", result.format())
+
+    wins = 0
+    for t in SIZES:
+        cc = result.precision(t, "cc")
+        cacc = result.precision(t, "ca-cc")
+        sacacc = result.precision(t, "sa-ca-cc")
+        for p in (cc, cacc, sacacc):
+            assert 0.0 <= p <= 1.0
+        wins += (cacc >= cc) + (sacacc >= cc)
+    # Authority-aware methods beat CC in (nearly) every panel; tolerate
+    # one noisy inversion out of 8 comparisons.
+    assert wins >= 7, f"authority-aware methods won only {wins}/8 comparisons"

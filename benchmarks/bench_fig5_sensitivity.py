@@ -1,0 +1,64 @@
+"""Figure 5 — sensitivity of team measures to lambda.
+
+Shape assertions (Section 4.4): the average skill-holder h-index trends
+*upward* as lambda grows (skill-holder authority gets more weight); the
+measures "change slowly"; and perturbing lambda by less than 0.05 leaves
+the best team unchanged.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.eval.experiments import run_figure5
+from repro.eval.experiments.figure5 import lambda_stability
+from repro.eval.workload import sample_project
+
+from .conftest import write_result
+
+LAMBDAS = tuple(round(0.1 * i, 2) for i in range(1, 10))
+
+
+def test_figure5_sensitivity(benchmark, small_network, results_dir):
+    def run():
+        return run_figure5(
+            small_network,
+            lambdas=LAMBDAS,
+            gamma=0.6,
+            num_skills=4,
+            num_random_projects=5,
+            k=5,
+            seed=13,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "figure5", result.format())
+
+    for mode in ("top5", "best"):
+        holder = [v for _, v in result.series(mode, "avg_holder_h_index")]
+        assert len(holder) == len(LAMBDAS)
+        # upward trend: the high-lambda half averages at least the
+        # low-lambda half (panel a of Figure 5)
+        half = len(holder) // 2
+        low, high = holder[:half], holder[half:]
+        assert sum(high) / len(high) >= sum(low) / len(low) - 1e-9, mode
+        # teams stay small — measures change slowly, no blow-ups
+        sizes = [v for _, v in result.series(mode, "size")]
+        assert max(sizes) <= 4 * min(sizes) + 4
+
+
+def test_lambda_stability_below_half_step(benchmark, small_network):
+    """Section 4.4: moving lambda by < 0.05 does not change the result."""
+    projects = [
+        sample_project(small_network, 4, random.Random(seed))
+        for seed in range(4)
+    ]
+
+    def run():
+        return [
+            lambda_stability(small_network, project, lam=0.6, delta=0.02)
+            for project in projects
+        ]
+
+    stable = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(stable), "a lambda shift below 0.05 changed some best team"

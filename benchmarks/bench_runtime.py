@@ -1,0 +1,52 @@
+"""Section 4.1 — per-query latency of CC / CA-CC / SA-CA-CC vs #skills.
+
+This module uses pytest-benchmark the conventional way: each
+(method, num_skills) pair is a parametrized benchmark of a single
+``find_team`` call, so the emitted comparison table *is* the paper's
+runtime discussion.  Index construction (the 2-hop cover) is excluded —
+it is one-off preprocessing, performed in the session fixture.
+
+Shape assertions: the three methods stay within a small constant factor
+of each other ("similar runtime since they use the same fundamental
+algorithm and indexing methods").
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.experiments.common import MethodSuite
+from repro.eval.workload import sample_projects
+
+METHODS = ("cc", "ca-cc", "sa-ca-cc")
+SIZES = (4, 6, 8, 10)
+
+_suite_cache: dict[int, MethodSuite] = {}
+
+
+@pytest.fixture(scope="module")
+def suite(medium_network):
+    key = id(medium_network)
+    if key not in _suite_cache:
+        s = MethodSuite(medium_network, gamma=0.6, lam=0.6, oracle_kind="pll")
+        _ = (s.cc, s.ca_cc, s.sa_ca_cc())  # build all indexes up front
+        _suite_cache[key] = s
+    return _suite_cache[key]
+
+
+@pytest.mark.parametrize("method", METHODS)
+@pytest.mark.parametrize("num_skills", SIZES)
+def test_query_latency(benchmark, suite, medium_network, method, num_skills):
+    projects = sample_projects(
+        medium_network, num_skills, 3, seed=29 + num_skills
+    )
+    finder = suite.finder(method)
+    state = {"i": 0}
+
+    def one_query():
+        project = projects[state["i"] % len(projects)]
+        state["i"] += 1
+        return finder.find_team(project)
+
+    team = benchmark.pedantic(one_query, rounds=3, iterations=1, warmup_rounds=1)
+    assert team is not None

@@ -1,0 +1,42 @@
+"""Scalability study — query cost and index cost vs network size.
+
+Not a single paper figure, but the substrate behind the paper's "around
+a few hundred milliseconds on a 40K-node graph" claim: how do index
+construction and per-query latency grow with the expert network?  Run on
+the three bundled scales (tiny/small/medium).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import GreedyTeamFinder
+from repro.eval.workload import benchmark_network, sample_projects
+from repro.graph import PrunedLandmarkLabeling
+
+SCALES = ("tiny", "small", "medium")
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_index_build_scaling(benchmark, scale):
+    network = benchmark_network(scale, seed=0)
+    index = benchmark.pedantic(
+        PrunedLandmarkLabeling, args=(network.graph,), rounds=1, iterations=1
+    )
+    assert index.average_label_size >= 1.0
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_query_scaling(benchmark, scale):
+    network = benchmark_network(scale, seed=0)
+    finder = GreedyTeamFinder(network, objective="sa-ca-cc", oracle_kind="pll")
+    projects = sample_projects(network, 4, 3, seed=53)
+    state = {"i": 0}
+
+    def one_query():
+        project = projects[state["i"] % len(projects)]
+        state["i"] += 1
+        return finder.find_team(project)
+
+    team = benchmark.pedantic(one_query, rounds=3, iterations=1)
+    assert team is not None

@@ -1,0 +1,50 @@
+"""Shared benchmark fixtures.
+
+Each ``bench_*`` module regenerates one table/figure of the paper
+(DESIGN.md §4): it runs the corresponding experiment once inside
+``benchmark.pedantic`` (so pytest-benchmark reports the wall-clock cost),
+asserts the paper's qualitative *shape*, and writes the rendered table to
+``results/`` so ``bench_output.txt`` plus ``results/*.txt`` together
+document the reproduction (see EXPERIMENTS.md).
+
+Network scales are chosen so the whole suite finishes in minutes on a
+laptop while preserving each experiment's regime (the paper's 40K-node
+graph is out of reach for the Exact baseline anyway; shapes, not absolute
+numbers, are under test — see DESIGN.md §3).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.eval.workload import benchmark_corpus, benchmark_network
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: Path, name: str, text: str) -> None:
+    """Persist one experiment's rendered table."""
+    (results_dir / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+@pytest.fixture(scope="session")
+def small_network():
+    return benchmark_network("small", seed=0)
+
+
+@pytest.fixture(scope="session")
+def medium_network():
+    return benchmark_network("medium", seed=0)
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    return benchmark_corpus("small", seed=0)

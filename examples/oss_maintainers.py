@@ -1,0 +1,96 @@
+"""Open-source maintainer teams — the intro's GitHub-style scenario.
+
+The paper's introduction names GitHub alongside DBLP as an expert
+network: contributors hold technology skills, review/co-commit history
+defines edges, and "authority" is standing in the ecosystem (stars,
+merged PRs — here a single reputation score).  This example builds a
+synthetic OSS contributor network directly (no bibliography), asks for a
+team to maintain a new service, and contrasts the cheapest-coordination
+team with the authority-aware one.
+
+Run:  python examples/oss_maintainers.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import Expert, ExpertNetwork, GreedyTeamFinder, TeamEvaluator
+from repro.core import explain_team
+from repro.eval import format_table
+
+TECHNOLOGIES = ("rust", "postgres", "kubernetes", "grpc", "frontend")
+
+
+def build_contributor_network(seed: int = 4) -> ExpertNetwork:
+    """A few org 'guilds', each with a high-reputation maintainer."""
+    rng = random.Random(seed)
+    experts: list[Expert] = []
+    edges: list[tuple[str, str, float]] = []
+    guilds = 5
+    for g in range(guilds):
+        maintainer = f"guild{g}.maintainer"
+        # maintainers: high reputation, no specific required skill
+        experts.append(Expert(maintainer, h_index=float(rng.randint(25, 60))))
+        for c in range(rng.randint(4, 7)):
+            contributor = f"guild{g}.dev{c}"
+            skills = set(rng.sample(TECHNOLOGIES, rng.randint(1, 2)))
+            experts.append(
+                Expert(contributor, skills=skills, h_index=float(rng.randint(1, 8)))
+            )
+            # devs co-commit mostly with their guild maintainer
+            edges.append((contributor, maintainer, rng.uniform(0.1, 0.4)))
+            if c > 0 and rng.random() < 0.5:
+                edges.append(
+                    (contributor, f"guild{g}.dev{c - 1}", rng.uniform(0.3, 0.8))
+                )
+    # maintainers know each other (cross-guild coordination)
+    for g in range(guilds - 1):
+        edges.append(
+            (f"guild{g}.maintainer", f"guild{g + 1}.maintainer", rng.uniform(0.2, 0.5))
+        )
+    return ExpertNetwork(experts, edges)
+
+
+def main() -> None:
+    network = build_contributor_network()
+    project = ["rust", "postgres", "kubernetes", "grpc"]
+    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    print(f"maintaining a new service needs: {project}\n")
+
+    rows = []
+    teams = {}
+    for objective in ("cc", "sa-ca-cc"):
+        finder = GreedyTeamFinder(
+            network, objective=objective, oracle_kind="dijkstra"
+        )
+        team = finder.find_team(project)
+        teams[objective] = team
+        maintainers = [m for m in team.members if "maintainer" in m]
+        rows.append(
+            [
+                objective,
+                len(team.members),
+                ", ".join(sorted(maintainers)) or "(none)",
+                evaluator.cc(team),
+                evaluator.sa_ca_cc(team),
+            ]
+        )
+    print(
+        format_table(
+            ["objective", "size", "maintainers on team", "CC", "SA-CA-CC"],
+            rows,
+            precision=2,
+        )
+    )
+
+    print("\nauthority-aware team, explained:")
+    print(explain_team(teams["sa-ca-cc"], network).format())
+    print(
+        "\nThe SA-CA-CC plan routes coordination through guild maintainers"
+        "\n(the OSS analogue of the paper's high-h-index connectors)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+"""Quickstart: find an authority-aware team in a hand-built expert network.
+
+Builds the paper's Figure 1 scenario — two candidate teams for the skills
+{social networks, text mining} with identical communication costs but very
+different authority — and shows that the plain communication-cost
+objective cannot tell them apart while CA-CC and SA-CA-CC can.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import Expert, ExpertNetwork, GreedyTeamFinder, TeamEvaluator
+
+
+def build_network() -> ExpertNetwork:
+    """The Figure 1 network: grad-student skill holders, professor connectors."""
+    experts = [
+        # team (a): strong students connected through a famous professor
+        Expert("liu", name="Jialu Liu", skills={"SN"}, h_index=9),
+        Expert("han", name="Jiawei Han", h_index=139),
+        Expert("ren", name="Xiang Ren", skills={"TM"}, h_index=11),
+        # team (b): weaker students connected through a junior professor
+        Expert("golshan", name="Behzad Golshan", skills={"SN"}, h_index=5),
+        Expert("lappas", name="Theodoros Lappas", h_index=12),
+        Expert("kotzias", name="Dimitrios Kotzias", skills={"TM"}, h_index=3),
+        # weak bridge so everything is one component
+        Expert("bridge", name="Service Account", h_index=1),
+    ]
+    edges = [
+        ("liu", "han", 1.0),
+        ("han", "ren", 1.0),
+        ("golshan", "lappas", 1.0),
+        ("lappas", "kotzias", 1.0),
+        ("han", "bridge", 5.0),
+        ("bridge", "lappas", 5.0),
+    ]
+    return ExpertNetwork(experts, edges)
+
+
+def describe(team, network: ExpertNetwork) -> str:
+    rows = []
+    for member in sorted(team.members):
+        expert = network.expert(member)
+        role = (
+            "holds " + ", ".join(s for s, c in team.assignments.items() if c == member)
+            if member in team.skill_holders
+            else "connector"
+        )
+        rows.append(f"    {expert.display_name:<22} h-index {expert.h_index:>5.0f}  {role}")
+    return "\n".join(rows)
+
+
+def main() -> None:
+    network = build_network()
+    project = ["SN", "TM"]
+    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+
+    print(f"project: {project}\n")
+    for objective in ("cc", "ca-cc", "sa-ca-cc"):
+        finder = GreedyTeamFinder(
+            network, objective=objective, gamma=0.6, lam=0.6, oracle_kind="dijkstra"
+        )
+        team = finder.find_team(project)
+        print(f"[{objective}]  SA-CA-CC score = {evaluator.sa_ca_cc(team):.3f}")
+        print(describe(team, network))
+        print()
+
+    print(
+        "With equal edge weights CC is indifferent between the two chains;\n"
+        "the authority-aware objectives route through Jiawei Han (h=139)."
+    )
+
+
+if __name__ == "__main__":
+    main()

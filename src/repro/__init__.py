@@ -1,0 +1,87 @@
+"""repro — Authority-Based Team Discovery in Social Networks.
+
+A from-scratch Python reproduction of Zihayat, An, Golab, Kargar and
+Szlichta, *Authority-Based Team Discovery in Social Networks* (EDBT
+2017; arXiv:1611.02992): given an expert network whose nodes carry
+skills and authority (h-index) and whose edges carry communication
+costs, find teams covering a required skill set while jointly optimizing
+communication cost (CC), connector authority (CA) and skill-holder
+authority (SA).
+
+Quickstart::
+
+    from repro import Expert, ExpertNetwork, GreedyTeamFinder
+
+    experts = [
+        Expert("ada", skills={"compilers"}, h_index=4),
+        Expert("grace", skills={"databases"}, h_index=7),
+        Expert("alan", h_index=40),  # no required skill: a connector
+    ]
+    net = ExpertNetwork(experts, edges=[("ada", "alan", 0.4),
+                                        ("alan", "grace", 0.3)])
+    team = GreedyTeamFinder(net, objective="sa-ca-cc").find_team(
+        ["compilers", "databases"])
+    print(sorted(team.members), team.assignments)
+
+Package layout: :mod:`repro.graph` (graph substrate incl. the 2-hop-cover
+distance oracle), :mod:`repro.expertise` (the expert-network model),
+:mod:`repro.dblp` (DBLP parsing / synthetic corpora / network building),
+:mod:`repro.core` (the paper's algorithms), :mod:`repro.eval` (workloads
+and the per-figure experiment runners).
+"""
+
+from .core import (
+    BruteForceSolver,
+    ExactSolver,
+    GreedyTeamFinder,
+    IntractableError,
+    ObjectiveScales,
+    ParetoTeam,
+    ParetoTeamDiscovery,
+    RandomSolver,
+    RarestFirstSolver,
+    Replacement,
+    ReplacementError,
+    ReplacementRecommender,
+    Team,
+    TeamEvaluator,
+    TeamValidationError,
+    authority_fold_transform,
+)
+from .expertise import (
+    Expert,
+    ExpertNetwork,
+    SkillCoverageError,
+    load_network,
+    save_network,
+)
+from .graph import Graph, GraphError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BruteForceSolver",
+    "ExactSolver",
+    "GreedyTeamFinder",
+    "IntractableError",
+    "ObjectiveScales",
+    "ParetoTeam",
+    "ParetoTeamDiscovery",
+    "RandomSolver",
+    "RarestFirstSolver",
+    "Replacement",
+    "ReplacementError",
+    "ReplacementRecommender",
+    "Team",
+    "TeamEvaluator",
+    "TeamValidationError",
+    "authority_fold_transform",
+    "Expert",
+    "ExpertNetwork",
+    "SkillCoverageError",
+    "load_network",
+    "save_network",
+    "Graph",
+    "GraphError",
+    "__version__",
+]

@@ -1,0 +1,210 @@
+"""Command-line entry point: re-run any paper experiment from a shell.
+
+Examples::
+
+    repro-teams figure4 --scale small
+    repro-teams figure3 --scale small --projects 5 --skills 4 6
+    repro-teams quality --seed 3
+    python -m repro.cli figure6
+
+Each subcommand regenerates one table/figure of the paper (DESIGN.md §4)
+on a reproducible synthetic-DBLP network and prints the result table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .eval.experiments import (
+    run_dataset_stats,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_quality,
+    run_runtime,
+)
+from .eval.workload import SCALE_CONFIGS, benchmark_corpus, benchmark_network
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse parser for repro-teams."""
+    parser = argparse.ArgumentParser(
+        prog="repro-teams",
+        description="Reproduce experiments from 'Authority-Based Team "
+        "Discovery in Social Networks' (EDBT 2017).",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALE_CONFIGS),
+        default="small",
+        help="synthetic-DBLP network size (default: small)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="corpus seed")
+    parser.add_argument("--gamma", type=float, default=0.6)
+    parser.add_argument("--lam", type=float, default=0.6)
+    sub = parser.add_subparsers(dest="experiment", required=True)
+
+    p3 = sub.add_parser("figure3", help="SA-CA-CC score vs lambda, all methods")
+    p3.add_argument("--projects", type=int, default=10, help="projects per panel")
+    p3.add_argument(
+        "--skills", type=int, nargs="+", default=[4, 6, 8, 10], help="panel sizes"
+    )
+    p3.add_argument("--random-samples", type=int, default=2000)
+    p3.add_argument("--exact-budget", type=float, default=10.0)
+    p3.add_argument(
+        "--chart", action="store_true", help="also render ASCII line charts"
+    )
+
+    p4 = sub.add_parser("figure4", help="top-5 precision (simulated user study)")
+    p4.add_argument("--judges", type=int, default=6)
+
+    p5 = sub.add_parser("figure5", help="sensitivity of team measures to lambda")
+    p5.add_argument("--projects", type=int, default=5)
+    p5.add_argument(
+        "--chart", action="store_true", help="also render an ASCII line chart"
+    )
+
+    sub.add_parser("figure6", help="qualitative best-team comparison")
+
+    pq = sub.add_parser("quality", help="Section 4.3 venue-quality statistic")
+    pq.add_argument("--projects", type=int, default=5)
+
+    pr = sub.add_parser("runtime", help="Section 4.1 per-query runtime")
+    pr.add_argument("--projects", type=int, default=5)
+
+    sub.add_parser("stats", help="dataset characterization table")
+
+    pp = sub.add_parser("pareto", help="Pareto-optimal teams (future work)")
+    pp.add_argument("--num-skills", type=int, default=4)
+    pp.add_argument("--k-per-cell", type=int, default=3)
+
+    pe = sub.add_parser(
+        "replace", help="replacement options when a team member leaves"
+    )
+    pe.add_argument("--num-skills", type=int, default=4)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point: run one experiment and print its table."""
+    args = build_parser().parse_args(argv)
+    network = benchmark_network(args.scale, seed=args.seed)
+    print(
+        f"network: {len(network)} experts, {network.num_edges} edges, "
+        f"{network.skill_index.num_skills} skills "
+        f"(scale={args.scale}, seed={args.seed})\n",
+        file=sys.stderr,
+    )
+    if args.experiment == "figure3":
+        result = run_figure3(
+            network,
+            num_skills_list=tuple(args.skills),
+            gamma=args.gamma,
+            projects_per_size=args.projects,
+            random_samples=args.random_samples,
+            exact_time_budget=args.exact_budget,
+        )
+    elif args.experiment == "figure4":
+        result = run_figure4(
+            network, gamma=args.gamma, lam=args.lam, num_judges=args.judges
+        )
+    elif args.experiment == "figure5":
+        result = run_figure5(
+            network, gamma=args.gamma, num_random_projects=args.projects
+        )
+    elif args.experiment == "figure6":
+        result = run_figure6(network, gamma=args.gamma, lam=args.lam)
+    elif args.experiment == "quality":
+        corpus = benchmark_corpus(args.scale, seed=args.seed)
+        ratings = [v.rating for v in corpus.venues.values()]
+        result = run_quality(
+            network,
+            ratings,
+            num_projects=args.projects,
+            gamma=args.gamma,
+            lam=args.lam,
+        )
+    elif args.experiment == "runtime":
+        result = run_runtime(
+            network, gamma=args.gamma, lam=args.lam, projects_per_size=args.projects
+        )
+    elif args.experiment == "stats":
+        result = run_dataset_stats(network)
+    elif args.experiment == "pareto":
+        return _run_pareto(network, args)
+    elif args.experiment == "replace":
+        return _run_replace(network, args)
+    else:  # pragma: no cover - argparse enforces choices
+        raise AssertionError(args.experiment)
+    print(result.format())
+    if getattr(args, "chart", False):
+        if args.experiment == "figure3":
+            for num_skills in args.skills:
+                print()
+                print(result.chart(num_skills))
+        elif args.experiment == "figure5":
+            print()
+            print(result.chart("best"))
+    return 0
+
+
+def _run_pareto(network, args) -> int:
+    import random
+
+    from .core import ParetoTeamDiscovery
+    from .eval.workload import sample_project
+
+    project = sample_project(network, args.num_skills, random.Random(args.seed))
+    frontier = ParetoTeamDiscovery(
+        network, k_per_cell=args.k_per_cell
+    ).discover(project)
+    print(f"project: {project}")
+    print(f"frontier: {len(frontier)} non-dominated teams (CC, CA, SA)")
+    for point in frontier:
+        print(
+            f"  cc={point.cc:.3f}  ca={point.ca:.3f}  sa={point.sa:.3f}  "
+            f"members={sorted(point.team.members)}"
+        )
+    return 0
+
+
+def _run_replace(network, args) -> int:
+    import random
+
+    from .core import (
+        GreedyTeamFinder,
+        ReplacementError,
+        ReplacementRecommender,
+    )
+    from .eval.workload import sample_project
+
+    project = sample_project(network, args.num_skills, random.Random(args.seed))
+    team = GreedyTeamFinder(
+        network, objective="sa-ca-cc", gamma=args.gamma, lam=args.lam
+    ).find_team(project)
+    print(f"project: {project}")
+    print(f"team: {sorted(team.members)}")
+    recommender = ReplacementRecommender(
+        network, gamma=args.gamma, lam=args.lam
+    )
+    for member in sorted(team.members):
+        try:
+            best = recommender.recommend(team, member, k=1)[0]
+        except ReplacementError as exc:
+            print(f"  if {member} leaves: no replacement ({exc})")
+            continue
+        who = best.substitute or "(re-route only)"
+        print(
+            f"  if {member} leaves: {who}  "
+            f"score {best.score:.3f} (delta {best.delta:+.3f})"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

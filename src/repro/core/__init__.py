@@ -1,0 +1,59 @@
+"""Core team-discovery algorithms: the paper's primary contribution."""
+
+from .bounds import ObjectiveBounds, optimality_gap
+from .brute_force import BruteForceSolver
+from .diverse import diverse_top_k, diversify
+from .exact import ExactSolver, IntractableError
+from .explain import MemberContribution, TeamExplanation, explain_team
+from .greedy import OBJECTIVES, GreedyTeamFinder
+from .multi_project import (
+    MultiProjectStaffing,
+    PortfolioResult,
+    ProjectAssignment,
+)
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .pareto import ParetoTeam, ParetoTeamDiscovery, dominates, pareto_filter
+from .random_search import DEFAULT_NUM_SAMPLES, RandomSolver
+from .replacement import Replacement, ReplacementError, ReplacementRecommender
+from .rarest_first import RarestFirstSolver
+from .refine import LocalSearchRefiner
+from .sa_solver import SaOptimalSolver
+from .team import Team, TeamValidationError
+from .transform import authority_fold_transform, transformed_edge_weight
+
+__all__ = [
+    "BruteForceSolver",
+    "ObjectiveBounds",
+    "optimality_gap",
+    "diverse_top_k",
+    "diversify",
+    "ExactSolver",
+    "IntractableError",
+    "MemberContribution",
+    "TeamExplanation",
+    "explain_team",
+    "OBJECTIVES",
+    "GreedyTeamFinder",
+    "MultiProjectStaffing",
+    "PortfolioResult",
+    "ProjectAssignment",
+    "ObjectiveScales",
+    "SaMode",
+    "TeamEvaluator",
+    "ParetoTeam",
+    "ParetoTeamDiscovery",
+    "dominates",
+    "pareto_filter",
+    "DEFAULT_NUM_SAMPLES",
+    "Replacement",
+    "ReplacementError",
+    "ReplacementRecommender",
+    "RandomSolver",
+    "RarestFirstSolver",
+    "LocalSearchRefiner",
+    "SaOptimalSolver",
+    "Team",
+    "TeamValidationError",
+    "authority_fold_transform",
+    "transformed_edge_weight",
+]

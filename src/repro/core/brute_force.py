@@ -1,0 +1,92 @@
+"""Ground-truth solver by full enumeration of member sets.
+
+This is *not* the paper's ``Exact`` (see :mod:`repro.core.exact`); it is
+an even more literal optimizer used as the trust anchor of the test
+suite: enumerate every subset of experts, keep those that induce a
+connected subgraph covering the project, take the MST of the induced
+subgraph (optimal spanning structure for any fixed member set, since CC
+is the only edge-dependent term), and try every skill -> holder
+assignment inside the set.  Exponential in the network size — guarded by
+``max_nodes``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable
+
+from ..expertise.network import ExpertNetwork
+from ..graph.components import is_connected
+from ..graph.steiner import minimum_spanning_tree
+from .exact import IntractableError
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .team import Team
+
+__all__ = ["BruteForceSolver"]
+
+
+class BruteForceSolver:
+    """Provably optimal teams on *tiny* networks, for cross-validation."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        objective: str = "sa-ca-cc",
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+        max_nodes: int = 14,
+    ) -> None:
+        if len(network) > max_nodes:
+            raise IntractableError(
+                f"{len(network)} experts exceed max_nodes={max_nodes}"
+            )
+        self.network = network
+        self.objective = objective
+        self.evaluator = TeamEvaluator(
+            network, gamma=gamma, lam=lam, scales=scales, sa_mode=sa_mode
+        )
+
+    def find_team(self, project: Iterable[str]) -> Team | None:
+        """The global optimum of ``objective`` over all valid teams."""
+        skills = sorted(set(project))
+        if not skills:
+            raise ValueError("project must require at least one skill")
+        self.network.skill_index.require_coverable(skills)
+        experts = sorted(self.network.expert_ids())
+        best_team: Team | None = None
+        best_score = float("inf")
+        for r in range(1, len(experts) + 1):
+            for subset in itertools.combinations(experts, r):
+                team = self._best_team_on(set(subset), skills)
+                if team is None:
+                    continue
+                score = self.evaluator.score(team, self.objective)
+                if score < best_score - 1e-12:
+                    best_score, best_team = score, team
+        return best_team
+
+    def _best_team_on(
+        self, members: set[str], skills: list[str]
+    ) -> Team | None:
+        """Best assignment on a fixed member set (or None if invalid)."""
+        pools = []
+        for skill in skills:
+            holders = self.network.experts_with_skill(skill) & members
+            if not holders:
+                return None
+            pools.append(sorted(holders))
+        sub = self.network.graph.subgraph(members)
+        if not is_connected(sub):
+            return None
+        tree = minimum_spanning_tree(sub)
+        best_team: Team | None = None
+        best_score = float("inf")
+        for combo in itertools.product(*pools):
+            team = Team(tree=tree, assignments=dict(zip(skills, combo)))
+            score = self.evaluator.score(team, self.objective)
+            if score < best_score - 1e-12:
+                best_score, best_team = score, team
+        return best_team

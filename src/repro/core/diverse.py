@@ -1,0 +1,70 @@
+"""Diversity-aware top-k: alternatives that are actually different.
+
+Plain top-k (Section 3.2.1) often returns k near-duplicates — the same
+core team with one swapped member — because neighbouring roots induce
+overlapping trees.  When the results are shown to a decision maker
+(Figure 4's user study, or any staffing tool), near-duplicates waste
+slots.  This module re-ranks a candidate pool greedily under a maximum
+pairwise Jaccard overlap on member sets: the best team always survives,
+and every further pick must differ from *all* previous picks by at least
+``1 - max_overlap``.
+
+This is the standard maximal-marginal-relevance style post-processing;
+it composes with any solver that can produce a candidate pool.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..expertise.jaccard import jaccard_similarity
+from .greedy import GreedyTeamFinder
+from .team import Team
+
+__all__ = ["diversify", "diverse_top_k"]
+
+
+def diversify(
+    teams: Sequence[Team], k: int, *, max_overlap: float = 0.5
+) -> list[Team]:
+    """Greedily select up to ``k`` teams with bounded pairwise overlap.
+
+    ``teams`` must be ordered best-first; the first team is always kept.
+    Overlap between two teams is the Jaccard similarity of their member
+    sets.  ``max_overlap=1.0`` degenerates to plain truncation,
+    ``max_overlap=0.0`` demands disjoint teams.
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    if not 0.0 <= max_overlap <= 1.0:
+        raise ValueError(f"max_overlap must be in [0, 1], got {max_overlap}")
+    picked: list[Team] = []
+    for team in teams:
+        if len(picked) == k:
+            break
+        if all(
+            jaccard_similarity(team.members, kept.members) <= max_overlap + 1e-12
+            for kept in picked
+        ):
+            picked.append(team)
+    return picked
+
+
+def diverse_top_k(
+    finder: GreedyTeamFinder,
+    project: Iterable[str],
+    k: int = 5,
+    *,
+    max_overlap: float = 0.5,
+    pool_factor: int = 4,
+) -> list[Team]:
+    """Top-``k`` diverse teams from a greedy finder.
+
+    Draws a ``pool_factor * k`` candidate pool (cost-ordered) and filters
+    it with :func:`diversify`.  Fewer than ``k`` teams may be returned
+    when the pool cannot supply enough sufficiently-different teams.
+    """
+    if pool_factor < 1:
+        raise ValueError("pool_factor must be positive")
+    pool = finder.find_top_k(project, k=pool_factor * k)
+    return diversify(pool, k, max_overlap=max_overlap)

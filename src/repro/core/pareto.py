@@ -1,0 +1,152 @@
+"""Pareto-optimal team discovery (the paper's announced future work).
+
+Section 5: "Another way to jointly optimize the communication cost and
+expert authority objectives is to find a set of Pareto-optimal teams.  In
+the future, we plan to develop algorithms to find such teams."  The
+related [6] (Zihayat, Kargar, An — WI 2014) does two-phase Pareto-set
+discovery for three-objective team formation.
+
+We implement a practical frontier miner in that spirit: run the greedy
+solver across a grid of (gamma, lambda) tradeoffs plus the pure-CC mode,
+collect all top-k teams each configuration produces, evaluate every team
+on the raw objective vector ``(CC, CA, SA)`` and keep the non-dominated
+set.  The grid acts as a scalarization sweep: every supported
+(convex-hull) Pareto point is reachable by *some* weighted combination,
+so a dense grid recovers the supported frontier; the dominance filter
+guarantees soundness of whatever is returned.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+from ..expertise.network import ExpertNetwork
+from .greedy import GreedyTeamFinder
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .team import Team
+
+__all__ = ["ParetoTeam", "ParetoTeamDiscovery", "dominates", "pareto_filter"]
+
+
+def dominates(a: Sequence[float], b: Sequence[float], *, tol: float = 1e-12) -> bool:
+    """Whether vector ``a`` Pareto-dominates ``b`` (minimization).
+
+    ``a`` dominates ``b`` iff it is no worse in every coordinate and
+    strictly better in at least one.
+    """
+    if len(a) != len(b):
+        raise ValueError("vectors must have equal length")
+    no_worse = all(x <= y + tol for x, y in zip(a, b))
+    strictly = any(x < y - tol for x, y in zip(a, b))
+    return no_worse and strictly
+
+
+def pareto_filter(items: Iterable, key: Callable[[object], Sequence[float]]) -> list:
+    """Return the non-dominated subset of ``items`` under ``key`` vectors."""
+    pool = list(items)
+    vectors = [key(item) for item in pool]
+    keep: list = []
+    for i, item in enumerate(pool):
+        if not any(
+            dominates(vectors[j], vectors[i]) for j in range(len(pool)) if j != i
+        ):
+            keep.append(item)
+    return keep
+
+
+@dataclass(frozen=True, slots=True)
+class ParetoTeam:
+    """A frontier member: the team and its ``(CC, CA, SA)`` vector."""
+
+    team: Team
+    cc: float
+    ca: float
+    sa: float
+
+    @property
+    def vector(self) -> tuple[float, float, float]:
+        return (self.cc, self.ca, self.sa)
+
+
+class ParetoTeamDiscovery:
+    """Scalarization-sweep frontier miner over (gamma, lambda)."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        grid: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+        k_per_cell: int = 3,
+        oracle_kind: str = "dijkstra",
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+    ) -> None:
+        bad = [g for g in grid if not 0.0 <= g <= 1.0]
+        if bad:
+            raise ValueError(f"grid values outside [0, 1]: {bad}")
+        if k_per_cell < 1:
+            raise ValueError("k_per_cell must be positive")
+        self.network = network
+        self.grid = tuple(sorted(set(grid)))
+        self.k_per_cell = k_per_cell
+        self.oracle_kind = oracle_kind
+        self.scales = scales or ObjectiveScales.from_network(network)
+        self.sa_mode: SaMode = sa_mode
+        # A parameter-free evaluator for the raw objective vector.
+        self._vector_eval = TeamEvaluator(
+            network, gamma=0.5, lam=0.5, scales=self.scales, sa_mode=sa_mode
+        )
+
+    def discover(self, project: Iterable[str]) -> list[ParetoTeam]:
+        """Mine the (CC, CA, SA) Pareto frontier for ``project``.
+
+        Returns frontier teams sorted by ascending CC (a natural display
+        order: cheapest-communication end of the frontier first).
+        """
+        skills = sorted(set(project))
+        candidates: dict = {}
+        for team in self._generate(skills):
+            candidates.setdefault(team.key(), team)
+        scored = [
+            ParetoTeam(
+                team=t,
+                cc=self._vector_eval.cc(t),
+                ca=self._vector_eval.ca(t),
+                sa=self._vector_eval.sa(t),
+            )
+            for t in candidates.values()
+        ]
+        frontier = pareto_filter(scored, key=lambda p: p.vector)
+        return sorted(frontier, key=lambda p: (p.cc, p.ca, p.sa))
+
+    def _generate(self, skills: list[str]):
+        finder = GreedyTeamFinder(
+            self.network,
+            objective="cc",
+            oracle_kind=self.oracle_kind,
+            scales=self.scales,
+            sa_mode=self.sa_mode,
+        )
+        yield from finder.find_top_k(skills, k=self.k_per_cell)
+        for gamma in self.grid:
+            finder = GreedyTeamFinder(
+                self.network,
+                objective="ca-cc",
+                gamma=gamma,
+                oracle_kind=self.oracle_kind,
+                scales=self.scales,
+                sa_mode=self.sa_mode,
+            )
+            yield from finder.find_top_k(skills, k=self.k_per_cell)
+            for lam in self.grid:
+                finder = GreedyTeamFinder(
+                    self.network,
+                    objective="sa-ca-cc",
+                    gamma=gamma,
+                    lam=lam,
+                    oracle_kind=self.oracle_kind,
+                    scales=self.scales,
+                    sa_mode=self.sa_mode,
+                )
+                yield from finder.find_top_k(skills, k=self.k_per_cell)

@@ -1,0 +1,136 @@
+"""Local-search refinement of greedy teams.
+
+Algorithm 1 commits to the best single root; it never reconsiders a
+holder choice or a routing after the fact.  This refiner closes part of
+the remaining gap to ``Exact`` with three classic improving moves,
+applied first-improvement until a local optimum:
+
+1. **prune** — drop connector leaves (and chains) that no longer serve
+   connectivity; strictly improves every objective term;
+2. **reroute** — reconnect the current holders with a Steiner
+   approximation over the authority-folded graph ``G'`` (better
+   connectors for the same holders);
+3. **swap** — replace one skill's holder with another member of
+   ``C(s)`` and reconnect; accepted only when the full objective
+   improves.
+
+Every accepted move is re-scored with the literal Definitions 2–6, so
+refinement can only improve the reported objective (asserted in tests
+and in ``benchmarks/bench_refinement.py``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..expertise.network import ExpertNetwork
+from ..graph.adjacency import Graph, GraphError
+from ..graph.components import prune_leaves
+from ..graph.steiner import mst_steiner_tree
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .team import Team
+from .transform import authority_fold_transform
+
+__all__ = ["LocalSearchRefiner"]
+
+
+class LocalSearchRefiner:
+    """First-improvement local search over prune / reroute / swap moves."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        objective: str = "sa-ca-cc",
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+        max_rounds: int = 20,
+    ) -> None:
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be positive")
+        self.network = network
+        self.objective = objective
+        self.evaluator = TeamEvaluator(
+            network, gamma=gamma, lam=lam, scales=scales, sa_mode=sa_mode
+        )
+        self.max_rounds = max_rounds
+        # Routing graph: authority folded in, so Steiner rebuilds prefer
+        # authoritative connectors (for pure CC, gamma plays no role).
+        fold_gamma = 0.0 if objective == "cc" else self.evaluator.gamma
+        self._routing_graph = authority_fold_transform(
+            network, fold_gamma, scales=self.evaluator.scales
+        )
+
+    # ------------------------------------------------------------------
+    def refine(self, team: Team, project: Iterable[str] | None = None) -> Team:
+        """A team at least as good as ``team`` under the chosen objective.
+
+        ``project`` defaults to the team's assigned skills.  The input
+        team is never mutated.
+        """
+        skills = sorted(set(project) if project is not None else team.assignments)
+        current = team
+        score = self.evaluator.score(current, self.objective)
+        for _ in range(self.max_rounds):
+            improved = False
+            for move in (self._prune, self._reroute, self._swap):
+                candidate = move(current, skills)
+                if candidate is None:
+                    continue
+                candidate_score = self.evaluator.score(candidate, self.objective)
+                if candidate_score < score - 1e-12:
+                    current, score = candidate, candidate_score
+                    improved = True
+                    break
+            if not improved:
+                break
+        return current
+
+    # ------------------------------------------------------------------
+    # moves
+    # ------------------------------------------------------------------
+    def _prune(self, team: Team, skills: list[str]) -> Team | None:
+        holders = team.skill_holders
+        pruned = prune_leaves(team.tree, required=holders)
+        if pruned.num_nodes == team.tree.num_nodes:
+            return None
+        return Team(tree=pruned, assignments=dict(team.assignments), root=team.root)
+
+    def _reroute(self, team: Team, skills: list[str]) -> Team | None:
+        return self._rebuild(dict(team.assignments))
+
+    def _swap(self, team: Team, skills: list[str]) -> Team | None:
+        """First improving single-holder swap (scanned deterministically)."""
+        base_score = self.evaluator.score(team, self.objective)
+        for skill in skills:
+            incumbent = team.assignments[skill]
+            for candidate in sorted(self.network.experts_with_skill(skill)):
+                if candidate == incumbent:
+                    continue
+                assignment = dict(team.assignments)
+                assignment[skill] = candidate
+                rebuilt = self._rebuild(assignment)
+                if rebuilt is None:
+                    continue
+                if (
+                    self.evaluator.score(rebuilt, self.objective)
+                    < base_score - 1e-12
+                ):
+                    return rebuilt
+        return None
+
+    # ------------------------------------------------------------------
+    def _rebuild(self, assignment: dict[str, str]) -> Team | None:
+        holders = sorted(set(assignment.values()))
+        try:
+            steiner = mst_steiner_tree(self._routing_graph, holders)
+        except GraphError:
+            return None
+        tree = Graph()
+        for node in steiner.nodes():
+            tree.add_node(node)
+        for u, v, _ in steiner.edges():
+            tree.add_edge(u, v, weight=self.network.graph.weight(u, v))
+        return Team(tree=tree, assignments=dict(assignment), root=None)

@@ -1,0 +1,158 @@
+"""Team-member replacement: keep a team viable when an expert leaves.
+
+The paper's related work ([4] Li et al., *Replacing the Irreplaceable:
+Fast Algorithms for Team Member Recommendation*, WWW 2015) motivates
+this companion capability: once a team is formed, members become
+unavailable, and the recommender should propose substitutes that keep
+the project covered while degrading the ranking objective as little as
+possible.
+
+Semantics here:
+
+* If the departing expert is a **skill holder**, candidate substitutes
+  are experts outside the team holding *all* the skills that were
+  assigned to the departing member; each candidate yields a rebuilt team
+  (remaining holders + candidate reconnected by a Steiner approximation
+  on the network without the departing expert), ranked by the chosen
+  objective.
+* If the departing expert is a pure **connector**, no substitute is
+  needed — the remaining skill holders are simply reconnected without
+  them (possibly through different connectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..expertise.network import ExpertNetwork
+from ..graph.adjacency import Graph, GraphError
+from ..graph.steiner import mst_steiner_tree
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .team import Team
+
+__all__ = ["Replacement", "ReplacementError", "ReplacementRecommender"]
+
+
+class ReplacementError(Exception):
+    """No valid replacement exists (coverage or connectivity is lost)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Replacement:
+    """One ranked replacement proposal."""
+
+    team: Team
+    substitute: str | None  # None when the departee was a pure connector
+    score: float            # objective value of the rebuilt team
+    delta: float            # score - original team's score (lower is better)
+
+
+class ReplacementRecommender:
+    """Ranks substitutes for a departing team member."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        objective: str = "sa-ca-cc",
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+    ) -> None:
+        self.network = network
+        self.objective = objective
+        self.evaluator = TeamEvaluator(
+            network, gamma=gamma, lam=lam, scales=scales, sa_mode=sa_mode
+        )
+
+    # ------------------------------------------------------------------
+    def recommend(
+        self, team: Team, departing: str, *, k: int = 3
+    ) -> list[Replacement]:
+        """Top-``k`` replacement teams after ``departing`` leaves.
+
+        Raises :class:`ReplacementError` when the member is not in the
+        team, when no candidate covers the lost skills, or when the
+        network minus the departee cannot reconnect the team.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if departing not in team.members:
+            raise ReplacementError(f"{departing!r} is not a member of the team")
+        base_score = self.evaluator.score(team, self.objective)
+        lost_skills = sorted(
+            s for s, holder in team.assignments.items() if holder == departing
+        )
+
+        if not lost_skills:
+            rebuilt = self._rebuild(dict(team.assignments), exclude=departing)
+            if rebuilt is None:
+                raise ReplacementError(
+                    f"removing connector {departing!r} disconnects the team"
+                )
+            score = self.evaluator.score(rebuilt, self.objective)
+            return [
+                Replacement(
+                    team=rebuilt,
+                    substitute=None,
+                    score=score,
+                    delta=score - base_score,
+                )
+            ]
+
+        candidates = self._candidates(lost_skills, forbidden=team.members)
+        if not candidates:
+            raise ReplacementError(
+                f"no expert outside the team holds all of {lost_skills}"
+            )
+        proposals: list[Replacement] = []
+        for candidate in candidates:
+            assignment = {
+                s: (candidate if holder == departing else holder)
+                for s, holder in team.assignments.items()
+            }
+            rebuilt = self._rebuild(assignment, exclude=departing)
+            if rebuilt is None:
+                continue
+            score = self.evaluator.score(rebuilt, self.objective)
+            proposals.append(
+                Replacement(
+                    team=rebuilt,
+                    substitute=candidate,
+                    score=score,
+                    delta=score - base_score,
+                )
+            )
+        if not proposals:
+            raise ReplacementError(
+                f"no candidate for {lost_skills} can be reconnected to the team"
+            )
+        proposals.sort(key=lambda r: (r.score, r.substitute or ""))
+        return proposals[:k]
+
+    # ------------------------------------------------------------------
+    def _candidates(
+        self, lost_skills: list[str], *, forbidden: frozenset[str]
+    ) -> list[str]:
+        pools = [self.network.experts_with_skill(s) for s in lost_skills]
+        joint = set.intersection(*map(set, pools)) if pools else set()
+        return sorted(joint - set(forbidden))
+
+    def _rebuild(
+        self, assignment: dict[str, str], *, exclude: str
+    ) -> Team | None:
+        """Reconnect the assignment's holders avoiding ``exclude``."""
+        holders = sorted(set(assignment.values()))
+        remaining = [n for n in self.network.expert_ids() if n != exclude]
+        working = self.network.graph.subgraph(remaining)
+        try:
+            steiner = mst_steiner_tree(working, holders)
+        except GraphError:
+            return None
+        tree = Graph()
+        for node in steiner.nodes():
+            tree.add_node(node)
+        for u, v, w in steiner.edges():
+            tree.add_edge(u, v, weight=w)
+        return Team(tree=tree, assignments=dict(assignment), root=None)

@@ -1,0 +1,90 @@
+"""Problem 4: minimal skill-holder authority (polynomial time).
+
+Unlike Problems 1, 2, 3 and 5, Problem 4 is easy — the paper notes:
+"Problem 4 can be solved in polynomial time: for each skill in P, we
+find an expert with the highest a (lowest a'), and then produce a
+connected subgraph containing the selected experts.  However, this
+ignores communication cost and connectors' authority."
+
+This solver implements exactly that: the per-skill argmax-authority
+holder is SA-optimal by construction (SA is separable per skill), and
+the selected holders are connected with a Steiner approximation over the
+plain communication-cost graph.  The resulting team is *provably
+SA-optimal* while making no promise about CC or CA — the trade the
+paper's SA-CA-CC objective then addresses.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from ..expertise.network import ExpertNetwork
+from ..graph.adjacency import Graph, GraphError
+from ..graph.steiner import mst_steiner_tree
+from .objectives import ObjectiveScales, SaMode, TeamEvaluator
+from .team import Team
+
+__all__ = ["SaOptimalSolver"]
+
+
+class SaOptimalSolver:
+    """Exact polynomial solver for Problem 4 (minimal SA)."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+    ) -> None:
+        self.network = network
+        self.evaluator = TeamEvaluator(
+            network, gamma=0.6, lam=1.0, scales=scales, sa_mode=sa_mode
+        )
+
+    def find_team(self, project: Iterable[str]) -> Team | None:
+        """The SA-optimal team, or ``None`` if the per-skill optima cannot
+        be connected (they may span components).
+
+        Ties on authority break toward the lexicographically smallest
+        expert id, making the result deterministic.
+        """
+        skills = sorted(set(project))
+        if not skills:
+            raise ValueError("project must require at least one skill")
+        self.network.skill_index.require_coverable(skills)
+        assignment = {
+            skill: min(
+                self.network.experts_with_skill(skill),
+                key=lambda c: (self.evaluator.node_cost(c), c),
+            )
+            for skill in skills
+        }
+        holders = sorted(set(assignment.values()))
+        try:
+            steiner = mst_steiner_tree(self.network.graph, holders)
+        except GraphError:
+            return None
+        tree = Graph()
+        for node in steiner.nodes():
+            tree.add_node(node)
+        for u, v, w in steiner.edges():
+            tree.add_edge(u, v, weight=w)
+        return Team(tree=tree, assignments=assignment, root=None)
+
+    def optimal_sa(self, project: Iterable[str]) -> float:
+        """The provably minimal SA value for ``project`` (no team built).
+
+        Equals ``sum over skills of min over C(s) of a'`` in per-skill
+        mode; in distinct mode this is a lower bound achieved when one
+        expert can take every skill whose minimum it attains.
+        """
+        skills = sorted(set(project))
+        self.network.skill_index.require_coverable(skills)
+        return sum(
+            min(
+                self.evaluator.node_cost(c)
+                for c in self.network.experts_with_skill(skill)
+            )
+            for skill in skills
+        )

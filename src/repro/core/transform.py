@@ -1,0 +1,64 @@
+"""The ``G -> G'`` transformation (Section 3.2.2).
+
+To let the communication-cost algorithm also optimize authority, the
+paper folds node weights onto the edges::
+
+    w'(c_i, c_j) = gamma * (a'(c_i) + a'(c_j)) + 2 * (1 - gamma) * w(c_i, c_j)
+
+On a path from ``root`` to a skill holder ``v``, summing ``w'`` charges
+every *interior* node's inverse authority exactly twice and each
+endpoint's once, while communication cost is charged twice per edge —
+i.e. path length in ``G'`` is ``2 * [gamma * (CA-ish) + (1-gamma) * CC]``
+plus the endpoint corrections the greedy subtracts via
+``DIST(root, v) - gamma * a'(v)``.  Setting ``gamma = 1`` optimizes pure
+connector authority (Problem 2).
+
+All quantities are normalized with :class:`ObjectiveScales` before
+mixing, per Section 3.1.
+"""
+
+from __future__ import annotations
+
+from ..expertise.network import ExpertNetwork
+from ..graph.adjacency import Graph
+from .objectives import ObjectiveScales
+
+__all__ = ["authority_fold_transform", "transformed_edge_weight"]
+
+
+def transformed_edge_weight(
+    inv_auth_u: float, inv_auth_v: float, weight: float, gamma: float
+) -> float:
+    """The scalar rule ``w' = gamma*(a'_u + a'_v) + 2*(1-gamma)*w``.
+
+    Inputs are assumed already normalized.
+    """
+    return gamma * (inv_auth_u + inv_auth_v) + 2.0 * (1.0 - gamma) * weight
+
+
+def authority_fold_transform(
+    network: ExpertNetwork,
+    gamma: float,
+    *,
+    scales: ObjectiveScales | None = None,
+) -> Graph:
+    """Build ``G'`` from the expert network.
+
+    Returns a new :class:`Graph` over the same nodes whose edge weights
+    follow the paper's rule on normalized quantities.  The original
+    network is untouched.
+    """
+    if not 0.0 <= gamma <= 1.0:
+        raise ValueError(f"gamma must be in [0, 1], got {gamma}")
+    scales = scales or ObjectiveScales.from_network(network)
+    inv_auth = {
+        expert_id: network.inverse_authority(expert_id) / scales.authority_scale
+        for expert_id in network.expert_ids()
+    }
+
+    def rule(u: str, v: str, w: float) -> float:
+        return transformed_edge_weight(
+            inv_auth[u], inv_auth[v], w / scales.edge_scale, gamma
+        )
+
+    return network.graph.reweighted(rule)

@@ -1,0 +1,34 @@
+"""DBLP substrate: XML parsing, synthetic corpora, network building."""
+
+from .builder import (
+    DEFAULT_JUNIOR_MAX_PAPERS,
+    DEFAULT_MIN_TERM_OCCURRENCES,
+    build_expert_network,
+    junior_skills,
+)
+from .corpus import Corpus, Paper, Venue
+from .parser import RECORD_TAGS, iter_records, parse_dblp_xml
+from .synthetic import SyntheticDblpConfig, synthetic_corpus, topic_vocabulary
+from .text import STOPWORDS, extract_terms, tokenize
+from .writer import corpus_to_xml, write_dblp_xml
+
+__all__ = [
+    "DEFAULT_JUNIOR_MAX_PAPERS",
+    "DEFAULT_MIN_TERM_OCCURRENCES",
+    "build_expert_network",
+    "junior_skills",
+    "Corpus",
+    "Paper",
+    "Venue",
+    "RECORD_TAGS",
+    "iter_records",
+    "parse_dblp_xml",
+    "SyntheticDblpConfig",
+    "synthetic_corpus",
+    "topic_vocabulary",
+    "STOPWORDS",
+    "extract_terms",
+    "tokenize",
+    "corpus_to_xml",
+    "write_dblp_xml",
+]

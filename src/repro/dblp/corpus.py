@@ -1,0 +1,116 @@
+"""Bibliographic corpus records: papers, venues, citations.
+
+The paper's evaluation builds its expert network from the DBLP XML dump.
+:class:`Corpus` is the normalized in-memory form both the real XML parser
+(:mod:`repro.dblp.parser`) and the synthetic generator
+(:mod:`repro.dblp.synthetic`) produce, and the only input the network
+builder (:mod:`repro.dblp.builder`) consumes — so the full pipeline is
+identical regardless of where the bibliography came from.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+
+__all__ = ["Paper", "Venue", "Corpus"]
+
+
+@dataclass(frozen=True, slots=True)
+class Paper:
+    """One publication: title terms drive skills, authors drive edges."""
+
+    id: str
+    title: str
+    authors: tuple[str, ...]
+    year: int = 0
+    venue: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("paper id must be non-empty")
+        if not self.authors:
+            raise ValueError(f"paper {self.id!r} has no authors")
+        object.__setattr__(self, "authors", tuple(self.authors))
+
+
+@dataclass(frozen=True, slots=True)
+class Venue:
+    """A publication venue with a quality rating.
+
+    Ratings play the role of the Microsoft Academic conference ranking in
+    the Section 4.3 experiment (higher is better).
+    """
+
+    name: str
+    rating: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rating < 0:
+            raise ValueError(f"venue rating must be non-negative: {self.name!r}")
+
+
+@dataclass
+class Corpus:
+    """A bibliography: papers plus venue ratings and citation counts."""
+
+    papers: list[Paper] = field(default_factory=list)
+    venues: dict[str, Venue] = field(default_factory=dict)
+    citations: dict[str, int] = field(default_factory=dict)
+
+    def add_paper(self, paper: Paper, *, citations: int = 0) -> None:
+        """Append a paper, recording its citation count when non-zero."""
+        self.papers.append(paper)
+        if citations:
+            self.citations[paper.id] = citations
+
+    def add_venue(self, venue: Venue) -> None:
+        """Register (or replace) a venue by name."""
+        self.venues[venue.name] = venue
+
+    # ------------------------------------------------------------------
+    # derived views
+    # ------------------------------------------------------------------
+    def authors(self) -> set[str]:
+        """All distinct author names."""
+        names: set[str] = set()
+        for paper in self.papers:
+            names.update(paper.authors)
+        return names
+
+    def papers_of(self) -> dict[str, list[Paper]]:
+        """Author -> list of papers (each co-author gets the paper)."""
+        by_author: dict[str, list[Paper]] = {}
+        for paper in self.papers:
+            for author in paper.authors:
+                by_author.setdefault(author, []).append(paper)
+        return by_author
+
+    def citation_profile(self, papers: Iterable[Paper]) -> list[int]:
+        """Citation counts of the given papers (0 when unknown)."""
+        return [self.citations.get(p.id, 0) for p in papers]
+
+    def coauthor_pairs(self) -> set[tuple[str, str]]:
+        """All unordered co-author pairs appearing on some paper."""
+        pairs: set[tuple[str, str]] = set()
+        for paper in self.papers:
+            authors = sorted(set(paper.authors))
+            for i, a in enumerate(authors):
+                for b in authors[i + 1 :]:
+                    pairs.add((a, b))
+        return pairs
+
+    def venue_rating(self, name: str, default: float = 1.0) -> float:
+        """Rating of a venue, or ``default`` for unknown names."""
+        venue = self.venues.get(name)
+        return venue.rating if venue is not None else default
+
+    @property
+    def num_papers(self) -> int:
+        return len(self.papers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Corpus(papers={len(self.papers)}, venues={len(self.venues)}, "
+            f"authors={len(self.authors())})"
+        )

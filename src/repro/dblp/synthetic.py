@@ -1,0 +1,218 @@
+"""Synthetic DBLP-like corpus generator.
+
+The evaluation environment has no network access, so the real DBLP dump
+cannot be downloaded; this generator produces a bibliography with the
+statistical features the paper's experiments rely on (the substitution is
+documented in DESIGN.md §3):
+
+* **Research groups**: authors cluster into groups; most co-authorship
+  stays inside a group (the planted-community structure of real
+  co-authorship graphs).
+* **Seniority**: each group has a few *senior* authors (many papers,
+  heavily cited — high h-index) and many *juniors* (< 10 papers, lightly
+  cited).  Juniors publish almost exclusively *with* a senior mentor, so
+  seniors become the natural connectors between skill holders — exactly
+  the regime of the paper's Figures 1 and 6.
+* **Topics**: every group works on a few topics drawn from a global pool
+  (topics are shared across groups, so a skill has holders in several
+  groups).  Titles repeat topic terms, so the builder's "term in >= 2
+  titles" rule yields meaningful skills.
+* **Venues**: rated 1-10; senior-led papers land in better venues, and
+  citations grow with both seniority and venue rating, producing a
+  heavy-tailed h-index distribution.
+
+Everything is driven by one ``random.Random`` seed — corpora are fully
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from .corpus import Corpus, Paper, Venue
+
+__all__ = ["SyntheticDblpConfig", "synthetic_corpus", "topic_vocabulary"]
+
+_SYLLABLES = (
+    "graph net data quer clust rank stream index learn mine priv embed "
+    "spars kernel tensor logic parse cache shard joins trust crowd topic "
+    "vision agent robot proof chain"
+).split()
+
+_FILLER_TERMS = ("analysis", "model", "theory", "design", "evaluation")
+
+
+def topic_vocabulary(num_topics: int, terms_per_topic: int) -> list[list[str]]:
+    """Deterministic, human-readable, non-overlapping topic term lists."""
+    topics: list[list[str]] = []
+    for t in range(num_topics):
+        base = _SYLLABLES[t % len(_SYLLABLES)]
+        # Letter-only disambiguator: digits would be split off by the
+        # alphabetic tokenizer and pollute the skill vocabulary.
+        suffix = "" if t < len(_SYLLABLES) else chr(
+            ord("a") + (t // len(_SYLLABLES)) - 1
+        ) * 2
+        terms = [
+            f"{base}{suffix}{mod}"
+            for mod in ("ing", "ers", "ology", "ics", "ation", "istics", "ware",
+                        "scape", "craft", "metrics")[:terms_per_topic]
+        ]
+        topics.append(terms)
+    return topics
+
+
+@dataclass(frozen=True, slots=True)
+class SyntheticDblpConfig:
+    """Knobs of the generator; defaults give ~500 authors, ~1800 papers."""
+
+    num_groups: int = 40
+    juniors_per_group: tuple[int, int] = (6, 12)
+    seniors_per_group: tuple[int, int] = (1, 3)
+    papers_per_junior: tuple[int, int] = (2, 7)
+    papers_per_senior: tuple[int, int] = (15, 45)
+    num_topics: int = 30
+    topics_per_group: int = 3
+    terms_per_topic: int = 5
+    terms_per_title: tuple[int, int] = (3, 5)
+    coauthors_extra: tuple[int, int] = (1, 3)
+    senior_coauthor_prob: float = 0.8
+    cross_group_prob: float = 0.06
+    num_venues: int = 15
+    year_range: tuple[int, int] = (2001, 2015)
+    junior_citation_mean: float = 2.0
+    senior_citation_mean: float = 60.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "juniors_per_group",
+            "seniors_per_group",
+            "papers_per_junior",
+            "papers_per_senior",
+            "terms_per_title",
+            "coauthors_extra",
+            "year_range",
+        ):
+            low, high = getattr(self, name)
+            if low > high or low < 0:
+                raise ValueError(f"invalid range for {name}: ({low}, {high})")
+        if self.topics_per_group > self.num_topics:
+            raise ValueError("topics_per_group cannot exceed num_topics")
+        if not 0.0 <= self.cross_group_prob <= 1.0:
+            raise ValueError("cross_group_prob must be a probability")
+
+
+@dataclass(slots=True)
+class _Author:
+    name: str
+    group: int
+    senior: bool
+    topics: list[int] = field(default_factory=list)
+
+
+def synthetic_corpus(
+    config: SyntheticDblpConfig | None = None,
+    *,
+    seed: int | random.Random | None = 0,
+) -> Corpus:
+    """Generate a corpus according to ``config`` (see module docstring)."""
+    cfg = config or SyntheticDblpConfig()
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    corpus = Corpus()
+
+    for v in range(cfg.num_venues):
+        # Ratings 1..10, skewed so that top venues are rare.
+        rating = max(1.0, round(10.0 * (1.0 - (v / max(cfg.num_venues, 1)) ** 0.6), 1))
+        corpus.add_venue(Venue(name=f"venue-{v}", rating=rating))
+    venues = list(corpus.venues.values())
+    topics = topic_vocabulary(cfg.num_topics, cfg.terms_per_topic)
+
+    group_topics: list[list[int]] = []
+    authors: list[_Author] = []
+    groups: list[list[_Author]] = []
+    for g in range(cfg.num_groups):
+        chosen = rng.sample(range(cfg.num_topics), cfg.topics_per_group)
+        group_topics.append(chosen)
+        members: list[_Author] = []
+        for i in range(rng.randint(*cfg.seniors_per_group)):
+            members.append(_Author(f"g{g:03d}.senior{i}", g, True, chosen))
+        for i in range(rng.randint(*cfg.juniors_per_group)):
+            # A junior concentrates on a couple of the group's topics so
+            # the same terms recur across their titles.
+            focus = rng.sample(chosen, min(2, len(chosen)))
+            members.append(_Author(f"g{g:03d}.junior{i}", g, False, focus))
+        groups.append(members)
+        authors.extend(members)
+
+    paper_counter = 0
+    for author in authors:
+        lead_range = (
+            cfg.papers_per_senior if author.senior else cfg.papers_per_junior
+        )
+        for _ in range(rng.randint(*lead_range)):
+            paper = _make_paper(
+                cfg, rng, author, groups, topics, venues, paper_counter
+            )
+            citations = _sample_citations(cfg, rng, author, corpus, paper)
+            corpus.add_paper(paper, citations=citations)
+            paper_counter += 1
+    return corpus
+
+
+def _make_paper(
+    cfg: SyntheticDblpConfig,
+    rng: random.Random,
+    lead: _Author,
+    groups: list[list[_Author]],
+    topics: list[list[str]],
+    venues: list[Venue],
+    counter: int,
+) -> Paper:
+    coauthors: list[str] = [lead.name]
+    own_group = [a for a in groups[lead.group] if a.name != lead.name]
+    seniors = [a for a in own_group if a.senior]
+    juniors = [a for a in own_group if not a.senior]
+    for _ in range(rng.randint(*cfg.coauthors_extra)):
+        if rng.random() < cfg.cross_group_prob and len(groups) > 1:
+            other = rng.randrange(len(groups))
+            pool = groups[other] if other != lead.group else own_group
+        elif seniors and rng.random() < cfg.senior_coauthor_prob:
+            pool = seniors
+        else:
+            pool = juniors or seniors or own_group
+        if pool:
+            pick = rng.choice(pool).name
+            if pick not in coauthors:
+                coauthors.append(pick)
+
+    topic_id = rng.choice(lead.topics)
+    k = rng.randint(*cfg.terms_per_title)
+    vocabulary = topics[topic_id]
+    terms = rng.sample(vocabulary, min(k, len(vocabulary)))
+    title = " ".join(terms + [rng.choice(_FILLER_TERMS)]).title()
+
+    # Senior-led work lands in better venues on average.
+    weights = [
+        venue.rating ** (2.0 if lead.senior else 0.8) for venue in venues
+    ]
+    venue = rng.choices(venues, weights=weights, k=1)[0]
+    return Paper(
+        id=f"paper/{counter}",
+        title=title,
+        authors=tuple(coauthors),
+        year=rng.randint(*cfg.year_range),
+        venue=venue.name,
+    )
+
+
+def _sample_citations(
+    cfg: SyntheticDblpConfig,
+    rng: random.Random,
+    lead: _Author,
+    corpus: Corpus,
+    paper: Paper,
+) -> int:
+    mean = cfg.senior_citation_mean if lead.senior else cfg.junior_citation_mean
+    rating = corpus.venue_rating(paper.venue, default=1.0)
+    boosted = mean * (0.5 + rating / 10.0)
+    return int(rng.expovariate(1.0 / boosted)) if boosted > 0 else 0

@@ -1,0 +1,47 @@
+"""Title tokenization for skill extraction.
+
+The paper labels junior researchers "with terms that occur in at least
+two of their paper titles".  A *term* here is a lower-cased alphabetic
+token of a title that is neither a stopword nor trivially short.  The
+stopword list is small and embedded (no external data): generic English
+function words plus boilerplate title words ("towards", "using",
+"approach") that would otherwise become meaningless skills.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["STOPWORDS", "tokenize", "extract_terms"]
+
+_TOKEN_RE = re.compile(r"[a-z]+")
+
+STOPWORDS: frozenset[str] = frozenset(
+    """
+    a an and are as at be been being but by can do for from has have how in
+    into is it its like more most no not of on or our over such than that the
+    their them then these this those through to under up via was we what when
+    where which while who why will with within without you your
+    analysis approach approaches based case cases design effective efficient
+    evaluation fast framework general improved method methods model models
+    new non novel on online paper problem problems results revisited scalable
+    some study survey system systems techniques theory toward towards using
+    """.split()
+)
+
+#: Tokens shorter than this are ignored (initials, stray letters).
+MIN_TERM_LENGTH = 3
+
+
+def tokenize(title: str) -> list[str]:
+    """Lower-cased alphabetic tokens of a title, in order, repeats kept."""
+    return _TOKEN_RE.findall(title.lower())
+
+
+def extract_terms(title: str) -> set[str]:
+    """The distinct skill-candidate terms of one title."""
+    return {
+        token
+        for token in tokenize(title)
+        if len(token) >= MIN_TERM_LENGTH and token not in STOPWORDS
+    }

@@ -1,0 +1,57 @@
+"""DBLP XML writer: serialize a corpus back to the dump format.
+
+The inverse of :mod:`repro.dblp.parser`.  Useful for exporting synthetic
+corpora as fixtures, and — together with the parser — for round-trip
+testing the XML layer without a multi-GB real dump.  Citation counts are
+not part of the DBLP schema and are therefore not emitted.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from xml.sax.saxutils import escape
+
+from .corpus import Corpus, Paper
+
+__all__ = ["corpus_to_xml", "write_dblp_xml"]
+
+#: Venue names starting with "conf" markers are emitted as inproceedings.
+_CONFERENCE_PREFIXES = ("conf/",)
+
+
+def _record_tag(paper: Paper) -> str:
+    if paper.id.startswith(_CONFERENCE_PREFIXES):
+        return "inproceedings"
+    return "article"
+
+
+def _venue_tag(record_tag: str) -> str:
+    return "booktitle" if record_tag == "inproceedings" else "journal"
+
+
+def corpus_to_xml(corpus: Corpus) -> str:
+    """Render ``corpus`` as a DBLP-format XML document string."""
+    out = io.StringIO()
+    out.write('<?xml version="1.0" encoding="UTF-8"?>\n<dblp>\n')
+    for paper in corpus.papers:
+        tag = _record_tag(paper)
+        key = escape(paper.id, {'"': "&quot;"})
+        out.write(f'<{tag} key="{key}">\n')
+        for author in paper.authors:
+            out.write(f"  <author>{escape(author)}</author>\n")
+        out.write(f"  <title>{escape(paper.title)}</title>\n")
+        if paper.year:
+            out.write(f"  <year>{paper.year}</year>\n")
+        if paper.venue:
+            out.write(
+                f"  <{_venue_tag(tag)}>{escape(paper.venue)}</{_venue_tag(tag)}>\n"
+            )
+        out.write(f"</{tag}>\n")
+    out.write("</dblp>\n")
+    return out.getvalue()
+
+
+def write_dblp_xml(corpus: Corpus, path: str | Path) -> None:
+    """Write ``corpus`` to ``path`` in DBLP XML format."""
+    Path(path).write_text(corpus_to_xml(corpus), encoding="utf-8")

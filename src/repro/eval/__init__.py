@@ -1,0 +1,40 @@
+"""Evaluation harness: workloads, metrics, simulations, experiment runners."""
+
+from .charts import ascii_chart
+from .metrics import TeamStats, average_stats, safe_mean, team_stats
+from .normalize import min_max_normalize, relative_change
+from .reporting import format_table, format_value
+from .stats import BootstrapCI, bootstrap_mean_ci, paired_bootstrap_pvalue
+from .userstudy import JudgeConfig, SimulatedJudgePanel
+from .venues import ComparisonOutcome, VenuePublicationModel
+from .workload import (
+    SCALE_CONFIGS,
+    benchmark_corpus,
+    benchmark_network,
+    sample_project,
+    sample_projects,
+)
+
+__all__ = [
+    "ascii_chart",
+    "TeamStats",
+    "average_stats",
+    "safe_mean",
+    "team_stats",
+    "min_max_normalize",
+    "relative_change",
+    "format_table",
+    "format_value",
+    "BootstrapCI",
+    "bootstrap_mean_ci",
+    "paired_bootstrap_pvalue",
+    "JudgeConfig",
+    "SimulatedJudgePanel",
+    "ComparisonOutcome",
+    "VenuePublicationModel",
+    "SCALE_CONFIGS",
+    "benchmark_corpus",
+    "benchmark_network",
+    "sample_project",
+    "sample_projects",
+]

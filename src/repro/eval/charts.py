@@ -1,0 +1,75 @@
+"""ASCII line charts for experiment series.
+
+The paper communicates Figure 3 and Figure 5 as line plots; this module
+renders the same series as terminal charts so benchmark output and the
+CLI can show *shapes*, not just tables, without any plotting dependency.
+
+>>> print(ascii_chart({"a": [(0, 0.0), (1, 1.0)]}, height=3, width=12))
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: dict[str, Sequence[tuple[float, float]]],
+    *,
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render ``{label: [(x, y), ...]}`` as a fixed-size ASCII chart.
+
+    All series share one canvas; each gets a marker from a fixed cycle,
+    shown in the legend.  Points outside a degenerate (constant) range
+    are centered.  Raises ``ValueError`` on empty input.
+    """
+    if not series or all(not pts for pts in series.values()):
+        raise ValueError("at least one non-empty series is required")
+    if height < 2 or width < 8:
+        raise ValueError("canvas too small")
+
+    points = [pt for pts in series.values() for pt in pts]
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+
+    def col(x: float) -> int:
+        if x_high == x_low:
+            return width // 2
+        return round((x - x_low) / (x_high - x_low) * (width - 1))
+
+    def row(y: float) -> int:
+        if y_high == y_low:
+            return height // 2
+        return round((y - y_low) / (y_high - y_low) * (height - 1))
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (label, pts) in enumerate(series.items()):
+        marker = _MARKERS[idx % len(_MARKERS)]
+        legend.append(f"{marker} {label}")
+        for x, y in pts:
+            r = height - 1 - row(y)
+            c = col(x)
+            canvas[r][c] = marker
+
+    y_labels = [f"{y_high:.3g}", f"{y_low:.3g}"]
+    pad = max(len(label) for label in y_labels)
+    lines = []
+    if title:
+        lines.append(title)
+    for i, rendered in enumerate(canvas):
+        prefix = y_labels[0] if i == 0 else (y_labels[1] if i == height - 1 else "")
+        lines.append(f"{prefix:>{pad}} |{''.join(rendered)}")
+    lines.append(f"{'':>{pad}} +{'-' * width}")
+    x_axis = f"{x_low:.3g}".ljust(width - len(f"{x_high:.3g}")) + f"{x_high:.3g}"
+    lines.append(f"{'':>{pad}}  {x_axis}")
+    lines.append(f"{'':>{pad}}  {'   '.join(legend)}")
+    return "\n".join(lines)

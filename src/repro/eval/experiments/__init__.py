@@ -1,0 +1,51 @@
+"""One runner per paper table/figure; see DESIGN.md §4 for the index."""
+
+from .common import GREEDY_METHODS, MethodSuite
+from .dataset_stats import DatasetStats, run_dataset_stats
+from .figure3 import FIGURE3_METHODS, Figure3Cell, Figure3Result, run_figure3
+from .figure4 import Figure4Result, Figure4Row, run_figure4
+from .figure5 import (
+    Figure5Result,
+    Figure5Row,
+    lambda_stability,
+    run_figure5,
+)
+from .figure6 import Figure6Result, MemberReport, TeamReport, run_figure6
+from .judge_sensitivity import (
+    JudgeSensitivityResult,
+    JudgeSensitivityRow,
+    run_judge_sensitivity,
+)
+from .quality import QualityComparison, QualityResult, run_quality
+from .runtime import RuntimeResult, RuntimeRow, run_runtime
+
+__all__ = [
+    "GREEDY_METHODS",
+    "MethodSuite",
+    "DatasetStats",
+    "run_dataset_stats",
+    "FIGURE3_METHODS",
+    "Figure3Cell",
+    "Figure3Result",
+    "run_figure3",
+    "Figure4Result",
+    "Figure4Row",
+    "run_figure4",
+    "Figure5Result",
+    "Figure5Row",
+    "lambda_stability",
+    "run_figure5",
+    "Figure6Result",
+    "MemberReport",
+    "TeamReport",
+    "run_figure6",
+    "JudgeSensitivityResult",
+    "JudgeSensitivityRow",
+    "run_judge_sensitivity",
+    "QualityComparison",
+    "QualityResult",
+    "run_quality",
+    "RuntimeResult",
+    "RuntimeRow",
+    "run_runtime",
+]

@@ -1,0 +1,111 @@
+"""Shared infrastructure for the per-figure experiment runners.
+
+:class:`MethodSuite` owns one finder per ranking strategy over a fixed
+network and gamma.  The expensive piece — the 2-hop-cover index over the
+transformed graph ``G'`` — is built once and shared by the ``ca-cc``
+finder and every ``sa-ca-cc(lambda)`` finder (the search graph depends on
+gamma but not lambda), matching the paper's note that all three
+strategies "use the same fundamental algorithm and indexing methods".
+"""
+
+from __future__ import annotations
+
+from ...core.greedy import GreedyTeamFinder
+from ...core.objectives import ObjectiveScales, SaMode, TeamEvaluator
+from ...expertise.network import ExpertNetwork
+
+__all__ = ["MethodSuite", "GREEDY_METHODS"]
+
+#: The paper's three greedy ranking strategies (Figure 3 legend order).
+GREEDY_METHODS = ("cc", "ca-cc", "sa-ca-cc")
+
+
+class MethodSuite:
+    """Per-method finders over one network, sharing indexes where legal."""
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        oracle_kind: str = "pll",
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+    ) -> None:
+        self.network = network
+        self.gamma = gamma
+        self.lam = lam
+        self.oracle_kind = oracle_kind
+        self.scales = scales or ObjectiveScales.from_network(network)
+        self.sa_mode: SaMode = sa_mode
+        self._cc: GreedyTeamFinder | None = None
+        self._ca_cc: GreedyTeamFinder | None = None
+        self._sa_ca_cc: dict[float, GreedyTeamFinder] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def cc(self) -> GreedyTeamFinder:
+        """Algorithm 1 on plain ``G`` (Problem 1, the prior-art baseline)."""
+        if self._cc is None:
+            self._cc = GreedyTeamFinder(
+                self.network,
+                objective="cc",
+                oracle_kind=self.oracle_kind,
+                scales=self.scales,
+                sa_mode=self.sa_mode,
+            )
+        return self._cc
+
+    @property
+    def ca_cc(self) -> GreedyTeamFinder:
+        """Algorithm 1 on ``G'`` optimizing CA-CC (Problem 3)."""
+        if self._ca_cc is None:
+            self._ca_cc = GreedyTeamFinder(
+                self.network,
+                objective="ca-cc",
+                gamma=self.gamma,
+                oracle_kind=self.oracle_kind,
+                scales=self.scales,
+                sa_mode=self.sa_mode,
+            )
+        return self._ca_cc
+
+    def sa_ca_cc(self, lam: float | None = None) -> GreedyTeamFinder:
+        """Algorithm 1 on ``G'`` optimizing SA-CA-CC (Problem 5).
+
+        All lambdas share the CA-CC finder's oracle: only the per-skill
+        score combination changes with lambda, never the index.
+        """
+        lam = self.lam if lam is None else lam
+        if lam not in self._sa_ca_cc:
+            self._sa_ca_cc[lam] = GreedyTeamFinder(
+                self.network,
+                objective="sa-ca-cc",
+                gamma=self.gamma,
+                lam=lam,
+                scales=self.scales,
+                sa_mode=self.sa_mode,
+                oracle=self.ca_cc.oracle,
+            )
+        return self._sa_ca_cc[lam]
+
+    def finder(self, method: str, lam: float | None = None) -> GreedyTeamFinder:
+        """Dispatch by Figure 3 legend name."""
+        if method == "cc":
+            return self.cc
+        if method == "ca-cc":
+            return self.ca_cc
+        if method == "sa-ca-cc":
+            return self.sa_ca_cc(lam)
+        raise ValueError(f"unknown greedy method {method!r}; expected {GREEDY_METHODS}")
+
+    def evaluator(self, lam: float | None = None) -> TeamEvaluator:
+        """An SA-CA-CC evaluator at this suite's gamma and the given lambda."""
+        return TeamEvaluator(
+            self.network,
+            gamma=self.gamma,
+            lam=self.lam if lam is None else lam,
+            scales=self.scales,
+            sa_mode=self.sa_mode,
+        )

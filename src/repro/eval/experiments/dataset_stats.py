@@ -1,0 +1,85 @@
+"""Dataset characterization — the paper's Section 4 setup paragraph.
+
+The paper describes its dataset in prose: 40K nodes, 125K edges, junior
+researchers as skill holders, Jaccard edge weights, h-index node
+weights.  This runner produces the analogous table for any expert
+network, so DESIGN.md's substitution (synthetic corpus for the real
+dump) can be audited: the synthetic networks must land in the same
+qualitative regime (sparse, clustered, heavy-tailed authority, junior
+holders vs senior connectors).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...expertise.network import ExpertNetwork
+from ...graph.metrics import (
+    approximate_average_distance,
+    average_clustering,
+    average_degree,
+    density,
+)
+from ..metrics import safe_mean
+from ..reporting import format_table
+
+__all__ = ["DatasetStats", "run_dataset_stats"]
+
+
+@dataclass(frozen=True, slots=True)
+class DatasetStats:
+    """Structural and role statistics of one expert network."""
+
+    num_experts: int
+    num_edges: int
+    num_skills: int
+    num_skill_holders: int
+    density: float
+    average_degree: float
+    average_clustering: float
+    approx_average_distance: float
+    mean_h_index_holders: float
+    mean_h_index_others: float
+    max_h_index: float
+    mean_edge_weight: float
+
+    def format(self) -> str:
+        """Render as a two-column statistics table."""
+        rows = [
+            ["experts", self.num_experts],
+            ["edges", self.num_edges],
+            ["skills", self.num_skills],
+            ["skill holders", self.num_skill_holders],
+            ["density", self.density],
+            ["average degree", self.average_degree],
+            ["average clustering", self.average_clustering],
+            ["~average distance", self.approx_average_distance],
+            ["mean h (holders)", self.mean_h_index_holders],
+            ["mean h (others)", self.mean_h_index_others],
+            ["max h", self.max_h_index],
+            ["mean edge weight", self.mean_edge_weight],
+        ]
+        return format_table(
+            ["statistic", "value"], rows, title="Dataset characterization"
+        )
+
+
+def run_dataset_stats(network: ExpertNetwork) -> DatasetStats:
+    """Measure ``network`` (see class docstring)."""
+    holders = [e for e in network.experts() if e.skills]
+    others = [e for e in network.experts() if not e.skills]
+    graph = network.graph
+    return DatasetStats(
+        num_experts=len(network),
+        num_edges=graph.num_edges,
+        num_skills=network.skill_index.num_skills,
+        num_skill_holders=len(holders),
+        density=density(graph),
+        average_degree=average_degree(graph),
+        average_clustering=average_clustering(graph),
+        approx_average_distance=approximate_average_distance(graph),
+        mean_h_index_holders=safe_mean(e.h_index for e in holders),
+        mean_h_index_others=safe_mean(e.h_index for e in others),
+        max_h_index=max((e.h_index for e in network.experts()), default=0.0),
+        mean_edge_weight=safe_mean(w for _, _, w in graph.edges()),
+    )

@@ -1,0 +1,196 @@
+"""Figure 3: SA-CA-CC scores of the five ranking strategies vs lambda.
+
+Paper setup: gamma fixed at 0.6; lambda in {0.2, 0.4, 0.6, 0.8}; panels
+for 4, 6, 8 and 10 required skills; 50 random projects per panel; the
+plotted value is the mean SA-CA-CC score of the best team each strategy
+returns, evaluated at the panel's lambda.  ``Exact`` appears only where
+it terminates (the paper: 4 and 6 skills).
+
+Expected shape: ``Exact <= SA-CA-CC <= CA-CC, CC, Random`` at every
+lambda, with the gap between SA-CA-CC and the authority-blind strategies
+growing as lambda (the weight of skill-holder authority) grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.exact import ExactSolver, IntractableError
+from ...core.random_search import RandomSolver
+from ...core.team import Team
+from ...expertise.network import ExpertNetwork
+from ..reporting import format_table
+from ..workload import sample_projects
+from .common import MethodSuite
+
+__all__ = ["Figure3Cell", "Figure3Result", "run_figure3", "FIGURE3_METHODS"]
+
+FIGURE3_METHODS = ("cc", "ca-cc", "sa-ca-cc", "random", "exact")
+
+
+@dataclass(frozen=True, slots=True)
+class Figure3Cell:
+    """One plotted point: mean score of ``method`` at (num_skills, lam)."""
+
+    num_skills: int
+    lam: float
+    method: str
+    mean_score: float | None
+    num_projects: int
+
+
+@dataclass
+class Figure3Result:
+    """All cells plus the run's parameters."""
+
+    gamma: float
+    lambdas: tuple[float, ...]
+    num_skills_list: tuple[int, ...]
+    cells: list[Figure3Cell] = field(default_factory=list)
+
+    def cell(self, num_skills: int, lam: float, method: str) -> Figure3Cell:
+        """Look up one plotted point; KeyError when absent."""
+        for c in self.cells:
+            if (
+                c.num_skills == num_skills
+                and abs(c.lam - lam) < 1e-12
+                and c.method == method
+            ):
+                return c
+        raise KeyError((num_skills, lam, method))
+
+    def series(self, num_skills: int, method: str) -> list[tuple[float, float | None]]:
+        """The plotted line: [(lambda, mean score), ...]."""
+        return [
+            (lam, self.cell(num_skills, lam, method).mean_score)
+            for lam in self.lambdas
+        ]
+
+    def format(self) -> str:
+        """All panels as paper-style tables."""
+        blocks = []
+        for t in self.num_skills_list:
+            rows = []
+            for method in FIGURE3_METHODS:
+                rows.append(
+                    [method]
+                    + [self.cell(t, lam, method).mean_score for lam in self.lambdas]
+                )
+            blocks.append(
+                format_table(
+                    ["method"] + [f"lam={lam}" for lam in self.lambdas],
+                    rows,
+                    title=f"Figure 3 — {t} skills (gamma={self.gamma})",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def chart(self, num_skills: int) -> str:
+        """One panel as an ASCII line chart (the paper's presentation)."""
+        from ..charts import ascii_chart
+
+        series = {}
+        for method in FIGURE3_METHODS:
+            points = [
+                (lam, score)
+                for lam, score in self.series(num_skills, method)
+                if score is not None
+            ]
+            if points:
+                series[method] = points
+        return ascii_chart(
+            series,
+            title=f"Figure 3 — {num_skills} skills (SA-CA-CC score vs lambda)",
+        )
+
+
+def run_figure3(
+    network: ExpertNetwork,
+    *,
+    num_skills_list: tuple[int, ...] = (4, 6, 8, 10),
+    lambdas: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8),
+    gamma: float = 0.6,
+    projects_per_size: int = 50,
+    seed: int = 7,
+    oracle_kind: str = "pll",
+    random_samples: int = 10_000,
+    exact_max_skills: int = 6,
+    exact_time_budget: float | None = 30.0,
+    exact_max_assignments: int = 50_000,
+    max_support: int | None = None,
+) -> Figure3Result:
+    """Regenerate Figure 3 on ``network``.
+
+    ``exact_max_skills`` mirrors the paper: beyond it, Exact is not even
+    attempted.  Within it, per-project intractability (time or assignment
+    budget) drops that project from Exact's mean — if every project is
+    intractable the cell is ``None``, which ``format()`` prints as ``-``
+    just like the missing Exact bars in the paper's 8/10-skill panels.
+    """
+    result = Figure3Result(
+        gamma=gamma, lambdas=tuple(lambdas), num_skills_list=tuple(num_skills_list)
+    )
+    suite = MethodSuite(network, gamma=gamma, oracle_kind=oracle_kind)
+    for t in num_skills_list:
+        projects = sample_projects(
+            network, t, projects_per_size, seed=seed + t, max_support=max_support
+        )
+        sums: dict[tuple[float, str], float] = {}
+        counts: dict[tuple[float, str], int] = {}
+        for p_idx, project in enumerate(projects):
+            teams: dict[tuple[float, str], Team | None] = {}
+            cc_team = suite.cc.find_team(project)
+            cacc_team = suite.ca_cc.find_team(project)
+            random_solver = RandomSolver(
+                network,
+                gamma=gamma,
+                scales=suite.scales,
+                num_samples=random_samples,
+                seed=seed * 1000 + p_idx,
+            )
+            random_by_lam = random_solver.find_teams_for_lambdas(project, lambdas)
+            exact_solver = (
+                ExactSolver(
+                    network,
+                    gamma=gamma,
+                    scales=suite.scales,
+                    max_assignments=exact_max_assignments,
+                    time_budget=exact_time_budget,
+                )
+                if t <= exact_max_skills
+                else None
+            )
+            for lam in lambdas:
+                teams[(lam, "cc")] = cc_team
+                teams[(lam, "ca-cc")] = cacc_team
+                teams[(lam, "sa-ca-cc")] = suite.sa_ca_cc(lam).find_team(project)
+                teams[(lam, "random")] = random_by_lam[lam]
+                if exact_solver is not None:
+                    try:
+                        teams[(lam, "exact")] = exact_solver.find_team(project, lam=lam)
+                    except IntractableError:
+                        teams[(lam, "exact")] = None
+                else:
+                    teams[(lam, "exact")] = None
+                evaluator = suite.evaluator(lam)
+                for method in FIGURE3_METHODS:
+                    team = teams[(lam, method)]
+                    if team is None:
+                        continue
+                    key = (lam, method)
+                    sums[key] = sums.get(key, 0.0) + evaluator.sa_ca_cc(team)
+                    counts[key] = counts.get(key, 0) + 1
+        for lam in lambdas:
+            for method in FIGURE3_METHODS:
+                key = (lam, method)
+                n = counts.get(key, 0)
+                result.cells.append(
+                    Figure3Cell(
+                        num_skills=t,
+                        lam=lam,
+                        method=method,
+                        mean_score=(sums[key] / n) if n else None,
+                        num_projects=n,
+                    )
+                )
+    return result

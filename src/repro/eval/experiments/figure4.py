@@ -1,0 +1,100 @@
+"""Figure 4: top-5 precision of CC, CA-CC and SA-CA-CC (user study).
+
+Paper setup: four projects with 4, 6, 8 and 10 required skills; each
+method returns its top-5 teams; six graduate students score every team
+in [0, 1]; the bar chart reports per-method precision at each project
+size, with lambda = gamma = 0.6.  Here the judges are simulated
+(:mod:`repro.eval.userstudy`).
+
+Expected shape: CA-CC and SA-CA-CC beat CC at every project size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...expertise.network import ExpertNetwork
+from ..reporting import format_table
+from ..userstudy import JudgeConfig, SimulatedJudgePanel
+from ..workload import sample_project
+from .common import GREEDY_METHODS, MethodSuite
+
+import random
+
+__all__ = ["Figure4Row", "Figure4Result", "run_figure4"]
+
+
+@dataclass(frozen=True, slots=True)
+class Figure4Row:
+    """Precision of one method on one project."""
+
+    num_skills: int
+    method: str
+    precision: float
+
+
+@dataclass
+class Figure4Result:
+    gamma: float
+    lam: float
+    num_judges: int
+    rows: list[Figure4Row] = field(default_factory=list)
+
+    def precision(self, num_skills: int, method: str) -> float:
+        """Precision of one method on the project of a given size."""
+        for row in self.rows:
+            if row.num_skills == num_skills and row.method == method:
+                return row.precision
+        raise KeyError((num_skills, method))
+
+    def format(self) -> str:
+        """The bar-chart data as a percentage table."""
+        sizes = sorted({row.num_skills for row in self.rows})
+        table = [
+            [method] + [100.0 * self.precision(t, method) for t in sizes]
+            for method in GREEDY_METHODS
+        ]
+        return format_table(
+            ["method"] + [f"{t} skills" for t in sizes],
+            table,
+            precision=1,
+            title=(
+                f"Figure 4 — top-5 precision %, {self.num_judges} judges "
+                f"(gamma={self.gamma}, lambda={self.lam})"
+            ),
+        )
+
+
+def run_figure4(
+    network: ExpertNetwork,
+    *,
+    num_skills_list: tuple[int, ...] = (4, 6, 8, 10),
+    gamma: float = 0.6,
+    lam: float = 0.6,
+    k: int = 5,
+    num_judges: int = 6,
+    seed: int = 11,
+    oracle_kind: str = "pll",
+    judge_config: JudgeConfig | None = None,
+) -> Figure4Result:
+    """Regenerate Figure 4 on ``network`` with a simulated judge panel."""
+    result = Figure4Result(gamma=gamma, lam=lam, num_judges=num_judges)
+    suite = MethodSuite(network, gamma=gamma, lam=lam, oracle_kind=oracle_kind)
+    panel = SimulatedJudgePanel(
+        network, num_judges=num_judges, seed=seed, config=judge_config
+    )
+    rng = random.Random(seed)
+    for t in num_skills_list:
+        project = sample_project(network, t, rng)
+        for method in GREEDY_METHODS:
+            teams = suite.finder(method).find_top_k(project, k=k)
+            if not teams:
+                continue
+            result.rows.append(
+                Figure4Row(
+                    num_skills=t,
+                    method=method,
+                    precision=panel.precision(teams),
+                )
+            )
+    return result

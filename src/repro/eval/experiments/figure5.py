@@ -1,0 +1,182 @@
+"""Figure 5: sensitivity of team measures to lambda.
+
+Paper setup (Section 4.4), two protocols, both with 4-skill projects and
+gamma = 0.6:
+
+1. *top-5 mode* — for one fixed project, SA-CA-CC finds its top-5 teams
+   at each lambda; the four panels plot the (normalized) average
+   skill-holder h-index (a), connector h-index (b), team size (c) and
+   number of publications (d) across those 5 teams.
+2. *best-team mode* — for five random projects, the best SA-CA-CC team
+   is found at each lambda and the same measures are averaged over the
+   projects.
+
+Expected shape: holder h-index and publication counts rise with lambda
+(skill-holder authority gets more weight); measures "change slowly as
+lambda increases"; moving lambda by less than 0.05 leaves teams
+unchanged (checked by :func:`lambda_stability`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ...expertise.network import ExpertNetwork
+from ..metrics import TeamStats, average_stats, team_stats
+from ..normalize import min_max_normalize
+from ..reporting import format_table
+from ..workload import sample_project, sample_projects
+from .common import MethodSuite
+
+__all__ = ["Figure5Row", "Figure5Result", "run_figure5", "lambda_stability"]
+
+DEFAULT_LAMBDAS = tuple(round(0.1 * i, 2) for i in range(1, 10))
+
+MEASURES = (
+    "avg_holder_h_index",
+    "avg_connector_h_index",
+    "size",
+    "avg_num_publications",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Figure5Row:
+    """Average measures at one lambda under one protocol."""
+
+    mode: str  # "top5" | "best"
+    lam: float
+    stats: TeamStats
+
+
+@dataclass
+class Figure5Result:
+    gamma: float
+    lambdas: tuple[float, ...]
+    rows: list[Figure5Row] = field(default_factory=list)
+
+    def series(self, mode: str, measure: str, *, normalized: bool = False):
+        """One panel's line: [(lambda, value), ...]."""
+        if measure not in MEASURES:
+            raise ValueError(f"unknown measure {measure!r}; expected {MEASURES}")
+        points = [
+            (row.lam, float(getattr(row.stats, measure)))
+            for row in self.rows
+            if row.mode == mode
+        ]
+        points.sort()
+        if normalized:
+            values = min_max_normalize([v for _, v in points])
+            points = [(lam, v) for (lam, _), v in zip(points, values)]
+        return points
+
+    def format(self) -> str:
+        """Both protocols as tables of raw measures."""
+        blocks = []
+        for mode in ("top5", "best"):
+            rows = []
+            for lam in self.lambdas:
+                stats = next(
+                    (r.stats for r in self.rows if r.mode == mode and r.lam == lam),
+                    None,
+                )
+                if stats is None:
+                    continue
+                rows.append(
+                    [
+                        lam,
+                        stats.avg_holder_h_index,
+                        stats.avg_connector_h_index,
+                        stats.size,
+                        stats.avg_num_publications,
+                    ]
+                )
+            blocks.append(
+                format_table(
+                    ["lambda", "holder h", "connector h", "team size", "avg pubs"],
+                    rows,
+                    title=f"Figure 5 — {mode} mode (gamma={self.gamma})",
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def chart(self, mode: str = "best") -> str:
+        """The four panels as one normalized ASCII chart (paper style)."""
+        from ..charts import ascii_chart
+
+        series = {
+            measure: self.series(mode, measure, normalized=True)
+            for measure in MEASURES
+        }
+        return ascii_chart(
+            series,
+            title=f"Figure 5 — normalized measures vs lambda ({mode} mode)",
+        )
+
+
+def run_figure5(
+    network: ExpertNetwork,
+    *,
+    lambdas: tuple[float, ...] = DEFAULT_LAMBDAS,
+    gamma: float = 0.6,
+    num_skills: int = 4,
+    num_random_projects: int = 5,
+    k: int = 5,
+    seed: int = 13,
+    oracle_kind: str = "pll",
+) -> Figure5Result:
+    """Regenerate Figure 5 on ``network`` (both protocols)."""
+    result = Figure5Result(gamma=gamma, lambdas=tuple(lambdas))
+    suite = MethodSuite(network, gamma=gamma, oracle_kind=oracle_kind)
+    rng = random.Random(seed)
+    fixed_project = sample_project(network, num_skills, rng)
+    random_projects = sample_projects(
+        network, num_skills, num_random_projects, seed=seed + 1
+    )
+    for lam in lambdas:
+        finder = suite.sa_ca_cc(lam)
+        top5 = finder.find_top_k(fixed_project, k=k)
+        if top5:
+            result.rows.append(
+                Figure5Row(
+                    mode="top5",
+                    lam=lam,
+                    stats=average_stats(team_stats(t, network) for t in top5),
+                )
+            )
+        best_stats = []
+        for project in random_projects:
+            team = finder.find_team(project)
+            if team is not None:
+                best_stats.append(team_stats(team, network))
+        if best_stats:
+            result.rows.append(
+                Figure5Row(mode="best", lam=lam, stats=average_stats(best_stats))
+            )
+    return result
+
+
+def lambda_stability(
+    network: ExpertNetwork,
+    project: list[str],
+    *,
+    lam: float = 0.6,
+    delta: float = 0.04,
+    gamma: float = 0.6,
+    oracle_kind: str = "dijkstra",
+) -> bool:
+    """Whether a lambda perturbation smaller than 0.05 keeps the best team.
+
+    Section 4.4: "changing the value of lambda by less than 0.05 does not
+    affect the results".  Returns True when the best teams at ``lam`` and
+    ``lam + delta`` coincide.
+    """
+    if not 0.0 < delta < 0.05:
+        raise ValueError("delta must be in (0, 0.05) to test the paper's claim")
+    suite = MethodSuite(network, gamma=gamma, oracle_kind=oracle_kind)
+    base = suite.sa_ca_cc(lam).find_team(project)
+    moved = suite.sa_ca_cc(min(1.0, lam + delta)).find_team(project)
+    if base is None or moved is None:
+        return base is None and moved is None
+    return base.key() == moved.key()

@@ -1,0 +1,99 @@
+"""Section 4.1 (text): query runtime vs number of required skills.
+
+The paper reports that CC, CA-CC and SA-CA-CC "have similar runtime
+since they use the same fundamental algorithm and indexing methods", the
+runtime depends on the number of required skills, and averages a few
+hundred milliseconds per query on their Java/i7 setup.
+
+This runner measures per-query wall-clock time (index construction is
+timed separately — it is a one-off preprocessing cost) for each method
+and project size.  Absolute numbers differ from the paper's testbed; the
+shape — same order across methods, growth with #skills — is the claim
+under reproduction.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ...expertise.network import ExpertNetwork
+from ..reporting import format_table
+from ..workload import sample_projects
+from .common import GREEDY_METHODS, MethodSuite
+
+__all__ = ["RuntimeRow", "RuntimeResult", "run_runtime"]
+
+
+@dataclass(frozen=True, slots=True)
+class RuntimeRow:
+    method: str
+    num_skills: int
+    mean_ms: float
+    num_queries: int
+
+
+@dataclass
+class RuntimeResult:
+    index_build_ms: float
+    rows: list[RuntimeRow] = field(default_factory=list)
+
+    def mean_ms(self, method: str, num_skills: int) -> float:
+        """Mean per-query latency of one method at one project size."""
+        for row in self.rows:
+            if row.method == method and row.num_skills == num_skills:
+                return row.mean_ms
+        raise KeyError((method, num_skills))
+
+    def format(self) -> str:
+        """Latency table plus the one-off index build time."""
+        sizes = sorted({row.num_skills for row in self.rows})
+        table = [
+            [method] + [self.mean_ms(method, t) for t in sizes]
+            for method in GREEDY_METHODS
+        ]
+        body = format_table(
+            ["method"] + [f"{t} skills" for t in sizes],
+            table,
+            precision=1,
+            title="Section 4.1 — mean query runtime (ms)",
+        )
+        return f"{body}\n\nindex build: {self.index_build_ms:.1f} ms (one-off)"
+
+
+def run_runtime(
+    network: ExpertNetwork,
+    *,
+    num_skills_list: tuple[int, ...] = (4, 6, 8, 10),
+    projects_per_size: int = 5,
+    gamma: float = 0.6,
+    lam: float = 0.6,
+    seed: int = 29,
+    oracle_kind: str = "pll",
+) -> RuntimeResult:
+    """Measure per-query latency of the three greedy strategies."""
+    suite = MethodSuite(network, gamma=gamma, lam=lam, oracle_kind=oracle_kind)
+    start = time.perf_counter()
+    suite.cc  # noqa: B018 - forces index construction
+    suite.ca_cc
+    suite.sa_ca_cc()
+    index_build_ms = 1000.0 * (time.perf_counter() - start)
+
+    result = RuntimeResult(index_build_ms=index_build_ms)
+    for t in num_skills_list:
+        projects = sample_projects(network, t, projects_per_size, seed=seed + t)
+        for method in GREEDY_METHODS:
+            finder = suite.finder(method)
+            start = time.perf_counter()
+            for project in projects:
+                finder.find_team(project)
+            elapsed = time.perf_counter() - start
+            result.rows.append(
+                RuntimeRow(
+                    method=method,
+                    num_skills=t,
+                    mean_ms=1000.0 * elapsed / len(projects),
+                    num_queries=len(projects),
+                )
+            )
+    return result

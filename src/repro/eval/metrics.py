@@ -1,0 +1,86 @@
+"""Team statistics reported in Figures 5 and 6.
+
+The paper's sensitivity and qualitative experiments report, per team: the
+average h-index of skill holders, the average h-index of connectors, the
+team size, the overall team h-index and the average number of
+publications.  :func:`team_stats` computes all of them from a team and
+its network.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from ..core.team import Team
+from ..expertise.network import ExpertNetwork
+
+__all__ = ["TeamStats", "team_stats", "safe_mean"]
+
+
+def safe_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean, 0.0 for an empty sequence (teams may lack connectors)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+@dataclass(frozen=True, slots=True)
+class TeamStats:
+    """Descriptive statistics of one team (raw, un-normalized units)."""
+
+    size: int
+    num_connectors: int
+    avg_holder_h_index: float
+    avg_connector_h_index: float
+    team_h_index: float
+    avg_num_publications: float
+    communication_cost: float
+
+    def as_row(self) -> tuple[float, ...]:
+        """The statistics as a flat tuple (table-rendering order)."""
+        return (
+            self.size,
+            self.num_connectors,
+            self.avg_holder_h_index,
+            self.avg_connector_h_index,
+            self.team_h_index,
+            self.avg_num_publications,
+            self.communication_cost,
+        )
+
+
+def team_stats(team: Team, network: ExpertNetwork) -> TeamStats:
+    """Compute the Figure 5/6 statistics for ``team``."""
+    holders = sorted(team.skill_holders)
+    connectors = sorted(team.connectors)
+    members = sorted(team.members)
+    return TeamStats(
+        size=len(members),
+        num_connectors=len(connectors),
+        avg_holder_h_index=safe_mean(network.authority(c) for c in holders),
+        avg_connector_h_index=safe_mean(network.authority(c) for c in connectors),
+        team_h_index=safe_mean(network.authority(c) for c in members),
+        avg_num_publications=safe_mean(
+            network.expert(c).num_publications for c in members
+        ),
+        communication_cost=sum(w for _, _, w in team.tree.edges()),
+    )
+
+
+def average_stats(stats: Iterable[TeamStats]) -> TeamStats:
+    """Element-wise mean of several teams' statistics (Figure 5 top-5 mode)."""
+    stats = list(stats)
+    if not stats:
+        raise ValueError("cannot average zero TeamStats")
+    n = len(stats)
+    return TeamStats(
+        size=round(sum(s.size for s in stats) / n),
+        num_connectors=round(sum(s.num_connectors for s in stats) / n),
+        avg_holder_h_index=sum(s.avg_holder_h_index for s in stats) / n,
+        avg_connector_h_index=sum(s.avg_connector_h_index for s in stats) / n,
+        team_h_index=sum(s.team_h_index for s in stats) / n,
+        avg_num_publications=sum(s.avg_num_publications for s in stats) / n,
+        communication_cost=sum(s.communication_cost for s in stats) / n,
+    )

@@ -1,0 +1,41 @@
+"""Series normalization helpers for reporting.
+
+Figure 5 plots "sensitivity of *normalized* results to lambda": each
+measured series is min-max rescaled to [0, 1] so curves with different
+units (h-index, team size, publication counts) share one axis.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["min_max_normalize", "relative_change"]
+
+
+def min_max_normalize(values: Sequence[float]) -> list[float]:
+    """Rescale a series to [0, 1]; a constant series maps to all zeros."""
+    if not values:
+        return []
+    low, high = min(values), max(values)
+    if high == low:
+        return [0.0] * len(values)
+    span = high - low
+    return [(v - low) / span for v in values]
+
+
+def relative_change(values: Sequence[float]) -> list[float]:
+    """Per-step relative change of a series (first element is 0).
+
+    Used by the lambda-stability check: the paper observes that moving
+    lambda by less than 0.05 leaves teams unchanged, i.e. the relative
+    change of every measure is 0 across such steps.
+    """
+    if not values:
+        return []
+    out = [0.0]
+    for prev, cur in zip(values, values[1:]):
+        if prev == 0:
+            out.append(0.0 if cur == 0 else float("inf"))
+        else:
+            out.append((cur - prev) / abs(prev))
+    return out

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment result object exposes ``format()`` built on this tiny
+renderer, so benchmark runs print paper-style tables without any
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: object, *, precision: int = 3) -> str:
+    """Render one cell: floats rounded, None as '-', rest via str()."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    precision: int = 3,
+    title: str | None = None,
+) -> str:
+    """Align ``rows`` under ``headers`` with a rule line, optional title."""
+    rendered = [
+        [format_value(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,101 @@
+"""Bootstrap statistics for experiment reporting.
+
+The paper reports plain means over 50 projects; a reproduction should
+also quantify uncertainty, because our panels use fewer projects.  The
+seeded percentile bootstrap here yields confidence intervals for any
+per-project metric, and a paired bootstrap test for "method A beats
+method B" claims (used to sanity-check Figure 3/4 orderings before
+asserting them in benchmarks).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["BootstrapCI", "bootstrap_mean_ci", "paired_bootstrap_pvalue"]
+
+
+@dataclass(frozen=True, slots=True)
+class BootstrapCI:
+    """A percentile bootstrap confidence interval for a mean."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.low <= value <= self.high
+
+    @property
+    def halfwidth(self) -> float:
+        return (self.high - self.low) / 2.0
+
+
+def bootstrap_mean_ci(
+    values: Sequence[float],
+    *,
+    confidence: float = 0.95,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> BootstrapCI:
+    """Percentile bootstrap CI of the mean of ``values``.
+
+    A single observation yields a degenerate interval at that value.
+    """
+    if not values:
+        raise ValueError("cannot bootstrap an empty sample")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 1:
+        raise ValueError("num_resamples must be positive")
+    values = list(values)
+    n = len(values)
+    mean = sum(values) / n
+    if n == 1:
+        return BootstrapCI(mean=mean, low=mean, high=mean, confidence=confidence)
+    rng = random.Random(seed)
+    resample_means = sorted(
+        sum(rng.choices(values, k=n)) / n for _ in range(num_resamples)
+    )
+    alpha = (1.0 - confidence) / 2.0
+    low_idx = int(alpha * num_resamples)
+    high_idx = min(num_resamples - 1, int((1.0 - alpha) * num_resamples))
+    return BootstrapCI(
+        mean=mean,
+        low=resample_means[low_idx],
+        high=resample_means[high_idx],
+        confidence=confidence,
+    )
+
+
+def paired_bootstrap_pvalue(
+    a: Sequence[float],
+    b: Sequence[float],
+    *,
+    num_resamples: int = 2000,
+    seed: int = 0,
+) -> float:
+    """One-sided paired bootstrap p-value for ``mean(a) < mean(b)``.
+
+    ``a`` and ``b`` are per-project scores of two methods on the *same*
+    projects (lower is better for all the paper's objectives).  Returns
+    the fraction of resamples where the mean difference ``a - b`` is
+    non-negative: small values support "A beats B".
+    """
+    if len(a) != len(b):
+        raise ValueError("paired samples must have equal length")
+    if not a:
+        raise ValueError("cannot bootstrap empty samples")
+    diffs = [x - y for x, y in zip(a, b)]
+    rng = random.Random(seed)
+    n = len(diffs)
+    hits = 0
+    for _ in range(num_resamples):
+        resample = rng.choices(diffs, k=n)
+        if sum(resample) / n >= 0.0:
+            hits += 1
+    return hits / num_resamples

@@ -1,0 +1,33 @@
+"""Expert-network model: profiles, skills, authority, communication cost."""
+
+from .authority import AUTHORITY_FLOOR, h_index, inverse_authority, pagerank
+from .expert import Expert
+from .jaccard import collaboration_weight, jaccard_distance, jaccard_similarity
+from .network import ExpertNetwork
+from .serialize import (
+    SCHEMA_VERSION,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from .skills import SkillCoverageError, SkillIndex
+
+__all__ = [
+    "AUTHORITY_FLOOR",
+    "h_index",
+    "inverse_authority",
+    "pagerank",
+    "Expert",
+    "collaboration_weight",
+    "jaccard_distance",
+    "jaccard_similarity",
+    "ExpertNetwork",
+    "SCHEMA_VERSION",
+    "load_network",
+    "network_from_dict",
+    "network_to_dict",
+    "save_network",
+    "SkillCoverageError",
+    "SkillIndex",
+]

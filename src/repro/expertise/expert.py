@@ -1,0 +1,65 @@
+"""The :class:`Expert` record: skills, authority signals, paper history.
+
+Section 2 of the paper models each expert ``c_i`` with a skill set
+``S(c_i)`` and an application-dependent authority ``a(c_i)`` (h-index in
+the experiments).  We additionally carry the expert's paper identifiers —
+the DBLP pipeline derives both the Jaccard edge weights and the h-index
+from them — and the publication count used in Figures 5 and 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Expert"]
+
+
+@dataclass(frozen=True, slots=True)
+class Expert:
+    """An immutable expert profile.
+
+    Parameters
+    ----------
+    id:
+        Unique identifier; doubles as the graph node id.
+    name:
+        Human-readable name (display only).
+    skills:
+        The expert's skill labels, ``S(c_i)``.
+    h_index:
+        Authority metric used throughout the paper's evaluation.
+    num_publications:
+        Size of the expert's paper set (reported in Figures 5d and 6).
+    papers:
+        Identifiers of the expert's papers; used for Jaccard edge weights.
+    """
+
+    id: str
+    name: str = ""
+    skills: frozenset[str] = field(default_factory=frozenset)
+    h_index: float = 1.0
+    num_publications: int = 0
+    papers: frozenset[str] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if not self.id:
+            raise ValueError("expert id must be non-empty")
+        if self.h_index < 0:
+            raise ValueError(f"h_index must be non-negative, got {self.h_index}")
+        if self.num_publications < 0:
+            raise ValueError("num_publications must be non-negative")
+        # Normalize containers so callers may pass plain sets/lists.
+        object.__setattr__(self, "skills", frozenset(self.skills))
+        object.__setattr__(self, "papers", frozenset(self.papers))
+
+    def has_skill(self, skill: str) -> bool:
+        """Whether ``skill`` is in ``S(c_i)``."""
+        return skill in self.skills
+
+    def covers_any(self, project: set[str] | frozenset[str]) -> bool:
+        """Whether the expert holds at least one skill of ``project``."""
+        return bool(self.skills & frozenset(project))
+
+    @property
+    def display_name(self) -> str:
+        return self.name or self.id

@@ -1,0 +1,45 @@
+"""Jaccard similarity/distance and the paper's edge-weight rule.
+
+Section 4: "we set edge weights between two experts c_i and c_j to
+``1 - |b_i ∩ b_j| / |b_i ∪ b_j|`` where ``b_i`` is the set of papers of
+author ``c_i``" — i.e. the Jaccard *distance* of their paper sets.
+Frequent collaborators are cheap to pair up; one-off co-authors are
+expensive.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Hashable
+
+__all__ = ["jaccard_similarity", "jaccard_distance", "collaboration_weight"]
+
+
+def jaccard_similarity(a: Collection[Hashable], b: Collection[Hashable]) -> float:
+    """``|a ∩ b| / |a ∪ b|``; two empty sets are defined as similarity 0."""
+    sa, sb = set(a), set(b)
+    union = len(sa | sb)
+    if union == 0:
+        return 0.0
+    return len(sa & sb) / union
+
+
+def jaccard_distance(a: Collection[Hashable], b: Collection[Hashable]) -> float:
+    """``1 - jaccard_similarity``; always in ``[0, 1]``."""
+    return 1.0 - jaccard_similarity(a, b)
+
+
+def collaboration_weight(
+    papers_a: Collection[Hashable],
+    papers_b: Collection[Hashable],
+    *,
+    minimum: float = 1e-6,
+) -> float:
+    """The paper's communication-cost edge weight between two co-authors.
+
+    Identical paper sets would give weight 0; a small positive ``minimum``
+    keeps Dijkstra tie-breaking stable and matches the intuition that even
+    constant collaborators have non-zero communication cost.
+    """
+    if minimum < 0:
+        raise ValueError("minimum must be non-negative")
+    return max(jaccard_distance(papers_a, papers_b), minimum)

@@ -1,0 +1,220 @@
+"""The expert network: graph + expert profiles + skill index.
+
+This is the central runtime object of the library (the paper's ``G``).
+It couples three views that must stay consistent:
+
+* a weighted undirected :class:`repro.graph.Graph` whose nodes are expert
+  ids and whose edge weights are communication costs;
+* an id -> :class:`Expert` profile map carrying skills and authority;
+* a :class:`SkillIndex` answering ``C(s)`` lookups.
+
+Construction either takes explicit edges or derives them from paper
+co-authorship (:meth:`ExpertNetwork.from_collaborations`) with Jaccard
+weights, exactly as in Section 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..graph.adjacency import Graph, GraphError
+from ..graph.components import connected_components
+from .authority import AUTHORITY_FLOOR, inverse_authority
+from .expert import Expert
+from .jaccard import collaboration_weight
+from .skills import SkillIndex
+
+__all__ = ["ExpertNetwork"]
+
+
+class ExpertNetwork:
+    """An expert social network ``G`` with authority node weights.
+
+    >>> alice = Expert("alice", skills={"ml"}, h_index=10)
+    >>> bob = Expert("bob", skills={"db"}, h_index=2)
+    >>> net = ExpertNetwork([alice, bob], edges=[("alice", "bob", 0.3)])
+    >>> net.authority("alice")
+    10.0
+    >>> sorted(net.experts_with_skill("db"))
+    ['bob']
+    """
+
+    def __init__(
+        self,
+        experts: Iterable[Expert],
+        edges: Iterable[tuple[str, str] | tuple[str, str, float]] = (),
+        *,
+        authority_floor: float = AUTHORITY_FLOOR,
+    ) -> None:
+        self._experts: dict[str, Expert] = {}
+        self._graph = Graph()
+        self._skills = SkillIndex()
+        self._floor = authority_floor
+        for expert in experts:
+            if expert.id in self._experts:
+                raise ValueError(f"duplicate expert id {expert.id!r}")
+            self._experts[expert.id] = expert
+            self._graph.add_node(expert.id)
+            self._skills.add(expert)
+        for edge in edges:
+            if len(edge) == 2:
+                u, v = edge  # type: ignore[misc]
+                w = 1.0
+            else:
+                u, v, w = edge  # type: ignore[misc]
+            self.add_collaboration(u, v, weight=w)
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_collaborations(
+        cls,
+        experts: Iterable[Expert],
+        collaborations: Iterable[tuple[str, str]],
+        *,
+        authority_floor: float = AUTHORITY_FLOOR,
+    ) -> "ExpertNetwork":
+        """Build edges from co-authorship pairs with Jaccard weights.
+
+        The weight of ``(u, v)`` is the Jaccard distance between the two
+        experts' paper sets (Section 4's rule); the experts must therefore
+        carry their ``papers``.
+        """
+        net = cls(experts, authority_floor=authority_floor)
+        for u, v in collaborations:
+            a, b = net.expert(u), net.expert(v)
+            net.add_collaboration(
+                u, v, weight=collaboration_weight(a.papers, b.papers)
+            )
+        return net
+
+    def add_collaboration(self, u: str, v: str, *, weight: float = 1.0) -> None:
+        """Add (or reweight) the edge between two known experts."""
+        for node in (u, v):
+            if node not in self._experts:
+                raise KeyError(f"unknown expert id {node!r}")
+        self._graph.add_edge(u, v, weight=weight)
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def expert(self, expert_id: str) -> Expert:
+        """The profile of one expert; KeyError for unknown ids."""
+        try:
+            return self._experts[expert_id]
+        except KeyError:
+            raise KeyError(f"unknown expert id {expert_id!r}") from None
+
+    def __contains__(self, expert_id: str) -> bool:
+        return expert_id in self._experts
+
+    def __len__(self) -> int:
+        return len(self._experts)
+
+    def expert_ids(self) -> Iterator[str]:
+        """Iterate over all expert ids."""
+        return iter(self._experts)
+
+    def experts(self) -> Iterator[Expert]:
+        """Iterate over all expert profiles."""
+        return iter(self._experts.values())
+
+    def authority(self, expert_id: str) -> float:
+        """``a(c)`` — the raw authority (h-index by default)."""
+        return float(self.expert(expert_id).h_index)
+
+    def inverse_authority(self, expert_id: str) -> float:
+        """``a'(c) = 1 / a(c)`` with the configured floor."""
+        return inverse_authority(self.authority(expert_id), floor=self._floor)
+
+    def skills_of(self, expert_id: str) -> frozenset[str]:
+        """``S(c)``: the expert's skill set."""
+        return self.expert(expert_id).skills
+
+    def experts_with_skill(self, skill: str) -> frozenset[str]:
+        """``C(s)``: ids of experts holding ``skill``."""
+        return self._skills.experts_with(skill)
+
+    def communication_cost(self, u: str, v: str) -> float:
+        """``w(c_i, c_j)`` — weight of a direct edge."""
+        return self._graph.weight(u, v)
+
+    @property
+    def graph(self) -> Graph:
+        """The underlying weighted graph (shared, treat as read-only)."""
+        return self._graph
+
+    @property
+    def skill_index(self) -> SkillIndex:
+        return self._skills
+
+    @property
+    def authority_floor(self) -> float:
+        return self._floor
+
+    @property
+    def num_edges(self) -> int:
+        return self._graph.num_edges
+
+    # ------------------------------------------------------------------
+    # statistics / reductions
+    # ------------------------------------------------------------------
+    def max_inverse_authority(self) -> float:
+        """Upper bound of ``a'`` over the network (used by normalizers)."""
+        if not self._experts:
+            return 0.0
+        return max(self.inverse_authority(c) for c in self._experts)
+
+    def max_edge_weight(self) -> float:
+        """Largest communication cost in the network (0 when edgeless)."""
+        return max((w for _, _, w in self._graph.edges()), default=0.0)
+
+    def largest_connected_subnetwork(self) -> "ExpertNetwork":
+        """Restrict to the largest connected component.
+
+        Team discovery is only meaningful within one component; the DBLP
+        pipeline applies this after building the raw graph.
+        """
+        if self._graph.num_nodes == 0:
+            return ExpertNetwork([], authority_floor=self._floor)
+        keep = connected_components(self._graph)[0]
+        return self.subnetwork(keep)
+
+    def subnetwork(self, expert_ids: Iterable[str]) -> "ExpertNetwork":
+        """Induced sub-network on ``expert_ids``."""
+        keep = set(expert_ids)
+        unknown = [e for e in keep if e not in self._experts]
+        if unknown:
+            raise KeyError(f"unknown expert ids: {sorted(unknown)!r}")
+        net = ExpertNetwork(
+            (self._experts[e] for e in keep), authority_floor=self._floor
+        )
+        for u, v, w in self._graph.edges():
+            if u in keep and v in keep:
+                net.add_collaboration(u, v, weight=w)
+        return net
+
+    def validate(self) -> None:
+        """Check cross-view consistency; raise :class:`GraphError` if broken."""
+        graph_nodes = set(self._graph.nodes())
+        expert_ids = set(self._experts)
+        if graph_nodes != expert_ids:
+            raise GraphError(
+                "graph nodes and expert profiles diverge: "
+                f"{sorted(graph_nodes ^ expert_ids)[:5]!r} ..."
+            )
+        for skill in self._skills.skills():
+            for holder in self._skills.experts_with(skill):
+                if skill not in self._experts[holder].skills:
+                    raise GraphError(
+                        f"index lists {holder!r} for {skill!r} but the "
+                        "profile disagrees"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ExpertNetwork(experts={len(self._experts)}, "
+            f"edges={self._graph.num_edges}, "
+            f"skills={self._skills.num_skills})"
+        )

@@ -1,0 +1,98 @@
+"""JSON (de)serialization of expert networks.
+
+A production library needs durable artifacts: build a network once from
+a large corpus, save it, and reload it for repeated team-discovery
+sessions.  The schema is deliberately plain JSON (no pickling) so files
+are portable and inspectable::
+
+    {
+      "version": 1,
+      "authority_floor": 0.5,
+      "experts": [{"id": ..., "name": ..., "skills": [...],
+                   "h_index": ..., "num_publications": ..., "papers": [...]}],
+      "edges": [[u, v, weight], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .expert import Expert
+from .network import ExpertNetwork
+
+__all__ = [
+    "network_to_dict",
+    "network_from_dict",
+    "save_network",
+    "load_network",
+    "SCHEMA_VERSION",
+]
+
+SCHEMA_VERSION = 1
+
+
+def network_to_dict(network: ExpertNetwork) -> dict[str, Any]:
+    """A JSON-serializable snapshot of ``network``."""
+    return {
+        "version": SCHEMA_VERSION,
+        "authority_floor": network.authority_floor,
+        "experts": [
+            {
+                "id": e.id,
+                "name": e.name,
+                "skills": sorted(e.skills),
+                "h_index": e.h_index,
+                "num_publications": e.num_publications,
+                "papers": sorted(e.papers),
+            }
+            for e in sorted(network.experts(), key=lambda e: e.id)
+        ],
+        "edges": sorted(
+            [u, v, w] if u <= v else [v, u, w]
+            for u, v, w in network.graph.edges()
+        ),
+    }
+
+
+def network_from_dict(data: dict[str, Any]) -> ExpertNetwork:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Raises ``ValueError`` on unknown schema versions or malformed
+    payloads (missing keys surface as ``KeyError`` with the offending
+    field).
+    """
+    version = data.get("version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported schema version {version!r}; expected {SCHEMA_VERSION}"
+        )
+    experts = [
+        Expert(
+            id=entry["id"],
+            name=entry.get("name", ""),
+            skills=frozenset(entry.get("skills", ())),
+            h_index=float(entry.get("h_index", 1.0)),
+            num_publications=int(entry.get("num_publications", 0)),
+            papers=frozenset(entry.get("papers", ())),
+        )
+        for entry in data["experts"]
+    ]
+    edges = [(u, v, float(w)) for u, v, w in data.get("edges", [])]
+    return ExpertNetwork(
+        experts, edges, authority_floor=float(data.get("authority_floor", 0.5))
+    )
+
+
+def save_network(network: ExpertNetwork, path: str | Path) -> None:
+    """Write ``network`` to ``path`` as JSON."""
+    Path(path).write_text(
+        json.dumps(network_to_dict(network), indent=1), encoding="utf-8"
+    )
+
+
+def load_network(path: str | Path) -> ExpertNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))

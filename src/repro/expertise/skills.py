@@ -1,0 +1,71 @@
+"""The skill index ``C(s_j)``: which experts hold which skill.
+
+Section 2 defines ``C(s_j) = {c_i | s_j ∈ S(c_i)}``.  Algorithm 1 probes
+this set once per (root, skill) pair, so it must be a precomputed hash
+lookup, not a scan.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from .expert import Expert
+
+__all__ = ["SkillIndex", "SkillCoverageError"]
+
+
+class SkillCoverageError(Exception):
+    """Raised when a project requests a skill no expert holds."""
+
+
+class SkillIndex:
+    """Inverted index from skill label to the ids of experts holding it."""
+
+    def __init__(self, experts: Iterable[Expert] = ()) -> None:
+        self._by_skill: dict[str, set[str]] = {}
+        self._num_experts = 0
+        for expert in experts:
+            self.add(expert)
+
+    def add(self, expert: Expert) -> None:
+        """Index all skills of ``expert``."""
+        self._num_experts += 1
+        for skill in expert.skills:
+            self._by_skill.setdefault(skill, set()).add(expert.id)
+
+    def experts_with(self, skill: str) -> frozenset[str]:
+        """``C(s)``: ids of experts holding ``skill`` (empty if unknown)."""
+        return frozenset(self._by_skill.get(skill, ()))
+
+    def skills(self) -> Iterator[str]:
+        """Iterate over all indexed skill labels."""
+        return iter(self._by_skill)
+
+    @property
+    def num_skills(self) -> int:
+        return len(self._by_skill)
+
+    def support(self, skill: str) -> int:
+        """``|C(s)|`` — how many experts hold ``skill``."""
+        return len(self._by_skill.get(skill, ()))
+
+    def is_coverable(self, project: Iterable[str]) -> bool:
+        """Whether every required skill has at least one holder."""
+        return all(self.support(s) > 0 for s in project)
+
+    def require_coverable(self, project: Iterable[str]) -> None:
+        """Raise :class:`SkillCoverageError` listing any uncovered skills."""
+        missing = sorted(s for s in project if self.support(s) == 0)
+        if missing:
+            raise SkillCoverageError(f"no expert holds skills: {missing}")
+
+    def rarest_first(self, project: Iterable[str]) -> list[str]:
+        """Project skills sorted by ascending support (RarestFirst order)."""
+        return sorted(set(project), key=lambda s: (self.support(s), s))
+
+    def candidate_pool(self, project: Iterable[str]) -> frozenset[str]:
+        """Union of ``C(s)`` over the project's skills."""
+        pool: set[str] = set()
+        for skill in project:
+            pool |= self._by_skill.get(skill, set())
+        return frozenset(pool)

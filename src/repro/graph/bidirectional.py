@@ -1,0 +1,97 @@
+"""Bidirectional Dijkstra: point-to-point queries without an index.
+
+When only a handful of ``DIST(u, v)`` queries are needed (e.g. validating
+a single team, or ad-hoc exploration), building a 2-hop cover is wasted
+work and a full single-source Dijkstra settles far more nodes than
+necessary.  Bidirectional search grows balls from both endpoints and
+stops once their frontiers certify the meeting point — typically
+settling ~2·sqrt of the nodes a unidirectional run would.
+
+Termination: with ``top_f`` / ``top_b`` the smallest unsettled keys of
+the two heaps, any undiscovered path costs at least ``top_f + top_b``;
+the best meeting-point path found so far can be returned once it is no
+more expensive than that bound.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .adjacency import Graph, GraphError, Node
+
+__all__ = ["bidirectional_dijkstra"]
+
+
+def bidirectional_dijkstra(
+    graph: Graph, source: Node, target: Node
+) -> tuple[float, list[Node]]:
+    """Exact shortest path as ``(distance, [source, ..., target])``.
+
+    Raises :class:`GraphError` when either endpoint is missing or no
+    path exists.
+
+    >>> g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+    >>> bidirectional_dijkstra(g, "a", "c")
+    (3.0, ['a', 'b', 'c'])
+    """
+    for node in (source, target):
+        if not graph.has_node(node):
+            raise GraphError(f"node {node!r} not in graph")
+    if source == target:
+        return 0.0, [source]
+
+    dist = ({source: 0.0}, {target: 0.0})
+    settled: tuple[set[Node], set[Node]] = (set(), set())
+    parent: tuple[dict[Node, Node | None], dict[Node, Node | None]] = (
+        {source: None},
+        {target: None},
+    )
+    heaps = (
+        [(0.0, 0, source)],
+        [(0.0, 0, target)],
+    )
+    counters = [1, 1]
+    best_cost = float("inf")
+    meeting: Node | None = None
+
+    while heaps[0] and heaps[1]:
+        # expand the side with the smaller frontier key
+        side = 0 if heaps[0][0][0] <= heaps[1][0][0] else 1
+        other = 1 - side
+        d, _, u = heapq.heappop(heaps[side])
+        if u in settled[side]:
+            continue
+        settled[side].add(u)
+        # check for a better meeting point through u
+        if u in dist[other]:
+            total = d + dist[other][u]
+            if total < best_cost:
+                best_cost = total
+                meeting = u
+        for v, w in graph.neighbors(u).items():
+            if v in settled[side]:
+                continue
+            nd = d + w
+            if nd < dist[side].get(v, float("inf")):
+                dist[side][v] = nd
+                parent[side][v] = u
+                heapq.heappush(heaps[side], (nd, counters[side], v))
+                counters[side] += 1
+        top_f = heaps[0][0][0] if heaps[0] else float("inf")
+        top_b = heaps[1][0][0] if heaps[1] else float("inf")
+        if best_cost <= top_f + top_b:
+            break
+
+    if meeting is None:
+        raise GraphError(f"no path from {source!r} to {target!r}")
+    forward: list[Node] = []
+    node: Node | None = meeting
+    while node is not None:
+        forward.append(node)
+        node = parent[0][node]
+    forward.reverse()
+    node = parent[1][meeting]
+    while node is not None:
+        forward.append(node)
+        node = parent[1][node]
+    return best_cost, forward

@@ -1,0 +1,99 @@
+"""Traversal utilities: BFS, connectivity, components, tree predicates.
+
+Teams (Definition 1) must be *connected* subgraphs; these helpers validate
+that invariant and support pruning steps in the solvers.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable, Iterator
+
+from .adjacency import Graph, GraphError, Node
+
+__all__ = [
+    "bfs_order",
+    "connected_components",
+    "is_connected",
+    "largest_component",
+    "is_tree",
+    "prune_leaves",
+]
+
+
+def bfs_order(graph: Graph, source: Node) -> Iterator[Node]:
+    """Yield nodes reachable from ``source`` in breadth-first order."""
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} not in graph")
+    seen = {source}
+    queue: deque[Node] = deque([source])
+    while queue:
+        node = queue.popleft()
+        yield node
+        for neighbor in graph.neighbors(node):
+            if neighbor not in seen:
+                seen.add(neighbor)
+                queue.append(neighbor)
+
+
+def connected_components(graph: Graph) -> list[set[Node]]:
+    """All connected components, largest first."""
+    remaining = set(graph.nodes())
+    components: list[set[Node]] = []
+    while remaining:
+        start = next(iter(remaining))
+        component = set(bfs_order(graph, start))
+        components.append(component)
+        remaining -= component
+    components.sort(key=len, reverse=True)
+    return components
+
+
+def is_connected(graph: Graph, nodes: Iterable[Node] | None = None) -> bool:
+    """Whether the graph (or the induced subgraph on ``nodes``) is connected.
+
+    The empty graph is considered connected (vacuously), matching the
+    convention that an empty team is ill-formed for other reasons.
+    """
+    target = graph if nodes is None else graph.subgraph(nodes)
+    if target.num_nodes == 0:
+        return True
+    start = next(target.nodes())
+    return sum(1 for _ in bfs_order(target, start)) == target.num_nodes
+
+
+def largest_component(graph: Graph) -> Graph:
+    """The induced subgraph on the largest connected component."""
+    if graph.num_nodes == 0:
+        return Graph()
+    return graph.subgraph(connected_components(graph)[0])
+
+
+def is_tree(graph: Graph) -> bool:
+    """Whether the graph is a tree (connected, |E| = |V| - 1)."""
+    if graph.num_nodes == 0:
+        return False
+    return graph.num_edges == graph.num_nodes - 1 and is_connected(graph)
+
+
+def prune_leaves(graph: Graph, required: Iterable[Node]) -> Graph:
+    """Iteratively remove leaves that are not in ``required``.
+
+    Used to trim useless connectors from candidate team subgraphs: any
+    degree-one node that holds no required skill only adds cost (edge
+    weight and connector authority), so an optimal tree never keeps it.
+    Returns a pruned *copy*; the input graph is untouched.
+    """
+    keep = set(required)
+    missing = [n for n in keep if not graph.has_node(n)]
+    if missing:
+        raise GraphError(f"required nodes not in graph: {missing!r}")
+    out = graph.copy()
+    changed = True
+    while changed:
+        changed = False
+        for node in list(out.nodes()):
+            if node not in keep and out.degree(node) <= 1:
+                out.remove_node(node)
+                changed = True
+    return out

@@ -1,0 +1,148 @@
+"""Dijkstra shortest paths, with a node-cost variant.
+
+Algorithm 1 of the paper relies on a ``DIST(u, v)`` primitive returning the
+weight of the shortest path between two experts.  This module provides the
+reference implementation used both directly (via
+:class:`repro.graph.distance.DijkstraOracle`) and as the building block of
+the pruned-landmark-labeling index in :mod:`repro.graph.pll`.
+
+The node-cost variant (:func:`dijkstra_with_node_costs`) is required by the
+exact node-weighted Steiner solver: connector authority is a *node* cost, so
+"shortest" paths must charge for the interior nodes they pass through.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable
+
+from .adjacency import Graph, GraphError, Node
+
+__all__ = [
+    "dijkstra",
+    "shortest_path",
+    "shortest_path_length",
+    "reconstruct_path",
+    "dijkstra_with_node_costs",
+]
+
+
+def dijkstra(
+    graph: Graph,
+    source: Node,
+    *,
+    targets: Iterable[Node] | None = None,
+    cutoff: float | None = None,
+) -> tuple[dict[Node, float], dict[Node, Node | None]]:
+    """Single-source shortest paths.
+
+    Returns ``(dist, parent)`` where ``parent[source] is None``.  If
+    ``targets`` is given, the search stops once all reachable targets are
+    settled; if ``cutoff`` is given, nodes farther than ``cutoff`` are not
+    settled.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} not in graph")
+    remaining = set(targets) if targets is not None else None
+    dist: dict[Node, float] = {}
+    parent: dict[Node, Node | None] = {}
+    # Heap entries carry the via-node; the parent is fixed at settle time,
+    # so stale entries for already-settled nodes are simply skipped.  The
+    # counter breaks ties so heterogeneous node ids are never compared.
+    heap: list[tuple[float, int, Node, Node | None]] = [(0.0, 0, source, None)]
+    counter = 1
+    while heap:
+        d, _, u, via = heapq.heappop(heap)
+        if u in dist:
+            continue
+        if cutoff is not None and d > cutoff:
+            break
+        dist[u] = d
+        parent[u] = via
+        if remaining is not None:
+            remaining.discard(u)
+            if not remaining:
+                break
+        for v, w in graph.neighbors(u).items():
+            if v in dist:
+                continue
+            nd = d + w
+            if cutoff is not None and nd > cutoff:
+                continue
+            heapq.heappush(heap, (nd, counter, v, u))
+            counter += 1
+    return dist, parent
+
+
+def reconstruct_path(parent: dict[Node, Node | None], target: Node) -> list[Node]:
+    """Walk ``parent`` pointers back from ``target`` to the source."""
+    if target not in parent:
+        raise GraphError(f"target {target!r} unreachable")
+    path = [target]
+    while (prev := parent[path[-1]]) is not None:
+        path.append(prev)
+    path.reverse()
+    return path
+
+
+def shortest_path(graph: Graph, source: Node, target: Node) -> tuple[float, list[Node]]:
+    """Return ``(distance, node path)`` between ``source`` and ``target``.
+
+    Raises :class:`GraphError` when ``target`` is unreachable.
+    """
+    dist, parent = dijkstra(graph, source, targets=[target])
+    if target not in dist:
+        raise GraphError(f"no path from {source!r} to {target!r}")
+    return dist[target], reconstruct_path(parent, target)
+
+
+def shortest_path_length(graph: Graph, source: Node, target: Node) -> float:
+    """Distance between two nodes, ``inf`` when disconnected."""
+    dist, _ = dijkstra(graph, source, targets=[target])
+    return dist.get(target, float("inf"))
+
+
+def dijkstra_with_node_costs(
+    graph: Graph,
+    source: Node,
+    node_cost: Callable[[Node], float],
+    *,
+    charge_source: bool = False,
+) -> tuple[dict[Node, float], dict[Node, Node | None]]:
+    """Shortest paths where *entering* a node costs ``node_cost(node)``.
+
+    The returned distance to ``v`` is::
+
+        sum(edge weights on path) + sum(node_cost(x) for x in path[1:])
+
+    i.e. every node on the path except the source is charged (including the
+    endpoint ``v`` — callers that want interior-only costs subtract
+    ``node_cost(v)``).  With ``charge_source=True`` the source is charged
+    too.  Node costs must be non-negative for Dijkstra to be correct; a
+    :class:`GraphError` is raised on the first negative cost observed.
+    """
+    if not graph.has_node(source):
+        raise GraphError(f"source {source!r} not in graph")
+    base = node_cost(source) if charge_source else 0.0
+    if base < 0:
+        raise GraphError(f"negative node cost at {source!r}")
+    dist: dict[Node, float] = {}
+    parent: dict[Node, Node | None] = {source: None}
+    heap: list[tuple[float, int, Node, Node | None]] = [(base, 0, source, None)]
+    counter = 1
+    while heap:
+        d, _, u, via = heapq.heappop(heap)
+        if u in dist:
+            continue
+        dist[u] = d
+        parent[u] = via
+        for v, w in graph.neighbors(u).items():
+            if v in dist:
+                continue
+            cost = node_cost(v)
+            if cost < 0:
+                raise GraphError(f"negative node cost at {v!r}")
+            heapq.heappush(heap, (d + w + cost, counter, v, u))
+            counter += 1
+    parent = {n: p for n, p in parent.items() if n in dist}
+    return dist, parent

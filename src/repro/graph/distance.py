@@ -1,0 +1,87 @@
+"""Distance oracle abstraction used by the team-search algorithms.
+
+Algorithm 1 is oracle-agnostic: it only needs ``DIST(root, v)`` and, for
+materializing the final team, the corresponding path.  Two interchangeable
+implementations are provided:
+
+* :class:`DijkstraOracle` — no preprocessing; runs (and caches) one
+  Dijkstra per distinct source.  Best for one-off queries and small
+  graphs.
+* :class:`repro.graph.pll.PrunedLandmarkLabeling` — the paper's 2-hop
+  cover; pays an indexing cost once, then answers each query from two
+  sorted label arrays.
+
+Both satisfy :class:`DistanceOracle`; the ablation benchmark
+``benchmarks/bench_ablation_oracle.py`` swaps one for the other.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from .adjacency import Graph, GraphError, Node
+from .dijkstra import dijkstra, reconstruct_path
+from .pll import PrunedLandmarkLabeling
+
+__all__ = ["DistanceOracle", "DijkstraOracle", "build_oracle"]
+
+
+@runtime_checkable
+class DistanceOracle(Protocol):
+    """Anything that answers exact shortest-path distance and path queries."""
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Exact shortest-path distance, ``inf`` when disconnected."""
+        ...
+
+    def path(self, u: Node, v: Node) -> list[Node]:
+        """One exact shortest path ``[u, ..., v]``."""
+        ...
+
+
+class DijkstraOracle:
+    """Lazy per-source Dijkstra with memoized shortest-path trees.
+
+    ``max_cached_sources`` bounds memory: the cache evicts in FIFO order
+    once more than that many distinct sources have been queried (Algorithm
+    1 iterates every node as a root, which on large graphs would otherwise
+    retain ``O(n^2)`` distances).
+    """
+
+    def __init__(self, graph: Graph, *, max_cached_sources: int = 1024) -> None:
+        if max_cached_sources < 1:
+            raise ValueError("max_cached_sources must be positive")
+        self._graph = graph
+        self._max_cached = max_cached_sources
+        self._cache: dict[Node, tuple[dict[Node, float], dict[Node, Node | None]]] = {}
+
+    def _tree(self, source: Node) -> tuple[dict[Node, float], dict[Node, Node | None]]:
+        if source not in self._cache:
+            if len(self._cache) >= self._max_cached:
+                oldest = next(iter(self._cache))
+                del self._cache[oldest]
+            self._cache[source] = dijkstra(self._graph, source)
+        return self._cache[source]
+
+    def distance(self, u: Node, v: Node) -> float:
+        """Exact shortest-path distance, ``inf`` when disconnected."""
+        if not self._graph.has_node(u) or not self._graph.has_node(v):
+            raise GraphError("both endpoints must be graph nodes")
+        dist, _ = self._tree(u)
+        return dist.get(v, float("inf"))
+
+    def path(self, u: Node, v: Node) -> list[Node]:
+        """One exact shortest path ``[u, ..., v]`` from the cached tree."""
+        dist, parent = self._tree(u)
+        if v not in dist:
+            raise GraphError(f"no path from {u!r} to {v!r}")
+        return reconstruct_path(parent, v)
+
+
+def build_oracle(graph: Graph, kind: str = "pll") -> DistanceOracle:
+    """Factory: ``"pll"`` (paper's index) or ``"dijkstra"`` (lazy)."""
+    if kind == "pll":
+        return PrunedLandmarkLabeling(graph)
+    if kind == "dijkstra":
+        return DijkstraOracle(graph)
+    raise ValueError(f"unknown oracle kind {kind!r}; expected 'pll' or 'dijkstra'")

@@ -1,0 +1,191 @@
+"""Seeded random graph generators (implemented from scratch).
+
+The evaluation needs graphs with controllable structure: Erdős–Rényi and
+Barabási–Albert for scale studies, Watts–Strogatz for clustered networks,
+and a planted-partition model that mimics the community structure of a
+co-authorship graph (research groups densely collaborating internally,
+sparsely across groups).  All generators accept a ``random.Random`` (or a
+seed) so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Sequence
+
+from .adjacency import Graph, GraphError, Node
+
+__all__ = [
+    "erdos_renyi",
+    "gnm_random_graph",
+    "barabasi_albert",
+    "watts_strogatz",
+    "planted_partition",
+    "random_tree",
+    "assign_random_weights",
+]
+
+WeightFn = Callable[[random.Random], float]
+
+
+def _rng(seed: int | random.Random | None) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def erdos_renyi(
+    n: int, p: float, *, seed: int | random.Random | None = None
+) -> Graph:
+    """G(n, p): each of the ``n * (n-1) / 2`` edges appears with prob ``p``."""
+    if not 0.0 <= p <= 1.0:
+        raise GraphError(f"edge probability {p!r} outside [0, 1]")
+    rng = _rng(seed)
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def gnm_random_graph(
+    n: int, m: int, *, seed: int | random.Random | None = None
+) -> Graph:
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise GraphError(f"m={m} exceeds the {max_edges} possible edges")
+    rng = _rng(seed)
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(i)
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def barabasi_albert(
+    n: int, m: int, *, seed: int | random.Random | None = None
+) -> Graph:
+    """Preferential attachment: each new node attaches to ``m`` existing ones.
+
+    Produces the heavy-tailed degree distribution characteristic of
+    co-authorship networks (a few prolific hub authors).
+    """
+    if m < 1 or m >= n:
+        raise GraphError(f"need 1 <= m < n, got m={m}, n={n}")
+    rng = _rng(seed)
+    graph = Graph()
+    # Seed clique of m + 1 nodes so early attachments have targets.
+    for i in range(m + 1):
+        graph.add_node(i)
+    for i in range(m + 1):
+        for j in range(i + 1, m + 1):
+            graph.add_edge(i, j)
+    # Repeated nodes in this list implement preferential attachment.
+    attachment_pool: list[int] = []
+    for u, v, _ in graph.edges():
+        attachment_pool.extend((u, v))
+    for new in range(m + 1, n):
+        targets: set[int] = set()
+        while len(targets) < m:
+            targets.add(rng.choice(attachment_pool))
+        for t in targets:
+            graph.add_edge(new, t)
+            attachment_pool.extend((new, t))
+    return graph
+
+
+def watts_strogatz(
+    n: int, k: int, beta: float, *, seed: int | random.Random | None = None
+) -> Graph:
+    """Small-world ring lattice with rewiring probability ``beta``."""
+    if k % 2 or k >= n:
+        raise GraphError(f"k must be even and < n, got k={k}, n={n}")
+    if not 0.0 <= beta <= 1.0:
+        raise GraphError(f"beta {beta!r} outside [0, 1]")
+    rng = _rng(seed)
+    graph = Graph()
+    for i in range(n):
+        graph.add_node(i)
+    for i in range(n):
+        for offset in range(1, k // 2 + 1):
+            j = (i + offset) % n
+            if not graph.has_edge(i, j):
+                graph.add_edge(i, j)
+    for u, v, _ in list(graph.edges()):
+        if rng.random() < beta:
+            candidates = [
+                w for w in range(n) if w != u and not graph.has_edge(u, w)
+            ]
+            if candidates:
+                graph.remove_edge(u, v)
+                graph.add_edge(u, rng.choice(candidates))
+    return graph
+
+
+def planted_partition(
+    sizes: Sequence[int],
+    p_in: float,
+    p_out: float,
+    *,
+    seed: int | random.Random | None = None,
+) -> Graph:
+    """Community-structured graph: prob ``p_in`` within, ``p_out`` across.
+
+    Node attribute ``community`` records each node's block index.  This is
+    the structural backbone of the synthetic DBLP co-authorship network:
+    research groups are blocks.
+    """
+    for p in (p_in, p_out):
+        if not 0.0 <= p <= 1.0:
+            raise GraphError(f"probability {p!r} outside [0, 1]")
+    rng = _rng(seed)
+    graph = Graph()
+    memberships: list[int] = []
+    for block, size in enumerate(sizes):
+        for _ in range(size):
+            node = len(memberships)
+            graph.add_node(node, community=block)
+            memberships.append(block)
+    n = len(memberships)
+    for i in range(n):
+        for j in range(i + 1, n):
+            p = p_in if memberships[i] == memberships[j] else p_out
+            if rng.random() < p:
+                graph.add_edge(i, j)
+    return graph
+
+
+def random_tree(n: int, *, seed: int | random.Random | None = None) -> Graph:
+    """Uniform random recursive tree on ``n`` nodes (connected by design)."""
+    if n < 1:
+        raise GraphError("a tree needs at least one node")
+    rng = _rng(seed)
+    graph = Graph()
+    graph.add_node(0)
+    for i in range(1, n):
+        graph.add_edge(i, rng.randrange(i))
+    return graph
+
+
+def assign_random_weights(
+    graph: Graph,
+    *,
+    low: float = 0.1,
+    high: float = 1.0,
+    seed: int | random.Random | None = None,
+) -> Graph:
+    """Return a copy with i.i.d. uniform edge weights in ``[low, high]``."""
+    if low < 0 or high < low:
+        raise GraphError(f"invalid weight range [{low!r}, {high!r}]")
+    rng = _rng(seed)
+    return graph.reweighted(lambda u, v, w: rng.uniform(low, high))

@@ -1,0 +1,76 @@
+"""Disjoint-set forest (union-find) with path compression and union by rank.
+
+Used by Kruskal's MST inside the Steiner approximations and by the random
+baseline's team-connectivity checks.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic disjoint-set structure over arbitrary hashable elements.
+
+    Elements are added lazily on first use, or eagerly via the constructor.
+
+    >>> uf = UnionFind(["a", "b", "c"])
+    >>> uf.union("a", "b")
+    True
+    >>> uf.connected("a", "b")
+    True
+    >>> uf.connected("a", "c")
+    False
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._count = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as its own singleton set (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._count += 1
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative of ``element``'s set."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression: point every node on the walk directly at root.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; return ``False`` if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """Whether ``a`` and ``b`` are currently in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets currently represented."""
+        return self._count
+
+    def __len__(self) -> int:
+        return len(self._parent)

@@ -1,0 +1,87 @@
+"""Yen's algorithm: k loopless shortest paths between two nodes.
+
+Supports the diversity features: when a team's communication routes all
+run through one connector, alternative near-shortest paths reveal backup
+routings (who else could bridge the same skill holders, and at what
+cost).  Classic Yen: the best path comes from Dijkstra; each subsequent
+path is the cheapest "spur" deviating from a previous path's prefix with
+the already-used continuations blocked.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from .adjacency import Graph, GraphError, Node
+from .dijkstra import dijkstra, reconstruct_path
+
+__all__ = ["k_shortest_paths"]
+
+
+def k_shortest_paths(
+    graph: Graph, source: Node, target: Node, k: int
+) -> list[tuple[float, list[Node]]]:
+    """Up to ``k`` loopless shortest paths, cheapest first.
+
+    Returns ``[(cost, [source, ..., target]), ...]``; fewer than ``k``
+    entries when the graph does not admit that many simple paths.
+    Raises :class:`GraphError` when no path exists at all.
+
+    >>> g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 1.0), ("a", "c", 3.0)])
+    >>> [(c, p) for c, p in k_shortest_paths(g, "a", "c", 2)]
+    [(2.0, ['a', 'b', 'c']), (3.0, ['a', 'c'])]
+    """
+    if k < 1:
+        raise ValueError("k must be positive")
+    dist, parent = dijkstra(graph, source, targets=[target])
+    if target not in dist:
+        raise GraphError(f"no path from {source!r} to {target!r}")
+    best = reconstruct_path(parent, target)
+    accepted: list[tuple[float, list[Node]]] = [(dist[target], best)]
+    # candidate heap entries: (cost, tie, path)
+    candidates: list[tuple[float, int, list[Node]]] = []
+    seen_paths = {tuple(best)}
+    counter = 0
+
+    while len(accepted) < k:
+        _, previous = accepted[-1]
+        for i in range(len(previous) - 1):
+            spur_node = previous[i]
+            root_path = previous[: i + 1]
+            root_cost = _path_cost(graph, root_path)
+
+            working = graph.copy()
+            # Block continuations already used by accepted paths sharing
+            # this prefix, and the prefix's interior nodes.
+            for _, path in accepted:
+                if path[: i + 1] == root_path and len(path) > i + 1:
+                    if working.has_edge(path[i], path[i + 1]):
+                        working.remove_edge(path[i], path[i + 1])
+            for node in root_path[:-1]:
+                if working.has_node(node):
+                    working.remove_node(node)
+
+            if not working.has_node(spur_node):
+                continue
+            spur_dist, spur_parent = dijkstra(working, spur_node, targets=[target])
+            if target not in spur_dist:
+                continue
+            spur_path = reconstruct_path(spur_parent, target)
+            total = root_path[:-1] + spur_path
+            key = tuple(total)
+            if key in seen_paths:
+                continue
+            seen_paths.add(key)
+            heapq.heappush(
+                candidates, (root_cost + spur_dist[target], counter, total)
+            )
+            counter += 1
+        if not candidates:
+            break
+        cost, _, path = heapq.heappop(candidates)
+        accepted.append((cost, path))
+    return accepted
+
+
+def _path_cost(graph: Graph, path: list[Node]) -> float:
+    return sum(graph.weight(u, v) for u, v in zip(path, path[1:]))

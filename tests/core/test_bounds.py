@@ -1,0 +1,95 @@
+"""Unit tests for objective lower bounds."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ExactSolver,
+    GreedyTeamFinder,
+    ObjectiveBounds,
+    optimality_gap,
+)
+from repro.expertise import Expert, ExpertNetwork, SkillCoverageError
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=2),
+        Expert("h1b", skills={"s1"}, h_index=10),
+        Expert("h2", skills={"s2"}, h_index=5),
+        Expert("multi", skills={"s1", "s2"}, h_index=1),
+        Expert("conn", h_index=20),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[
+            ("h1", "conn", 0.5),
+            ("conn", "h2", 0.7),
+            ("h1b", "conn", 0.9),
+            ("multi", "conn", 0.3),
+        ],
+    )
+
+
+def test_sa_bound_per_skill(network):
+    bounds = ObjectiveBounds(network, gamma=0.6, lam=0.6)
+    # best a' per skill: s1 -> h1b (1/10), s2 -> h2 (1/5), normalized by
+    # the network max a' (multi: 1/1)
+    expected = (0.1 + 0.2) / 1.0
+    assert bounds.sa_bound(["s1", "s2"]) == pytest.approx(expected)
+
+
+def test_sa_bound_distinct_mode(network):
+    bounds = ObjectiveBounds(network, sa_mode="distinct")
+    assert bounds.sa_bound(["s1", "s2"]) == pytest.approx(0.2)
+
+
+def test_cc_bound_zero_when_single_expert_covers(network):
+    bounds = ObjectiveBounds(network)
+    assert bounds.cc_bound(["s1", "s2"]) == 0.0  # 'multi' covers both
+
+
+def test_cc_bound_positive_when_split_required():
+    experts = [
+        Expert("a", skills={"x"}, h_index=1),
+        Expert("b", skills={"y"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("a", "b", 0.4)])
+    bounds = ObjectiveBounds(net)
+    assert bounds.cc_bound(["x", "y"]) > 0.0
+
+
+def test_bounds_require_coverability(network):
+    bounds = ObjectiveBounds(network)
+    with pytest.raises(SkillCoverageError):
+        bounds.sa_bound(["quantum"])
+
+
+def test_bound_below_exact_below_greedy():
+    for seed in range(5):
+        rng = random.Random(seed)
+        net = make_random_network(rng, n=10, p=0.5)
+        project = ["a", "b"]
+        bounds = ObjectiveBounds(net, gamma=0.6, lam=0.6)
+        bound = bounds.sa_ca_cc_bound(project)
+        exact = ExactSolver(net, gamma=0.6, lam=0.6).find_team(project)
+        greedy = GreedyTeamFinder(
+            net, objective="sa-ca-cc", oracle_kind="dijkstra"
+        ).find_team(project)
+        exact_score = bounds.evaluator.sa_ca_cc(exact)
+        greedy_score = bounds.evaluator.sa_ca_cc(greedy)
+        assert bound <= exact_score + 1e-9
+        assert exact_score <= greedy_score + 1e-9
+
+
+def test_optimality_gap_nonnegative(network):
+    bounds = ObjectiveBounds(network)
+    team = GreedyTeamFinder(
+        network, objective="sa-ca-cc", oracle_kind="dijkstra"
+    ).find_team(["s1", "s2"])
+    gap = optimality_gap(bounds, team, ["s1", "s2"])
+    assert gap >= 0.0

@@ -1,0 +1,148 @@
+"""Unit and cross-validation tests for ExactSolver and BruteForceSolver."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    BruteForceSolver,
+    ExactSolver,
+    GreedyTeamFinder,
+    IntractableError,
+    TeamEvaluator,
+)
+from repro.expertise import Expert, ExpertNetwork, SkillCoverageError
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def small_network():
+    rng = random.Random(0)
+    return make_random_network(rng, n=9, p=0.5)
+
+
+def _coverable_project(net, want=("a", "b")):
+    project = [s for s in want if net.skill_index.is_coverable([s])]
+    if len(project) < len(want):
+        pytest.skip("random network lacks skill coverage")
+    return project
+
+
+def test_exact_matches_brute_force_many_seeds():
+    for seed in range(8):
+        rng = random.Random(seed)
+        net = make_random_network(rng, n=9, p=0.5)
+        project = [s for s in ("a", "b") if net.skill_index.is_coverable([s])]
+        if len(project) < 2:
+            continue
+        evaluator = TeamEvaluator(net, gamma=0.6, lam=0.6)
+        exact = ExactSolver(net, gamma=0.6, lam=0.6).find_team(project)
+        brute = BruteForceSolver(net, gamma=0.6, lam=0.6).find_team(project)
+        assert evaluator.sa_ca_cc(exact) == pytest.approx(
+            evaluator.sa_ca_cc(brute), abs=1e-9
+        )
+        exact.validate(set(project), net)
+        brute.validate(set(project), net)
+
+
+def test_exact_never_worse_than_greedy(small_network):
+    project = _coverable_project(small_network)
+    evaluator = TeamEvaluator(small_network, gamma=0.6, lam=0.6)
+    exact = ExactSolver(small_network, gamma=0.6, lam=0.6).find_team(project)
+    greedy = GreedyTeamFinder(
+        small_network, objective="sa-ca-cc", oracle_kind="dijkstra"
+    ).find_team(project)
+    assert evaluator.sa_ca_cc(exact) <= evaluator.sa_ca_cc(greedy) + 1e-9
+
+
+def test_lambda_override_reuses_cache(small_network):
+    project = _coverable_project(small_network)
+    solver = ExactSolver(small_network, gamma=0.6, lam=0.6)
+    team_06 = solver.find_team(project)
+    team_09 = solver.find_team(project, lam=0.9)
+    fresh_09 = ExactSolver(small_network, gamma=0.6, lam=0.9).find_team(project)
+    evaluator = TeamEvaluator(small_network, gamma=0.6, lam=0.9)
+    assert evaluator.sa_ca_cc(team_09) == pytest.approx(
+        evaluator.sa_ca_cc(fresh_09), abs=1e-9
+    )
+    # cache reuse must not corrupt the original-lambda answer
+    evaluator_06 = TeamEvaluator(small_network, gamma=0.6, lam=0.6)
+    again = solver.find_team(project)
+    assert evaluator_06.sa_ca_cc(again) == pytest.approx(
+        evaluator_06.sa_ca_cc(team_06), abs=1e-9
+    )
+
+
+def test_invalid_lambda_override(small_network):
+    project = _coverable_project(small_network)
+    solver = ExactSolver(small_network)
+    with pytest.raises(ValueError):
+        solver.find_team(project, lam=1.5)
+
+
+def test_max_assignments_budget():
+    experts = [Expert(f"e{i}", skills={"s"}, h_index=1) for i in range(10)]
+    experts.append(Expert("hub", h_index=5))
+    edges = [(f"e{i}", "hub", 0.5) for i in range(10)]
+    net = ExpertNetwork(experts, edges)
+    solver = ExactSolver(net, max_assignments=5)
+    with pytest.raises(IntractableError, match="max_assignments"):
+        solver.find_team(["s"])
+
+
+def test_time_budget():
+    rng = random.Random(3)
+    net = make_random_network(rng, n=14, p=0.6)
+    project = [s for s in ("a", "b", "c") if net.skill_index.is_coverable([s])]
+    if len(project) < 2:
+        pytest.skip("random network lacks skill coverage")
+    solver = ExactSolver(net, time_budget=0.0)
+    with pytest.raises(IntractableError, match="time budget"):
+        solver.find_team(project)
+
+
+def test_uncoverable_project(small_network):
+    with pytest.raises(SkillCoverageError):
+        ExactSolver(small_network).find_team(["quantum"])
+    with pytest.raises(ValueError):
+        ExactSolver(small_network).find_team([])
+
+
+def test_disconnected_holders_skipped():
+    experts = [
+        Expert("a", skills={"s1"}, h_index=1),
+        Expert("b", skills={"s2"}, h_index=1),
+        Expert("b2", skills={"s2"}, h_index=1),
+        Expert("mid", h_index=2),
+    ]
+    # b is isolated; the only viable s2 holder is b2
+    net = ExpertNetwork(experts, edges=[("a", "mid", 0.5), ("mid", "b2", 0.5)])
+    team = ExactSolver(net).find_team(["s1", "s2"])
+    assert team.assignments["s2"] == "b2"
+
+
+def test_top_k_sorted_and_distinct(small_network):
+    project = _coverable_project(small_network)
+    solver = ExactSolver(small_network, gamma=0.6, lam=0.6)
+    teams = solver.find_top_k(project, k=3)
+    evaluator = TeamEvaluator(small_network, gamma=0.6, lam=0.6)
+    scores = [evaluator.sa_ca_cc(t) for t in teams]
+    assert scores == sorted(scores)
+    keys = [t.key() for t in teams]
+    assert len(keys) == len(set(keys))
+
+
+def test_brute_force_node_guard():
+    rng = random.Random(1)
+    net = make_random_network(rng, n=16, p=0.4)
+    with pytest.raises(IntractableError):
+        BruteForceSolver(net, max_nodes=10)
+
+
+def test_brute_force_other_objectives(small_network):
+    project = _coverable_project(small_network)
+    evaluator = TeamEvaluator(small_network, gamma=0.6, lam=0.6)
+    cc_opt = BruteForceSolver(small_network, objective="cc").find_team(project)
+    sac_opt = BruteForceSolver(small_network, objective="sa-ca-cc").find_team(project)
+    assert evaluator.cc(cc_opt) <= evaluator.cc(sac_opt) + 1e-9

@@ -1,0 +1,89 @@
+"""Unit tests for team explanations."""
+
+import pytest
+
+from repro.core import ObjectiveScales, Team, TeamEvaluator, explain_team
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=2),
+        Expert("h2", skills={"s2"}, h_index=4),
+        Expert("conn", h_index=10),
+        Expert("leaf", h_index=1),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[("h1", "conn", 1.0), ("conn", "h2", 2.0), ("conn", "leaf", 1.0)],
+    )
+
+
+@pytest.fixture()
+def team(network):
+    tree = Graph.from_edges([("h1", "conn", 1.0), ("conn", "h2", 2.0)])
+    return Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+
+
+def test_contributions_sum_to_score(team, network):
+    explanation = explain_team(
+        team, network, gamma=0.6, lam=0.6, scales=ObjectiveScales(1.0, 1.0)
+    )
+    total = sum(c.total for c in explanation.contributions)
+    assert total == pytest.approx(explanation.score)
+    evaluator = TeamEvaluator(
+        network, gamma=0.6, lam=0.6, scales=ObjectiveScales(1.0, 1.0)
+    )
+    assert explanation.score == pytest.approx(evaluator.sa_ca_cc(team))
+
+
+def test_roles_and_shares(team, network):
+    explanation = explain_team(
+        team, network, gamma=0.6, lam=0.6, scales=ObjectiveScales(1.0, 1.0)
+    )
+    by_id = {c.expert_id: c for c in explanation.contributions}
+    assert by_id["h1"].role == "skill holder"
+    assert by_id["h1"].sa_share > 0 and by_id["h1"].ca_share == 0
+    assert by_id["conn"].role == "connector"
+    assert by_id["conn"].ca_share > 0 and by_id["conn"].sa_share == 0
+
+
+def test_connector_is_critical(team, network):
+    explanation = explain_team(team, network)
+    assert explanation.critical_members() == ["conn"]
+    by_id = {c.expert_id: c for c in explanation.contributions}
+    assert by_id["conn"].critical
+    assert not by_id["h1"].critical
+
+
+def test_multi_skill_holder_per_skill_mode(network):
+    tree = Graph()
+    tree.add_node("h1")
+    team = Team(tree=tree, assignments={"s1": "h1", "extra": "h1"})
+    per_skill = explain_team(
+        team, network, lam=1.0, scales=ObjectiveScales(1.0, 1.0)
+    )
+    distinct = explain_team(
+        team, network, lam=1.0, scales=ObjectiveScales(1.0, 1.0),
+        sa_mode="distinct",
+    )
+    c_per = per_skill.contributions[0]
+    c_dis = distinct.contributions[0]
+    assert c_per.sa_share == pytest.approx(2 * c_dis.sa_share)
+
+
+def test_heaviest(team, network):
+    explanation = explain_team(
+        team, network, gamma=0.0, lam=0.0, scales=ObjectiveScales(1.0, 1.0)
+    )
+    # with pure CC weighting, the connector carries half of both edges
+    assert explanation.heaviest().expert_id == "conn"
+
+
+def test_format_output(team, network):
+    text = explain_team(team, network).format()
+    assert "SA-CA-CC" in text
+    assert "[critical]" in text
+    assert "covers s1" in text

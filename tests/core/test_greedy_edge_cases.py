@@ -1,0 +1,100 @@
+"""Edge-case tests for Algorithm 1 beyond the main behaviours."""
+
+import pytest
+
+from repro.core import GreedyTeamFinder, TeamEvaluator
+from repro.expertise import Expert, ExpertNetwork
+
+
+@pytest.fixture()
+def single_expert_network():
+    experts = [Expert("solo", skills={"s1", "s2"}, h_index=5)]
+    return ExpertNetwork(experts)
+
+
+def test_single_expert_covers_everything(single_expert_network):
+    finder = GreedyTeamFinder(
+        single_expert_network, objective="sa-ca-cc", oracle_kind="dijkstra"
+    )
+    team = finder.find_team(["s1", "s2"])
+    assert team.members == {"solo"}
+    assert team.connectors == frozenset()
+    assert team.tree.num_edges == 0
+    team.validate({"s1", "s2"}, single_expert_network)
+
+
+def test_duplicate_skills_in_project_deduplicated():
+    experts = [
+        Expert("a", skills={"x"}, h_index=1),
+        Expert("b", skills={"y"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("a", "b", 0.5)])
+    finder = GreedyTeamFinder(net, objective="cc", oracle_kind="dijkstra")
+    team = finder.find_team(["x", "y", "x", "y"])
+    assert set(team.assignments) == {"x", "y"}
+
+
+def test_top_k_larger_than_distinct_teams():
+    experts = [
+        Expert("a", skills={"x"}, h_index=1),
+        Expert("b", skills={"y"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("a", "b", 0.5)])
+    finder = GreedyTeamFinder(net, objective="cc", oracle_kind="dijkstra")
+    teams = finder.find_top_k(["x", "y"], k=10)
+    # only one distinct team exists in this two-node network
+    assert len(teams) == 1
+
+
+def test_zero_authority_experts_handled():
+    experts = [
+        Expert("a", skills={"x"}, h_index=0),
+        Expert("b", skills={"y"}, h_index=0),
+        Expert("mid", h_index=0),
+    ]
+    net = ExpertNetwork(
+        experts, edges=[("a", "mid", 0.5), ("mid", "b", 0.5)]
+    )
+    finder = GreedyTeamFinder(net, objective="sa-ca-cc", oracle_kind="dijkstra")
+    team = finder.find_team(["x", "y"])
+    assert team is not None
+    score = TeamEvaluator(net).sa_ca_cc(team)
+    assert score < float("inf")
+
+
+def test_gamma_zero_sacacc_reduces_toward_cc_plus_sa():
+    experts = [
+        Expert("a", skills={"x"}, h_index=1),
+        Expert("a2", skills={"x"}, h_index=9),
+        Expert("b", skills={"y"}, h_index=2),
+    ]
+    net = ExpertNetwork(
+        experts, edges=[("a", "b", 0.5), ("a2", "b", 0.5)]
+    )
+    finder = GreedyTeamFinder(
+        net, objective="sa-ca-cc", gamma=0.0, lam=1.0, oracle_kind="dijkstra"
+    )
+    team = finder.find_team(["x", "y"])
+    # with pure SA weighting the high-authority holder must be chosen
+    assert team.assignments["x"] == "a2"
+
+
+def test_isolated_holder_skipped_for_unreachable_roots():
+    experts = [
+        Expert("a", skills={"x"}, h_index=1),
+        Expert("b", skills={"y"}, h_index=1),
+        Expert("island", skills={"y"}, h_index=99),
+    ]
+    net = ExpertNetwork(experts, edges=[("a", "b", 0.5)])
+    finder = GreedyTeamFinder(net, objective="sa-ca-cc", oracle_kind="dijkstra")
+    team = finder.find_team(["x", "y"])
+    # the attractive island holder is unreachable; b must be used
+    assert team.assignments["y"] == "b"
+
+
+def test_evaluator_property_exposed():
+    experts = [Expert("a", skills={"x"}, h_index=1)]
+    net = ExpertNetwork(experts)
+    finder = GreedyTeamFinder(net, objective="cc", oracle_kind="dijkstra")
+    assert finder.evaluator.network is net
+    assert finder.search_graph.num_nodes == 1

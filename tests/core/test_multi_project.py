@@ -1,0 +1,79 @@
+"""Unit tests for multi-project portfolio staffing."""
+
+import random
+
+import pytest
+
+from repro.core import Team
+from repro.core.multi_project import MultiProjectStaffing, PortfolioResult, ProjectAssignment
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def network():
+    return make_random_network(random.Random(1), n=20, p=0.35)
+
+
+def test_teams_are_disjoint(network):
+    staffing = MultiProjectStaffing(network)
+    result = staffing.staff([["a"], ["b"], ["c"]])
+    teams = [a.team for a in result.assignments if a.team is not None]
+    assert len(teams) >= 2
+    seen: set[str] = set()
+    for team in teams:
+        assert not (team.members & seen)
+        seen |= team.members
+
+
+def test_assignments_keep_input_order(network):
+    staffing = MultiProjectStaffing(network, order="cheapest-first")
+    projects = [["a", "b"], ["c"], ["d"]]
+    result = staffing.staff(projects)
+    assert [list(a.project) for a in result.assignments] == [
+        sorted(p) for p in projects
+    ]
+
+
+def test_exhaustion_reported_not_raised(network):
+    # demand the same rare skill many times: later projects must fail
+    staffing = MultiProjectStaffing(network)
+    result = staffing.staff([["a"]] * 10)
+    assert result.num_staffed >= 1
+    failures = [a for a in result.assignments if not a.staffed]
+    assert failures
+    assert all(a.failure for a in failures)
+
+
+def test_uncoverable_project_fails_gracefully(network):
+    result = MultiProjectStaffing(network).staff([["quantum"]])
+    assert result.num_staffed == 0
+    assert result.assignments[0].failure == "required skills exhausted"
+
+
+def test_total_score_and_committed(network):
+    result = MultiProjectStaffing(network).staff([["a"], ["b"]])
+    staffed = [a for a in result.assignments if a.staffed]
+    assert result.total_score == pytest.approx(sum(a.score for a in staffed))
+    committed = result.committed_experts()
+    for a in staffed:
+        assert a.team.members <= committed
+
+
+def test_cheapest_first_never_staffs_fewer_on_contended_pool(network):
+    projects = [["a", "b", "c"], ["a"], ["b"]]
+    arrival = MultiProjectStaffing(network, order="arrival").staff(projects)
+    cheapest = MultiProjectStaffing(network, order="cheapest-first").staff(projects)
+    assert cheapest.num_staffed >= arrival.num_staffed - 1
+
+
+def test_each_team_valid_for_its_project(network):
+    result = MultiProjectStaffing(network).staff([["a", "b"], ["c", "d"]])
+    for assignment in result.assignments:
+        if assignment.team is not None:
+            assignment.team.validate(set(assignment.project), network)
+
+
+def test_invalid_order(network):
+    with pytest.raises(ValueError):
+        MultiProjectStaffing(network, order="bogus")  # type: ignore[arg-type]

@@ -1,0 +1,122 @@
+"""Unit tests for Definitions 2-6 (CC, CA, SA, CA-CC, SA-CA-CC)."""
+
+import pytest
+
+from repro.core import ObjectiveScales, Team, TeamEvaluator
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=2),
+        Expert("h2", skills={"s2"}, h_index=4),
+        Expert("conn", h_index=8),
+    ]
+    return ExpertNetwork(
+        experts, edges=[("h1", "conn", 1.0), ("conn", "h2", 3.0)]
+    )
+
+
+@pytest.fixture()
+def team(network):
+    tree = Graph.from_edges([("h1", "conn", 1.0), ("conn", "h2", 3.0)])
+    return Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+
+
+@pytest.fixture()
+def raw_evaluator(network):
+    """No normalization: scores follow the raw definitions exactly."""
+    return TeamEvaluator(
+        network, gamma=0.6, lam=0.5, scales=ObjectiveScales(1.0, 1.0)
+    )
+
+
+def test_cc_is_edge_sum(raw_evaluator, team):
+    assert raw_evaluator.cc(team) == pytest.approx(4.0)
+
+
+def test_ca_sums_connector_inverse_authority(raw_evaluator, team):
+    assert raw_evaluator.ca(team) == pytest.approx(1 / 8)
+
+
+def test_sa_sums_holder_inverse_authority(raw_evaluator, team):
+    assert raw_evaluator.sa(team) == pytest.approx(1 / 2 + 1 / 4)
+
+
+def test_ca_cc_combination(raw_evaluator, team):
+    expected = 0.6 * (1 / 8) + 0.4 * 4.0
+    assert raw_evaluator.ca_cc(team) == pytest.approx(expected)
+
+
+def test_sa_ca_cc_combination(raw_evaluator, team):
+    ca_cc = 0.6 * (1 / 8) + 0.4 * 4.0
+    expected = 0.5 * (0.75) + 0.5 * ca_cc
+    assert raw_evaluator.sa_ca_cc(team) == pytest.approx(expected)
+
+
+def test_gamma_extremes(network, team):
+    scales = ObjectiveScales(1.0, 1.0)
+    pure_ca = TeamEvaluator(network, gamma=1.0, lam=0.0, scales=scales)
+    assert pure_ca.ca_cc(team) == pytest.approx(pure_ca.ca(team))
+    pure_cc = TeamEvaluator(network, gamma=0.0, lam=0.0, scales=scales)
+    assert pure_cc.ca_cc(team) == pytest.approx(pure_cc.cc(team))
+
+
+def test_lambda_extremes(network, team):
+    scales = ObjectiveScales(1.0, 1.0)
+    pure_sa = TeamEvaluator(network, gamma=0.3, lam=1.0, scales=scales)
+    assert pure_sa.sa_ca_cc(team) == pytest.approx(pure_sa.sa(team))
+
+
+def test_sa_mode_per_skill_double_charges(network):
+    tree = Graph()
+    tree.add_node("h1")
+    team = Team(tree=tree, assignments={"s1": "h1", "also": "h1"})
+    scales = ObjectiveScales(1.0, 1.0)
+    per_skill = TeamEvaluator(network, scales=scales, sa_mode="per_skill")
+    distinct = TeamEvaluator(network, scales=scales, sa_mode="distinct")
+    assert per_skill.sa(team) == pytest.approx(2 * distinct.sa(team))
+
+
+def test_normalization_rescales(network, team):
+    scaled = TeamEvaluator(
+        network, gamma=0.6, lam=0.5, scales=ObjectiveScales(2.0, 0.5)
+    )
+    assert scaled.cc(team) == pytest.approx(2.0)  # 4.0 / 2
+    assert scaled.ca(team) == pytest.approx((1 / 8) / 0.5)
+
+
+def test_scales_from_network(network):
+    scales = ObjectiveScales.from_network(network)
+    assert scales.edge_scale == pytest.approx(3.0)
+    # lowest h-index is 2 -> largest a' = 0.5
+    assert scales.authority_scale == pytest.approx(0.5)
+
+
+def test_score_dispatch(raw_evaluator, team):
+    for name in ("cc", "ca", "sa", "ca-cc", "sa-ca-cc"):
+        assert raw_evaluator.score(team, name) == pytest.approx(
+            getattr(raw_evaluator, name.replace("-", "_"))(team)
+        )
+    with pytest.raises(ValueError):
+        raw_evaluator.score(team, "bogus")
+
+
+def test_with_params_copies(raw_evaluator):
+    other = raw_evaluator.with_params(lam=0.9)
+    assert other.lam == 0.9
+    assert other.gamma == raw_evaluator.gamma
+    assert other.scales == raw_evaluator.scales
+
+
+def test_parameter_validation(network):
+    with pytest.raises(ValueError):
+        TeamEvaluator(network, gamma=1.5)
+    with pytest.raises(ValueError):
+        TeamEvaluator(network, lam=-0.1)
+    with pytest.raises(ValueError):
+        TeamEvaluator(network, sa_mode="bogus")  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        ObjectiveScales(0.0, 1.0)

@@ -1,0 +1,87 @@
+"""Unit tests for Pareto-frontier team discovery (future-work extension)."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ParetoTeamDiscovery,
+    TeamEvaluator,
+    dominates,
+    pareto_filter,
+)
+
+from ..conftest import make_random_network
+
+
+class TestDominance:
+    def test_strict_domination(self):
+        assert dominates((1, 1, 1), (2, 2, 2))
+        assert dominates((1, 2), (2, 2))
+
+    def test_equal_vectors_do_not_dominate(self):
+        assert not dominates((1, 1), (1, 1))
+
+    def test_incomparable(self):
+        assert not dominates((1, 3), (2, 2))
+        assert not dominates((2, 2), (1, 3))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            dominates((1,), (1, 2))
+
+
+def test_pareto_filter_keeps_frontier():
+    points = [(1, 5), (2, 4), (3, 3), (2, 6), (4, 4)]
+    kept = pareto_filter(points, key=lambda p: p)
+    assert set(kept) == {(1, 5), (2, 4), (3, 3)}
+
+
+def test_pareto_filter_all_equal():
+    points = [(1, 1), (1, 1)]
+    assert pareto_filter(points, key=lambda p: p) == points
+
+
+def test_discovery_returns_nondominated_valid_teams():
+    rng = random.Random(6)
+    net = make_random_network(rng, n=14, p=0.45)
+    project = [s for s in ("a", "b") if net.skill_index.is_coverable([s])]
+    if len(project) < 2:
+        pytest.skip("random network lacks coverage")
+    discovery = ParetoTeamDiscovery(net, grid=(0.0, 0.5, 1.0), k_per_cell=2)
+    frontier = discovery.discover(project)
+    assert frontier
+    vectors = [p.vector for p in frontier]
+    for i, vec in enumerate(vectors):
+        assert not any(
+            dominates(other, vec) for j, other in enumerate(vectors) if j != i
+        )
+    for p in frontier:
+        p.team.validate(set(project), net)
+    # sorted by ascending CC
+    ccs = [p.cc for p in frontier]
+    assert ccs == sorted(ccs)
+
+
+def test_frontier_scores_match_evaluator():
+    rng = random.Random(9)
+    net = make_random_network(rng, n=12, p=0.5)
+    project = [s for s in ("a", "c") if net.skill_index.is_coverable([s])]
+    if len(project) < 2:
+        pytest.skip("random network lacks coverage")
+    discovery = ParetoTeamDiscovery(net, grid=(0.0, 1.0), k_per_cell=1)
+    frontier = discovery.discover(project)
+    evaluator = TeamEvaluator(net, scales=discovery.scales)
+    for p in frontier:
+        assert p.cc == pytest.approx(evaluator.cc(p.team))
+        assert p.ca == pytest.approx(evaluator.ca(p.team))
+        assert p.sa == pytest.approx(evaluator.sa(p.team))
+
+
+def test_parameter_validation():
+    rng = random.Random(1)
+    net = make_random_network(rng, n=8, p=0.6)
+    with pytest.raises(ValueError):
+        ParetoTeamDiscovery(net, grid=(0.5, 1.5))
+    with pytest.raises(ValueError):
+        ParetoTeamDiscovery(net, k_per_cell=0)

@@ -1,0 +1,71 @@
+"""Unit tests for the Random baseline."""
+
+import random
+
+import pytest
+
+from repro.core import RandomSolver, TeamEvaluator
+from repro.expertise import SkillCoverageError
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def network():
+    return make_random_network(random.Random(2), n=14, p=0.45)
+
+
+def _project(net):
+    project = [s for s in ("a", "b") if net.skill_index.is_coverable([s])]
+    if len(project) < 2:
+        pytest.skip("random network lacks coverage")
+    return project
+
+
+def test_returns_valid_team(network):
+    project = _project(network)
+    team = RandomSolver(network, num_samples=200, seed=1).find_team(project)
+    assert team is not None
+    team.validate(set(project), network)
+
+
+def test_seeded_reproducibility(network):
+    project = _project(network)
+    t1 = RandomSolver(network, num_samples=100, seed=7).find_team(project)
+    t2 = RandomSolver(network, num_samples=100, seed=7).find_team(project)
+    assert t1.key() == t2.key()
+
+
+def test_more_samples_never_hurt(network):
+    project = _project(network)
+    evaluator = TeamEvaluator(network)
+    # Same seed: the first 50 samples of the 500-run replicate the 50-run.
+    few = RandomSolver(network, num_samples=50, seed=3).find_team(project)
+    many = RandomSolver(network, num_samples=500, seed=3).find_team(project)
+    assert evaluator.sa_ca_cc(many) <= evaluator.sa_ca_cc(few) + 1e-9
+
+
+def test_lambda_sweep_shares_samples(network):
+    project = _project(network)
+    solver = RandomSolver(network, num_samples=150, seed=5)
+    by_lam = solver.find_teams_for_lambdas(project, [0.2, 0.8])
+    assert set(by_lam) == {0.2, 0.8}
+    for lam, team in by_lam.items():
+        assert team is not None
+        team.validate(set(project), network)
+        # per-lambda selection really minimizes that lambda's objective
+    eval_02 = TeamEvaluator(network, lam=0.2)
+    eval_08 = TeamEvaluator(network, lam=0.8)
+    assert eval_02.sa_ca_cc(by_lam[0.2]) <= eval_02.sa_ca_cc(by_lam[0.8]) + 1e-9
+    assert eval_08.sa_ca_cc(by_lam[0.8]) <= eval_08.sa_ca_cc(by_lam[0.2]) + 1e-9
+
+
+def test_validation_errors(network):
+    with pytest.raises(ValueError):
+        RandomSolver(network, num_samples=0)
+    with pytest.raises(ValueError):
+        RandomSolver(network, root_pool_size=0)
+    with pytest.raises(SkillCoverageError):
+        RandomSolver(network, num_samples=10).find_team(["quantum"])
+    with pytest.raises(ValueError):
+        RandomSolver(network, num_samples=10).find_team([])

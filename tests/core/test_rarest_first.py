@@ -1,0 +1,83 @@
+"""Unit tests for the RarestFirst baseline."""
+
+import random
+
+import pytest
+
+from repro.core import RarestFirstSolver
+from repro.expertise import Expert, ExpertNetwork, SkillCoverageError
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("rare", skills={"unique"}, h_index=2),
+        Expert("c1", skills={"common"}, h_index=1),
+        Expert("c2", skills={"common"}, h_index=1),
+        Expert("mid", h_index=5),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[
+            ("rare", "c1", 0.2),
+            ("rare", "mid", 0.5),
+            ("mid", "c2", 0.5),
+        ],
+    )
+
+
+def test_anchors_on_rarest_skill(network):
+    team = RarestFirstSolver(network, oracle_kind="dijkstra").find_team(
+        ["unique", "common"]
+    )
+    assert team.assignments["unique"] == "rare"
+    assert team.root == "rare"
+    # nearest common holder is c1 at 0.2
+    assert team.assignments["common"] == "c1"
+    team.validate({"unique", "common"}, network)
+
+
+def test_anchor_covering_other_skill():
+    experts = [
+        Expert("multi", skills={"s1", "s2"}, h_index=1),
+        Expert("other", skills={"s2"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("multi", "other", 0.9)])
+    team = RarestFirstSolver(net, oracle_kind="dijkstra").find_team(["s1", "s2"])
+    assert team.assignments == {"s1": "multi", "s2": "multi"}
+    assert team.size == 1
+
+
+def test_sum_vs_diameter_aggregates():
+    rng = random.Random(4)
+    net = make_random_network(rng, n=14, p=0.45)
+    project = [s for s in ("a", "b") if net.skill_index.is_coverable([s])]
+    if len(project) < 2:
+        pytest.skip("random network lacks coverage")
+    for aggregate in ("diameter", "sum"):
+        team = RarestFirstSolver(
+            net, aggregate=aggregate, oracle_kind="dijkstra"
+        ).find_team(project)
+        team.validate(set(project), net)
+
+
+def test_validation(network):
+    with pytest.raises(ValueError):
+        RarestFirstSolver(network, aggregate="bogus")
+    solver = RarestFirstSolver(network, oracle_kind="dijkstra")
+    with pytest.raises(SkillCoverageError):
+        solver.find_team(["quantum"])
+    with pytest.raises(ValueError):
+        solver.find_team([])
+
+
+def test_unreachable_returns_none():
+    experts = [
+        Expert("a", skills={"s1"}),
+        Expert("b", skills={"s2"}),
+    ]
+    net = ExpertNetwork(experts)  # no edges at all
+    solver = RarestFirstSolver(net, oracle_kind="dijkstra")
+    assert solver.find_team(["s1", "s2"]) is None

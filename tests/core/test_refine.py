@@ -1,0 +1,112 @@
+"""Unit + semantic tests for local-search refinement."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    ExactSolver,
+    GreedyTeamFinder,
+    Team,
+    TeamEvaluator,
+)
+from repro.core.refine import LocalSearchRefiner
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+from ..conftest import make_random_network
+
+
+def test_never_worse_than_input():
+    for seed in range(6):
+        rng = random.Random(seed)
+        net = make_random_network(rng, n=14, p=0.4)
+        project = ["a", "b"]
+        finder = GreedyTeamFinder(net, objective="sa-ca-cc", oracle_kind="dijkstra")
+        team = finder.find_team(project)
+        refiner = LocalSearchRefiner(net, objective="sa-ca-cc")
+        refined = refiner.refine(team, project)
+        refined.validate(set(project), net)
+        evaluator = TeamEvaluator(net)
+        assert evaluator.sa_ca_cc(refined) <= evaluator.sa_ca_cc(team) + 1e-9
+
+
+def test_prune_removes_useless_connector():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=2),
+        Expert("h2", skills={"s2"}, h_index=2),
+        Expert("stub", h_index=1),
+    ]
+    net = ExpertNetwork(
+        experts, edges=[("h1", "h2", 0.2), ("h2", "stub", 0.9)]
+    )
+    # hand-build a team with a pointless dangling connector
+    tree = Graph.from_edges([("h1", "h2", 0.2), ("h2", "stub", 0.9)])
+    team = Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+    refined = LocalSearchRefiner(net).refine(team)
+    assert "stub" not in refined.members
+    evaluator = TeamEvaluator(net)
+    assert evaluator.sa_ca_cc(refined) < evaluator.sa_ca_cc(team)
+
+
+def test_swap_upgrades_holder_authority():
+    experts = [
+        Expert("weak", skills={"x"}, h_index=1),
+        Expert("strong", skills={"x"}, h_index=30),
+        Expert("other", skills={"y"}, h_index=5),
+    ]
+    net = ExpertNetwork(
+        experts,
+        edges=[("weak", "other", 0.3), ("strong", "other", 0.3)],
+    )
+    tree = Graph.from_edges([("weak", "other", 0.3)])
+    team = Team(tree=tree, assignments={"x": "weak", "y": "other"})
+    refiner = LocalSearchRefiner(net, objective="sa-ca-cc", lam=0.9)
+    refined = refiner.refine(team)
+    assert refined.assignments["x"] == "strong"
+
+
+def test_idempotent_at_local_optimum():
+    rng = random.Random(3)
+    net = make_random_network(rng, n=12, p=0.5)
+    project = ["a", "c"]
+    team = GreedyTeamFinder(
+        net, objective="sa-ca-cc", oracle_kind="dijkstra"
+    ).find_team(project)
+    refiner = LocalSearchRefiner(net)
+    once = refiner.refine(team, project)
+    twice = refiner.refine(once, project)
+    evaluator = TeamEvaluator(net)
+    assert evaluator.sa_ca_cc(twice) == pytest.approx(evaluator.sa_ca_cc(once))
+
+
+def test_closes_gap_toward_exact():
+    """Across seeds, refinement must never lose to plain greedy and
+    should strictly improve at least one instance."""
+    improvements = 0
+    for seed in range(8):
+        rng = random.Random(seed + 100)
+        net = make_random_network(rng, n=12, p=0.35)
+        project = ["a", "b"]
+        evaluator = TeamEvaluator(net)
+        greedy = GreedyTeamFinder(
+            net, objective="sa-ca-cc", oracle_kind="dijkstra"
+        ).find_team(project)
+        refined = LocalSearchRefiner(net).refine(greedy, project)
+        exact = ExactSolver(net).find_team(project)
+        g, r, e = (
+            evaluator.sa_ca_cc(greedy),
+            evaluator.sa_ca_cc(refined),
+            evaluator.sa_ca_cc(exact),
+        )
+        assert e <= r + 1e-9 <= g + 2e-9
+        if r < g - 1e-9:
+            improvements += 1
+    assert improvements >= 1
+
+
+def test_validation():
+    rng = random.Random(0)
+    net = make_random_network(rng, n=8, p=0.5)
+    with pytest.raises(ValueError):
+        LocalSearchRefiner(net, max_rounds=0)

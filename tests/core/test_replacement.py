@@ -1,0 +1,127 @@
+"""Unit tests for team-member replacement."""
+
+import pytest
+
+from repro.core import (
+    GreedyTeamFinder,
+    ReplacementError,
+    ReplacementRecommender,
+    Team,
+    TeamEvaluator,
+)
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=3),
+        Expert("h1b", skills={"s1"}, h_index=8),       # substitute for h1
+        Expert("h2", skills={"s2"}, h_index=4),
+        Expert("conn", h_index=20),
+        Expert("conn2", h_index=2),
+        Expert("multi", skills={"s1", "s2"}, h_index=6),
+    ]
+    edges = [
+        ("h1", "conn", 0.3),
+        ("conn", "h2", 0.3),
+        ("h1b", "conn", 0.4),
+        ("h1", "conn2", 0.5),
+        ("conn2", "h2", 0.5),
+        ("multi", "conn", 0.6),
+    ]
+    return ExpertNetwork(experts, edges)
+
+
+@pytest.fixture()
+def team(network):
+    tree = Graph.from_edges([("h1", "conn", 0.3), ("conn", "h2", 0.3)])
+    return Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+
+
+@pytest.fixture()
+def recommender(network):
+    return ReplacementRecommender(network, objective="sa-ca-cc")
+
+
+def test_holder_replacement_candidates(recommender, team, network):
+    proposals = recommender.recommend(team, "h1", k=3)
+    assert proposals
+    substitutes = {p.substitute for p in proposals}
+    # both the dedicated s1 holder and the multi-skill expert qualify
+    assert substitutes <= {"h1b", "multi"}
+    for p in proposals:
+        p.team.validate({"s1", "s2"}, network)
+        assert "h1" not in p.team.members
+    scores = [p.score for p in proposals]
+    assert scores == sorted(scores)
+
+
+def test_connector_replacement_reroutes(recommender, network):
+    tree = Graph.from_edges([("h1", "conn", 0.3), ("conn", "h2", 0.3)])
+    team = Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+    proposals = recommender.recommend(team, "conn")
+    assert len(proposals) == 1
+    replacement = proposals[0]
+    assert replacement.substitute is None
+    assert "conn" not in replacement.team.members
+    replacement.team.validate({"s1", "s2"}, network)
+    # rerouted through the weaker connector, so the objective degrades
+    assert replacement.delta >= 0.0
+
+
+def test_delta_is_relative_to_original(recommender, team, network):
+    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    base = evaluator.sa_ca_cc(team)
+    for p in recommender.recommend(team, "h1", k=2):
+        assert p.delta == pytest.approx(p.score - base)
+
+
+def test_not_a_member(recommender, team):
+    with pytest.raises(ReplacementError, match="not a member"):
+        recommender.recommend(team, "ghost")
+
+
+def test_no_candidate_for_lost_skills():
+    experts = [
+        Expert("only", skills={"rare"}, h_index=1),
+        Expert("other", skills={"s"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("only", "other", 0.5)])
+    tree = Graph.from_edges([("only", "other", 0.5)])
+    team = Team(tree=tree, assignments={"rare": "only", "s": "other"})
+    rec = ReplacementRecommender(net)
+    with pytest.raises(ReplacementError, match="holds all of"):
+        rec.recommend(team, "only")
+
+
+def test_disconnecting_connector():
+    experts = [
+        Expert("a", skills={"s1"}, h_index=1),
+        Expert("bridge", h_index=5),
+        Expert("b", skills={"s2"}, h_index=1),
+    ]
+    net = ExpertNetwork(experts, edges=[("a", "bridge", 0.5), ("bridge", "b", 0.5)])
+    tree = Graph.from_edges([("a", "bridge", 0.5), ("bridge", "b", 0.5)])
+    team = Team(tree=tree, assignments={"s1": "a", "s2": "b"})
+    rec = ReplacementRecommender(net)
+    with pytest.raises(ReplacementError, match="disconnects"):
+        rec.recommend(team, "bridge")
+
+
+def test_invalid_k(recommender, team):
+    with pytest.raises(ValueError):
+        recommender.recommend(team, "h1", k=0)
+
+
+def test_end_to_end_with_greedy_team(network):
+    finder = GreedyTeamFinder(network, objective="sa-ca-cc", oracle_kind="dijkstra")
+    team = finder.find_team(["s1", "s2"])
+    rec = ReplacementRecommender(network)
+    holder = team.assignments["s1"]
+    if holder == team.assignments["s2"]:
+        pytest.skip("single-expert team; nothing to replace separately")
+    proposals = rec.recommend(team, holder, k=2)
+    for p in proposals:
+        p.team.validate({"s1", "s2"}, network)

@@ -1,0 +1,98 @@
+"""Unit tests for the polynomial Problem 4 solver."""
+
+import random
+
+import pytest
+
+from repro.core import TeamEvaluator
+from repro.core.sa_solver import SaOptimalSolver
+from repro.expertise import Expert, ExpertNetwork, SkillCoverageError
+
+from ..conftest import make_random_network
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("weak_x", skills={"x"}, h_index=1),
+        Expert("strong_x", skills={"x"}, h_index=20),
+        Expert("weak_y", skills={"y"}, h_index=2),
+        Expert("strong_y", skills={"y"}, h_index=15),
+        Expert("hub", h_index=5),
+    ]
+    edges = [
+        ("weak_x", "hub", 0.2),
+        ("strong_x", "hub", 0.9),
+        ("weak_y", "hub", 0.2),
+        ("strong_y", "hub", 0.9),
+    ]
+    return ExpertNetwork(experts, edges)
+
+
+def test_picks_highest_authority_holders(network):
+    team = SaOptimalSolver(network).find_team(["x", "y"])
+    assert team.assignments == {"x": "strong_x", "y": "strong_y"}
+    team.validate({"x", "y"}, network)
+
+
+def test_sa_is_globally_minimal(network):
+    """No team on any assignment can undercut the solver's SA."""
+    solver = SaOptimalSolver(network)
+    team = solver.find_team(["x", "y"])
+    evaluator = TeamEvaluator(network, lam=1.0, scales=solver.evaluator.scales)
+    optimal = evaluator.sa(team)
+    assert optimal == pytest.approx(solver.optimal_sa(["x", "y"]))
+    for x_holder in ("weak_x", "strong_x"):
+        for y_holder in ("weak_y", "strong_y"):
+            candidate_sa = evaluator.node_cost(x_holder) + evaluator.node_cost(
+                y_holder
+            )
+            assert optimal <= candidate_sa + 1e-12
+
+
+def test_randomized_sa_never_beaten_by_other_solvers():
+    from repro.core import ExactSolver, GreedyTeamFinder
+
+    for seed in range(5):
+        rng = random.Random(seed)
+        net = make_random_network(rng, n=12, p=0.45)
+        project = ["a", "b"]
+        solver = SaOptimalSolver(net)
+        sa_team = solver.find_team(project)
+        if sa_team is None:
+            continue
+        evaluator = TeamEvaluator(net, lam=1.0, scales=solver.evaluator.scales)
+        best_sa = evaluator.sa(sa_team)
+        greedy = GreedyTeamFinder(
+            net, objective="sa-ca-cc", lam=0.99, oracle_kind="dijkstra"
+        ).find_team(project)
+        assert best_sa <= evaluator.sa(greedy) + 1e-9
+        exact = ExactSolver(net, lam=1.0).find_team(project)
+        assert best_sa <= evaluator.sa(exact) + 1e-9
+
+
+def test_disconnected_optima_return_none():
+    experts = [
+        Expert("x1", skills={"x"}, h_index=10),
+        Expert("y1", skills={"y"}, h_index=10),
+    ]
+    net = ExpertNetwork(experts)  # no edges
+    assert SaOptimalSolver(net).find_team(["x", "y"]) is None
+
+
+def test_validation(network):
+    solver = SaOptimalSolver(network)
+    with pytest.raises(ValueError):
+        solver.find_team([])
+    with pytest.raises(SkillCoverageError):
+        solver.find_team(["quantum"])
+
+
+def test_deterministic_tie_break():
+    experts = [
+        Expert("a_holder", skills={"s"}, h_index=5),
+        Expert("b_holder", skills={"s"}, h_index=5),
+    ]
+    net = ExpertNetwork(experts, edges=[("a_holder", "b_holder", 0.5)])
+    team = SaOptimalSolver(net).find_team(["s"])
+    assert team.assignments["s"] == "a_holder"

@@ -1,0 +1,99 @@
+"""Unit tests for the Team object and Definition 1 validation."""
+
+import pytest
+
+from repro.core import Team, TeamValidationError
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("a", skills={"ml"}, h_index=3),
+        Expert("b", h_index=9),
+        Expert("c", skills={"db"}, h_index=2),
+    ]
+    return ExpertNetwork(experts, edges=[("a", "b", 0.5), ("b", "c", 0.5)])
+
+
+@pytest.fixture()
+def team(network):
+    tree = Graph.from_edges([("a", "b", 0.5), ("b", "c", 0.5)])
+    return Team(tree=tree, assignments={"ml": "a", "db": "c"}, root="b")
+
+
+def test_membership_views(team):
+    assert team.members == {"a", "b", "c"}
+    assert team.skill_holders == {"a", "c"}
+    assert team.connectors == {"b"}
+    assert team.size == 3
+    assert team.holder_of("ml") == "a"
+
+
+def test_same_expert_covering_two_skills():
+    tree = Graph()
+    tree.add_node("a")
+    t = Team(tree=tree, assignments={"ml": "a", "db": "a"})
+    assert t.skill_holders == {"a"}
+    assert t.connectors == frozenset()
+
+
+def test_key_dedupes_on_members_and_assignment(team, network):
+    other = Team(
+        tree=network.graph.subgraph({"a", "b", "c"}),
+        assignments={"ml": "a", "db": "c"},
+        root="a",
+    )
+    assert team.key() == other.key()
+
+
+def test_empty_team_rejected():
+    with pytest.raises(TeamValidationError):
+        Team(tree=Graph(), assignments={})
+
+
+def test_validate_passes(team, network):
+    team.validate({"ml", "db"}, network)
+
+
+def test_validate_missing_skill(team, network):
+    with pytest.raises(TeamValidationError, match="unassigned"):
+        team.validate({"ml", "db", "viz"}, network)
+
+
+def test_validate_assignee_outside_team(network):
+    tree = Graph.from_edges([("a", "b", 0.5)])
+    t = Team(tree=tree, assignments={"ml": "a", "db": "c"})
+    with pytest.raises(TeamValidationError, match="outside"):
+        t.validate({"ml", "db"}, network)
+
+
+def test_validate_disconnected_tree(network):
+    tree = Graph()
+    tree.add_node("a")
+    tree.add_node("c")
+    t = Team(tree=tree, assignments={"ml": "a", "db": "c"})
+    with pytest.raises(TeamValidationError, match="connected"):
+        t.validate({"ml", "db"}, network)
+
+
+def test_validate_wrong_holder(network):
+    tree = Graph.from_edges([("a", "b", 0.5)])
+    t = Team(tree=tree, assignments={"db": "a", "ml": "b"})
+    with pytest.raises(TeamValidationError, match="does not hold"):
+        t.validate({"db", "ml"}, network)
+
+
+def test_validate_edge_not_in_network(network):
+    tree = Graph.from_edges([("a", "c", 0.5)])  # no such edge in network
+    t = Team(tree=tree, assignments={"ml": "a", "db": "c"})
+    with pytest.raises(TeamValidationError, match="missing"):
+        t.validate({"ml", "db"}, network)
+
+
+def test_validate_wrong_weight(network):
+    tree = Graph.from_edges([("a", "b", 0.7)])  # network says 0.5
+    t = Team(tree=tree, assignments={"ml": "a"})
+    with pytest.raises(TeamValidationError, match="weight"):
+        t.validate({"ml"}, network)

@@ -1,0 +1,80 @@
+"""Unit tests for the G -> G' transformation (Section 3.2.2)."""
+
+import pytest
+
+from repro.core import ObjectiveScales, authority_fold_transform, transformed_edge_weight
+from repro.expertise import Expert, ExpertNetwork
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("u", h_index=2),  # a' = 1/2
+        Expert("v", h_index=4),  # a' = 1/4
+        Expert("w", h_index=1),  # a' = 1
+    ]
+    return ExpertNetwork(experts, edges=[("u", "v", 0.8), ("v", "w", 0.2)])
+
+
+def test_scalar_rule():
+    # w' = gamma*(a'_u + a'_v) + 2*(1-gamma)*w
+    assert transformed_edge_weight(0.5, 0.25, 0.8, 0.5) == pytest.approx(
+        0.5 * 0.75 + 2 * 0.5 * 0.8
+    )
+
+
+def test_transform_without_normalization(network):
+    g_prime = authority_fold_transform(
+        network, gamma=0.5, scales=ObjectiveScales(1.0, 1.0)
+    )
+    expected_uv = 0.5 * (0.5 + 0.25) + 2 * 0.5 * 0.8
+    assert g_prime.weight("u", "v") == pytest.approx(expected_uv)
+
+
+def test_gamma_one_ignores_edge_weights(network):
+    g_prime = authority_fold_transform(
+        network, gamma=1.0, scales=ObjectiveScales(1.0, 1.0)
+    )
+    assert g_prime.weight("u", "v") == pytest.approx(0.75)
+    assert g_prime.weight("v", "w") == pytest.approx(1.25)
+
+
+def test_gamma_zero_doubles_edge_weights(network):
+    g_prime = authority_fold_transform(
+        network, gamma=0.0, scales=ObjectiveScales(1.0, 1.0)
+    )
+    assert g_prime.weight("u", "v") == pytest.approx(1.6)
+
+
+def test_default_scales_normalize(network):
+    # edge scale = 0.8, authority scale = 1.0 (expert w has a' = 1)
+    g_prime = authority_fold_transform(network, gamma=0.5)
+    expected = 0.5 * (0.5 + 0.25) + 2 * 0.5 * 1.0  # w_uv normalized to 1
+    assert g_prime.weight("u", "v") == pytest.approx(expected)
+
+
+def test_transform_preserves_topology(network):
+    g_prime = authority_fold_transform(network, gamma=0.7)
+    assert set(g_prime.nodes()) == set(network.graph.nodes())
+    assert g_prime.num_edges == network.graph.num_edges
+    # original untouched
+    assert network.graph.weight("u", "v") == pytest.approx(0.8)
+
+
+def test_invalid_gamma(network):
+    with pytest.raises(ValueError):
+        authority_fold_transform(network, gamma=1.2)
+
+
+def test_path_weight_decomposition(network):
+    """Path length in G' = gamma*(endpoints once + interiors twice) +
+    2*(1-gamma)*CC — the identity the greedy's correction relies on."""
+    gamma = 0.6
+    g_prime = authority_fold_transform(
+        network, gamma=gamma, scales=ObjectiveScales(1.0, 1.0)
+    )
+    path_len = g_prime.weight("u", "v") + g_prime.weight("v", "w")
+    a = {"u": 0.5, "v": 0.25, "w": 1.0}
+    cc = 0.8 + 0.2
+    expected = gamma * (a["u"] + a["w"] + 2 * a["v"]) + 2 * (1 - gamma) * cc
+    assert path_len == pytest.approx(expected)

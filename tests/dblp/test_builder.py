@@ -1,0 +1,99 @@
+"""Unit tests for corpus -> expert-network building (Section 4 methodology)."""
+
+import pytest
+
+from repro.dblp import (
+    Corpus,
+    Paper,
+    SyntheticDblpConfig,
+    build_expert_network,
+    junior_skills,
+    synthetic_corpus,
+)
+from repro.graph import is_connected
+
+
+def _paper(pid, title, authors, citations=0):
+    return Paper(id=pid, title=title, authors=tuple(authors), year=2014, venue="V")
+
+
+@pytest.fixture()
+def handmade_corpus():
+    c = Corpus()
+    # junior: 3 papers, "graph" occurs in 2 titles -> skill
+    c.add_paper(_paper("p1", "Graph Mining Basics", ["junior", "senior"]), citations=2)
+    c.add_paper(_paper("p2", "Graph Kernels", ["junior", "senior"]), citations=1)
+    c.add_paper(_paper("p3", "Stream Joins", ["junior"]), citations=0)
+    # senior: many papers (>= 10) -> no skills
+    for i in range(12):
+        c.add_paper(
+            _paper(f"s{i}", "Deep Graph Networks", ["senior"]), citations=30
+        )
+    return c
+
+
+def test_junior_skills_rule():
+    titles = ["Graph Mining", "Graph Kernels", "Stream Joins"]
+    skills = junior_skills(titles)
+    assert "graph" in skills
+    assert "mining" not in skills  # occurs once only
+    assert junior_skills(titles, min_term_occurrences=1) >= skills
+
+
+def test_junior_gets_skills_senior_does_not(handmade_corpus):
+    net = build_expert_network(handmade_corpus)
+    assert "graph" in net.skills_of("junior")
+    assert net.skills_of("senior") == frozenset()
+
+
+def test_h_index_from_citations(handmade_corpus):
+    net = build_expert_network(handmade_corpus)
+    # junior: citations [2, 1, 0] -> h = 1
+    assert net.authority("junior") == 1.0
+    assert net.authority("senior") > net.authority("junior")
+
+
+def test_num_publications(handmade_corpus):
+    net = build_expert_network(handmade_corpus)
+    assert net.expert("junior").num_publications == 3
+    assert net.expert("senior").num_publications == 14
+
+
+def test_edges_are_jaccard_distances(handmade_corpus):
+    net = build_expert_network(handmade_corpus)
+    # |shared| = 2 (p1, p2); |union| = 3 + 14 - 2 = 15 -> distance 13/15
+    assert net.communication_cost("junior", "senior") == pytest.approx(13 / 15)
+
+
+def test_junior_cutoff_parameter(handmade_corpus):
+    net = build_expert_network(handmade_corpus, junior_max_papers=2)
+    # with the stricter cutoff the 3-paper author is no longer junior
+    assert net.skills_of("junior") == frozenset()
+
+
+def test_validation_of_parameters(handmade_corpus):
+    with pytest.raises(ValueError):
+        build_expert_network(handmade_corpus, junior_max_papers=0)
+    with pytest.raises(ValueError):
+        build_expert_network(handmade_corpus, min_term_occurrences=0)
+
+
+def test_largest_component_restriction():
+    c = Corpus()
+    c.add_paper(_paper("p1", "Graph Mining", ["a", "b"]))
+    c.add_paper(_paper("p2", "Graph Mining", ["a", "b"]))
+    c.add_paper(_paper("q1", "Logic Proofs", ["x"]))  # isolated author
+    full = build_expert_network(c, restrict_to_largest_component=False)
+    assert len(full) == 3
+    restricted = build_expert_network(c)
+    assert len(restricted) == 2
+
+
+def test_end_to_end_network_is_consistent():
+    corpus = synthetic_corpus(SyntheticDblpConfig(num_groups=5), seed=3)
+    net = build_expert_network(corpus)
+    net.validate()
+    assert is_connected(net.graph)
+    assert net.skill_index.num_skills > 0
+    # all edge weights are Jaccard distances in (0, 1]
+    assert all(0.0 < w <= 1.0 for _, _, w in net.graph.edges())

@@ -1,0 +1,66 @@
+"""Unit tests for corpus records and derived views."""
+
+import pytest
+
+from repro.dblp import Corpus, Paper, Venue
+
+
+@pytest.fixture()
+def corpus():
+    c = Corpus()
+    c.add_venue(Venue("KDD", rating=9.0))
+    c.add_venue(Venue("WS", rating=2.0))
+    c.add_paper(
+        Paper(id="p1", title="Graph Mining", authors=("alice", "bob"), year=2014, venue="KDD"),
+        citations=12,
+    )
+    c.add_paper(
+        Paper(id="p2", title="Stream Mining", authors=("alice",), year=2015, venue="WS"),
+        citations=3,
+    )
+    c.add_paper(
+        Paper(id="p3", title="Deep Graphs", authors=("bob", "carol"), year=2015, venue="KDD"),
+    )
+    return c
+
+
+def test_paper_validation():
+    with pytest.raises(ValueError):
+        Paper(id="", title="t", authors=("a",))
+    with pytest.raises(ValueError):
+        Paper(id="x", title="t", authors=())
+
+
+def test_venue_validation():
+    with pytest.raises(ValueError):
+        Venue("bad", rating=-1.0)
+
+
+def test_authors_view(corpus):
+    assert corpus.authors() == {"alice", "bob", "carol"}
+
+
+def test_papers_of(corpus):
+    by_author = corpus.papers_of()
+    assert {p.id for p in by_author["alice"]} == {"p1", "p2"}
+    assert {p.id for p in by_author["carol"]} == {"p3"}
+
+
+def test_citation_profile(corpus):
+    papers = corpus.papers_of()["alice"]
+    assert sorted(corpus.citation_profile(papers)) == [3, 12]
+    # unknown citation defaults to 0
+    assert corpus.citation_profile([corpus.papers[2]]) == [0]
+
+
+def test_coauthor_pairs(corpus):
+    assert corpus.coauthor_pairs() == {("alice", "bob"), ("bob", "carol")}
+
+
+def test_venue_rating_default(corpus):
+    assert corpus.venue_rating("KDD") == 9.0
+    assert corpus.venue_rating("unknown", default=1.5) == 1.5
+
+
+def test_num_papers(corpus):
+    assert corpus.num_papers == 3

@@ -1,0 +1,105 @@
+"""Unit tests for the DBLP XML streaming parser."""
+
+import io
+import textwrap
+
+import pytest
+
+from repro.dblp import iter_records, parse_dblp_xml
+
+SAMPLE = textwrap.dedent(
+    """\
+    <?xml version="1.0" encoding="UTF-8"?>
+    <dblp>
+    <article key="journals/tkde/SmithJones15" mdate="2016-01-01">
+      <author>Alice Smith</author>
+      <author>Bob Jones</author>
+      <title>Mining Massive Graph Streams</title>
+      <year>2015</year>
+      <journal>TKDE</journal>
+    </article>
+    <inproceedings key="conf/kdd/Wu16">
+      <author>Carol Wu</author>
+      <title>Deep Ranking for Search</title>
+      <year>2016</year>
+      <booktitle>KDD</booktitle>
+    </inproceedings>
+    <proceedings key="conf/kdd/2016">
+      <title>Proceedings of KDD 2016</title>
+      <year>2016</year>
+    </proceedings>
+    <phdthesis key="phd/Lee14">
+      <author>Dan Lee</author>
+      <title>Graph Algorithms</title>
+      <year>2014</year>
+    </phdthesis>
+    </dblp>
+    """
+)
+
+
+def test_iter_records_yields_papers_with_keys():
+    papers = list(iter_records(io.StringIO(SAMPLE)))
+    ids = [p.id for p in papers]
+    assert "journals/tkde/SmithJones15" in ids
+    assert "conf/kdd/Wu16" in ids
+
+
+def test_authorless_records_skipped():
+    papers = list(iter_records(io.StringIO(SAMPLE)))
+    assert all(p.authors for p in papers)
+    assert "conf/kdd/2016" not in [p.id for p in papers]
+
+
+def test_fields_extracted():
+    papers = {p.id: p for p in iter_records(io.StringIO(SAMPLE))}
+    article = papers["journals/tkde/SmithJones15"]
+    assert article.authors == ("Alice Smith", "Bob Jones")
+    assert article.year == 2015
+    assert article.venue == "TKDE"
+    inproc = papers["conf/kdd/Wu16"]
+    assert inproc.venue == "KDD"
+
+
+def test_max_year_cutoff():
+    corpus = parse_dblp_xml(io.StringIO(SAMPLE), max_year=2015)
+    ids = {p.id for p in corpus.papers}
+    assert "conf/kdd/Wu16" not in ids  # 2016 paper dropped
+    assert "journals/tkde/SmithJones15" in ids
+
+
+def test_unknown_entities_tolerated():
+    xml = (
+        "<dblp><article key='k'><author>J&ouml;rg M&uuml;ller</author>"
+        "<title>Queries &amp; Answers</title><year>2010</year>"
+        "<journal>X</journal></article></dblp>"
+    )
+    papers = list(iter_records(io.StringIO(xml)))
+    assert len(papers) == 1
+    # built-in entity preserved, DTD entity degraded to bare name
+    assert papers[0].title == "Queries & Answers"
+    assert "rg M" in papers[0].authors[0]
+
+
+def test_parse_from_file(tmp_path):
+    path = tmp_path / "dblp.xml"
+    path.write_text(SAMPLE, encoding="utf-8")
+    corpus = parse_dblp_xml(path)
+    assert corpus.num_papers == 3  # article + inproceedings + phdthesis
+
+
+def test_record_tag_filter():
+    papers = list(
+        iter_records(io.StringIO(SAMPLE), record_tags=frozenset({"article"}))
+    )
+    assert [p.id for p in papers] == ["journals/tkde/SmithJones15"]
+
+
+def test_nested_title_markup():
+    xml = (
+        "<dblp><article key='k'><author>A</author>"
+        "<title>On <i>Fast</i> Joins</title><year>2012</year>"
+        "<journal>J</journal></article></dblp>"
+    )
+    papers = list(iter_records(io.StringIO(xml)))
+    assert papers[0].title == "On Fast Joins"

@@ -1,0 +1,79 @@
+"""Unit tests for the synthetic DBLP corpus generator."""
+
+import pytest
+
+from repro.dblp import SyntheticDblpConfig, synthetic_corpus, topic_vocabulary
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return synthetic_corpus(SyntheticDblpConfig(num_groups=8), seed=5)
+
+
+def test_reproducible_for_same_seed():
+    a = synthetic_corpus(SyntheticDblpConfig(num_groups=4), seed=9)
+    b = synthetic_corpus(SyntheticDblpConfig(num_groups=4), seed=9)
+    assert [p.id for p in a.papers] == [p.id for p in b.papers]
+    assert [p.title for p in a.papers] == [p.title for p in b.papers]
+
+
+def test_different_seeds_differ():
+    a = synthetic_corpus(SyntheticDblpConfig(num_groups=4), seed=1)
+    b = synthetic_corpus(SyntheticDblpConfig(num_groups=4), seed=2)
+    assert [p.title for p in a.papers] != [p.title for p in b.papers]
+
+
+def test_every_paper_has_authors_and_venue(corpus):
+    for paper in corpus.papers:
+        assert paper.authors
+        assert paper.venue in corpus.venues
+        assert 2001 <= paper.year <= 2015
+
+
+def test_seniors_publish_more(corpus):
+    by_author = corpus.papers_of()
+    senior_counts = [
+        len(papers) for a, papers in by_author.items() if "senior" in a
+    ]
+    junior_counts = [
+        len(papers) for a, papers in by_author.items() if "junior" in a
+    ]
+    assert min(senior_counts) >= 10
+    assert sum(senior_counts) / len(senior_counts) > sum(junior_counts) / len(
+        junior_counts
+    )
+
+
+def test_citations_favor_seniors(corpus):
+    by_author = corpus.papers_of()
+    def mean_citations(selector):
+        vals = [
+            corpus.citations.get(p.id, 0)
+            for a, papers in by_author.items()
+            if selector in a
+            for p in papers
+        ]
+        return sum(vals) / len(vals)
+    assert mean_citations("senior") > mean_citations("junior")
+
+
+def test_venue_ratings_positive_and_skewed(corpus):
+    ratings = sorted(v.rating for v in corpus.venues.values())
+    assert all(r >= 1.0 for r in ratings)
+    assert ratings[-1] > ratings[0]
+
+
+def test_topic_vocabulary_disjoint_terms():
+    topics = topic_vocabulary(12, 5)
+    assert len(topics) == 12
+    flat = [t for topic in topics for t in topic]
+    assert len(flat) == len(set(flat))
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticDblpConfig(papers_per_junior=(5, 2))
+    with pytest.raises(ValueError):
+        SyntheticDblpConfig(topics_per_group=99)
+    with pytest.raises(ValueError):
+        SyntheticDblpConfig(cross_group_prob=1.5)

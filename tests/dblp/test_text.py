@@ -1,0 +1,41 @@
+"""Unit tests for title tokenization and term extraction."""
+
+from repro.dblp import STOPWORDS, extract_terms, tokenize
+
+
+def test_tokenize_lowercases_and_splits():
+    assert tokenize("Mining Graph-Streams!") == ["mining", "graph", "streams"]
+
+
+def test_tokenize_keeps_repeats():
+    assert tokenize("graph graph") == ["graph", "graph"]
+
+
+def test_tokenize_drops_digits():
+    assert "2015" not in tokenize("VLDB 2015 overview")
+
+
+def test_extract_terms_removes_stopwords():
+    terms = extract_terms("Towards a New Approach to Graph Mining")
+    assert "graph" in terms and "mining" in terms
+    assert "towards" not in terms and "new" not in terms
+
+
+def test_extract_terms_min_length():
+    assert "ml" not in extract_terms("ml at scale")
+    assert "scale" in extract_terms("ml at scale")
+
+
+def test_extract_terms_distinct():
+    terms = extract_terms("graph graph graph")
+    assert terms == {"graph"}
+
+
+def test_stopwords_include_generic_title_words():
+    for word in ("using", "novel", "model", "analysis", "the"):
+        assert word in STOPWORDS
+
+
+def test_empty_title():
+    assert extract_terms("") == set()
+    assert tokenize("") == []

@@ -1,0 +1,77 @@
+"""Unit + round-trip tests for the DBLP XML writer."""
+
+import io
+
+import pytest
+
+from repro.dblp import (
+    Corpus,
+    Paper,
+    SyntheticDblpConfig,
+    corpus_to_xml,
+    parse_dblp_xml,
+    synthetic_corpus,
+    write_dblp_xml,
+)
+
+
+@pytest.fixture()
+def corpus():
+    c = Corpus()
+    c.add_paper(
+        Paper(
+            id="journals/x/One15",
+            title="Graphs & Streams <fast>",
+            authors=("Alice", "Bob"),
+            year=2015,
+            venue="TKDE",
+        )
+    )
+    c.add_paper(
+        Paper(
+            id="conf/kdd/Two16",
+            title="Deep Ranking",
+            authors=("Carol",),
+            year=2016,
+            venue="KDD",
+        )
+    )
+    return c
+
+
+def test_escapes_special_characters(corpus):
+    xml = corpus_to_xml(corpus)
+    assert "&amp;" in xml and "&lt;fast&gt;" in xml
+    assert "<dblp>" in xml and "</dblp>" in xml
+
+
+def test_conference_records_use_booktitle(corpus):
+    xml = corpus_to_xml(corpus)
+    assert "<booktitle>KDD</booktitle>" in xml
+    assert "<journal>TKDE</journal>" in xml
+
+
+def test_roundtrip_through_parser(corpus):
+    parsed = parse_dblp_xml(io.StringIO(corpus_to_xml(corpus)))
+    assert parsed.num_papers == corpus.num_papers
+    for original, rebuilt in zip(corpus.papers, parsed.papers):
+        assert rebuilt.id == original.id
+        assert rebuilt.title == original.title
+        assert rebuilt.authors == original.authors
+        assert rebuilt.year == original.year
+        assert rebuilt.venue == original.venue
+
+
+def test_roundtrip_synthetic_corpus():
+    corpus = synthetic_corpus(SyntheticDblpConfig(num_groups=3), seed=4)
+    parsed = parse_dblp_xml(io.StringIO(corpus_to_xml(corpus)))
+    assert parsed.num_papers == corpus.num_papers
+    assert parsed.authors() == corpus.authors()
+    assert parsed.coauthor_pairs() == corpus.coauthor_pairs()
+
+
+def test_write_to_file(corpus, tmp_path):
+    path = tmp_path / "dump.xml"
+    write_dblp_xml(corpus, path)
+    parsed = parse_dblp_xml(path)
+    assert parsed.num_papers == 2

@@ -1,0 +1,57 @@
+"""Unit tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.eval import ascii_chart
+
+
+def test_single_series_endpoints_plotted():
+    out = ascii_chart({"line": [(0.0, 0.0), (1.0, 1.0)]}, height=5, width=20)
+    lines = out.splitlines()
+    # top row holds the max point, bottom data row the min point
+    assert "o" in lines[0]
+    assert "o" in lines[4]
+
+
+def test_multiple_series_get_distinct_markers():
+    out = ascii_chart(
+        {"a": [(0, 1.0)], "b": [(0, 2.0)]}, height=4, width=16
+    )
+    assert "o a" in out and "x b" in out
+
+
+def test_title_and_axis_labels():
+    out = ascii_chart(
+        {"s": [(0.2, 3.0), (0.8, 9.0)]}, height=4, width=16, title="Figure X"
+    )
+    assert out.splitlines()[0] == "Figure X"
+    assert "0.2" in out and "0.8" in out
+    assert "3" in out and "9" in out
+
+
+def test_constant_series_centered():
+    out = ascii_chart({"flat": [(0, 5.0), (1, 5.0)]}, height=5, width=20)
+    lines = out.splitlines()
+    middle = lines[2]
+    assert "o" in middle
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        ascii_chart({})
+    with pytest.raises(ValueError):
+        ascii_chart({"empty": []})
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 0)]}, height=1, width=100)
+    with pytest.raises(ValueError):
+        ascii_chart({"s": [(0, 0)]}, height=10, width=2)
+
+
+def test_real_figure3_series_shape():
+    series = {
+        "cc": [(0.2, 1.98), (0.4, 1.75), (0.6, 1.52), (0.8, 1.29)],
+        "sa-ca-cc": [(0.2, 1.85), (0.4, 1.69), (0.6, 1.45), (0.8, 1.20)],
+    }
+    out = ascii_chart(series, height=10, width=40, title="Figure 3 (4 skills)")
+    assert out.count("\n") >= 11
+    assert "sa-ca-cc" in out

@@ -1,0 +1,56 @@
+"""Unit tests for the dataset-characterization runner."""
+
+import pytest
+
+from repro.eval.experiments import run_dataset_stats
+from repro.expertise import Expert, ExpertNetwork
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("junior1", skills={"a"}, h_index=2, num_publications=4),
+        Expert("junior2", skills={"b"}, h_index=3, num_publications=5),
+        Expert("senior", h_index=25, num_publications=60),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[("junior1", "senior", 0.4), ("senior", "junior2", 0.6)],
+    )
+
+
+def test_counts(network):
+    stats = run_dataset_stats(network)
+    assert stats.num_experts == 3
+    assert stats.num_edges == 2
+    assert stats.num_skills == 2
+    assert stats.num_skill_holders == 2
+
+
+def test_role_authority_split(network):
+    stats = run_dataset_stats(network)
+    assert stats.mean_h_index_holders == pytest.approx(2.5)
+    assert stats.mean_h_index_others == pytest.approx(25.0)
+    assert stats.max_h_index == 25.0
+
+
+def test_structure(network):
+    stats = run_dataset_stats(network)
+    assert stats.density == pytest.approx(2 / 3)
+    assert stats.average_degree == pytest.approx(4 / 3)
+    assert stats.mean_edge_weight == pytest.approx(0.5)
+    assert stats.approx_average_distance > 0
+
+
+def test_format_renders(network):
+    text = run_dataset_stats(network).format()
+    assert "Dataset characterization" in text
+    assert "skill holders" in text
+
+
+def test_on_benchmark_network(tiny_network):
+    stats = run_dataset_stats(tiny_network)
+    # the paper's regime: holders markedly less authoritative
+    assert stats.mean_h_index_holders < stats.mean_h_index_others
+    assert 0 < stats.density < 1
+    assert stats.average_clustering > 0.05  # co-authorship is clustered

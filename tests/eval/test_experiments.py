@@ -1,0 +1,185 @@
+"""Smoke + shape tests for the per-figure experiment runners (tiny scale)."""
+
+import pytest
+
+from repro.eval import benchmark_corpus
+from repro.eval.experiments import (
+    GREEDY_METHODS,
+    MethodSuite,
+    run_figure3,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_quality,
+    run_runtime,
+)
+from repro.eval.experiments.figure5 import lambda_stability
+from repro.eval.workload import sample_project
+
+import random
+
+
+@pytest.fixture(scope="module")
+def network(request):
+    from repro.eval import benchmark_network
+
+    return benchmark_network("tiny", seed=0)
+
+
+class TestMethodSuite:
+    def test_finders_cached(self, network):
+        suite = MethodSuite(network, oracle_kind="dijkstra")
+        assert suite.cc is suite.cc
+        assert suite.sa_ca_cc(0.5) is suite.sa_ca_cc(0.5)
+        assert suite.sa_ca_cc(0.5) is not suite.sa_ca_cc(0.7)
+
+    def test_lambda_finders_share_oracle(self, network):
+        suite = MethodSuite(network, oracle_kind="dijkstra")
+        assert suite.sa_ca_cc(0.3).oracle is suite.ca_cc.oracle
+
+    def test_dispatch(self, network):
+        suite = MethodSuite(network, oracle_kind="dijkstra")
+        for method in GREEDY_METHODS:
+            assert suite.finder(method) is not None
+        with pytest.raises(ValueError):
+            suite.finder("bogus")
+
+
+class TestFigure3:
+    def test_small_run_shape(self, network):
+        result = run_figure3(
+            network,
+            num_skills_list=(3,),
+            lambdas=(0.4, 0.8),
+            projects_per_size=2,
+            random_samples=100,
+            exact_max_skills=0,
+            oracle_kind="dijkstra",
+            seed=1,
+        )
+        # all five methods have a cell at each lambda
+        for lam in (0.4, 0.8):
+            for method in ("cc", "ca-cc", "sa-ca-cc", "random"):
+                cell = result.cell(3, lam, method)
+                assert cell.mean_score is not None
+                assert cell.num_projects == 2
+            assert result.cell(3, lam, "exact").mean_score is None
+        series = result.series(3, "cc")
+        assert [lam for lam, _ in series] == [0.4, 0.8]
+        assert "Figure 3" in result.format()
+        with pytest.raises(KeyError):
+            result.cell(99, 0.4, "cc")
+
+    def test_exact_bound_when_enabled(self, network):
+        result = run_figure3(
+            network,
+            num_skills_list=(2,),
+            lambdas=(0.6,),
+            projects_per_size=1,
+            random_samples=50,
+            exact_max_skills=2,
+            exact_time_budget=10.0,
+            max_support=6,
+            oracle_kind="dijkstra",
+            seed=2,
+        )
+        exact = result.cell(2, 0.6, "exact").mean_score
+        sacacc = result.cell(2, 0.6, "sa-ca-cc").mean_score
+        assert exact is not None
+        assert exact <= sacacc + 1e-9
+
+
+class TestFigure4:
+    def test_precision_rows(self, network):
+        result = run_figure4(
+            network, num_skills_list=(3, 4), oracle_kind="dijkstra"
+        )
+        for t in (3, 4):
+            for method in GREEDY_METHODS:
+                assert 0.0 <= result.precision(t, method) <= 1.0
+        assert "precision" in result.format()
+        with pytest.raises(KeyError):
+            result.precision(99, "cc")
+
+
+class TestFigure5:
+    def test_rows_and_series(self, network):
+        result = run_figure5(
+            network,
+            lambdas=(0.2, 0.8),
+            num_random_projects=2,
+            oracle_kind="dijkstra",
+        )
+        for mode in ("top5", "best"):
+            series = result.series(mode, "avg_holder_h_index")
+            assert len(series) == 2
+        normalized = result.series("best", "size", normalized=True)
+        assert all(0.0 <= v <= 1.0 for _, v in normalized)
+        with pytest.raises(ValueError):
+            result.series("best", "bogus")
+        assert "Figure 5" in result.format()
+
+    def test_lambda_stability(self, network):
+        project = sample_project(network, 3, random.Random(3))
+        assert isinstance(
+            lambda_stability(network, project, lam=0.6, delta=0.04), bool
+        )
+        with pytest.raises(ValueError):
+            lambda_stability(network, project, delta=0.2)
+
+
+class TestFigure6:
+    def test_reports(self, network):
+        result = run_figure6(network, oracle_kind="dijkstra")
+        assert {r.method for r in result.reports} == set(GREEDY_METHODS)
+        report = result.report("cc")
+        assert report.members
+        holders = [m for m in report.members if not m.is_connector]
+        assert holders
+        covered = {s for m in report.members for s in m.assigned_skills}
+        assert covered == set(result.project)
+        assert "Figure 6" in result.format()
+        with pytest.raises(KeyError):
+            result.report("bogus")
+
+    def test_explicit_project(self, network):
+        project = sample_project(network, 3, random.Random(9))
+        result = run_figure6(network, project, oracle_kind="dijkstra")
+        assert result.project == project
+
+
+class TestQuality:
+    def test_success_rate_bounds(self, network):
+        corpus = benchmark_corpus("tiny", seed=0)
+        ratings = [v.rating for v in corpus.venues.values()]
+        result = run_quality(
+            network,
+            ratings,
+            num_projects=2,
+            trials_per_pair=10,
+            oracle_kind="dijkstra",
+        )
+        assert 0.0 <= result.success_rate <= 1.0
+        assert result.comparisons
+        assert "success rate" in result.format()
+
+    def test_empty_result_rate(self):
+        from repro.eval.experiments.quality import QualityResult
+
+        assert QualityResult(gamma=0.6, lam=0.6).success_rate == 0.0
+
+
+class TestRuntime:
+    def test_rows_present(self, network):
+        result = run_runtime(
+            network,
+            num_skills_list=(3,),
+            projects_per_size=2,
+            oracle_kind="dijkstra",
+        )
+        for method in GREEDY_METHODS:
+            assert result.mean_ms(method, 3) >= 0.0
+        assert result.index_build_ms >= 0.0
+        assert "runtime" in result.format()
+        with pytest.raises(KeyError):
+            result.mean_ms("cc", 99)

@@ -1,0 +1,50 @@
+"""Tests for the ASCII chart methods on figure results."""
+
+import pytest
+
+from repro.eval.experiments import run_figure3, run_figure5
+
+
+@pytest.fixture(scope="module")
+def figure3(tiny_network):
+    return run_figure3(
+        tiny_network,
+        num_skills_list=(3,),
+        lambdas=(0.3, 0.7),
+        projects_per_size=2,
+        random_samples=50,
+        exact_max_skills=0,
+        oracle_kind="dijkstra",
+        seed=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def figure5(tiny_network):
+    return run_figure5(
+        tiny_network,
+        lambdas=(0.2, 0.5, 0.8),
+        num_random_projects=2,
+        oracle_kind="dijkstra",
+    )
+
+
+def test_figure3_chart_renders(figure3):
+    chart = figure3.chart(3)
+    assert "Figure 3" in chart
+    assert "sa-ca-cc" in chart
+    # exact was skipped -> its series must not appear
+    assert "exact" not in chart
+
+
+def test_figure3_chart_unknown_panel(figure3):
+    with pytest.raises(KeyError):
+        figure3.chart(99)
+
+
+def test_figure5_chart_renders(figure5):
+    chart = figure5.chart("best")
+    assert "Figure 5" in chart
+    assert "avg_holder_h_index" in chart
+    # normalized axis ends at 1
+    assert "1" in chart.splitlines()[1]

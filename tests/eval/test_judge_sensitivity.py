@@ -1,0 +1,40 @@
+"""Tests for the judge-model sensitivity experiment (substitution audit)."""
+
+import pytest
+
+from repro.eval.experiments import run_judge_sensitivity
+
+
+@pytest.fixture(scope="module")
+def result(tiny_network):
+    return run_judge_sensitivity(
+        tiny_network,
+        weights=(0.0, 0.5, 1.0),
+        num_skills=3,
+        num_projects=2,
+        oracle_kind="dijkstra",
+    )
+
+
+def test_all_cells_present(result):
+    for weight in (0.0, 0.5, 1.0):
+        for method in ("cc", "ca-cc", "sa-ca-cc"):
+            assert 0.0 <= result.precision(weight, method) <= 1.0
+    with pytest.raises(KeyError):
+        result.precision(0.42, "cc")
+
+
+def test_margin_grows_with_authority_weight(result):
+    """Authority-aware advantage at full-authority judges must exceed the
+    advantage at authority-indifferent judges."""
+    assert result.margin(1.0) > result.margin(0.0)
+
+
+def test_authority_judges_prefer_authority_methods(result):
+    assert result.margin(1.0) > 0.0
+
+
+def test_format(result):
+    text = result.format()
+    assert "sensitivity" in text
+    assert "w=1.0" in text

@@ -1,0 +1,68 @@
+"""Unit tests for team statistics."""
+
+import pytest
+
+from repro.core import Team
+from repro.eval import TeamStats, average_stats, safe_mean, team_stats
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("h1", skills={"s1"}, h_index=2, num_publications=5),
+        Expert("h2", skills={"s2"}, h_index=4, num_publications=7),
+        Expert("conn", h_index=30, num_publications=100),
+    ]
+    return ExpertNetwork(
+        experts, edges=[("h1", "conn", 0.5), ("conn", "h2", 0.3)]
+    )
+
+
+@pytest.fixture()
+def team(network):
+    tree = Graph.from_edges([("h1", "conn", 0.5), ("conn", "h2", 0.3)])
+    return Team(tree=tree, assignments={"s1": "h1", "s2": "h2"})
+
+
+def test_safe_mean():
+    assert safe_mean([1.0, 3.0]) == 2.0
+    assert safe_mean([]) == 0.0
+    assert safe_mean(iter([5.0])) == 5.0
+
+
+def test_team_stats_values(team, network):
+    stats = team_stats(team, network)
+    assert stats.size == 3
+    assert stats.num_connectors == 1
+    assert stats.avg_holder_h_index == pytest.approx(3.0)
+    assert stats.avg_connector_h_index == pytest.approx(30.0)
+    assert stats.team_h_index == pytest.approx(12.0)
+    assert stats.avg_num_publications == pytest.approx((5 + 7 + 100) / 3)
+    assert stats.communication_cost == pytest.approx(0.8)
+
+
+def test_team_without_connectors(network):
+    tree = Graph.from_edges([("h1", "conn", 0.5)])
+    team = Team(tree=tree, assignments={"s1": "h1", "x": "conn"})
+    # both members hold a skill -> no connectors -> connector mean is 0
+    stats = team_stats(team, network)
+    assert stats.num_connectors == 0
+    assert stats.avg_connector_h_index == 0.0
+
+
+def test_as_row_roundtrip(team, network):
+    stats = team_stats(team, network)
+    row = stats.as_row()
+    assert row[0] == stats.size
+    assert row[-1] == stats.communication_cost
+
+
+def test_average_stats(team, network):
+    stats = team_stats(team, network)
+    doubled = average_stats([stats, stats])
+    assert doubled.avg_holder_h_index == stats.avg_holder_h_index
+    assert doubled.size == stats.size
+    with pytest.raises(ValueError):
+        average_stats([])

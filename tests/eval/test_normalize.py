@@ -1,0 +1,41 @@
+"""Unit tests for series normalization."""
+
+import pytest
+
+from repro.eval import min_max_normalize, relative_change
+
+
+def test_min_max_basic():
+    assert min_max_normalize([2.0, 4.0, 6.0]) == [0.0, 0.5, 1.0]
+
+
+def test_min_max_constant_series():
+    assert min_max_normalize([3.0, 3.0]) == [0.0, 0.0]
+
+
+def test_min_max_empty():
+    assert min_max_normalize([]) == []
+
+
+def test_min_max_preserves_order():
+    values = [5.0, 1.0, 3.0]
+    normalized = min_max_normalize(values)
+    assert normalized == [1.0, 0.0, 0.5]
+
+
+def test_relative_change():
+    assert relative_change([2.0, 3.0]) == [0.0, 0.5]
+    assert relative_change([]) == []
+    assert relative_change([1.0]) == [0.0]
+
+
+def test_relative_change_zero_base():
+    out = relative_change([0.0, 0.0, 5.0])
+    assert out[0] == 0.0
+    assert out[1] == 0.0
+    assert out[2] == float("inf")
+
+
+def test_relative_change_negative_values():
+    out = relative_change([-2.0, -1.0])
+    assert out[1] == pytest.approx(0.5)

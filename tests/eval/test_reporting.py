@@ -1,0 +1,36 @@
+"""Unit tests for the text table renderer."""
+
+import pytest
+
+from repro.eval import format_table, format_value
+
+
+def test_format_value_types():
+    assert format_value(None) == "-"
+    assert format_value(1.23456, precision=2) == "1.23"
+    assert format_value(7) == "7"
+    assert format_value("x") == "x"
+    assert format_value(True) == "True"
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "score"], [["a", 1.5], ["bb", 22.25]])
+    lines = out.splitlines()
+    assert lines[0].startswith("name")
+    assert set(lines[1]) <= {"-", " "}
+    assert "22.250" in lines[3]
+
+
+def test_format_table_title():
+    out = format_table(["h"], [[1]], title="My Table")
+    assert out.splitlines()[0] == "My Table"
+
+
+def test_format_table_none_cells():
+    out = format_table(["a", "b"], [[None, 2.0]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_format_table_row_width_mismatch():
+    with pytest.raises(ValueError):
+        format_table(["a"], [[1, 2]])

@@ -1,0 +1,73 @@
+"""Unit tests for bootstrap statistics."""
+
+import random
+
+import pytest
+
+from repro.eval import BootstrapCI, bootstrap_mean_ci, paired_bootstrap_pvalue
+
+
+def test_ci_brackets_mean():
+    values = [1.0, 2.0, 3.0, 4.0, 5.0]
+    ci = bootstrap_mean_ci(values, seed=1)
+    assert ci.low <= ci.mean <= ci.high
+    assert ci.mean == pytest.approx(3.0)
+    assert ci.contains(3.0)
+
+
+def test_ci_narrows_with_sample_size():
+    rng = random.Random(0)
+    small = [rng.gauss(10, 2) for _ in range(10)]
+    large = [rng.gauss(10, 2) for _ in range(200)]
+    assert (
+        bootstrap_mean_ci(large, seed=2).halfwidth
+        < bootstrap_mean_ci(small, seed=2).halfwidth
+    )
+
+
+def test_ci_single_observation_degenerate():
+    ci = bootstrap_mean_ci([7.5], seed=3)
+    assert ci.low == ci.high == ci.mean == 7.5
+
+
+def test_ci_deterministic_for_seed():
+    values = [1.0, 5.0, 2.0, 8.0]
+    assert bootstrap_mean_ci(values, seed=4) == bootstrap_mean_ci(values, seed=4)
+
+
+def test_ci_validation():
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([])
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([1.0], confidence=1.0)
+    with pytest.raises(ValueError):
+        bootstrap_mean_ci([1.0], num_resamples=0)
+
+
+def test_paired_pvalue_detects_clear_winner():
+    a = [1.0, 1.1, 0.9, 1.0, 1.2]          # clearly smaller
+    b = [2.0, 2.1, 1.9, 2.2, 2.0]
+    assert paired_bootstrap_pvalue(a, b, seed=5) < 0.01
+    # reversed direction: no support for "b beats a"... p near 1
+    assert paired_bootstrap_pvalue(b, a, seed=5) > 0.99
+
+
+def test_paired_pvalue_ties_are_uncertain():
+    rng = random.Random(7)
+    a = [rng.gauss(0, 1) for _ in range(30)]
+    b = [x + rng.gauss(0, 0.01) for x in a]
+    p = paired_bootstrap_pvalue(a, b, seed=8)
+    assert 0.05 < p < 0.95
+
+
+def test_paired_pvalue_validation():
+    with pytest.raises(ValueError):
+        paired_bootstrap_pvalue([1.0], [1.0, 2.0])
+    with pytest.raises(ValueError):
+        paired_bootstrap_pvalue([], [])
+
+
+def test_bootstrapci_is_frozen():
+    ci = BootstrapCI(1.0, 0.5, 1.5, 0.95)
+    with pytest.raises(AttributeError):
+        ci.mean = 2.0  # type: ignore[misc]

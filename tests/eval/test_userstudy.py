@@ -1,0 +1,81 @@
+"""Unit tests for the simulated judge panel."""
+
+import pytest
+
+from repro.core import Team
+from repro.eval import JudgeConfig, SimulatedJudgePanel
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("strong1", skills={"s"}, h_index=40),
+        Expert("strong2", h_index=35),
+        Expert("weak1", skills={"s"}, h_index=1),
+        Expert("weak2", h_index=1),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[("strong1", "strong2", 0.1), ("weak1", "weak2", 0.9)],
+    )
+
+
+def _team(network, a, b, skill_holder):
+    tree = Graph.from_edges([(a, b, network.communication_cost(a, b))])
+    return Team(tree=tree, assignments={"s": skill_holder})
+
+
+def test_latent_quality_prefers_authority_and_cohesion(network):
+    panel = SimulatedJudgePanel(network, seed=1)
+    strong = _team(network, "strong1", "strong2", "strong1")
+    weak = _team(network, "weak1", "weak2", "weak1")
+    assert panel.latent_quality(strong) > panel.latent_quality(weak)
+    assert 0.0 <= panel.latent_quality(weak) <= 1.0
+
+
+def test_scores_bounded_and_sized(network):
+    panel = SimulatedJudgePanel(network, num_judges=6, seed=2)
+    scores = panel.judge_scores(_team(network, "strong1", "strong2", "strong1"))
+    assert len(scores) == 6
+    assert all(0.0 <= s <= 1.0 for s in scores)
+
+
+def test_scoring_reproducible_and_order_independent(network):
+    strong = _team(network, "strong1", "strong2", "strong1")
+    weak = _team(network, "weak1", "weak2", "weak1")
+    panel1 = SimulatedJudgePanel(network, seed=5)
+    panel2 = SimulatedJudgePanel(network, seed=5)
+    first = panel1.judge_scores(strong)
+    # score another team in between: must not perturb the stream
+    panel2.judge_scores(weak)
+    second = panel2.judge_scores(strong)
+    assert first == second
+
+
+def test_different_seeds_differ(network):
+    team = _team(network, "strong1", "strong2", "strong1")
+    a = SimulatedJudgePanel(network, seed=1).judge_scores(team)
+    b = SimulatedJudgePanel(network, seed=2).judge_scores(team)
+    assert a != b
+
+
+def test_precision_reflects_quality(network):
+    panel = SimulatedJudgePanel(network, seed=3)
+    strong = _team(network, "strong1", "strong2", "strong1")
+    weak = _team(network, "weak1", "weak2", "weak1")
+    assert panel.precision([strong]) > panel.precision([weak])
+    with pytest.raises(ValueError):
+        panel.precision([])
+
+
+def test_config_validation(network):
+    with pytest.raises(ValueError):
+        JudgeConfig(authority_weight=-1.0)
+    with pytest.raises(ValueError):
+        JudgeConfig(authority_weight=0.0, cohesion_weight=0.0)
+    with pytest.raises(ValueError):
+        JudgeConfig(authority_reference=0.0)
+    with pytest.raises(ValueError):
+        SimulatedJudgePanel(network, num_judges=0)

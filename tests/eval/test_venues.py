@@ -1,0 +1,93 @@
+"""Unit tests for the venue publication model."""
+
+import pytest
+
+from repro.core import Team
+from repro.eval import VenuePublicationModel
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import Graph
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("star", skills={"s"}, h_index=50),
+        Expert("star2", h_index=45),
+        Expert("novice", skills={"s"}, h_index=0),
+        Expert("novice2", h_index=1),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[("star", "star2", 0.2), ("novice", "novice2", 0.2)],
+    )
+
+
+def _team(network, a, b, holder):
+    tree = Graph.from_edges([(a, b, network.communication_cost(a, b))])
+    return Team(tree=tree, assignments={"s": holder})
+
+
+RATINGS = [1.0, 2.0, 5.0, 9.0]
+
+
+def test_authority_factor_ordering(network):
+    model = VenuePublicationModel(RATINGS, seed=0)
+    strong = _team(network, "star", "star2", "star")
+    weak = _team(network, "novice", "novice2", "novice")
+    assert model.authority_factor(strong, network) > model.authority_factor(
+        weak, network
+    )
+
+
+def test_publish_returns_known_ratings(network):
+    model = VenuePublicationModel(RATINGS, seed=1)
+    team = _team(network, "star", "star2", "star")
+    out = model.publish(team, network, num_papers=10)
+    assert len(out) == 10
+    assert all(r in RATINGS for r in out)
+
+
+def test_strong_team_publishes_better_on_average(network):
+    model = VenuePublicationModel(RATINGS, seed=2, selectivity=3.0)
+    strong = _team(network, "star", "star2", "star")
+    weak = _team(network, "novice", "novice2", "novice")
+    strong_mean = sum(model.publish(strong, network, num_papers=200)) / 200
+    weak_mean = sum(model.publish(weak, network, num_papers=200)) / 200
+    assert strong_mean > weak_mean
+
+
+def test_compare_outcome_accounting(network):
+    model = VenuePublicationModel(RATINGS, seed=3, selectivity=3.0)
+    strong = _team(network, "star", "star2", "star")
+    weak = _team(network, "novice", "novice2", "novice")
+    outcome = model.compare(strong, weak, network, trials=30)
+    assert outcome.trials == 30
+    assert outcome.wins + outcome.losses + outcome.ties == 30
+    assert outcome.win_rate > 0.5
+
+
+def test_zero_selectivity_is_fair_coin(network):
+    model = VenuePublicationModel(RATINGS, seed=4, selectivity=0.0)
+    strong = _team(network, "star", "star2", "star")
+    weak = _team(network, "novice", "novice2", "novice")
+    outcome = model.compare(strong, weak, network, trials=400)
+    assert 0.35 < outcome.win_rate < 0.65
+
+
+def test_validation(network):
+    with pytest.raises(ValueError):
+        VenuePublicationModel([])
+    with pytest.raises(ValueError):
+        VenuePublicationModel([-1.0])
+    with pytest.raises(ValueError):
+        VenuePublicationModel(RATINGS, selectivity=-1.0)
+    model = VenuePublicationModel(RATINGS)
+    team = _team(network, "star", "star2", "star")
+    with pytest.raises(ValueError):
+        model.publish(team, network, num_papers=0)
+
+
+def test_empty_outcome_win_rate():
+    from repro.eval import ComparisonOutcome
+
+    assert ComparisonOutcome(0, 0, 0).win_rate == 0.0

@@ -1,0 +1,72 @@
+"""Unit tests for workload generation."""
+
+import random
+
+import pytest
+
+from repro.eval import (
+    SCALE_CONFIGS,
+    benchmark_corpus,
+    benchmark_network,
+    sample_project,
+    sample_projects,
+)
+
+
+def test_benchmark_network_cached():
+    a = benchmark_network("tiny", seed=0)
+    b = benchmark_network("tiny", seed=0)
+    assert a is b
+
+
+def test_benchmark_corpus_matches_network():
+    corpus = benchmark_corpus("tiny", seed=0)
+    network = benchmark_network("tiny", seed=0)
+    assert set(network.expert_ids()) <= corpus.authors()
+
+
+def test_unknown_scale():
+    with pytest.raises(ValueError):
+        benchmark_corpus("galactic")
+
+
+def test_scales_are_increasing():
+    assert (
+        SCALE_CONFIGS["tiny"].num_groups
+        < SCALE_CONFIGS["small"].num_groups
+        < SCALE_CONFIGS["medium"].num_groups
+        < SCALE_CONFIGS["large"].num_groups
+    )
+
+
+def test_sample_project_respects_support_band(tiny_network):
+    rng = random.Random(0)
+    project = sample_project(tiny_network, 3, rng, min_support=2, max_support=6)
+    assert len(project) == 3
+    assert len(set(project)) == 3
+    index = tiny_network.skill_index
+    for skill in project:
+        assert 2 <= index.support(skill) <= 6
+
+
+def test_sample_project_infeasible_band(tiny_network):
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        sample_project(tiny_network, 3, rng, min_support=10_000)
+    with pytest.raises(ValueError):
+        sample_project(tiny_network, 0, rng)
+
+
+def test_sample_projects_seeded(tiny_network):
+    a = sample_projects(tiny_network, 4, 5, seed=3)
+    b = sample_projects(tiny_network, 4, 5, seed=3)
+    c = sample_projects(tiny_network, 4, 5, seed=4)
+    assert a == b
+    assert a != c
+    assert len(a) == 5
+    assert all(len(p) == 4 for p in a)
+
+
+def test_sampled_projects_coverable(tiny_network):
+    for project in sample_projects(tiny_network, 4, 10, seed=1):
+        assert tiny_network.skill_index.is_coverable(project)

@@ -1,0 +1,82 @@
+"""Unit tests for authority metrics."""
+
+import pytest
+
+from repro.expertise import h_index, inverse_authority, pagerank
+from repro.graph import Graph
+
+
+class TestHIndex:
+    def test_textbook_cases(self):
+        assert h_index([10, 8, 5, 4, 3]) == 4
+        assert h_index([25, 8, 5, 3, 3]) == 3
+        assert h_index([1, 1, 1]) == 1
+
+    def test_empty_and_zero(self):
+        assert h_index([]) == 0
+        assert h_index([0, 0, 0]) == 0
+
+    def test_order_independent(self):
+        assert h_index([3, 10, 4, 8, 5]) == h_index([10, 8, 5, 4, 3])
+
+    def test_all_highly_cited(self):
+        assert h_index([100] * 7) == 7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            h_index([5, -1])
+
+    def test_h_bounded_by_paper_count(self):
+        assert h_index([1000, 1000]) == 2
+
+
+class TestInverseAuthority:
+    def test_reciprocal(self):
+        assert inverse_authority(4.0) == pytest.approx(0.25)
+
+    def test_monotone_decreasing(self):
+        assert inverse_authority(10) < inverse_authority(5) < inverse_authority(1)
+
+    def test_floor_guards_zero(self):
+        assert inverse_authority(0.0, floor=0.5) == pytest.approx(2.0)
+        assert inverse_authority(0.1, floor=0.5) == pytest.approx(2.0)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            inverse_authority(-1.0)
+        with pytest.raises(ValueError):
+            inverse_authority(1.0, floor=0.0)
+
+
+class TestPageRank:
+    def test_sums_to_one(self):
+        g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 1.0)])
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_hub_scores_highest(self):
+        g = Graph()
+        for leaf in "bcde":
+            g.add_edge("hub", leaf, weight=1.0)
+        scores = pagerank(g)
+        assert scores["hub"] == max(scores.values())
+
+    def test_symmetric_graph_uniform(self):
+        g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+        scores = pagerank(g)
+        assert scores["a"] == pytest.approx(scores["b"])
+        assert scores["b"] == pytest.approx(scores["c"])
+
+    def test_dangling_nodes_handled(self):
+        g = Graph.from_edges([("a", "b")])
+        g.add_node("isolated")
+        scores = pagerank(g)
+        assert sum(scores.values()) == pytest.approx(1.0)
+        assert scores["isolated"] > 0
+
+    def test_empty_graph(self):
+        assert pagerank(Graph()) == {}
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank(Graph(), damping=1.0)

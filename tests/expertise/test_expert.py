@@ -1,0 +1,48 @@
+"""Unit tests for the Expert record."""
+
+import pytest
+
+from repro.expertise import Expert
+
+
+def test_basic_construction():
+    e = Expert("e1", name="Ada", skills={"ml"}, h_index=5, num_publications=3)
+    assert e.id == "e1"
+    assert e.display_name == "Ada"
+    assert e.has_skill("ml")
+    assert not e.has_skill("db")
+
+
+def test_display_name_falls_back_to_id():
+    assert Expert("e2").display_name == "e2"
+
+
+def test_containers_normalized_to_frozensets():
+    e = Expert("e3", skills=["a", "a", "b"], papers=["p1"])
+    assert e.skills == frozenset({"a", "b"})
+    assert isinstance(e.skills, frozenset)
+    assert isinstance(e.papers, frozenset)
+
+
+def test_covers_any():
+    e = Expert("e4", skills={"a", "b"})
+    assert e.covers_any({"b", "z"})
+    assert not e.covers_any({"z"})
+    assert not e.covers_any(set())
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Expert("")
+    with pytest.raises(ValueError):
+        Expert("x", h_index=-1)
+    with pytest.raises(ValueError):
+        Expert("x", num_publications=-2)
+
+
+def test_frozen_and_hashable():
+    e = Expert("e5", skills={"a"})
+    with pytest.raises(AttributeError):
+        e.id = "other"  # type: ignore[misc]
+    assert e == Expert("e5", skills={"a"})
+    assert len({e, Expert("e5", skills={"a"})}) == 1

@@ -1,0 +1,47 @@
+"""Unit tests for Jaccard similarity and the edge-weight rule."""
+
+import pytest
+
+from repro.expertise import (
+    collaboration_weight,
+    jaccard_distance,
+    jaccard_similarity,
+)
+
+
+def test_similarity_basics():
+    assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+    assert jaccard_similarity({"a"}, {"a"}) == 1.0
+    assert jaccard_similarity({"a"}, {"b"}) == 0.0
+
+
+def test_similarity_empty_sets():
+    assert jaccard_similarity(set(), set()) == 0.0
+    assert jaccard_similarity({"a"}, set()) == 0.0
+
+
+def test_distance_complements_similarity():
+    a, b = {"p1", "p2", "p3"}, {"p2", "p3", "p4"}
+    assert jaccard_distance(a, b) == pytest.approx(1 - jaccard_similarity(a, b))
+
+
+def test_distance_bounds():
+    assert 0.0 <= jaccard_distance({"a", "b"}, {"b"}) <= 1.0
+
+
+def test_accepts_any_collection():
+    assert jaccard_similarity(["a", "a", "b"], ("b",)) == pytest.approx(0.5)
+
+
+def test_collaboration_weight_frequent_pairs_cheap():
+    close = collaboration_weight({"p1", "p2", "p3"}, {"p1", "p2", "p3", "p4"})
+    distant = collaboration_weight({"p1", "p2", "p3"}, {"p3", "p9", "p8"})
+    assert close < distant
+
+
+def test_collaboration_weight_floor():
+    # identical paper sets would give 0; the floor keeps it positive
+    w = collaboration_weight({"p1"}, {"p1"}, minimum=1e-6)
+    assert w == pytest.approx(1e-6)
+    with pytest.raises(ValueError):
+        collaboration_weight({"a"}, {"b"}, minimum=-0.1)

@@ -1,0 +1,92 @@
+"""Unit tests for ExpertNetwork."""
+
+import pytest
+
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph import GraphError
+
+
+@pytest.fixture()
+def simple_network():
+    experts = [
+        Expert("a", skills={"ml"}, h_index=10, papers={"p1", "p2"}),
+        Expert("b", skills={"db"}, h_index=2, papers={"p2", "p3"}),
+        Expert("c", h_index=0, papers={"p4"}),
+    ]
+    return ExpertNetwork(experts, edges=[("a", "b", 0.4), ("b", "c", 0.9)])
+
+
+def test_lookups(simple_network):
+    net = simple_network
+    assert net.expert("a").h_index == 10
+    assert net.authority("a") == 10.0
+    assert net.skills_of("b") == {"db"}
+    assert net.experts_with_skill("ml") == {"a"}
+    assert net.communication_cost("a", "b") == pytest.approx(0.4)
+    assert "a" in net and "ghost" not in net
+    assert len(net) == 3
+
+
+def test_unknown_expert_raises(simple_network):
+    with pytest.raises(KeyError):
+        simple_network.expert("ghost")
+    with pytest.raises(KeyError):
+        simple_network.add_collaboration("a", "ghost")
+
+
+def test_duplicate_id_rejected():
+    with pytest.raises(ValueError):
+        ExpertNetwork([Expert("x"), Expert("x")])
+
+
+def test_inverse_authority_uses_floor(simple_network):
+    # c has h-index 0; floor (0.5) keeps a' finite
+    assert simple_network.inverse_authority("c") == pytest.approx(2.0)
+    assert simple_network.inverse_authority("a") == pytest.approx(0.1)
+
+
+def test_max_statistics(simple_network):
+    assert simple_network.max_edge_weight() == pytest.approx(0.9)
+    assert simple_network.max_inverse_authority() == pytest.approx(2.0)
+
+
+def test_from_collaborations_jaccard_weights():
+    experts = [
+        Expert("a", papers={"p1", "p2"}),
+        Expert("b", papers={"p2", "p3"}),
+    ]
+    net = ExpertNetwork.from_collaborations(experts, [("a", "b")])
+    # |{p2}| / |{p1,p2,p3}| = 1/3 similarity -> distance 2/3
+    assert net.communication_cost("a", "b") == pytest.approx(2 / 3)
+
+
+def test_subnetwork_and_largest_component():
+    experts = [Expert(c) for c in "abcde"]
+    net = ExpertNetwork(experts, edges=[("a", "b"), ("b", "c"), ("d", "e")])
+    sub = net.subnetwork(["a", "b"])
+    assert len(sub) == 2 and sub.num_edges == 1
+    with pytest.raises(KeyError):
+        net.subnetwork(["a", "ghost"])
+    largest = net.largest_connected_subnetwork()
+    assert set(largest.expert_ids()) == {"a", "b", "c"}
+
+
+def test_largest_component_of_empty_network():
+    net = ExpertNetwork([])
+    assert len(net.largest_connected_subnetwork()) == 0
+
+
+def test_validate_passes_on_consistent(simple_network):
+    simple_network.validate()
+
+
+def test_validate_detects_divergence(simple_network):
+    # poke a node into the graph behind the network's back
+    simple_network.graph.add_node("stray")
+    with pytest.raises(GraphError):
+        simple_network.validate()
+
+
+def test_experts_iteration(simple_network):
+    assert {e.id for e in simple_network.experts()} == {"a", "b", "c"}
+    assert set(simple_network.expert_ids()) == {"a", "b", "c"}

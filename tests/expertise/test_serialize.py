@@ -1,0 +1,72 @@
+"""Unit tests for network JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.expertise import (
+    Expert,
+    ExpertNetwork,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture()
+def network():
+    experts = [
+        Expert("a", name="Ada", skills={"ml", "db"}, h_index=7,
+               num_publications=12, papers={"p1", "p2"}),
+        Expert("b", skills={"viz"}, h_index=0),
+        Expert("c", h_index=30),
+    ]
+    return ExpertNetwork(
+        experts,
+        edges=[("a", "b", 0.25), ("b", "c", 0.75)],
+        authority_floor=0.4,
+    )
+
+
+def test_roundtrip_dict(network):
+    clone = network_from_dict(network_to_dict(network))
+    assert set(clone.expert_ids()) == set(network.expert_ids())
+    assert clone.expert("a") == network.expert("a")
+    assert clone.communication_cost("a", "b") == pytest.approx(0.25)
+    assert clone.authority_floor == pytest.approx(0.4)
+    assert clone.experts_with_skill("ml") == {"a"}
+
+
+def test_roundtrip_file(network, tmp_path):
+    path = tmp_path / "net.json"
+    save_network(network, path)
+    clone = load_network(path)
+    assert network_to_dict(clone) == network_to_dict(network)
+
+
+def test_dict_is_json_serializable(network):
+    payload = json.dumps(network_to_dict(network))
+    assert "authority_floor" in payload
+
+
+def test_deterministic_output(network):
+    assert network_to_dict(network) == network_to_dict(network)
+
+
+def test_unknown_version_rejected(network):
+    data = network_to_dict(network)
+    data["version"] = 99
+    with pytest.raises(ValueError, match="version"):
+        network_from_dict(data)
+
+
+def test_defaults_for_optional_fields():
+    data = {
+        "version": 1,
+        "experts": [{"id": "x"}],
+        "edges": [],
+    }
+    net = network_from_dict(data)
+    assert net.expert("x").h_index == 1.0
+    assert net.expert("x").skills == frozenset()

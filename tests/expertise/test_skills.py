@@ -1,0 +1,55 @@
+"""Unit tests for the skill index."""
+
+import pytest
+
+from repro.expertise import Expert, SkillCoverageError, SkillIndex
+
+
+@pytest.fixture()
+def index():
+    return SkillIndex(
+        [
+            Expert("e1", skills={"ml", "db"}),
+            Expert("e2", skills={"ml"}),
+            Expert("e3", skills={"viz"}),
+        ]
+    )
+
+
+def test_experts_with(index):
+    assert index.experts_with("ml") == {"e1", "e2"}
+    assert index.experts_with("viz") == {"e3"}
+    assert index.experts_with("ghost") == frozenset()
+
+
+def test_support(index):
+    assert index.support("ml") == 2
+    assert index.support("ghost") == 0
+
+
+def test_num_skills(index):
+    assert index.num_skills == 3
+    assert set(index.skills()) == {"ml", "db", "viz"}
+
+
+def test_coverable(index):
+    assert index.is_coverable(["ml", "viz"])
+    assert not index.is_coverable(["ml", "quantum"])
+    index.require_coverable(["ml", "db"])
+    with pytest.raises(SkillCoverageError, match="quantum"):
+        index.require_coverable(["ml", "quantum"])
+
+
+def test_rarest_first_order(index):
+    assert index.rarest_first(["ml", "db", "viz"]) == ["db", "viz", "ml"]
+
+
+def test_candidate_pool(index):
+    assert index.candidate_pool(["ml", "viz"]) == {"e1", "e2", "e3"}
+    assert index.candidate_pool([]) == frozenset()
+
+
+def test_incremental_add(index):
+    index.add(Expert("e4", skills={"quantum"}))
+    assert index.support("quantum") == 1
+    assert index.is_coverable(["quantum"])

@@ -1,0 +1,125 @@
+"""Unit tests for the Graph storage substrate."""
+
+import pytest
+
+from repro.graph import Graph, GraphError
+
+
+def test_add_edge_creates_nodes():
+    g = Graph()
+    g.add_edge("a", "b", weight=2.0)
+    assert g.has_node("a") and g.has_node("b")
+    assert g.num_nodes == 2
+    assert g.num_edges == 1
+
+
+def test_edge_weight_is_symmetric():
+    g = Graph()
+    g.add_edge("a", "b", weight=2.5)
+    assert g.weight("a", "b") == 2.5
+    assert g.weight("b", "a") == 2.5
+
+
+def test_add_edge_overwrites_weight_without_duplicating():
+    g = Graph()
+    g.add_edge(1, 2, weight=1.0)
+    g.add_edge(1, 2, weight=3.0)
+    assert g.num_edges == 1
+    assert g.weight(1, 2) == 3.0
+
+
+def test_self_loop_rejected():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge("x", "x")
+
+
+def test_negative_weight_rejected():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.add_edge("a", "b", weight=-0.1)
+
+
+def test_node_data_merges():
+    g = Graph()
+    g.add_node("a", color="red")
+    g.add_node("a", size=3)
+    assert g.node_data("a") == {"color": "red", "size": 3}
+
+
+def test_missing_node_raises():
+    g = Graph()
+    with pytest.raises(GraphError):
+        g.neighbors("ghost")
+    with pytest.raises(GraphError):
+        g.node_data("ghost")
+    with pytest.raises(GraphError):
+        g.weight("a", "b")
+
+
+def test_remove_edge_and_node():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")])
+    g.remove_edge("a", "b")
+    assert not g.has_edge("a", "b")
+    assert g.num_edges == 2
+    g.remove_node("c")
+    assert not g.has_node("c")
+    assert g.num_edges == 0
+    with pytest.raises(GraphError):
+        g.remove_edge("a", "b")
+    with pytest.raises(GraphError):
+        g.remove_node("ghost")
+
+
+def test_edges_iterates_each_once():
+    g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 3.0)])
+    edges = list(g.edges())
+    assert len(edges) == 3
+    assert {frozenset((u, v)) for u, v, _ in edges} == {
+        frozenset("ab"),
+        frozenset("bc"),
+        frozenset("ac"),
+    }
+    assert g.total_weight() == pytest.approx(6.0)
+
+
+def test_subgraph_induced():
+    g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("a", "c", 3.0)])
+    g.add_node("a", role="x")
+    sub = g.subgraph(["a", "b"])
+    assert sub.num_nodes == 2
+    assert sub.num_edges == 1
+    assert sub.weight("a", "b") == 1.0
+    assert sub.node_data("a") == {"role": "x"}
+    with pytest.raises(GraphError):
+        g.subgraph(["a", "ghost"])
+
+
+def test_copy_is_independent():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    h = g.copy()
+    h.add_edge("a", "c")
+    assert not g.has_node("c")
+
+
+def test_reweighted_applies_rule_and_keeps_data():
+    g = Graph.from_edges([("a", "b", 2.0)])
+    g.add_node("a", tag=1)
+    h = g.reweighted(lambda u, v, w: w * 10)
+    assert h.weight("a", "b") == 20.0
+    assert g.weight("a", "b") == 2.0
+    assert h.node_data("a") == {"tag": 1}
+
+
+def test_degree_and_contains_and_len():
+    g = Graph.from_edges([("a", "b"), ("a", "c")])
+    assert g.degree("a") == 2
+    assert "a" in g
+    assert "z" not in g
+    assert len(g) == 3
+
+
+def test_from_edges_mixed_arity():
+    g = Graph.from_edges([("a", "b"), ("b", "c", 0.5)])
+    assert g.weight("a", "b") == 1.0
+    assert g.weight("b", "c") == 0.5

@@ -1,0 +1,78 @@
+"""Unit + randomized tests for articulation points and bridges."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    articulation_points,
+    assign_random_weights,
+    bridges,
+    erdos_renyi,
+)
+
+
+def test_path_graph_interior_points():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d")])
+    assert articulation_points(g) == {"b", "c"}
+    assert bridges(g) == {("a", "b"), ("b", "c"), ("c", "d")}
+
+
+def test_cycle_has_none():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "a")])
+    assert articulation_points(g) == set()
+    assert bridges(g) == set()
+
+
+def test_two_triangles_sharing_a_node():
+    g = Graph.from_edges(
+        [("a", "b"), ("b", "c"), ("c", "a"), ("c", "d"), ("d", "e"), ("e", "c")]
+    )
+    assert articulation_points(g) == {"c"}
+    assert bridges(g) == set()
+
+
+def test_star_center_is_articulation():
+    g = Graph()
+    for leaf in "bcde":
+        g.add_edge("hub", leaf)
+    assert articulation_points(g) == {"hub"}
+    assert len(bridges(g)) == 4
+
+
+def test_disconnected_components_handled():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+    g.add_node("lonely")
+    assert articulation_points(g) == {"b"}
+    assert ("x", "y") in bridges(g)
+
+
+def test_empty_and_singleton():
+    assert articulation_points(Graph()) == set()
+    single = Graph()
+    single.add_node("a")
+    assert articulation_points(single) == set()
+    assert bridges(single) == set()
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+def test_matches_networkx(seed):
+    rng = random.Random(seed)
+    g = assign_random_weights(erdos_renyi(25, 0.12, seed=rng), seed=rng)
+    ng = nx.Graph()
+    ng.add_nodes_from(g.nodes())
+    for u, v, _ in g.edges():
+        ng.add_edge(u, v)
+    assert articulation_points(g) == set(nx.articulation_points(ng))
+    expected_bridges = {
+        (u, v) if repr(u) <= repr(v) else (v, u) for u, v in nx.bridges(ng)
+    }
+    assert bridges(g) == expected_bridges
+
+
+def test_deep_path_no_recursion_error():
+    g = Graph.from_edges([(i, i + 1) for i in range(5000)])
+    points = articulation_points(g)
+    assert len(points) == 4999  # all interior nodes

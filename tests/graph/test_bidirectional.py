@@ -1,0 +1,67 @@
+"""Unit + randomized tests for bidirectional Dijkstra."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    assign_random_weights,
+    bidirectional_dijkstra,
+    erdos_renyi,
+    largest_component,
+    shortest_path,
+)
+
+
+def test_simple_path():
+    g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+    assert bidirectional_dijkstra(g, "a", "c") == (3.0, ["a", "b", "c"])
+
+
+def test_same_node():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    assert bidirectional_dijkstra(g, "a", "a") == (0.0, ["a"])
+
+
+def test_prefers_cheap_detour():
+    g = Graph.from_edges(
+        [("s", "t", 10.0), ("s", "m", 1.0), ("m", "t", 1.0)]
+    )
+    cost, path = bidirectional_dijkstra(g, "s", "t")
+    assert cost == pytest.approx(2.0)
+    assert path == ["s", "m", "t"]
+
+
+def test_missing_node():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    with pytest.raises(GraphError):
+        bidirectional_dijkstra(g, "a", "ghost")
+
+
+def test_disconnected():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    g.add_node("z")
+    with pytest.raises(GraphError):
+        bidirectional_dijkstra(g, "a", "z")
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_matches_unidirectional(seed):
+    rng = random.Random(seed)
+    g = largest_component(
+        assign_random_weights(erdos_renyi(40, 0.1, seed=rng), seed=rng)
+    )
+    nodes = sorted(g.nodes())
+    if len(nodes) < 2:
+        pytest.skip("degenerate component")
+    for _ in range(15):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        expected_cost, _ = shortest_path(g, a, b)
+        cost, path = bidirectional_dijkstra(g, a, b)
+        assert cost == pytest.approx(expected_cost)
+        assert path[0] == a and path[-1] == b
+        realized = sum(g.weight(u, v) for u, v in zip(path, path[1:]))
+        assert realized == pytest.approx(cost)
+        assert len(path) == len(set(path))  # simple path

@@ -1,0 +1,70 @@
+"""Unit tests for Brandes betweenness centrality (vs networkx)."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    assign_random_weights,
+    betweenness_centrality,
+    erdos_renyi,
+    largest_component,
+)
+
+
+def test_path_graph_middle_dominates():
+    g = Graph.from_edges([("a", "m", 1.0), ("m", "b", 1.0)])
+    bc = betweenness_centrality(g)
+    assert bc["m"] == pytest.approx(1.0)
+    assert bc["a"] == 0.0 and bc["b"] == 0.0
+
+
+def test_star_center():
+    g = Graph()
+    for leaf in "bcde":
+        g.add_edge("hub", leaf, weight=1.0)
+    bc = betweenness_centrality(g)
+    assert bc["hub"] == pytest.approx(1.0)
+    assert all(bc[leaf] == 0.0 for leaf in "bcde")
+
+
+def test_cycle_symmetric():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "a")])
+    bc = betweenness_centrality(g)
+    values = set(round(v, 9) for v in bc.values())
+    assert len(values) == 1
+
+
+def test_shortest_path_multiplicity_split():
+    # two equal-length routes between s and t: credit split between mids
+    g = Graph.from_edges(
+        [("s", "m1", 1.0), ("m1", "t", 1.0), ("s", "m2", 1.0), ("m2", "t", 1.0)]
+    )
+    bc = betweenness_centrality(g, normalized=False)
+    assert bc["m1"] == pytest.approx(bc["m2"])
+    assert bc["m1"] == pytest.approx(0.5)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_matches_networkx_weighted(seed):
+    rng = random.Random(seed)
+    g = largest_component(
+        assign_random_weights(erdos_renyi(18, 0.25, seed=rng), seed=rng)
+    )
+    if g.num_nodes < 4:
+        pytest.skip("degenerate component")
+    ng = nx.Graph()
+    for u, v, w in g.edges():
+        ng.add_edge(u, v, weight=w)
+    expected = nx.betweenness_centrality(ng, weight="weight", normalized=True)
+    ours = betweenness_centrality(g, normalized=True)
+    for node in g.nodes():
+        assert ours[node] == pytest.approx(expected[node], abs=1e-6)
+
+
+def test_unnormalized_small_graph():
+    g = Graph.from_edges([("a", "b")])
+    bc = betweenness_centrality(g)  # n <= 2: falls back to /2 counting
+    assert bc == {"a": 0.0, "b": 0.0}

@@ -1,0 +1,82 @@
+"""Unit tests for traversal/connectivity helpers."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    bfs_order,
+    connected_components,
+    is_connected,
+    is_tree,
+    largest_component,
+    prune_leaves,
+)
+
+
+@pytest.fixture()
+def two_components():
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("x", "y")])
+    g.add_node("lonely")
+    return g
+
+
+def test_bfs_order_starts_at_source():
+    g = Graph.from_edges([("a", "b"), ("b", "c")])
+    order = list(bfs_order(g, "a"))
+    assert order[0] == "a"
+    assert set(order) == {"a", "b", "c"}
+
+
+def test_bfs_missing_source(two_components):
+    with pytest.raises(GraphError):
+        list(bfs_order(two_components, "ghost"))
+
+
+def test_connected_components_sorted_by_size(two_components):
+    comps = connected_components(two_components)
+    assert [len(c) for c in comps] == [3, 2, 1]
+    assert comps[0] == {"a", "b", "c"}
+
+
+def test_is_connected_full_and_subset(two_components):
+    assert not is_connected(two_components)
+    assert is_connected(two_components, nodes=["a", "b"])
+    assert not is_connected(two_components, nodes=["a", "x"])
+    assert is_connected(Graph())  # vacuously
+
+
+def test_largest_component(two_components):
+    largest = largest_component(two_components)
+    assert set(largest.nodes()) == {"a", "b", "c"}
+    assert largest_component(Graph()).num_nodes == 0
+
+
+def test_is_tree():
+    assert is_tree(Graph.from_edges([("a", "b"), ("b", "c")]))
+    assert not is_tree(Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c")]))
+    assert not is_tree(Graph())  # empty graph is not a tree
+    single = Graph()
+    single.add_node("a")
+    assert is_tree(single)
+
+
+def test_prune_leaves_removes_useless_chain():
+    #  required: a, c ; chain c-d-e dangles
+    g = Graph.from_edges([("a", "b"), ("b", "c"), ("c", "d"), ("d", "e")])
+    pruned = prune_leaves(g, required=["a", "c"])
+    assert set(pruned.nodes()) == {"a", "b", "c"}
+    # input untouched
+    assert g.has_node("e")
+
+
+def test_prune_leaves_keeps_required_leaf():
+    g = Graph.from_edges([("a", "b")])
+    pruned = prune_leaves(g, required=["a", "b"])
+    assert set(pruned.nodes()) == {"a", "b"}
+
+
+def test_prune_leaves_missing_required():
+    g = Graph.from_edges([("a", "b")])
+    with pytest.raises(GraphError):
+        prune_leaves(g, required=["ghost"])

@@ -1,0 +1,104 @@
+"""Unit tests for Dijkstra and the node-cost variant."""
+
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    dijkstra,
+    dijkstra_with_node_costs,
+    reconstruct_path,
+    shortest_path,
+    shortest_path_length,
+)
+
+
+@pytest.fixture()
+def path_graph():
+    return Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0), ("c", "d", 3.0)])
+
+
+@pytest.fixture()
+def diamond():
+    #   a --1-- b --1-- d     direct a-d costs 5, via b,c costs 2 each side
+    return Graph.from_edges(
+        [("a", "b", 1.0), ("b", "d", 1.0), ("a", "c", 1.5), ("c", "d", 1.0), ("a", "d", 5.0)]
+    )
+
+
+def test_distances_on_path(path_graph):
+    dist, parent = dijkstra(path_graph, "a")
+    assert dist == {"a": 0.0, "b": 1.0, "c": 3.0, "d": 6.0}
+    assert reconstruct_path(parent, "d") == ["a", "b", "c", "d"]
+
+
+def test_shortest_path_prefers_cheap_detour(diamond):
+    d, path = shortest_path(diamond, "a", "d")
+    assert d == pytest.approx(2.0)
+    assert path == ["a", "b", "d"]
+
+
+def test_unreachable_target():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    g.add_node("z")
+    assert shortest_path_length(g, "a", "z") == float("inf")
+    with pytest.raises(GraphError):
+        shortest_path(g, "a", "z")
+
+
+def test_missing_source_raises():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    with pytest.raises(GraphError):
+        dijkstra(g, "ghost")
+
+
+def test_targets_early_exit(path_graph):
+    dist, _ = dijkstra(path_graph, "a", targets=["b"])
+    assert "b" in dist
+    # 'd' lies beyond the last requested target and must not be settled.
+    assert "d" not in dist
+
+
+def test_cutoff_limits_settled(path_graph):
+    dist, _ = dijkstra(path_graph, "a", cutoff=3.0)
+    assert set(dist) == {"a", "b", "c"}
+
+
+def test_source_distance_zero(path_graph):
+    dist, parent = dijkstra(path_graph, "b")
+    assert dist["b"] == 0.0
+    assert parent["b"] is None
+    assert reconstruct_path(parent, "b") == ["b"]
+
+
+def test_node_costs_charged_on_entry():
+    g = Graph.from_edges([("s", "m", 1.0), ("m", "t", 1.0), ("s", "t", 3.0)])
+    cost = {"s": 100.0, "m": 10.0, "t": 0.0}
+    dist, parent = dijkstra_with_node_costs(g, "s", cost.get)
+    # via m: 1 + 10 + 1 + 0 = 12; direct: 3 + 0 = 3 -> direct wins
+    assert dist["t"] == pytest.approx(3.0)
+    assert reconstruct_path(parent, "t") == ["s", "t"]
+    # source cost not charged by default
+    assert dist["s"] == 0.0
+
+
+def test_node_costs_charge_source_flag():
+    g = Graph.from_edges([("s", "t", 1.0)])
+    dist, _ = dijkstra_with_node_costs(
+        g, "s", {"s": 7.0, "t": 2.0}.get, charge_source=True
+    )
+    assert dist["s"] == 7.0
+    assert dist["t"] == 10.0
+
+
+def test_negative_node_cost_rejected():
+    g = Graph.from_edges([("s", "t", 1.0)])
+    with pytest.raises(GraphError):
+        dijkstra_with_node_costs(g, "s", {"s": 0.0, "t": -1.0}.get)
+
+
+def test_reconstruct_path_unreachable_raises():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    _, parent = dijkstra(g, "a")
+    with pytest.raises(GraphError):
+        reconstruct_path(parent, "zzz")

@@ -1,0 +1,113 @@
+"""Unit tests for the random graph generators."""
+
+import random
+
+import pytest
+
+from repro.graph import (
+    GraphError,
+    assign_random_weights,
+    barabasi_albert,
+    erdos_renyi,
+    gnm_random_graph,
+    is_connected,
+    is_tree,
+    planted_partition,
+    random_tree,
+    watts_strogatz,
+)
+
+
+def test_erdos_renyi_extremes():
+    empty = erdos_renyi(10, 0.0, seed=1)
+    assert empty.num_nodes == 10 and empty.num_edges == 0
+    full = erdos_renyi(6, 1.0, seed=1)
+    assert full.num_edges == 15
+
+
+def test_erdos_renyi_seeded_reproducible():
+    a = erdos_renyi(20, 0.3, seed=42)
+    b = erdos_renyi(20, 0.3, seed=42)
+    assert sorted((u, v) for u, v, _ in a.edges()) == sorted(
+        (u, v) for u, v, _ in b.edges()
+    )
+
+
+def test_erdos_renyi_invalid_probability():
+    with pytest.raises(GraphError):
+        erdos_renyi(5, 1.5)
+
+
+def test_gnm_exact_edge_count():
+    g = gnm_random_graph(12, 20, seed=3)
+    assert g.num_nodes == 12 and g.num_edges == 20
+
+
+def test_gnm_too_many_edges():
+    with pytest.raises(GraphError):
+        gnm_random_graph(4, 10)
+
+
+def test_barabasi_albert_connected_and_sized():
+    g = barabasi_albert(50, 2, seed=7)
+    assert g.num_nodes == 50
+    assert is_connected(g)
+    # hubs exist: max degree well above the attachment parameter
+    assert max(g.degree(n) for n in g.nodes()) > 4
+
+
+def test_barabasi_albert_invalid_m():
+    with pytest.raises(GraphError):
+        barabasi_albert(5, 0)
+    with pytest.raises(GraphError):
+        barabasi_albert(5, 5)
+
+
+def test_watts_strogatz_degree_regular_at_beta_zero():
+    g = watts_strogatz(12, 4, 0.0, seed=1)
+    assert all(g.degree(n) == 4 for n in g.nodes())
+
+
+def test_watts_strogatz_validation():
+    with pytest.raises(GraphError):
+        watts_strogatz(10, 3, 0.1)  # odd k
+    with pytest.raises(GraphError):
+        watts_strogatz(4, 4, 0.1)  # k >= n
+    with pytest.raises(GraphError):
+        watts_strogatz(10, 4, 1.5)  # bad beta
+
+
+def test_planted_partition_community_attribute():
+    g = planted_partition([5, 5], 0.9, 0.05, seed=2)
+    assert g.num_nodes == 10
+    communities = {g.node_data(n)["community"] for n in g.nodes()}
+    assert communities == {0, 1}
+
+
+def test_planted_partition_density_contrast():
+    rng = random.Random(0)
+    g = planted_partition([20, 20], 0.5, 0.02, seed=rng)
+    inside = outside = 0
+    for u, v, _ in g.edges():
+        if g.node_data(u)["community"] == g.node_data(v)["community"]:
+            inside += 1
+        else:
+            outside += 1
+    assert inside > outside
+
+
+def test_random_tree_is_tree():
+    g = random_tree(40, seed=5)
+    assert is_tree(g)
+    with pytest.raises(GraphError):
+        random_tree(0)
+
+
+def test_assign_random_weights_range_and_copy():
+    g = erdos_renyi(15, 0.4, seed=1)
+    w = assign_random_weights(g, low=0.2, high=0.9, seed=2)
+    assert all(0.2 <= weight <= 0.9 for _, _, weight in w.edges())
+    # original untouched (all unit weights)
+    assert all(weight == 1.0 for _, _, weight in g.edges())
+    with pytest.raises(GraphError):
+        assign_random_weights(g, low=-1.0, high=0.5)

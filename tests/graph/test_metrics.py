@@ -1,0 +1,70 @@
+"""Unit tests for structural graph statistics (vs networkx where possible)."""
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    approximate_average_distance,
+    average_clustering,
+    average_degree,
+    degree_histogram,
+    density,
+    erdos_renyi,
+    local_clustering,
+)
+
+
+@pytest.fixture()
+def triangle_plus_tail():
+    return Graph.from_edges([("a", "b"), ("b", "c"), ("a", "c"), ("c", "d")])
+
+
+def test_density(triangle_plus_tail):
+    # 4 nodes, 4 edges -> 2*4 / (4*3)
+    assert density(triangle_plus_tail) == pytest.approx(2 / 3)
+    assert density(Graph()) == 0.0
+
+
+def test_average_degree(triangle_plus_tail):
+    assert average_degree(triangle_plus_tail) == pytest.approx(2.0)
+    assert average_degree(Graph()) == 0.0
+
+
+def test_degree_histogram(triangle_plus_tail):
+    assert degree_histogram(triangle_plus_tail) == {1: 1, 2: 2, 3: 1}
+
+
+def test_local_clustering(triangle_plus_tail):
+    assert local_clustering(triangle_plus_tail, "a") == 1.0
+    # c's neighbors a, b, d: only (a, b) linked -> 1/3
+    assert local_clustering(triangle_plus_tail, "c") == pytest.approx(1 / 3)
+    assert local_clustering(triangle_plus_tail, "d") == 0.0
+
+
+def test_clustering_matches_networkx():
+    g = erdos_renyi(25, 0.3, seed=6)
+    ng = nx.Graph()
+    ng.add_nodes_from(g.nodes())
+    for u, v, _ in g.edges():
+        ng.add_edge(u, v)
+    assert average_clustering(g) == pytest.approx(nx.average_clustering(ng))
+
+
+def test_approximate_average_distance_exact_on_small():
+    g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+    # pairs: (a,b)=1, (a,c)=3, (b,c)=2, each counted both directions
+    assert approximate_average_distance(g) == pytest.approx(2.0)
+
+
+def test_approximate_average_distance_empty():
+    with pytest.raises(GraphError):
+        approximate_average_distance(Graph())
+
+
+def test_approximate_average_distance_isolated_node():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    g.add_node("z")
+    # unreachable pairs excluded
+    assert approximate_average_distance(g) == pytest.approx(1.0)

@@ -1,0 +1,57 @@
+"""Unit tests for the disjoint-set forest."""
+
+from repro.graph import UnionFind
+
+
+def test_initial_singletons():
+    uf = UnionFind(["a", "b", "c"])
+    assert uf.num_sets == 3
+    assert not uf.connected("a", "b")
+
+
+def test_union_merges_and_reports():
+    uf = UnionFind()
+    assert uf.union("a", "b") is True
+    assert uf.union("a", "b") is False
+    assert uf.connected("a", "b")
+    assert uf.num_sets == 1
+
+
+def test_transitive_connectivity():
+    uf = UnionFind()
+    uf.union(1, 2)
+    uf.union(2, 3)
+    uf.union(4, 5)
+    assert uf.connected(1, 3)
+    assert not uf.connected(3, 4)
+    assert uf.num_sets == 2
+
+
+def test_lazy_element_registration():
+    uf = UnionFind()
+    assert uf.find("new") == "new"
+    assert len(uf) == 1
+    assert uf.num_sets == 1
+
+
+def test_add_idempotent():
+    uf = UnionFind()
+    uf.add("x")
+    uf.add("x")
+    assert len(uf) == 1
+
+
+def test_path_compression_preserves_roots():
+    uf = UnionFind()
+    for i in range(9):
+        uf.union(i, i + 1)
+    root = uf.find(0)
+    assert all(uf.find(i) == root for i in range(10))
+    assert uf.num_sets == 1
+
+
+def test_many_unions_count():
+    uf = UnionFind(range(100))
+    for i in range(0, 100, 2):
+        uf.union(i, i + 1)
+    assert uf.num_sets == 50

@@ -1,0 +1,87 @@
+"""Unit + randomized tests for Yen's k shortest paths (vs networkx)."""
+
+import itertools
+import random
+
+import networkx as nx
+import pytest
+
+from repro.graph import (
+    Graph,
+    GraphError,
+    assign_random_weights,
+    erdos_renyi,
+    k_shortest_paths,
+    largest_component,
+)
+
+
+@pytest.fixture()
+def diamond():
+    return Graph.from_edges(
+        [
+            ("s", "a", 1.0),
+            ("a", "t", 1.0),
+            ("s", "b", 1.5),
+            ("b", "t", 1.5),
+            ("s", "t", 5.0),
+        ]
+    )
+
+
+def test_paths_sorted_and_loopless(diamond):
+    paths = k_shortest_paths(diamond, "s", "t", 3)
+    costs = [c for c, _ in paths]
+    assert costs == sorted(costs)
+    assert costs == pytest.approx([2.0, 3.0, 5.0])
+    for _, path in paths:
+        assert path[0] == "s" and path[-1] == "t"
+        assert len(path) == len(set(path))  # loopless
+
+
+def test_fewer_paths_than_requested(diamond):
+    paths = k_shortest_paths(diamond, "s", "t", 50)
+    assert len(paths) == 3  # only 3 simple paths exist
+
+
+def test_k_one_is_dijkstra(diamond):
+    [(cost, path)] = k_shortest_paths(diamond, "s", "t", 1)
+    assert cost == pytest.approx(2.0)
+    assert path == ["s", "a", "t"]
+
+
+def test_no_path_raises():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    g.add_node("z")
+    with pytest.raises(GraphError):
+        k_shortest_paths(g, "a", "z", 2)
+    with pytest.raises(ValueError):
+        k_shortest_paths(g, "a", "b", 0)
+
+
+def test_paths_distinct(diamond):
+    paths = [tuple(p) for _, p in k_shortest_paths(diamond, "s", "t", 3)]
+    assert len(paths) == len(set(paths))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_matches_networkx_simple_paths(seed):
+    rng = random.Random(seed)
+    g = largest_component(
+        assign_random_weights(erdos_renyi(12, 0.35, seed=rng), seed=rng)
+    )
+    nodes = sorted(g.nodes())
+    if len(nodes) < 3:
+        pytest.skip("degenerate component")
+    source, target = nodes[0], nodes[-1]
+    ng = nx.Graph()
+    for u, v, w in g.edges():
+        ng.add_edge(u, v, weight=w)
+    expected = [
+        sum(ng[u][v]["weight"] for u, v in zip(p, p[1:]))
+        for p in itertools.islice(
+            nx.shortest_simple_paths(ng, source, target, weight="weight"), 4
+        )
+    ]
+    ours = [c for c, _ in k_shortest_paths(g, source, target, 4)]
+    assert ours == pytest.approx(expected)

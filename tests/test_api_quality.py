@@ -1,0 +1,63 @@
+"""Meta-tests: public API hygiene across the whole package.
+
+These enforce the library-quality bar mechanically: every public module,
+class and function is documented; every ``__all__`` name actually
+resolves; and the top-level package re-exports are importable.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if not name.rsplit(".", 1)[-1].startswith("_")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and module.__doc__.strip(), module_name
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_all_exports_resolve(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name!r}"
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    for name in getattr(module, "__all__", []):
+        obj = getattr(module, name)
+        if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+            continue
+        if obj.__module__ != module_name:
+            continue  # re-export; documented at its definition site
+        assert obj.__doc__ and obj.__doc__.strip(), f"{module_name}.{name}"
+        if inspect.isclass(obj):
+            for method_name, method in inspect.getmembers(obj, inspect.isfunction):
+                if method_name.startswith("_") or method.__module__ != module_name:
+                    continue
+                assert (
+                    method.__doc__ and method.__doc__.strip()
+                ), f"{module_name}.{name}.{method_name}"
+
+
+def test_top_level_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name)
+
+
+def test_version_present():
+    assert repro.__version__

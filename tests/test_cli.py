@@ -1,0 +1,115 @@
+"""Tests for the repro-teams command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_experiment():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_parser_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["--scale", "galactic", "figure6"])
+
+
+def test_figure6_runs(capsys):
+    assert main(["--scale", "tiny", "figure6"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 6" in out
+    assert "connector" in out
+
+
+def test_figure4_runs(capsys):
+    assert main(["--scale", "tiny", "figure4", "--judges", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "precision" in out
+
+
+def test_quality_runs(capsys):
+    assert main(["--scale", "tiny", "quality", "--projects", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "success rate" in out
+
+
+def test_runtime_runs(capsys):
+    assert main(["--scale", "tiny", "runtime", "--projects", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "runtime" in out
+
+
+def test_figure3_runs_small(capsys):
+    assert (
+        main(
+            [
+                "--scale",
+                "tiny",
+                "figure3",
+                "--projects",
+                "1",
+                "--skills",
+                "3",
+                "--random-samples",
+                "50",
+                "--exact-budget",
+                "2.0",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "Figure 3" in out
+
+
+def test_figure5_runs(capsys):
+    assert main(["--scale", "tiny", "figure5", "--projects", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "Figure 5" in out
+
+
+def test_figure5_chart_flag(capsys):
+    assert main(["--scale", "tiny", "figure5", "--projects", "1", "--chart"]) == 0
+    out = capsys.readouterr().out
+    assert "normalized measures vs lambda" in out
+
+
+def test_figure3_chart_flag(capsys):
+    assert (
+        main(
+            [
+                "--scale", "tiny", "figure3", "--projects", "1",
+                "--skills", "3", "--random-samples", "30",
+                "--exact-budget", "1.0", "--chart",
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "SA-CA-CC score vs lambda" in out
+
+
+def test_stats_runs(capsys):
+    assert main(["--scale", "tiny", "stats"]) == 0
+    out = capsys.readouterr().out
+    assert "Dataset characterization" in out
+    assert "skill holders" in out
+
+
+def test_pareto_runs(capsys):
+    assert (
+        main(
+            ["--scale", "tiny", "pareto", "--num-skills", "3", "--k-per-cell", "1"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "frontier" in out
+    assert "cc=" in out
+
+
+def test_replace_runs(capsys):
+    assert main(["--scale", "tiny", "replace", "--num-skills", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "leaves" in out

@@ -1,0 +1,153 @@
+"""Property-based tests (hypothesis) for the graph substrate.
+
+Strategy: generate random connected weighted graphs, then assert
+metamorphic relations between independent implementations — Dijkstra vs
+the PLL 2-hop cover vs networkx, Dreyfus-Wagner vs the MST Steiner
+approximation — plus classic invariants (triangle inequality, MST edge
+counts, union-find partition laws).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import (
+    Graph,
+    PrunedLandmarkLabeling,
+    UnionFind,
+    dijkstra,
+    dreyfus_wagner,
+    is_connected,
+    is_tree,
+    minimum_spanning_tree,
+    mst_steiner_tree,
+    reconstruct_path,
+)
+
+
+@st.composite
+def connected_graphs(draw, min_nodes=2, max_nodes=14):
+    """A connected weighted graph: random tree + random extra edges."""
+    n = draw(st.integers(min_nodes, max_nodes))
+    g = Graph()
+    g.add_node(0)
+    weights = st.floats(0.01, 10.0, allow_nan=False, allow_infinity=False)
+    for i in range(1, n):
+        parent = draw(st.integers(0, i - 1))
+        g.add_edge(i, parent, weight=draw(weights))
+    extra = draw(st.integers(0, n))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, weight=draw(weights))
+    return g
+
+
+def _to_networkx(g: Graph) -> nx.Graph:
+    ng = nx.Graph()
+    for node in g.nodes():
+        ng.add_node(node)
+    for u, v, w in g.edges():
+        ng.add_edge(u, v, weight=w)
+    return ng
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_dijkstra_matches_networkx(g):
+    ng = _to_networkx(g)
+    expected, _ = nx.single_source_dijkstra(ng, 0)
+    dist, parent = dijkstra(g, 0)
+    assert set(dist) == set(expected)
+    for node, d in expected.items():
+        assert abs(dist[node] - d) < 1e-8
+        path = reconstruct_path(parent, node)
+        assert path[0] == 0 and path[-1] == node
+        realized = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+        assert abs(realized - d) < 1e-8
+
+
+@given(connected_graphs(), st.integers(0, 10_000))
+@settings(max_examples=30, deadline=None)
+def test_pll_equals_dijkstra_everywhere(g, pick):
+    pll = PrunedLandmarkLabeling(g)
+    source = pick % g.num_nodes
+    dist, _ = dijkstra(g, source)
+    for node in g.nodes():
+        assert abs(pll.distance(source, node) - dist[node]) < 1e-8
+        path = pll.path(source, node)
+        assert path[0] == source and path[-1] == node
+        realized = sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+        assert abs(realized - dist[node]) < 1e-8
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_shortest_paths_satisfy_triangle_inequality(g):
+    pll = PrunedLandmarkLabeling(g)
+    nodes = list(g.nodes())[:6]
+    for a in nodes:
+        for b in nodes:
+            for c in nodes:
+                assert (
+                    pll.distance(a, c)
+                    <= pll.distance(a, b) + pll.distance(b, c) + 1e-8
+                )
+
+
+@given(connected_graphs())
+@settings(max_examples=40, deadline=None)
+def test_mst_invariants(g):
+    tree = minimum_spanning_tree(g)
+    assert tree.num_nodes == g.num_nodes
+    assert tree.num_edges == g.num_nodes - 1
+    assert is_connected(tree)
+    assert tree.total_weight() <= g.total_weight() + 1e-9
+
+
+@given(connected_graphs(min_nodes=3), st.data())
+@settings(max_examples=25, deadline=None)
+def test_steiner_sandwich(g, data):
+    """Exact Steiner cost between shortest-path lower bound and MST approx."""
+    nodes = sorted(g.nodes())
+    k = data.draw(st.integers(2, min(4, len(nodes))))
+    terminals = data.draw(
+        st.lists(st.sampled_from(nodes), min_size=k, max_size=k, unique=True)
+    )
+    cost, tree = dreyfus_wagner(g, terminals)
+    assert is_tree(tree)
+    assert all(tree.has_node(t) for t in terminals)
+    assert abs(tree.total_weight() - cost) < 1e-8
+    approx = mst_steiner_tree(g, terminals)
+    assert cost <= approx.total_weight() + 1e-8
+    assert approx.total_weight() <= 2.0 * cost + 1e-8
+    # lower bound: the largest pairwise shortest-path distance
+    pll = PrunedLandmarkLabeling(g)
+    worst_pair = max(
+        pll.distance(a, b) for a in terminals for b in terminals
+    )
+    assert cost >= worst_pair - 1e-8
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 20), st.integers(0, 20)), max_size=40
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_unionfind_matches_networkx_components(pairs):
+    uf = UnionFind(range(21))
+    ng = nx.Graph()
+    ng.add_nodes_from(range(21))
+    for a, b in pairs:
+        if a != b:
+            uf.union(a, b)
+            ng.add_edge(a, b)
+    components = list(nx.connected_components(ng))
+    assert uf.num_sets == len(components)
+    for component in components:
+        members = sorted(component)
+        for other in members[1:]:
+            assert uf.connected(members[0], other)
