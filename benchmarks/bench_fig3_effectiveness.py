@@ -89,7 +89,8 @@ def test_figure3_with_exact(benchmark, small_network, results_dir):
             if exact.mean_score is None:
                 continue  # intractable on every project, like the paper's 8/10
             exact_seen += 1
-            if exact.num_projects == result.cell(num_skills, lam, "sa-ca-cc").num_projects:
+            sa_cell = result.cell(num_skills, lam, "sa-ca-cc")
+            if exact.num_projects == sa_cell.num_projects:
                 # means over identical project sets are comparable
                 assert exact.mean_score <= sa + 1e-9, (num_skills, lam)
     assert exact_seen > 0, "Exact should terminate on at least one panel"

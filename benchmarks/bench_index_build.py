@@ -1,0 +1,158 @@
+"""Index build + distance-query throughput benchmark (standalone).
+
+Measures, per network scale:
+
+* 2-hop-cover (PLL) construction time — sequential vs parallel
+  (``--workers``), with an entry-for-entry label-identity check between
+  the two builds (the batch schedule is worker-independent, so any
+  difference is a bug, not noise);
+* distance-query throughput — point ``distance()`` calls vs the batched
+  ``distances_from`` API (one call per root sweep), reported in queries
+  per second;
+* batched vs point-query greedy search, asserting identical teams.
+
+Run it directly (it is intentionally not a pytest module — the CI smoke
+job uses ``bench_runtime.py``)::
+
+    PYTHONPATH=src python benchmarks/bench_index_build.py --scale large --workers 1 4
+
+Note on parallel speedup: the build fans out to ``multiprocessing``
+worker processes, so the measured speedup is bounded by the machine's
+usable cores (``os.sched_getaffinity``).  On a single-core container the
+parallel build *cannot* be faster — the harness prints the core count
+next to the numbers so the report is interpretable.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import random
+import sys
+import time
+
+from repro.core.greedy import GreedyTeamFinder
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
+from repro.graph.pll import PrunedLandmarkLabeling
+
+QUERY_ROUNDS = 20_000
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def bench_build(graph, workers_list: list[int], repeat: int) -> dict[int, float]:
+    """Best-of-``repeat`` build seconds per worker count, with identity check."""
+    times: dict[int, float] = {}
+    reference = None
+    for workers in workers_list:
+        best = float("inf")
+        for _ in range(repeat):
+            t0 = time.perf_counter()
+            pll = PrunedLandmarkLabeling(graph, workers=workers)
+            best = min(best, time.perf_counter() - t0)
+        if reference is None:
+            reference = pll.labels()
+        elif pll.labels() != reference:
+            raise AssertionError(
+                f"workers={workers} produced different labels than "
+                f"workers={workers_list[0]}"
+            )
+        times[workers] = best
+    return times
+
+
+def bench_queries(graph, rounds: int = QUERY_ROUNDS) -> tuple[float, float]:
+    """(point queries/s, batched queries/s) over random root sweeps."""
+    pll = PrunedLandmarkLabeling(graph)
+    rng = random.Random(17)
+    nodes = sorted(graph.nodes(), key=repr)
+    sweep = 50  # targets per root, mirroring a per-skill candidate sweep
+    roots = [rng.choice(nodes) for _ in range(rounds // sweep)]
+    targets = [rng.sample(nodes, min(sweep, len(nodes))) for _ in roots]
+
+    t0 = time.perf_counter()
+    for root, ts in zip(roots, targets):
+        for t in ts:
+            pll.distance(root, t)
+    point_qps = (len(roots) * sweep) / (time.perf_counter() - t0)
+
+    batched = PrunedLandmarkLabeling(graph)  # fresh cache
+    t0 = time.perf_counter()
+    for root, ts in zip(roots, targets):
+        batched.distances_from(root, ts)
+    batch_qps = (len(roots) * sweep) / (time.perf_counter() - t0)
+    return point_qps, batch_qps
+
+
+def bench_greedy(network) -> tuple[float, float]:
+    """(point s, batched s) for one top-k sweep; asserts identical teams."""
+    project = sample_projects(network, 4, 1, seed=23)[0]
+    batched = GreedyTeamFinder(network)
+    point = GreedyTeamFinder(network, batch_queries=False)
+    t0 = time.perf_counter()
+    teams_point = point.find_top_k(project, k=5)
+    point_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    teams_batched = batched.find_top_k(project, k=5)
+    batched_s = time.perf_counter() - t0
+    if [t.key() for t in teams_point] != [t.key() for t in teams_batched]:
+        raise AssertionError("batched greedy diverged from point-query greedy")
+    return point_s, batched_s
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale",
+        nargs="+",
+        choices=sorted(SCALE_CONFIGS),
+        default=["tiny", "medium", "large"],
+    )
+    parser.add_argument("--workers", type=_positive_int, nargs="+", default=[1, 4])
+    parser.add_argument("--repeat", type=_positive_int, default=3)
+    args = parser.parse_args(argv)
+
+    cores = _usable_cores()
+    print(f"usable cores: {cores}")
+    for scale in args.scale:
+        network = benchmark_network(scale, seed=0)
+        graph = network.graph
+        print(
+            f"\n[{scale}] n={graph.num_nodes} m={graph.num_edges}",
+            flush=True,
+        )
+        times = bench_build(graph, args.workers, args.repeat)
+        base = times[args.workers[0]]
+        for workers, seconds in times.items():
+            speedup = base / seconds if seconds else float("inf")
+            print(
+                f"  build workers={workers}: {seconds:.3f}s "
+                f"(x{speedup:.2f} vs workers={args.workers[0]})"
+            )
+        point_qps, batch_qps = bench_queries(graph)
+        print(
+            f"  query throughput: point {point_qps:,.0f} q/s, "
+            f"batched {batch_qps:,.0f} q/s (x{batch_qps / point_qps:.2f})"
+        )
+        point_s, batched_s = bench_greedy(network)
+        print(
+            f"  greedy top-5: point {point_s:.3f}s, batched {batched_s:.3f}s "
+            f"(x{point_s / batched_s:.2f}, identical teams)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,6 +15,7 @@ numbers, are under test — see DESIGN.md §3).
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
@@ -22,6 +23,16 @@ import pytest
 from repro.eval.workload import benchmark_corpus, benchmark_network
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def _scale(default: str) -> str:
+    """Benchmark network scale, overridable via ``REPRO_BENCH_SCALE``.
+
+    CI's smoke job sets ``REPRO_BENCH_SCALE=tiny`` so the runtime
+    benchmark exercises the full pipeline in seconds; local runs keep the
+    paper-regime defaults.
+    """
+    return os.environ.get("REPRO_BENCH_SCALE", default)
 
 
 @pytest.fixture(scope="session")
@@ -37,14 +48,14 @@ def write_result(results_dir: Path, name: str, text: str) -> None:
 
 @pytest.fixture(scope="session")
 def small_network():
-    return benchmark_network("small", seed=0)
+    return benchmark_network(_scale("small"), seed=0)
 
 
 @pytest.fixture(scope="session")
 def medium_network():
-    return benchmark_network("medium", seed=0)
+    return benchmark_network(_scale("medium"), seed=0)
 
 
 @pytest.fixture(scope="session")
 def small_corpus():
-    return benchmark_corpus("small", seed=0)
+    return benchmark_corpus(_scale("small"), seed=0)

@@ -33,7 +33,10 @@ def load_network():
         print(f"parsing {sys.argv[1]} (records up to 2015, as in the paper)")
         corpus = parse_dblp_xml(sys.argv[1], max_year=2015)
     else:
-        print("generating a synthetic DBLP corpus (pass a dblp.xml path to use real data)")
+        print(
+            "generating a synthetic DBLP corpus "
+            "(pass a dblp.xml path to use real data)"
+        )
         corpus = synthetic_corpus(SyntheticDblpConfig(num_groups=20), seed=7)
     network = build_expert_network(corpus)
     print(

@@ -47,7 +47,9 @@ def describe(team, network: ExpertNetwork) -> str:
             if member in team.skill_holders
             else "connector"
         )
-        rows.append(f"    {expert.display_name:<22} h-index {expert.h_index:>5.0f}  {role}")
+        rows.append(
+            f"    {expert.display_name:<22} h-index {expert.h_index:>5.0f}  {role}"
+        )
     return "\n".join(rows)
 
 

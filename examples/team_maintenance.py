@@ -16,7 +16,12 @@ from __future__ import annotations
 
 import random
 
-from repro import GreedyTeamFinder, ReplacementError, ReplacementRecommender, TeamEvaluator
+from repro import (
+    GreedyTeamFinder,
+    ReplacementError,
+    ReplacementRecommender,
+    TeamEvaluator,
+)
 from repro.dblp import SyntheticDblpConfig, build_expert_network, synthetic_corpus
 from repro.eval import sample_project
 

@@ -1,6 +1,13 @@
 """Setup shim: enables legacy editable installs (`pip install -e .
---no-use-pep517`) in environments without the `wheel` package."""
+--no-use-pep517`) in environments without the `wheel` package.
 
-from setuptools import setup
+Metadata lives in ``pyproject.toml``; the src-layout mapping is repeated
+here so the legacy code path resolves the package without PEP 517.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+)

@@ -27,8 +27,16 @@ from .eval.experiments import (
     run_runtime,
 )
 from .eval.workload import SCALE_CONFIGS, benchmark_corpus, benchmark_network
+from .graph.distance import set_default_index_workers
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0, help="corpus seed")
     parser.add_argument("--gamma", type=float, default=0.6)
     parser.add_argument("--lam", type=float, default=0.6)
+    parser.add_argument(
+        "--parallel-index",
+        type=_positive_int,
+        default=1,
+        metavar="N",
+        help="worker processes for 2-hop-cover index construction "
+        "(default: 1; the index is identical for any N)",
+    )
     sub = parser.add_subparsers(dest="experiment", required=True)
 
     p3 = sub.add_parser("figure3", help="SA-CA-CC score vs lambda, all methods")
@@ -93,6 +109,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: run one experiment and print its table."""
     args = build_parser().parse_args(argv)
+    set_default_index_workers(args.parallel_index)
     network = benchmark_network(args.scale, seed=args.seed)
     print(
         f"network: {len(network)} experts, {network.num_edges} edges, "

@@ -71,7 +71,9 @@ class TeamExplanation:
         ]
         for c in sorted(self.contributions, key=lambda c: -c.total):
             flags = " [critical]" if c.critical else ""
-            skills = f" covers {', '.join(c.covered_skills)}" if c.covered_skills else ""
+            skills = (
+                f" covers {', '.join(c.covered_skills)}" if c.covered_skills else ""
+            )
             lines.append(
                 f"  {c.expert_id:<20} {c.role:<12} h={c.authority:<6.1f} "
                 f"sa={c.sa_share:.4f} ca={c.ca_share:.4f} cc={c.cc_share:.4f} "

@@ -57,6 +57,15 @@ class GreedyTeamFinder:
         Tradeoff parameters of Definitions 4 and 6.
     oracle_kind:
         ``"pll"`` (2-hop cover, the paper's choice) or ``"dijkstra"``.
+    index_workers:
+        Worker processes for PLL index construction (``None`` uses the
+        module default, settable via the CLI's ``--parallel-index``).
+    batch_queries:
+        When true (default), each (root, skill) sweep issues one batched
+        ``distances_from`` call instead of per-candidate point lookups.
+        Scores — and therefore teams — are identical either way; the
+        point-query path remains for oracles without a batch API and as
+        the reference in the equivalence tests.
     root_candidates:
         Optional restriction of the root loop (Algorithm 1 line 3); by
         default every expert is tried, as in the paper.
@@ -76,6 +85,8 @@ class GreedyTeamFinder:
         scales: ObjectiveScales | None = None,
         sa_mode: SaMode = "per_skill",
         oracle: DistanceOracle | None = None,
+        index_workers: int | None = None,
+        batch_queries: bool = True,
     ) -> None:
         if objective not in OBJECTIVES:
             raise ValueError(f"unknown objective {objective!r}; expected {OBJECTIVES}")
@@ -93,7 +104,14 @@ class GreedyTeamFinder:
         # search graph depends only on (network, gamma, scales), never on
         # lambda, so `finder.oracle` can be handed to the next finder.
         self._oracle: DistanceOracle = (
-            oracle if oracle is not None else build_oracle(self._search_graph, oracle_kind)
+            oracle
+            if oracle is not None
+            else build_oracle(
+                self._search_graph, oracle_kind, workers=index_workers
+            )
+        )
+        self._batch_queries = batch_queries and hasattr(
+            self._oracle, "distances_from"
         )
         self._roots = (
             list(root_candidates)
@@ -133,7 +151,16 @@ class GreedyTeamFinder:
     # ------------------------------------------------------------------
     def _skill_score(self, root: str, candidate: str) -> float:
         """The mode-dependent score of assigning ``candidate`` from ``root``."""
-        dist = self._oracle.distance(root, candidate)
+        return self._score_from_distance(
+            self._oracle.distance(root, candidate), candidate
+        )
+
+    def _score_from_distance(self, dist: float, candidate: str) -> float:
+        """Combine an oracle distance into the mode-dependent score.
+
+        Shared by the point-query and batched paths so both compute
+        bit-identical floats (the equivalence tests compare whole teams).
+        """
         if dist == _INF:
             return _INF
         if self.objective == "cc":
@@ -144,6 +171,31 @@ class GreedyTeamFinder:
         # sa-ca-cc (Section 3.2.3)
         node = self.evaluator.node_cost(candidate)
         return (1.0 - self.lam) * corrected + self.lam * node
+
+    def _best_holder(
+        self, root: str, candidates: Sequence[str]
+    ) -> tuple[str | None, float]:
+        """Best (holder, score) for one skill from ``root``.
+
+        ``candidates`` must be sorted: ties on score keep the
+        lexicographically smallest holder in both query modes.  The
+        batched mode fetches every root -> candidate distance in one
+        ``distances_from`` call (one label-array hoist, memoized per
+        root) instead of ``len(candidates)`` point lookups.
+        """
+        best_expert, best_score = None, _INF
+        if self._batch_queries:
+            dists = self._oracle.distances_from(root, candidates)
+            for candidate in candidates:
+                score = self._score_from_distance(dists[candidate], candidate)
+                if score < best_score:
+                    best_expert, best_score = candidate, score
+        else:
+            for candidate in candidates:
+                score = self._skill_score(root, candidate)
+                if score < best_score:
+                    best_expert, best_score = candidate, score
+        return best_expert, best_score
 
     # ------------------------------------------------------------------
     # the root loop (Algorithm 1)
@@ -185,11 +237,9 @@ class GreedyTeamFinder:
                     # Root holds the skill: zero score, assigned to root.
                     assignment[skill] = root
                     continue
-                best_expert, best_score = None, _INF
-                for candidate in candidates[skill]:
-                    score = self._skill_score(root, candidate)
-                    if score < best_score:
-                        best_expert, best_score = candidate, score
+                best_expert, best_score = self._best_holder(
+                    root, candidates[skill]
+                )
                 if best_expert is None:
                     feasible = False
                     break
@@ -229,14 +279,11 @@ class GreedyTeamFinder:
             if skill in root_skills:
                 assignment[skill] = root
                 continue
-            holders = self.network.experts_with_skill(skill)
-            scored = [
-                (self._skill_score(root, c), c) for c in sorted(holders)
-            ]
-            scored = [(s, c) for s, c in scored if s < _INF]
-            if not scored:
+            holders = sorted(self.network.experts_with_skill(skill))
+            best_expert, _ = self._best_holder(root, holders)
+            if best_expert is None:
                 return None
-            assignment[skill] = min(scored)[1]
+            assignment[skill] = best_expert
         return self._materialize(root, assignment)
 
     # ------------------------------------------------------------------

@@ -79,7 +79,11 @@ class RarestFirstSolver:
                 distances.append(d_best)
             if not feasible:
                 continue
-            cost = max(distances, default=0.0) if self.aggregate == "diameter" else sum(distances)
+            cost = (
+                max(distances, default=0.0)
+                if self.aggregate == "diameter"
+                else sum(distances)
+            )
             if cost < best_cost:
                 best_cost, best_anchor, best_assignment = cost, anchor, assignment
         if best_anchor is None:

@@ -26,6 +26,7 @@ from collections.abc import Iterable
 from ..expertise.network import ExpertNetwork
 from ..graph.adjacency import Graph, GraphError
 from ..graph.components import prune_leaves
+from ..graph.distance import DijkstraOracle
 from ..graph.steiner import mst_steiner_tree
 from .objectives import ObjectiveScales, SaMode, TeamEvaluator
 from .team import Team
@@ -62,6 +63,13 @@ class LocalSearchRefiner:
         self._routing_graph = authority_fold_transform(
             network, fold_gamma, scales=self.evaluator.scales
         )
+        # One cached-tree oracle shared by every Steiner rebuild: a swap
+        # scan rebuilds hundreds of candidate trees over the same routing
+        # graph with heavily overlapping terminal sets, so each terminal's
+        # shortest-path tree is computed once per refine run, not once per
+        # candidate (batched root->holder queries instead of per-rebuild
+        # Dijkstras).
+        self._routing_oracle = DijkstraOracle(self._routing_graph)
 
     # ------------------------------------------------------------------
     def refine(self, team: Team, project: Iterable[str] | None = None) -> Team:
@@ -125,7 +133,9 @@ class LocalSearchRefiner:
     def _rebuild(self, assignment: dict[str, str]) -> Team | None:
         holders = sorted(set(assignment.values()))
         try:
-            steiner = mst_steiner_tree(self._routing_graph, holders)
+            steiner = mst_steiner_tree(
+                self._routing_graph, holders, oracle=self._routing_oracle
+            )
         except GraphError:
             return None
         tree = Graph()

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 from ..expertise.network import ExpertNetwork
 from ..graph.adjacency import Graph, GraphError
+from ..graph.distance import DijkstraOracle
 from ..graph.steiner import mst_steiner_tree
 from .objectives import ObjectiveScales, SaMode, TeamEvaluator
 from .team import Team
@@ -85,8 +86,17 @@ class ReplacementRecommender:
             s for s, holder in team.assignments.items() if holder == departing
         )
 
+        # The network minus the departee — and a cached-tree oracle over
+        # it — are shared by every candidate rebuild: building the
+        # subgraph per candidate was the old hot spot, and the oracle
+        # batches each terminal's shortest-path tree across candidates
+        # (the terminal sets differ in a single substitute).
+        remaining = [n for n in self.network.expert_ids() if n != departing]
+        working = self.network.graph.subgraph(remaining)
+        oracle = DijkstraOracle(working)
+
         if not lost_skills:
-            rebuilt = self._rebuild(dict(team.assignments), exclude=departing)
+            rebuilt = self._rebuild(dict(team.assignments), working, oracle)
             if rebuilt is None:
                 raise ReplacementError(
                     f"removing connector {departing!r} disconnects the team"
@@ -112,7 +122,7 @@ class ReplacementRecommender:
                 s: (candidate if holder == departing else holder)
                 for s, holder in team.assignments.items()
             }
-            rebuilt = self._rebuild(assignment, exclude=departing)
+            rebuilt = self._rebuild(assignment, working, oracle)
             if rebuilt is None:
                 continue
             score = self.evaluator.score(rebuilt, self.objective)
@@ -140,14 +150,15 @@ class ReplacementRecommender:
         return sorted(joint - set(forbidden))
 
     def _rebuild(
-        self, assignment: dict[str, str], *, exclude: str
+        self,
+        assignment: dict[str, str],
+        working: Graph,
+        oracle: DijkstraOracle,
     ) -> Team | None:
-        """Reconnect the assignment's holders avoiding ``exclude``."""
+        """Reconnect the assignment's holders on the ``working`` network."""
         holders = sorted(set(assignment.values()))
-        remaining = [n for n in self.network.expert_ids() if n != exclude]
-        working = self.network.graph.subgraph(remaining)
         try:
-            steiner = mst_steiner_tree(working, holders)
+            steiner = mst_steiner_tree(working, holders, oracle=oracle)
         except GraphError:
             return None
         tree = Graph()

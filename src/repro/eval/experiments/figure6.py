@@ -65,7 +65,10 @@ class Figure6Result:
 
     def format(self) -> str:
         """All three teams with member annotations and aggregates."""
-        blocks = [f"Figure 6 — project {self.project} (gamma={self.gamma}, lambda={self.lam})"]
+        blocks = [
+            f"Figure 6 — project {self.project} "
+            f"(gamma={self.gamma}, lambda={self.lam})"
+        ]
         for r in self.reports:
             rows = [
                 [

@@ -17,7 +17,6 @@ the substitution.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from ...expertise.network import ExpertNetwork

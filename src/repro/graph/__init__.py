@@ -24,7 +24,13 @@ from .dijkstra import (
     shortest_path,
     shortest_path_length,
 )
-from .distance import DijkstraOracle, DistanceOracle, build_oracle
+from .distance import (
+    DijkstraOracle,
+    DistanceOracle,
+    build_oracle,
+    get_default_index_workers,
+    set_default_index_workers,
+)
 from .generators import (
     assign_random_weights,
     barabasi_albert,
@@ -74,6 +80,8 @@ __all__ = [
     "DistanceOracle",
     "DijkstraOracle",
     "build_oracle",
+    "get_default_index_workers",
+    "set_default_index_workers",
     "PrunedLandmarkLabeling",
     "approximate_average_distance",
     "average_clustering",

@@ -128,6 +128,14 @@ class Graph:
         except KeyError:
             raise GraphError(f"node {node!r} not in graph") from None
 
+    def adjacency(self) -> dict[Node, dict[Node, float]]:
+        """The full ``node -> {neighbor: weight}`` mapping (do not mutate).
+
+        Exposed for tight loops (index construction, worker processes)
+        that would otherwise pay one :meth:`neighbors` call per visit.
+        """
+        return self._adj
+
     def degree(self, node: Node) -> int:
         """Number of incident edges of ``node``."""
         return len(self.neighbors(node))

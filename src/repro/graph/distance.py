@@ -8,22 +8,58 @@ implementations are provided:
   Dijkstra per distinct source.  Best for one-off queries and small
   graphs.
 * :class:`repro.graph.pll.PrunedLandmarkLabeling` — the paper's 2-hop
-  cover; pays an indexing cost once, then answers each query from two
-  sorted label arrays.
+  cover; pays an indexing cost once (optionally across several worker
+  processes, see ``workers``), then answers each query from two sorted
+  label arrays.
 
-Both satisfy :class:`DistanceOracle`; the ablation benchmark
-``benchmarks/bench_ablation_oracle.py`` swaps one for the other.
+Both satisfy :class:`DistanceOracle`, including its *batch* entry points
+``distances_from`` / ``distances_many``: the greedy root sweep issues one
+batched root -> holders query per skill instead of thousands of point
+lookups, which removes most of the Python-level dispatch overhead from
+the hot path (measured in ``benchmarks/bench_index_build.py``).  The
+ablation benchmark ``benchmarks/bench_ablation_oracle.py`` swaps one
+implementation for the other.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from typing import Protocol, runtime_checkable
 
 from .adjacency import Graph, GraphError, Node
 from .dijkstra import dijkstra, reconstruct_path
-from .pll import PrunedLandmarkLabeling
+from .pll import PrunedLandmarkLabeling, all_pairs_distances
 
-__all__ = ["DistanceOracle", "DijkstraOracle", "build_oracle"]
+__all__ = [
+    "DistanceOracle",
+    "DijkstraOracle",
+    "build_oracle",
+    "get_default_index_workers",
+    "set_default_index_workers",
+]
+
+#: Process count used by :func:`build_oracle` when the caller does not
+#: pass ``workers`` explicitly; set once from the CLI's
+#: ``--parallel-index`` flag (see :func:`set_default_index_workers`).
+_default_index_workers = 1
+
+
+def set_default_index_workers(workers: int) -> None:
+    """Set the process count future :func:`build_oracle` calls default to.
+
+    The CLI exposes this as ``--parallel-index N``; library callers that
+    construct finders deep inside experiment runners inherit the setting
+    without threading a parameter through every layer.
+    """
+    if workers < 1:
+        raise ValueError("workers must be positive")
+    global _default_index_workers
+    _default_index_workers = workers
+
+
+def get_default_index_workers() -> int:
+    """Current default process count for index construction."""
+    return _default_index_workers
 
 
 @runtime_checkable
@@ -32,6 +68,18 @@ class DistanceOracle(Protocol):
 
     def distance(self, u: Node, v: Node) -> float:
         """Exact shortest-path distance, ``inf`` when disconnected."""
+        ...
+
+    def distances_from(
+        self, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Batched ``{target: distance}`` from one source."""
+        ...
+
+    def distances_many(
+        self, sources: Iterable[Node], targets: Iterable[Node]
+    ) -> dict[tuple[Node, Node], float]:
+        """Batched ``{(source, target): distance}`` over two node sets."""
         ...
 
     def path(self, u: Node, v: Node) -> list[Node]:
@@ -70,6 +118,27 @@ class DijkstraOracle:
         dist, _ = self._tree(u)
         return dist.get(v, float("inf"))
 
+    def distances_from(
+        self, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Batched ``{target: distance}`` from one cached source tree."""
+        if not self._graph.has_node(source):
+            raise GraphError(f"node {source!r} not in graph")
+        dist, _ = self._tree(source)
+        out: dict[Node, float] = {}
+        inf = float("inf")
+        for target in targets:
+            if not self._graph.has_node(target):
+                raise GraphError(f"node {target!r} not in graph")
+            out[target] = dist.get(target, inf)
+        return out
+
+    def distances_many(
+        self, sources: Iterable[Node], targets: Iterable[Node]
+    ) -> dict[tuple[Node, Node], float]:
+        """All-pairs ``{(source, target): distance}`` over two node sets."""
+        return all_pairs_distances(self, sources, targets)
+
     def path(self, u: Node, v: Node) -> list[Node]:
         """One exact shortest path ``[u, ..., v]`` from the cached tree."""
         dist, parent = self._tree(u)
@@ -78,10 +147,21 @@ class DijkstraOracle:
         return reconstruct_path(parent, v)
 
 
-def build_oracle(graph: Graph, kind: str = "pll") -> DistanceOracle:
-    """Factory: ``"pll"`` (paper's index) or ``"dijkstra"`` (lazy)."""
+def build_oracle(
+    graph: Graph, kind: str = "pll", *, workers: int | None = None
+) -> DistanceOracle:
+    """Factory: ``"pll"`` (paper's index) or ``"dijkstra"`` (lazy).
+
+    ``workers`` controls how many processes the PLL build fans out to;
+    ``None`` uses the module default (see
+    :func:`set_default_index_workers`).  The resulting labels do not
+    depend on the worker count.
+    """
     if kind == "pll":
-        return PrunedLandmarkLabeling(graph)
+        return PrunedLandmarkLabeling(
+            graph,
+            workers=_default_index_workers if workers is None else workers,
+        )
     if kind == "dijkstra":
         return DijkstraOracle(graph)
     raise ValueError(f"unknown oracle kind {kind!r}; expected 'pll' or 'dijkstra'")

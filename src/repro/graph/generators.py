@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 from collections.abc import Callable, Sequence
 
-from .adjacency import Graph, GraphError, Node
+from .adjacency import Graph, GraphError
 
 __all__ = [
     "erdos_renyi",

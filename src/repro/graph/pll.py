@@ -9,13 +9,48 @@ undirected graphs:
 * Nodes are ordered by descending degree (the standard heuristic: hub
   nodes first cover the most shortest paths and maximize pruning).
 * For each node ``l`` (a *landmark*) in that order, a *pruned Dijkstra* is
-  run: when a node ``u`` is settled at distance ``d``, the partial index is
-  queried first — if it already certifies ``dist(l, u) <= d``, the visit is
-  pruned (no label, no relaxation).  Otherwise ``(l, d)`` is appended to
-  ``u``'s label and the search continues through ``u``.
+  run: when a node ``u`` is settled at distance ``d``, the index is
+  queried first — if it already certifies ``dist(l, u) <= d``, the visit
+  is pruned (no label, no relaxation).  Otherwise ``(l, d)`` is appended
+  to ``u``'s label and the search continues through ``u``.
 * A query ``query(u, v)`` merge-joins the two sorted label arrays and
   returns ``min_h L[u][h] + L[v][h]``, which is exactly ``dist(u, v)``
   (2-hop cover property, Theorem 4.1 of the SIGMOD paper).
+
+Batch-synchronous construction
+------------------------------
+
+Landmarks are processed in rank-order *batches* (sizes 1, 2, 4, ...
+capped at :data:`MAX_BATCH`).  Every search in a batch prunes against
+the label snapshot from *before* the batch, so the searches are pure
+functions of ``(graph, snapshot, landmark)`` and independent of each
+other.  A sequential merge pass then commits each batch's results in
+rank order, dropping any entry already certified by an earlier
+same-batch landmark (the in-search prune already handled all earlier
+batches, so this *tail filter* only scans label entries added within the
+current batch).
+
+Two properties follow:
+
+* **Determinism** — the batch schedule depends only on the node count
+  (never on ``workers``), so the labels are bit-identical whether the
+  batch runs on 1 worker, N worker processes, or inline.  This is what
+  the parallel-vs-sequential equivalence tests assert.
+* **Exactness** — pruning against a *subset* of the up-to-date index is
+  still a genuine certificate, so the classic PLL cover argument goes
+  through unchanged: for any pair the maximum-rank vertex on a shortest
+  path labels both endpoints with exact distances.  Weaker intra-batch
+  pruning can only add (correct) extra entries, most of which the tail
+  filter removes.  ``batch_size=1`` reproduces the classic fully
+  sequential algorithm exactly.
+
+With ``workers > 1`` the batch searches are fanned out to long-lived
+``multiprocessing`` worker processes.  Workers keep their own copy of
+the label store and receive, with each batch, the *delta* of entries the
+merge pass committed for the previous batch — so per-batch traffic is
+proportional to the new labels, not the whole index.  Construction falls
+back to the in-process executor for tiny graphs or when worker processes
+cannot be spawned; the resulting labels are identical either way.
 
 Labels also store the *parent* of each labelled node on the shortest-path
 tree of the landmark's Dijkstra, which allows exact path reconstruction
@@ -25,13 +60,259 @@ tree of the landmark's Dijkstra, which allows exact path reconstruction
 from __future__ import annotations
 
 import heapq
+import multiprocessing
+import pickle
+import queue as queue_module
 from bisect import bisect_left
+from collections.abc import Iterable
 
 from .adjacency import Graph, GraphError, Node
 
-__all__ = ["PrunedLandmarkLabeling"]
+__all__ = ["PrunedLandmarkLabeling", "MAX_BATCH", "all_pairs_distances"]
+
+
+def all_pairs_distances(oracle, sources, targets):
+    """All-pairs ``{(source, target): distance}`` via ``distances_from``.
+
+    Shared by every oracle implementation so the batched all-pairs
+    semantics (shape, iteration order, error behavior) live in one
+    place.  Lives here rather than in :mod:`repro.graph.distance` only
+    to avoid a circular import.
+    """
+    target_list = list(targets)
+    out = {}
+    for source in sources:
+        for target, d in oracle.distances_from(source, target_list).items():
+            out[(source, target)] = d
+    return out
 
 _INF = float("inf")
+
+#: Upper bound on the doubling batch schedule.  Larger batches expose
+#: more parallelism but weaken intra-batch pruning (slightly larger
+#: labels); 64 keeps the growth measured in single-digit percent.
+MAX_BATCH = 64
+
+#: Graphs below this size are always built in-process: worker start-up
+#: would dwarf the search work (the labels are identical either way).
+_MIN_PARALLEL_NODES = 32
+
+
+def _batch_schedule(n: int, batch_size: int | None) -> list[range]:
+    """Rank batches for ``n`` landmarks, independent of worker count.
+
+    ``None`` selects the doubling schedule 1, 2, 4, ... capped at
+    :data:`MAX_BATCH`; an explicit ``batch_size`` gives constant batches
+    (``1`` being the classic fully sequential prune discipline).
+    """
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive")
+    batches: list[range] = []
+    start, size = 0, (1 if batch_size is None else batch_size)
+    while start < n:
+        stop = min(start + size, n)
+        batches.append(range(start, stop))
+        start = stop
+        if batch_size is None:
+            size = min(size * 2, MAX_BATCH)
+    return batches
+
+
+def _pruned_dijkstra(
+    adj: dict[Node, dict[Node, float]],
+    landmark: Node,
+    ranks: dict[Node, list[int]],
+    dists: dict[Node, list[float]],
+) -> list[tuple[Node, float, Node | None]]:
+    """One pruned Dijkstra against a fixed label snapshot.
+
+    Pure function of its arguments: returns the would-be label entries
+    ``(node, distance, parent)`` in settle order without mutating the
+    snapshot, so batches of searches can run concurrently (and
+    deterministically) against the same snapshot.
+    """
+    l_ranks = ranks[landmark]
+    l_dists = dists[landmark]
+    settled: set[Node] = set()
+    results: list[tuple[Node, float, Node | None]] = []
+    heap: list[tuple[float, int, Node, Node | None]] = [(0.0, 0, landmark, None)]
+    counter = 1
+    while heap:
+        d, _, u, via = heapq.heappop(heap)
+        if u in settled:
+            continue
+        # Prune if the snapshot already certifies dist(l, u) <= d.
+        if _merge_join_min(l_ranks, l_dists, ranks[u], dists[u]) <= d:
+            continue
+        settled.add(u)
+        results.append((u, d, via))
+        for v, w in adj[u].items():
+            if v in settled:
+                continue
+            heapq.heappush(heap, (d + w, counter, v, u))
+            counter += 1
+    return results
+
+
+# ----------------------------------------------------------------------
+# parallel build plumbing
+# ----------------------------------------------------------------------
+def _worker_main(adj, order, in_queue, out_queue) -> None:  # pragma: no cover
+    """Worker loop: maintain a label-store replica, run batch searches.
+
+    Runs in a child process (coverage does not see it).  Protocol:
+    ``("delta", entries)`` appends committed label entries (keeping the
+    replica in sync with the parent's merge pass), ``("work", ranks)``
+    runs the pruned Dijkstras and returns ``[(rank, results), ...]``,
+    ``("stop",)`` exits.
+    """
+    ranks: dict[Node, list[int]] = {u: [] for u in adj}
+    dists: dict[Node, list[float]] = {u: [] for u in adj}
+    while True:
+        message = in_queue.get()
+        tag = message[0]
+        if tag == "stop":
+            return
+        if tag == "delta":
+            for node, rank_l, d in message[1]:
+                ranks[node].append(rank_l)
+                dists[node].append(d)
+        else:  # ("work", [rank, ...])
+            out = [
+                (rank_l, _pruned_dijkstra(adj, order[rank_l], ranks, dists))
+                for rank_l in message[1]
+            ]
+            out_queue.put(out)
+
+
+class _SerialExecutor:
+    """Run batch searches in-process against the live label store.
+
+    Valid because the merge pass runs only after *all* searches of a
+    batch returned: during the searches the live store *is* the
+    pre-batch snapshot.
+    """
+
+    def __init__(self, graph: Graph, index: "PrunedLandmarkLabeling") -> None:
+        self._adj = graph.adjacency()
+        self._index = index
+
+    def run_batch(
+        self, batch: range, delta: list[tuple[Node, int, float]]
+    ) -> list[tuple[int, list[tuple[Node, float, Node | None]]]]:
+        index = self._index
+        return [
+            (
+                rank_l,
+                _pruned_dijkstra(
+                    self._adj, index._order[rank_l], index._ranks, index._dists
+                ),
+            )
+            for rank_l in batch
+        ]
+
+    def close(self) -> None:
+        pass
+
+
+class _WorkerFailure(RuntimeError):
+    """A worker process died mid-build (OOM kill, crash)."""
+
+
+class _ParallelExecutor:
+    """Fan batch searches out to long-lived worker processes.
+
+    Each worker owns a replica of the label store; the parent broadcasts
+    the previous batch's committed entries (the *delta*) before handing
+    out work, so every search sees exactly the pre-batch snapshot.
+    """
+
+    def __init__(self, graph: Graph, order: list[Node], workers: int) -> None:
+        ctx = multiprocessing.get_context()
+        adj = graph.adjacency()
+        self._in_queues = []
+        self._out_queue = ctx.Queue()
+        self._processes = []
+        try:
+            for _ in range(workers):
+                # A buffered Queue (not SimpleQueue): put() only appends
+                # to an in-process deque and returns — a background
+                # feeder thread does the pipe write — so the parent can
+                # never block sending a large delta to a worker that
+                # died mid-drain.
+                in_queue = ctx.Queue()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(adj, order, in_queue, self._out_queue),
+                    daemon=True,
+                )
+                process.start()
+                self._in_queues.append(in_queue)
+                self._processes.append(process)
+        except Exception:
+            self.close()
+            raise
+
+    def run_batch(
+        self, batch: range, delta: list[tuple[Node, int, float]]
+    ) -> list[tuple[int, list[tuple[Node, float, Node | None]]]]:
+        # Liveness check *before* sending: a put() to a dead worker's
+        # queue blocks forever once the pipe buffer fills (the parent
+        # holds the read end, so the write never raises EPIPE).
+        self._check_alive()
+        chunks = self._chunks(batch)
+        pending = 0
+        for in_queue, chunk in zip(self._in_queues, chunks):
+            if delta:
+                in_queue.put(("delta", delta))
+            if chunk:
+                in_queue.put(("work", chunk))
+                pending += 1
+        results: list[tuple[int, list[tuple[Node, float, Node | None]]]] = []
+        for _ in range(pending):
+            # Bounded waits with a liveness check: a worker that was
+            # OOM-killed or crashed would otherwise leave the parent
+            # blocked forever on a result that can never arrive.
+            while True:
+                try:
+                    results.extend(self._out_queue.get(timeout=5.0))
+                    break
+                except queue_module.Empty:
+                    self._check_alive()
+        results.sort(key=lambda item: item[0])
+        return results
+
+    def _check_alive(self) -> None:
+        if any(not p.is_alive() for p in self._processes):
+            raise _WorkerFailure("a PLL build worker died")
+
+    def _chunks(self, batch: range) -> list[list[int]]:
+        """Split ``batch`` into one contiguous chunk per worker."""
+        workers = len(self._in_queues)
+        base, extra = divmod(len(batch), workers)
+        chunks, start = [], 0
+        for i in range(workers):
+            size = base + (1 if i < extra else 0)
+            chunks.append(list(batch[start : start + size]))
+            start += size
+        return chunks
+
+    def close(self) -> None:
+        for process, in_queue in zip(self._processes, self._in_queues):
+            try:
+                if process.is_alive():
+                    in_queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - shutdown race
+                pass
+        for process in self._processes:
+            process.join(timeout=10.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        for in_queue in self._in_queues:
+            # Release each queue's feeder thread without waiting for a
+            # (possibly dead) worker to drain the pipe.
+            in_queue.close()
+            in_queue.cancel_join_thread()
 
 
 class PrunedLandmarkLabeling:
@@ -41,6 +322,22 @@ class PrunedLandmarkLabeling:
     graph again except for path reconstruction, which follows stored
     parent pointers.
 
+    Parameters
+    ----------
+    graph:
+        The weighted undirected graph to index.
+    order:
+        Optional explicit landmark order (must be a permutation of the
+        nodes); defaults to degree-descending.
+    workers:
+        Number of processes for index construction.  ``1`` (default)
+        builds in-process; any value produces *identical* labels because
+        the batch schedule does not depend on it.
+    batch_size:
+        Override the doubling batch schedule with constant batches;
+        ``1`` restores the classic fully sequential prune discipline
+        (slightly smaller labels, no intra-batch parallelism).
+
     >>> g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
     >>> pll = PrunedLandmarkLabeling(g)
     >>> pll.distance("a", "c")
@@ -49,7 +346,20 @@ class PrunedLandmarkLabeling:
     ['a', 'b', 'c']
     """
 
-    def __init__(self, graph: Graph, *, order: list[Node] | None = None) -> None:
+    #: FIFO bound on memoized per-source distance maps (see
+    #: :meth:`distances_from`).
+    MAX_CACHED_SOURCES = 512
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        order: list[Node] | None = None,
+        workers: int = 1,
+        batch_size: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be positive")
         self._graph = graph
         if order is None:
             # Degree-descending with a deterministic tie-break on repr so
@@ -61,50 +371,78 @@ class PrunedLandmarkLabeling:
             raise GraphError("order must be a permutation of the graph's nodes")
         self._rank: dict[Node, int] = {node: i for i, node in enumerate(order)}
         self._order = order
+        self.workers = workers
         # label[u] = parallel arrays (landmark ranks asc, distances, parents)
         self._ranks: dict[Node, list[int]] = {u: [] for u in graph.nodes()}
         self._dists: dict[Node, list[float]] = {u: [] for u in graph.nodes()}
         self._parents: dict[Node, list[Node | None]] = {u: [] for u in graph.nodes()}
-        self._build()
+        self._source_cache: dict[Node, dict[Node, float]] = {}
+        self._build(batch_size)
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
-    def _build(self) -> None:
-        for landmark in self._order:
-            self._pruned_dijkstra(landmark)
+    def _build(self, batch_size: int | None) -> None:
+        executor = self._make_executor()
+        try:
+            delta: list[tuple[Node, int, float]] = []
+            for batch in _batch_schedule(len(self._order), batch_size):
+                try:
+                    results = executor.run_batch(batch, delta)
+                except _WorkerFailure:
+                    # A worker died (e.g. OOM-killed).  The parent's label
+                    # store is authoritative and nothing from this batch
+                    # has been merged yet, so re-running the batch on the
+                    # in-process executor yields the exact same labels.
+                    executor.close()
+                    executor = _SerialExecutor(self._graph, self)
+                    results = executor.run_batch(batch, delta)
+                delta = self._merge_batch(batch.start, results)
+        finally:
+            executor.close()
 
-    def _pruned_dijkstra(self, landmark: Node) -> None:
-        rank_l = self._rank[landmark]
-        l_ranks = self._ranks[landmark]
-        l_dists = self._dists[landmark]
-        dist: dict[Node, float] = {}
-        heap: list[tuple[float, int, Node, Node | None]] = [(0.0, 0, landmark, None)]
-        counter = 1
-        while heap:
-            d, _, u, via = heapq.heappop(heap)
-            if u in dist:
-                continue
-            # Prune if the current index already certifies dist(l, u) <= d.
-            # (Querying u against the landmark's own partial label.)
-            if self._query_against(l_ranks, l_dists, u) <= d:
-                continue
-            dist[u] = d
-            self._ranks[u].append(rank_l)
-            self._dists[u].append(d)
-            self._parents[u].append(via)
-            for v, w in self._graph.neighbors(u).items():
-                if v in dist:
+    def _make_executor(self) -> _SerialExecutor | _ParallelExecutor:
+        if self.workers > 1 and len(self._order) >= _MIN_PARALLEL_NODES:
+            try:
+                return _ParallelExecutor(self._graph, self._order, self.workers)
+            except (OSError, pickle.PickleError, TypeError, AttributeError):
+                # Constrained sandboxes (no fork/spawn) or, under the
+                # "spawn" start method, unpicklable node ids: build
+                # in-process instead — the labels are identical.
+                pass
+        return _SerialExecutor(self._graph, self)
+
+    def _merge_batch(
+        self,
+        batch_start: int,
+        results: list[tuple[int, list[tuple[Node, float, Node | None]]]],
+    ) -> list[tuple[Node, int, float]]:
+        """Commit one batch's searches in rank order; return the delta.
+
+        The tail filter drops an entry ``(u, d)`` of landmark ``l`` when
+        an earlier *same-batch* landmark already certifies
+        ``dist(l, u) <= d``; entries from earlier batches were already
+        checked inside the search, so only ranks ``>= batch_start`` need
+        scanning (a constant-size suffix of the sorted label arrays).
+        """
+        delta: list[tuple[Node, int, float]] = []
+        for rank_l, settles in results:
+            landmark = self._order[rank_l]
+            l_ranks = self._ranks[landmark]
+            l_dists = self._dists[landmark]
+            for u, d, via in settles:
+                if (
+                    _tail_join_min(
+                        l_ranks, l_dists, self._ranks[u], self._dists[u], batch_start
+                    )
+                    <= d
+                ):
                     continue
-                heapq.heappush(heap, (d + w, counter, v, u))
-                counter += 1
-
-    def _query_against(
-        self, l_ranks: list[int], l_dists: list[float], u: Node
-    ) -> float:
-        """Distance certified by the partial index between the landmark
-        (whose label arrays are ``l_ranks``/``l_dists``) and ``u``."""
-        return _merge_join_min(l_ranks, l_dists, self._ranks[u], self._dists[u])
+                self._ranks[u].append(rank_l)
+                self._dists[u].append(d)
+                self._parents[u].append(via)
+                delta.append((u, rank_l, d))
+        return delta
 
     # ------------------------------------------------------------------
     # queries
@@ -121,6 +459,53 @@ class PrunedLandmarkLabeling:
             )
         except KeyError as exc:
             raise GraphError(f"node {exc.args[0]!r} not in index") from None
+
+    def distances_from(
+        self, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Batched ``{target: distance}`` from one source (memoized).
+
+        The hot loops of Algorithm 1 sweep one root against many skill
+        holders; this entry point hoists the root's label arrays out of
+        the per-target work and memoizes per-source results in a bounded
+        FIFO cache, so repeated sweeps from the same root (top-k search,
+        lambda sweeps) never re-run a merge-join.
+        """
+        try:
+            src_ranks = self._ranks[source]
+        except KeyError:
+            raise GraphError(f"node {source!r} not in index") from None
+        src_dists = self._dists[source]
+        cache = self._source_cache.get(source)
+        if cache is None:
+            if len(self._source_cache) >= self.MAX_CACHED_SOURCES:
+                self._source_cache.pop(next(iter(self._source_cache)))
+            cache = self._source_cache[source] = {}
+        out: dict[Node, float] = {}
+        all_ranks, all_dists = self._ranks, self._dists
+        for target in targets:
+            d = cache.get(target)
+            if d is None:
+                if target == source:
+                    d = 0.0
+                else:
+                    try:
+                        d = _merge_join_min(
+                            src_ranks, src_dists, all_ranks[target], all_dists[target]
+                        )
+                    except KeyError:
+                        raise GraphError(
+                            f"node {target!r} not in index"
+                        ) from None
+                cache[target] = d
+            out[target] = d
+        return out
+
+    def distances_many(
+        self, sources: Iterable[Node], targets: Iterable[Node]
+    ) -> dict[tuple[Node, Node], float]:
+        """All-pairs ``{(source, target): distance}`` over two node sets."""
+        return all_pairs_distances(self, sources, targets)
 
     def path(self, u: Node, v: Node) -> list[Node]:
         """Exact shortest path as a node list (``[u, ..., v]``).
@@ -172,11 +557,14 @@ class PrunedLandmarkLabeling:
             ):
                 nxt = self._parents[current][idx]
             else:
-                # `current` was pruned during `hub`'s Dijkstra: its distance
-                # to the hub is certified through a higher-ranked hub.  Step
-                # through that hub's subpath instead.
+                # `current` carries no entry for `hub`: it was pruned during
+                # `hub`'s Dijkstra, or the batch merge filtered the entry as
+                # redundant.  Either way the pair is certified through some
+                # other hub (possibly `current` itself, in which case the
+                # recursive call walks `hub`'s parent chain in `current`'s
+                # own search tree), so recurse on the remaining segment.
                 inner = self._best_hub(current, hub)
-                if inner is None or inner == current:
+                if inner is None:
                     raise GraphError(
                         f"path reconstruction failed between {node!r} and {hub!r}"
                     )
@@ -210,6 +598,14 @@ class PrunedLandmarkLabeling:
             for rank, dist in zip(self._ranks[node], self._dists[node])
         ]
 
+    def labels(self) -> dict[Node, list[tuple[Node, float]]]:
+        """The whole index as ``{node: [(landmark, distance), ...]}``.
+
+        Used by the equivalence tests (parallel vs sequential builds must
+        agree entry-for-entry) and by index-size diagnostics.
+        """
+        return {node: self.label_of(node) for node in self._ranks}
+
 
 def _merge_join_min(
     ranks_a: list[int],
@@ -220,6 +616,33 @@ def _merge_join_min(
     """Minimum ``dists_a[i] + dists_b[j]`` over positions with equal rank."""
     best = _INF
     i = j = 0
+    len_a, len_b = len(ranks_a), len(ranks_b)
+    while i < len_a and j < len_b:
+        ra, rb = ranks_a[i], ranks_b[j]
+        if ra == rb:
+            total = dists_a[i] + dists_b[j]
+            if total < best:
+                best = total
+            i += 1
+            j += 1
+        elif ra < rb:
+            i += 1
+        else:
+            j += 1
+    return best
+
+
+def _tail_join_min(
+    ranks_a: list[int],
+    dists_a: list[float],
+    ranks_b: list[int],
+    dists_b: list[float],
+    min_rank: int,
+) -> float:
+    """:func:`_merge_join_min` restricted to hub ranks ``>= min_rank``."""
+    best = _INF
+    i = bisect_left(ranks_a, min_rank)
+    j = bisect_left(ranks_b, min_rank)
     len_a, len_b = len(ranks_a), len(ranks_b)
     while i < len_a and j < len_b:
         ra, rb = ranks_a[i], ranks_b[j]

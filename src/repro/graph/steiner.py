@@ -65,13 +65,21 @@ def minimum_spanning_tree(graph: Graph) -> Graph:
     return forest
 
 
-def mst_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Graph:
+def mst_steiner_tree(
+    graph: Graph, terminals: Sequence[Node], *, oracle=None
+) -> Graph:
     """Metric-closure MST 2-approximation of the Steiner tree.
 
     Classic Kou–Markowsky–Berman scheme: build the complete graph on the
     terminals under shortest-path distance, take its MST, expand each MST
     edge back into an actual shortest path, take an MST of the expansion
     and prune non-terminal leaves.
+
+    ``oracle`` optionally supplies the closure's distances and paths from
+    a shared :class:`repro.graph.distance.DistanceOracle` over ``graph``.
+    Callers that rebuild many trees over one routing graph (local-search
+    refinement, replacement ranking) pass a cached oracle so terminal
+    shortest-path trees are computed once instead of once per rebuild.
     """
     terminals = list(dict.fromkeys(terminals))
     _validate_terminals(graph, terminals)
@@ -83,13 +91,25 @@ def mst_steiner_tree(graph: Graph, terminals: Sequence[Node]) -> Graph:
     # Metric closure restricted to terminal pairs.
     closure = Graph()
     paths: dict[tuple[Node, Node], list[Node]] = {}
-    for i, t in enumerate(terminals):
-        dist, parent = dijkstra(graph, t, targets=terminals[i + 1 :])
-        for other in terminals[i + 1 :]:
-            if other not in dist:
-                raise GraphError(f"terminals {t!r} and {other!r} are disconnected")
-            closure.add_edge(t, other, weight=dist[other])
-            paths[(t, other)] = reconstruct_path(parent, other)
+    if oracle is not None:
+        for i, t in enumerate(terminals):
+            rest = terminals[i + 1 :]
+            dist = oracle.distances_from(t, rest)
+            for other in rest:
+                if dist[other] == _INF:
+                    raise GraphError(
+                        f"terminals {t!r} and {other!r} are disconnected"
+                    )
+                closure.add_edge(t, other, weight=dist[other])
+                paths[(t, other)] = oracle.path(t, other)
+    else:
+        for i, t in enumerate(terminals):
+            dist, parent = dijkstra(graph, t, targets=terminals[i + 1 :])
+            for other in terminals[i + 1 :]:
+                if other not in dist:
+                    raise GraphError(f"terminals {t!r} and {other!r} are disconnected")
+                closure.add_edge(t, other, weight=dist[other])
+                paths[(t, other)] = reconstruct_path(parent, other)
 
     expanded = Graph()
     for u, v, _ in minimum_spanning_tree(closure).edges():
@@ -163,7 +183,9 @@ def dreyfus_wagner(
             if sub & low:
                 rest = mask ^ sub
                 left, right = dp[sub], dp[rest]
-                smaller, larger = (left, right) if len(left) < len(right) else (right, left)
+                smaller, larger = (
+                    (left, right) if len(left) < len(right) else (right, left)
+                )
                 for v, dl in smaller.items():
                     dr = larger.get(v)
                     if dr is None:

@@ -1,0 +1,1 @@
+"""Test package (enables relative conftest imports)."""

@@ -4,8 +4,7 @@ import random
 
 import pytest
 
-from repro.core import Team
-from repro.core.multi_project import MultiProjectStaffing, PortfolioResult, ProjectAssignment
+from repro.core.multi_project import MultiProjectStaffing
 
 from ..conftest import make_random_network
 

@@ -2,7 +2,11 @@
 
 import pytest
 
-from repro.core import ObjectiveScales, authority_fold_transform, transformed_edge_weight
+from repro.core import (
+    ObjectiveScales,
+    authority_fold_transform,
+    transformed_edge_weight,
+)
 from repro.expertise import Expert, ExpertNetwork
 
 

@@ -11,15 +11,33 @@ def corpus():
     c.add_venue(Venue("KDD", rating=9.0))
     c.add_venue(Venue("WS", rating=2.0))
     c.add_paper(
-        Paper(id="p1", title="Graph Mining", authors=("alice", "bob"), year=2014, venue="KDD"),
+        Paper(
+            id="p1",
+            title="Graph Mining",
+            authors=("alice", "bob"),
+            year=2014,
+            venue="KDD",
+        ),
         citations=12,
     )
     c.add_paper(
-        Paper(id="p2", title="Stream Mining", authors=("alice",), year=2015, venue="WS"),
+        Paper(
+            id="p2",
+            title="Stream Mining",
+            authors=("alice",),
+            year=2015,
+            venue="WS",
+        ),
         citations=3,
     )
     c.add_paper(
-        Paper(id="p3", title="Deep Graphs", authors=("bob", "carol"), year=2015, venue="KDD"),
+        Paper(
+            id="p3",
+            title="Deep Graphs",
+            authors=("bob", "carol"),
+            year=2015,
+            venue="KDD",
+        ),
     )
     return c
 

@@ -3,8 +3,6 @@
 import io
 import textwrap
 
-import pytest
-
 from repro.dblp import iter_records, parse_dblp_xml
 
 SAMPLE = textwrap.dedent(

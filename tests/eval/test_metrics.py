@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import Team
-from repro.eval import TeamStats, average_stats, safe_mean, team_stats
+from repro.eval import average_stats, safe_mean, team_stats
 from repro.expertise import Expert, ExpertNetwork
 from repro.graph import Graph
 

@@ -1,0 +1,193 @@
+"""Batch distance API, per-root cache, and the parallel PLL build.
+
+Three equivalences are pinned down here:
+
+* ``distances_from`` / ``distances_many`` agree with point ``distance()``
+  and with plain Dijkstra ground truth, on both oracle kinds;
+* a parallel build (``workers=2``) produces *identical* labels to the
+  sequential build — the batch schedule is worker-independent, so this is
+  an exact, entry-for-entry comparison, not an approximate one;
+* the greedy solver returns identical teams through the batched and the
+  point-query paths.
+"""
+
+import random
+
+import pytest
+
+from repro.core.greedy import GreedyTeamFinder
+from repro.graph import (
+    DijkstraOracle,
+    DistanceOracle,
+    Graph,
+    GraphError,
+    PrunedLandmarkLabeling,
+    build_oracle,
+    dijkstra,
+    get_default_index_workers,
+    mst_steiner_tree,
+    set_default_index_workers,
+)
+
+from ..conftest import make_random_network
+
+
+def _random_graph(seed: int, n: int = 40) -> Graph:
+    return make_random_network(random.Random(seed), n=n, p=0.15).graph
+
+
+# ----------------------------------------------------------------------
+# batch API correctness
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", ["pll", "dijkstra"])
+@pytest.mark.parametrize("seed", [0, 1, 2])
+def test_distances_many_agrees_with_point_and_dijkstra(kind, seed):
+    g = _random_graph(seed)
+    g.add_node("island")  # exercise the inf path
+    oracle = build_oracle(g, kind)
+    nodes = sorted(g.nodes(), key=repr)
+    sources, targets = nodes[::3], nodes[::2]
+    many = oracle.distances_many(sources, targets)
+    assert set(many) == {(s, t) for s in sources for t in targets}
+    for s in sources:
+        truth, _ = dijkstra(g, s)
+        batch = oracle.distances_from(s, targets)
+        for t in targets:
+            expected = truth.get(t, float("inf"))
+            assert many[(s, t)] == batch[t]
+            assert batch[t] == pytest.approx(expected)
+            assert oracle.distance(s, t) == pytest.approx(expected)
+
+
+@pytest.mark.parametrize("kind", ["pll", "dijkstra"])
+def test_distances_from_unknown_node_raises(kind):
+    g = Graph.from_edges([("a", "b", 1.0)])
+    oracle = build_oracle(g, kind)
+    with pytest.raises(GraphError):
+        oracle.distances_from("ghost", ["a"])
+    with pytest.raises(GraphError):
+        oracle.distances_from("a", ["ghost"])
+
+
+def test_pll_source_cache_is_bounded_and_correct():
+    g = _random_graph(3)
+    pll = PrunedLandmarkLabeling(g)
+    pll.MAX_CACHED_SOURCES  # class-level bound exists
+    nodes = sorted(g.nodes(), key=repr)
+    first = pll.distances_from(nodes[0], nodes)
+    again = pll.distances_from(nodes[0], nodes)  # served from cache
+    assert first == again
+    # Evictions must never change answers.
+    small_cache = PrunedLandmarkLabeling(g)
+    small_cache.MAX_CACHED_SOURCES = 2
+    for s in nodes[:6]:
+        batch = small_cache.distances_from(s, nodes)
+        for t in nodes[:10]:
+            assert batch[t] == pll.distance(s, t)
+    assert len(small_cache._source_cache) <= 2
+
+
+def test_protocol_includes_batch_api():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    for kind in ("pll", "dijkstra"):
+        assert isinstance(build_oracle(g, kind), DistanceOracle)
+
+
+# ----------------------------------------------------------------------
+# parallel build
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", [0, 1])
+def test_parallel_build_identical_labels(seed):
+    g = _random_graph(seed, n=60)
+    sequential = PrunedLandmarkLabeling(g, workers=1)
+    parallel = PrunedLandmarkLabeling(g, workers=2)
+    assert sequential.labels() == parallel.labels()
+    assert sequential._parents == parallel._parents
+    assert sequential.total_label_entries == parallel.total_label_entries
+
+
+def test_parallel_build_exact_distances_and_paths():
+    g = _random_graph(4, n=60)
+    parallel = PrunedLandmarkLabeling(g, workers=2)
+    classic = PrunedLandmarkLabeling(g, batch_size=1)
+    rng = random.Random(7)
+    nodes = sorted(g.nodes(), key=repr)
+    for _ in range(60):
+        a, b = rng.choice(nodes), rng.choice(nodes)
+        truth, _ = dijkstra(g, a, targets=[b])
+        expected = truth.get(b, float("inf"))
+        assert parallel.distance(a, b) == pytest.approx(expected)
+        assert classic.distance(a, b) == pytest.approx(expected)
+        if a != b and expected < float("inf"):
+            path = parallel.path(a, b)
+            assert path[0] == a and path[-1] == b
+            weight = sum(g.weight(u, v) for u, v in zip(path, path[1:]))
+            assert weight == pytest.approx(expected)
+
+
+def test_batched_schedule_grows_labels_only_marginally():
+    g = _random_graph(5, n=80)
+    classic = PrunedLandmarkLabeling(g, batch_size=1)
+    batched = PrunedLandmarkLabeling(g)
+    assert batched.total_label_entries >= classic.total_label_entries
+    assert batched.total_label_entries <= 1.25 * classic.total_label_entries
+
+
+def test_invalid_build_parameters():
+    g = Graph.from_edges([("a", "b", 1.0)])
+    with pytest.raises(ValueError):
+        PrunedLandmarkLabeling(g, workers=0)
+    with pytest.raises(ValueError):
+        PrunedLandmarkLabeling(g, batch_size=0)
+
+
+def test_default_index_workers_roundtrip():
+    assert get_default_index_workers() == 1
+    try:
+        set_default_index_workers(2)
+        assert get_default_index_workers() == 2
+        g = _random_graph(6, n=60)
+        oracle = build_oracle(g, "pll")
+        assert oracle.workers == 2
+        assert oracle.labels() == PrunedLandmarkLabeling(g, workers=1).labels()
+    finally:
+        set_default_index_workers(1)
+    with pytest.raises(ValueError):
+        set_default_index_workers(0)
+
+
+# ----------------------------------------------------------------------
+# batched consumers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("objective", ["cc", "sa-ca-cc"])
+def test_greedy_batched_equals_point_queries(objective):
+    network = make_random_network(random.Random(11), n=24, p=0.3)
+    project = ["a", "b", "c"]
+    batched = GreedyTeamFinder(network, objective=objective)
+    point = GreedyTeamFinder(network, objective=objective, batch_queries=False)
+    assert batched._batch_queries and not point._batch_queries
+    teams_b = batched.find_top_k(project, k=3)
+    teams_p = point.find_top_k(project, k=3)
+    assert [t.key() for t in teams_b] == [t.key() for t in teams_p]
+    for tb, tp in zip(teams_b, teams_p):
+        assert tb.assignments == tp.assignments
+        assert tb.root == tp.root
+        assert sorted(tb.tree.edges()) == sorted(tp.tree.edges())
+
+
+def test_greedy_parallel_index_equals_sequential():
+    network = make_random_network(random.Random(12), n=40, p=0.2)
+    project = ["a", "b", "c", "d"]
+    sequential = GreedyTeamFinder(network, index_workers=1)
+    parallel = GreedyTeamFinder(network, index_workers=2)
+    teams_s = sequential.find_top_k(project, k=3)
+    teams_q = parallel.find_top_k(project, k=3)
+    assert [t.key() for t in teams_s] == [t.key() for t in teams_q]
+
+
+def test_steiner_oracle_closure_matches_plain():
+    g = _random_graph(13, n=40)
+    terminals = sorted(g.nodes(), key=repr)[:5]
+    plain = mst_steiner_tree(g, terminals)
+    via_oracle = mst_steiner_tree(g, terminals, oracle=DijkstraOracle(g))
+    assert sorted(plain.edges()) == sorted(via_oracle.edges())

@@ -22,7 +22,13 @@ def path_graph():
 def diamond():
     #   a --1-- b --1-- d     direct a-d costs 5, via b,c costs 2 each side
     return Graph.from_edges(
-        [("a", "b", 1.0), ("b", "d", 1.0), ("a", "c", 1.5), ("c", "d", 1.0), ("a", "d", 5.0)]
+        [
+            ("a", "b", 1.0),
+            ("b", "d", 1.0),
+            ("a", "c", 1.5),
+            ("c", "d", 1.0),
+            ("a", "d", 5.0),
+        ]
     )
 
 

@@ -9,8 +9,6 @@ authority transform.
 
 from __future__ import annotations
 
-import random
-
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (

@@ -91,7 +91,10 @@ def test_dblp_xml_roundtrip(corpus):
         assert rebuilt.authors == original.authors
         assert rebuilt.year == original.year
         # whitespace at title edges is structural XML noise; content match
-        assert rebuilt.title == original.title.strip() or rebuilt.title == original.title
+        assert (
+            rebuilt.title == original.title.strip()
+            or rebuilt.title == original.title
+        )
 
 
 @given(
