@@ -1,0 +1,136 @@
+"""Engine serving-throughput benchmark (standalone).
+
+Measures queries/sec for a gamma-homogeneous request batch (a lambda
+sweep over random projects — the paper's Figure 3 access pattern) served
+two ways:
+
+* **engine** — one :class:`repro.api.TeamFormationEngine` answering the
+  whole batch via ``solve_many``, so every request after the first hits
+  the keyed oracle cache;
+* **naive** — a fresh :class:`GreedyTeamFinder` per request, each
+  rebuilding its own 2-hop-cover index, which is what per-query solver
+  construction costs.
+
+Teams are asserted identical between the two paths, and the engine's
+PLL-build count is asserted to be exactly one per distinct gamma.
+
+Run it directly (the CI smoke job runs the tiny scale)::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --scale small --requests 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.core.greedy import GreedyTeamFinder
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
+from repro.graph.pll import pll_build_count
+
+LAMBDAS = (0.2, 0.4, 0.6, 0.8)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def build_requests(network, count: int, num_skills: int, seed: int) -> list[TeamRequest]:
+    """A lambda sweep across random projects: ``count`` requests total."""
+    projects = sample_projects(
+        network, num_skills, (count + len(LAMBDAS) - 1) // len(LAMBDAS), seed=seed
+    )
+    requests = [
+        TeamRequest(skills=tuple(project), solver="greedy", lam=lam)
+        for project in projects
+        for lam in LAMBDAS
+    ]
+    return requests[:count]
+
+
+def bench_engine(network, requests: list[TeamRequest]) -> tuple[float, list, int]:
+    """(seconds, teams, pll builds) serving the batch through one engine."""
+    engine = TeamFormationEngine(network)
+    before = pll_build_count()
+    t0 = time.perf_counter()
+    responses = engine.solve_many(requests)
+    elapsed = time.perf_counter() - t0
+    return elapsed, [r.team for r in responses], pll_build_count() - before
+
+
+def bench_naive(network, requests: list[TeamRequest]) -> tuple[float, list, int]:
+    """(seconds, teams, pll builds) constructing one solver per request."""
+    from repro.api import TeamPayload
+
+    before = pll_build_count()
+    t0 = time.perf_counter()
+    teams = []
+    for request in requests:
+        finder = GreedyTeamFinder(
+            network,
+            objective=request.objective,
+            gamma=request.gamma,
+            lam=request.lam,
+            oracle_kind=request.oracle_kind,
+        )
+        team = finder.find_team(list(request.skills))
+        teams.append(TeamPayload.from_team(team) if team is not None else None)
+    elapsed = time.perf_counter() - t0
+    return elapsed, teams, pll_build_count() - before
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALE_CONFIGS), default="small"
+    )
+    parser.add_argument("--requests", type=_positive_int, default=12)
+    parser.add_argument("--num-skills", type=_positive_int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    network = benchmark_network(args.scale, seed=0)
+    requests = build_requests(network, args.requests, args.num_skills, args.seed)
+    print(
+        f"scale={args.scale}: {len(network)} experts, "
+        f"{network.num_edges} edges; {len(requests)} requests "
+        f"({len(LAMBDAS)}-lambda sweep, gamma fixed)"
+    )
+
+    naive_s, naive_teams, naive_builds = bench_naive(network, requests)
+    engine_s, engine_teams, engine_builds = bench_engine(network, requests)
+
+    if engine_teams != naive_teams:
+        print("FAIL: engine and naive paths returned different teams")
+        return 1
+    if engine_builds != 1:
+        print(f"FAIL: engine paid {engine_builds} PLL builds, expected 1")
+        return 1
+    if naive_builds != len(requests):
+        print(
+            f"FAIL: naive path paid {naive_builds} PLL builds, "
+            f"expected {len(requests)}"
+        )
+        return 1
+
+    engine_qps = len(requests) / engine_s
+    naive_qps = len(requests) / naive_s
+    print(
+        f"  engine solve_many : {engine_s:8.3f}s  {engine_qps:8.1f} q/s  "
+        f"({engine_builds} index build)"
+    )
+    print(
+        f"  naive per-query   : {naive_s:8.3f}s  {naive_qps:8.1f} q/s  "
+        f"({naive_builds} index builds)"
+    )
+    print(f"  speedup           : {naive_s / engine_s:8.2f}x  (identical teams)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,7 +15,7 @@ Run:  python examples/custom_network.py
 
 from __future__ import annotations
 
-from repro import Expert, ExpertNetwork, GreedyTeamFinder, TeamEvaluator
+from repro import Expert, ExpertNetwork, TeamFormationEngine
 from repro.eval import format_table
 
 ROSTER = [
@@ -56,15 +56,14 @@ def main() -> None:
     ]
     network = ExpertNetwork(experts, COLLABORATIONS)
     project = ["strategy", "data-eng", "ml", "ux"]
-    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    engine = TeamFormationEngine(network, oracle_kind="dijkstra")
+    evaluator = engine.evaluator(gamma=0.6, lam=0.6)
     print(f"staffing request: {project}\n")
 
     rows = []
     teams = {}
     for objective in ("cc", "ca-cc", "sa-ca-cc"):
-        finder = GreedyTeamFinder(
-            network, objective=objective, gamma=0.6, lam=0.6, oracle_kind="dijkstra"
-        )
+        finder = engine.greedy_finder(objective=objective, gamma=0.6, lam=0.6)
         team = finder.find_team(project)
         teams[objective] = team
         rows.append(
@@ -85,7 +84,7 @@ def main() -> None:
     )
 
     print("\nalternatives (top-3 under SA-CA-CC):")
-    finder = GreedyTeamFinder(network, objective="sa-ca-cc", oracle_kind="dijkstra")
+    finder = engine.greedy_finder(objective="sa-ca-cc")
     for rank, team in enumerate(finder.find_top_k(project, k=3), start=1):
         assigned = ", ".join(
             f"{skill}->{who}" for skill, who in sorted(team.assignments.items())

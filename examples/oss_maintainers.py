@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import random
 
-from repro import Expert, ExpertNetwork, GreedyTeamFinder, TeamEvaluator
+from repro import Expert, ExpertNetwork, TeamFormationEngine
 from repro.core import explain_team
 from repro.eval import format_table
 
@@ -55,15 +55,14 @@ def build_contributor_network(seed: int = 4) -> ExpertNetwork:
 def main() -> None:
     network = build_contributor_network()
     project = ["rust", "postgres", "kubernetes", "grpc"]
-    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    engine = TeamFormationEngine(network, oracle_kind="dijkstra")
+    evaluator = engine.evaluator(gamma=0.6, lam=0.6)
     print(f"maintaining a new service needs: {project}\n")
 
     rows = []
     teams = {}
     for objective in ("cc", "sa-ca-cc"):
-        finder = GreedyTeamFinder(
-            network, objective=objective, oracle_kind="dijkstra"
-        )
+        finder = engine.greedy_finder(objective=objective)
         team = finder.find_team(project)
         teams[objective] = team
         maintainers = [m for m in team.members if "maintainer" in m]

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 
-from repro import ParetoTeamDiscovery
+from repro import TeamFormationEngine
 from repro.dblp import SyntheticDblpConfig, build_expert_network, synthetic_corpus
 from repro.eval import format_table, sample_project
 
@@ -23,8 +23,9 @@ def main() -> None:
     project = sample_project(network, 4, random.Random(5))
     print(f"network: {len(network)} experts | project: {project}\n")
 
-    discovery = ParetoTeamDiscovery(
-        network, grid=(0.0, 0.25, 0.5, 0.75, 1.0), k_per_cell=3
+    engine = TeamFormationEngine(network, oracle_kind="dijkstra")
+    discovery = engine.pareto_discovery(
+        grid=(0.0, 0.25, 0.5, 0.75, 1.0), k_per_cell=3
     )
     frontier = discovery.discover(project)
 

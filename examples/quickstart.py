@@ -1,16 +1,21 @@
-"""Quickstart: find an authority-aware team in a hand-built expert network.
+"""Quickstart: serve authority-aware team queries through the engine.
 
 Builds the paper's Figure 1 scenario — two candidate teams for the skills
 {social networks, text mining} with identical communication costs but very
-different authority — and shows that the plain communication-cost
-objective cannot tell them apart while CA-CC and SA-CA-CC can.
+different authority — and routes one request per objective through a
+:class:`repro.api.TeamFormationEngine`.  The plain communication-cost
+objective cannot tell the teams apart; CA-CC and SA-CA-CC can.
+
+The engine is the library's front door: it owns the network, shares one
+distance index across all three queries (see ``timing.oracle_builds`` in
+the output), and answers typed, JSON-serializable requests.
 
 Run:  python examples/quickstart.py
 """
 
 from __future__ import annotations
 
-from repro import Expert, ExpertNetwork, GreedyTeamFinder, TeamEvaluator
+from repro import Expert, ExpertNetwork, TeamFormationEngine, TeamRequest
 
 
 def build_network() -> ExpertNetwork:
@@ -38,40 +43,42 @@ def build_network() -> ExpertNetwork:
     return ExpertNetwork(experts, edges)
 
 
-def describe(team, network: ExpertNetwork) -> str:
-    rows = []
-    for member in sorted(team.members):
-        expert = network.expert(member)
-        role = (
-            "holds " + ", ".join(s for s, c in team.assignments.items() if c == member)
-            if member in team.skill_holders
-            else "connector"
-        )
-        rows.append(
-            f"    {expert.display_name:<22} h-index {expert.h_index:>5.0f}  {role}"
-        )
-    return "\n".join(rows)
-
-
 def main() -> None:
-    network = build_network()
-    project = ["SN", "TM"]
-    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    engine = TeamFormationEngine(build_network())
+    skills = ("SN", "TM")
+    print(f"project: {list(skills)}  solvers: {', '.join(engine.list_solvers())}\n")
 
-    print(f"project: {project}\n")
-    for objective in ("cc", "ca-cc", "sa-ca-cc"):
-        finder = GreedyTeamFinder(
-            network, objective=objective, gamma=0.6, lam=0.6, oracle_kind="dijkstra"
+    requests = [
+        TeamRequest(
+            skills=skills,
+            solver="greedy",
+            objective=objective,
+            gamma=0.6,
+            lam=0.6,
+            oracle_kind="dijkstra",
         )
-        team = finder.find_team(project)
-        print(f"[{objective}]  SA-CA-CC score = {evaluator.sa_ca_cc(team):.3f}")
-        print(describe(team, network))
+        for objective in ("cc", "ca-cc", "sa-ca-cc")
+    ]
+    responses = engine.solve_many(requests)
+    for request, response in zip(requests, responses):
+        members = ", ".join(response.team.members)
+        print(
+            f"[{request.objective:<8}]  sa-ca-cc={response.scores.sa_ca_cc:.3f}  "
+            f"members: {members}"
+        )
+        for c in response.contributions:
+            covered = f" holds {', '.join(c.covered_skills)}" if c.covered_skills else ""
+            print(f"    {c.expert_id:<10} {c.role:<12} h-index {c.authority:>5.0f}{covered}")
         print()
 
     print(
         "With equal edge weights CC is indifferent between the two chains;\n"
-        "the authority-aware objectives route through Jiawei Han (h=139)."
+        "the authority-aware objectives route through Jiawei Han (h=139).\n"
+        "Requests and responses are wire-ready too:"
     )
+    print(f"request:  {requests[-1].to_json()}")
+    print(f"response: {responses[-1].to_json()[:120]}... "
+          f"({len(responses[-1].to_json())} bytes, lossless round-trip)")
 
 
 if __name__ == "__main__":

@@ -17,10 +17,9 @@ from __future__ import annotations
 import random
 
 from repro import (
-    GreedyTeamFinder,
     ReplacementError,
     ReplacementRecommender,
-    TeamEvaluator,
+    TeamFormationEngine,
 )
 from repro.dblp import SyntheticDblpConfig, build_expert_network, synthetic_corpus
 from repro.eval import sample_project
@@ -32,9 +31,10 @@ def main() -> None:
     project = sample_project(network, 4, random.Random(8))
     print(f"project: {project}\n")
 
-    finder = GreedyTeamFinder(network, objective="sa-ca-cc", oracle_kind="pll")
+    engine = TeamFormationEngine(network, oracle_kind="pll")
+    finder = engine.greedy_finder(objective="sa-ca-cc")
     team = finder.find_team(project)
-    evaluator = TeamEvaluator(network, gamma=0.6, lam=0.6)
+    evaluator = engine.evaluator(gamma=0.6, lam=0.6)
     print(f"original team (score {evaluator.sa_ca_cc(team):.3f}):")
     for skill, holder in sorted(team.assignments.items()):
         print(f"  {skill:<16} -> {holder}")

@@ -30,6 +30,13 @@ distance oracle), :mod:`repro.expertise` (the expert-network model),
 and the per-figure experiment runners).
 """
 
+from .api import (
+    DEFAULT_REGISTRY,
+    SolverRegistry,
+    TeamFormationEngine,
+    TeamRequest,
+    TeamResponse,
+)
 from .core import (
     BruteForceSolver,
     ExactSolver,
@@ -60,6 +67,11 @@ from .graph import Graph, GraphError
 __version__ = "1.0.0"
 
 __all__ = [
+    "DEFAULT_REGISTRY",
+    "SolverRegistry",
+    "TeamFormationEngine",
+    "TeamRequest",
+    "TeamResponse",
     "BruteForceSolver",
     "ExactSolver",
     "GreedyTeamFinder",

@@ -1,0 +1,53 @@
+"""repro.api — the unified serving surface for team discovery.
+
+The paper contributes a *family* of problems over one expert network;
+this package exposes them behind one stable API instead of eight solver
+classes with incompatible constructors:
+
+* :class:`TeamRequest` / :class:`TeamResponse` — typed, JSON-round-trip
+  messages (:mod:`repro.api.messages`);
+* :class:`Solver` / :class:`SolverRegistry` — the string-keyed strategy
+  registry (:mod:`repro.api.registry`), pre-populated with the seven
+  built-in solvers (:data:`DEFAULT_REGISTRY`,
+  :mod:`repro.api.solvers`);
+* :class:`TeamFormationEngine` — the shared-oracle session layer that
+  serves multi-query traffic without rebuilding indexes
+  (:mod:`repro.api.engine`).
+
+Quickstart::
+
+    from repro.api import TeamFormationEngine, TeamRequest
+
+    engine = TeamFormationEngine(network)
+    response = engine.solve(
+        TeamRequest(skills=("db", "ml"), solver="greedy", lam=0.6)
+    )
+    print(response.team.members, response.scores.sa_ca_cc)
+"""
+
+from .engine import TeamFormationEngine
+from .messages import (
+    MemberContributionPayload,
+    ScoreBreakdown,
+    TeamPayload,
+    TeamRequest,
+    TeamResponse,
+    TimingInfo,
+)
+from .registry import Solver, SolverRegistry, UnknownSolverError
+from .solvers import DEFAULT_REGISTRY, register_builtin_solvers
+
+__all__ = [
+    "TeamFormationEngine",
+    "TeamRequest",
+    "TeamResponse",
+    "TeamPayload",
+    "MemberContributionPayload",
+    "ScoreBreakdown",
+    "TimingInfo",
+    "Solver",
+    "SolverRegistry",
+    "UnknownSolverError",
+    "DEFAULT_REGISTRY",
+    "register_builtin_solvers",
+]

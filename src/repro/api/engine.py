@@ -1,0 +1,371 @@
+"""The serving facade: one engine, one network, shared indexes.
+
+:class:`TeamFormationEngine` is the multi-query hot path the repo routes
+through.  It owns exactly one :class:`~repro.expertise.network.ExpertNetwork`,
+one set of :class:`~repro.core.objectives.ObjectiveScales`, and a keyed
+cache of distance oracles, so a stream of requests — a lambda sweep, a
+``solve_many`` batch, a long-lived server loop — builds each PLL index
+exactly once instead of once per solver instance.
+
+The cache key is what the index actually depends on:
+
+* the greedy search graph for ``cc`` depends only on the scales;
+* the folded graph ``G'`` depends on ``gamma`` (never on ``lambda``);
+* RarestFirst measures the *raw* network graph.
+
+Every solver the engine hands out — whether through the typed
+:meth:`solve` / :meth:`solve_many` request path or through the factory
+methods the experiment runners use — is constructed with the same
+arguments a direct instantiation would use, so teams are identical
+either way (asserted per registered solver in ``tests/api``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from ..core.brute_force import BruteForceSolver
+from ..core.exact import ExactSolver
+from ..core.greedy import GreedyTeamFinder, search_graph_for
+from ..core.objectives import ObjectiveScales, SaMode, TeamEvaluator
+from ..core.pareto import ParetoTeamDiscovery
+from ..core.random_search import DEFAULT_NUM_SAMPLES, RandomSolver
+from ..core.rarest_first import RarestFirstSolver
+from ..core.sa_solver import SaOptimalSolver
+from ..expertise.network import ExpertNetwork
+from ..graph.adjacency import Graph
+from ..graph.distance import DistanceOracle, build_oracle
+from .messages import TeamRequest, TeamResponse
+from .registry import Solver, SolverRegistry
+from .solvers import DEFAULT_REGISTRY
+
+__all__ = ["TeamFormationEngine"]
+
+
+class TeamFormationEngine:
+    """Unified entry point for every team-discovery strategy.
+
+    Parameters
+    ----------
+    network:
+        The expert network all requests are answered over.
+    scales:
+        Normalization constants shared by every solver; derived from the
+        network when omitted.
+    sa_mode:
+        Default Definition-5 reading for requests/factories that do not
+        specify one.
+    oracle_kind:
+        Default distance-oracle implementation (``"pll"`` or
+        ``"dijkstra"``) for factory calls that do not specify one.
+    registry:
+        The solver registry to dispatch requests through; defaults to
+        the built-in seven solvers.
+    index_workers:
+        Worker processes for PLL construction (``None`` = module
+        default, see ``--parallel-index``).
+    max_cached_oracles, max_cached_finders:
+        FIFO bounds on the oracle and finder caches.  Gamma arrives over
+        the wire as a continuous float, so a long-lived serving loop fed
+        adversarially varied gammas would otherwise accumulate one full
+        PLL index per distinct value until OOM.
+
+    >>> # engine = TeamFormationEngine(network)
+    >>> # engine.solve(TeamRequest(skills=("db", "ml"), solver="greedy"))
+    """
+
+    def __init__(
+        self,
+        network: ExpertNetwork,
+        *,
+        scales: ObjectiveScales | None = None,
+        sa_mode: SaMode = "per_skill",
+        oracle_kind: str = "pll",
+        registry: SolverRegistry | None = None,
+        index_workers: int | None = None,
+        max_cached_oracles: int = 16,
+        max_cached_finders: int = 128,
+    ) -> None:
+        if max_cached_oracles < 1 or max_cached_finders < 1:
+            raise ValueError("cache bounds must be positive")
+        self.network = network
+        self.scales = scales or ObjectiveScales.from_network(network)
+        self.sa_mode: SaMode = sa_mode
+        self.oracle_kind = oracle_kind
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self._index_workers = index_workers
+        self._max_cached_oracles = max_cached_oracles
+        self._max_cached_finders = max_cached_finders
+        # Search-graph entries carry the graph next to its oracle so a
+        # finder construction never rebuilds the fold a second time.
+        self._search_cache: dict[tuple, tuple[Graph, DistanceOracle]] = {}
+        self._raw_oracles: dict[tuple, DistanceOracle] = {}
+        self._finders: dict[tuple, GreedyTeamFinder] = {}
+        self._adapters: dict[str, Solver] = {}
+
+    # ------------------------------------------------------------------
+    # the request/response serving path
+    # ------------------------------------------------------------------
+    def solve(self, request: TeamRequest) -> TeamResponse:
+        """Answer one request via its registered solver."""
+        return self._adapter(request.solver).solve(request)
+
+    def solve_many(self, requests: Iterable[TeamRequest]) -> list[TeamResponse]:
+        """Answer a batch of requests, sharing cached indexes throughout.
+
+        This is the hot path the engine exists for: a gamma-homogeneous
+        batch (e.g. a lambda sweep) pays for at most one PLL build no
+        matter how many requests it contains.
+        """
+        return [self.solve(request) for request in requests]
+
+    def list_solvers(self) -> tuple[str, ...]:
+        """Names this engine can route to, sorted."""
+        return self.registry.names()
+
+    def _adapter(self, name: str) -> Solver:
+        if name not in self._adapters:
+            self._adapters[name] = self.registry.create(name, self)
+        return self._adapters[name]
+
+    # ------------------------------------------------------------------
+    # the shared-oracle session layer
+    # ------------------------------------------------------------------
+    def search_oracle(
+        self, objective: str, gamma: float, oracle_kind: str | None = None
+    ) -> DistanceOracle:
+        """The (cached) oracle over Algorithm 1's search graph.
+
+        Keyed on what the index depends on: ``(kind,)`` graph flavor and,
+        for authority-folded graphs, gamma.  ``"ca"`` degenerates to the
+        fold at ``gamma=1`` exactly as :class:`GreedyTeamFinder` does, so
+        the cache never splits hairs the search graph doesn't.
+        """
+        return self._search_entry(objective, gamma, oracle_kind)[1]
+
+    def _search_entry(
+        self, objective: str, gamma: float, oracle_kind: str | None = None
+    ) -> tuple[Graph, DistanceOracle]:
+        kind = oracle_kind or self.oracle_kind
+        if objective == "cc":
+            key = (kind, "cc")
+        else:
+            effective_gamma = 1.0 if objective == "ca" else gamma
+            key = (kind, "fold", effective_gamma)
+        if key not in self._search_cache:
+            if len(self._search_cache) >= self._max_cached_oracles:
+                del self._search_cache[next(iter(self._search_cache))]
+            graph = search_graph_for(self.network, objective, gamma, self.scales)
+            self._search_cache[key] = (
+                graph,
+                build_oracle(graph, kind, workers=self._index_workers),
+            )
+        return self._search_cache[key]
+
+    def raw_oracle(self, oracle_kind: str | None = None) -> DistanceOracle:
+        """The (cached) oracle over the plain communication-cost graph."""
+        kind = oracle_kind or self.oracle_kind
+        key = (kind, "raw")
+        if key not in self._raw_oracles:
+            self._raw_oracles[key] = build_oracle(
+                self.network.graph, kind, workers=self._index_workers
+            )
+        return self._raw_oracles[key]
+
+    # ------------------------------------------------------------------
+    # solver factories (single construction path for adapters AND
+    # experiment runners)
+    # ------------------------------------------------------------------
+    def greedy_finder(
+        self,
+        *,
+        objective: str = "sa-ca-cc",
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        sa_mode: SaMode | None = None,
+        oracle_kind: str | None = None,
+        root_candidates: Iterable[str] | None = None,
+    ) -> GreedyTeamFinder:
+        """A :class:`GreedyTeamFinder` wired to the shared oracle cache.
+
+        Finders themselves are memoized per parameter tuple (they are
+        cheap, but a lambda sweep re-requests the same ones constantly).
+        Restricting ``root_candidates`` bypasses the finder memo — the
+        restriction is query-specific — but still shares oracles.
+        """
+        sa_mode = sa_mode or self.sa_mode
+        kind = oracle_kind or self.oracle_kind
+        key = (objective, gamma, lam, sa_mode, kind)
+        if root_candidates is None and key in self._finders:
+            return self._finders[key]
+        search_graph, oracle = self._search_entry(objective, gamma, kind)
+        finder = GreedyTeamFinder(
+            self.network,
+            objective=objective,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode,
+            root_candidates=root_candidates,
+            oracle=oracle,
+            search_graph=search_graph,
+        )
+        if root_candidates is None:
+            if len(self._finders) >= self._max_cached_finders:
+                del self._finders[next(iter(self._finders))]
+            self._finders[key] = finder
+        return finder
+
+    def rarest_first_solver(
+        self,
+        *,
+        aggregate: str = "diameter",
+        oracle_kind: str | None = None,
+    ) -> RarestFirstSolver:
+        """A :class:`RarestFirstSolver` sharing the raw-graph oracle."""
+        return RarestFirstSolver(
+            self.network,
+            aggregate=aggregate,  # type: ignore[arg-type]
+            oracle=self.raw_oracle(oracle_kind),
+        )
+
+    def sa_optimal_solver(
+        self,
+        *,
+        gamma: float = 0.6,
+        lam: float = 1.0,
+        sa_mode: SaMode | None = None,
+    ) -> SaOptimalSolver:
+        """Problem 4's polynomial solver over the shared scales."""
+        return SaOptimalSolver(
+            self.network,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode or self.sa_mode,
+        )
+
+    def exact_solver(
+        self,
+        *,
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        sa_mode: SaMode | None = None,
+        max_assignments: int = 500_000,
+        time_budget: float | None = None,
+    ) -> ExactSolver:
+        """The exhaustive Exact baseline over the shared scales."""
+        return ExactSolver(
+            self.network,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode or self.sa_mode,
+            max_assignments=max_assignments,
+            time_budget=time_budget,
+        )
+
+    def brute_force_solver(
+        self,
+        *,
+        objective: str = "sa-ca-cc",
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        sa_mode: SaMode | None = None,
+        max_nodes: int = 14,
+    ) -> BruteForceSolver:
+        """The member-set enumeration trust anchor (tiny networks only)."""
+        return BruteForceSolver(
+            self.network,
+            objective=objective,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode or self.sa_mode,
+            max_nodes=max_nodes,
+        )
+
+    def random_solver(
+        self,
+        *,
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        sa_mode: SaMode | None = None,
+        num_samples: int | None = None,
+        root_pool_size: int = 64,
+        seed: int | None = None,
+    ) -> RandomSolver:
+        """The paper's best-of-N Random baseline over the shared scales."""
+        return RandomSolver(
+            self.network,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode or self.sa_mode,
+            num_samples=DEFAULT_NUM_SAMPLES if num_samples is None else num_samples,
+            root_pool_size=root_pool_size,
+            seed=seed,
+        )
+
+    def pareto_discovery(
+        self,
+        *,
+        grid: Sequence[float] = (0.0, 0.25, 0.5, 0.75, 1.0),
+        k_per_cell: int = 3,
+        oracle_kind: str | None = None,
+        sa_mode: SaMode | None = None,
+    ) -> ParetoTeamDiscovery:
+        """A frontier miner whose grid cells share this engine's oracles."""
+        kind = oracle_kind or self.oracle_kind
+        mode = sa_mode or self.sa_mode
+
+        def factory(**params: object) -> GreedyTeamFinder:
+            return self.greedy_finder(
+                oracle_kind=kind, sa_mode=mode, **params  # type: ignore[arg-type]
+            )
+
+        return ParetoTeamDiscovery(
+            self.network,
+            grid=grid,
+            k_per_cell=k_per_cell,
+            oracle_kind=kind,
+            scales=self.scales,
+            sa_mode=mode,
+            finder_factory=factory,
+        )
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluator(
+        self,
+        *,
+        gamma: float = 0.6,
+        lam: float = 0.6,
+        sa_mode: SaMode | None = None,
+    ) -> TeamEvaluator:
+        """A :class:`TeamEvaluator` over this engine's network and scales."""
+        return TeamEvaluator(
+            self.network,
+            gamma=gamma,
+            lam=lam,
+            scales=self.scales,
+            sa_mode=sa_mode or self.sa_mode,
+        )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    @property
+    def cached_oracle_keys(self) -> tuple[tuple, ...]:
+        """Which oracle cache entries exist (observability/tests)."""
+        return tuple(
+            sorted([*self._search_cache, *self._raw_oracles], key=repr)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TeamFormationEngine(experts={len(self.network)}, "
+            f"solvers={', '.join(self.list_solvers())}, "
+            f"oracles={len(self._search_cache) + len(self._raw_oracles)})"
+        )

@@ -1,0 +1,421 @@
+"""Typed request/response messages for the team-formation serving API.
+
+A :class:`TeamRequest` captures everything a solver needs to answer one
+query — the required skills, which solver to route to, the objective and
+its tradeoff parameters — and a :class:`TeamResponse` captures everything
+a caller needs from the answer: the team itself, a per-member cost
+decomposition, the full score breakdown and timing.  Both round-trip
+losslessly through plain dicts and JSON (``to_json`` / ``from_json``), so
+requests can arrive over a wire and responses can be logged, cached or
+shipped back without touching pickle.
+
+The payload types deliberately mirror — but do not reference — the live
+domain objects: a :class:`TeamPayload` can be rebuilt into a
+:class:`repro.core.team.Team` (``to_team``), and a
+:class:`MemberContributionPayload` is a serializable view of
+:class:`repro.core.explain.MemberContribution`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any
+
+from ..core.explain import MemberContribution
+from ..core.objectives import SaMode, TeamEvaluator
+from ..core.team import Team
+from ..graph.adjacency import Graph
+
+__all__ = [
+    "TeamRequest",
+    "TeamPayload",
+    "MemberContributionPayload",
+    "ScoreBreakdown",
+    "TimingInfo",
+    "TeamResponse",
+]
+
+_SA_MODES = ("per_skill", "distinct")
+_ORACLE_KINDS = ("pll", "dijkstra")
+
+
+@dataclass(frozen=True, slots=True)
+class TeamRequest:
+    """One team-formation query, addressed to a registered solver.
+
+    ``skills`` is the project (Definition 1); ``solver`` is a
+    :class:`repro.api.registry.SolverRegistry` key.  ``seed`` and
+    ``num_samples`` only matter to stochastic solvers (``random``);
+    ``k`` asks for up to ``k`` ranked teams where the solver supports it
+    (extras are returned as ``alternates``).
+    """
+
+    skills: tuple[str, ...]
+    solver: str = "greedy"
+    objective: str = "sa-ca-cc"
+    gamma: float = 0.6
+    lam: float = 0.6
+    sa_mode: SaMode = "per_skill"
+    oracle_kind: str = "pll"
+    k: int = 1
+    seed: int | None = None
+    num_samples: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "skills", tuple(self.skills))
+        if not self.skills:
+            raise ValueError("a request must name at least one skill")
+        if not all(isinstance(s, str) and s for s in self.skills):
+            raise ValueError("skills must be non-empty strings")
+        if not 0.0 <= self.gamma <= 1.0:
+            raise ValueError(f"gamma must be in [0, 1], got {self.gamma}")
+        if not 0.0 <= self.lam <= 1.0:
+            raise ValueError(f"lambda must be in [0, 1], got {self.lam}")
+        if self.sa_mode not in _SA_MODES:
+            raise ValueError(f"unknown sa_mode {self.sa_mode!r}")
+        if self.oracle_kind not in _ORACLE_KINDS:
+            raise ValueError(f"unknown oracle_kind {self.oracle_kind!r}")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+        if self.num_samples is not None and self.num_samples < 1:
+            raise ValueError("num_samples must be positive")
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "skills": list(self.skills),
+            "solver": self.solver,
+            "objective": self.objective,
+            "gamma": self.gamma,
+            "lam": self.lam,
+            "sa_mode": self.sa_mode,
+            "oracle_kind": self.oracle_kind,
+            "k": self.k,
+            "seed": self.seed,
+            "num_samples": self.num_samples,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TeamRequest":
+        """Build a request from a (possibly partial) dict."""
+        known = {
+            "solver",
+            "objective",
+            "gamma",
+            "lam",
+            "sa_mode",
+            "oracle_kind",
+            "k",
+            "seed",
+            "num_samples",
+        }
+        kwargs = {key: data[key] for key in known if key in data}
+        return cls(skills=tuple(data["skills"]), **kwargs)
+
+    def to_json(self) -> str:
+        """Canonical (sorted-keys) JSON encoding."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TeamRequest":
+        """Parse a request from its JSON encoding."""
+        return cls.from_dict(json.loads(text))
+
+    def replace(self, **changes: Any) -> "TeamRequest":
+        """A copy with the given fields changed (dataclasses.replace-like)."""
+        merged = self.to_dict()
+        merged.update(changes)
+        return self.from_dict(merged)
+
+
+@dataclass(frozen=True, slots=True)
+class TeamPayload:
+    """A serialized team: canonical member, assignment and edge views.
+
+    ``assignments`` is sorted ``(skill, expert)`` pairs; ``edges`` is
+    sorted ``(u, v, weight)`` triples with ``u <= v``.  Sorting makes the
+    payload canonical, so two payloads are equal iff the teams have the
+    same ``Team.key()`` and tree.
+    """
+
+    members: tuple[str, ...]
+    assignments: tuple[tuple[str, str], ...]
+    edges: tuple[tuple[str, str, float], ...]
+    root: str | None = None
+
+    @classmethod
+    def from_team(cls, team: Team) -> "TeamPayload":
+        """Serialize a live :class:`Team` into its canonical payload."""
+        edges = tuple(
+            sorted((min(u, v), max(u, v), w) for u, v, w in team.tree.edges())
+        )
+        return cls(
+            members=tuple(sorted(team.members)),
+            assignments=tuple(sorted(team.assignments.items())),
+            edges=edges,
+            root=team.root,
+        )
+
+    def to_team(self) -> Team:
+        """Rebuild the live :class:`Team` (inverse of :meth:`from_team`)."""
+        tree = Graph()
+        for member in self.members:
+            tree.add_node(member)
+        for u, v, w in self.edges:
+            tree.add_edge(u, v, weight=w)
+        return Team(tree=tree, assignments=dict(self.assignments), root=self.root)
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "members": list(self.members),
+            "assignments": {skill: expert for skill, expert in self.assignments},
+            "edges": [[u, v, w] for u, v, w in self.edges],
+            "root": self.root,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TeamPayload":
+        """Build a payload from its dict form (inverse of ``to_dict``)."""
+        return cls(
+            members=tuple(data["members"]),
+            assignments=tuple(sorted(data["assignments"].items())),
+            edges=tuple((u, v, float(w)) for u, v, w in data["edges"]),
+            root=data.get("root"),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class MemberContributionPayload:
+    """Serializable view of :class:`repro.core.explain.MemberContribution`."""
+
+    expert_id: str
+    role: str
+    covered_skills: tuple[str, ...]
+    authority: float
+    sa_share: float
+    ca_share: float
+    cc_share: float
+    critical: bool
+
+    @property
+    def total(self) -> float:
+        return self.sa_share + self.ca_share + self.cc_share
+
+    @classmethod
+    def from_contribution(
+        cls, contribution: MemberContribution
+    ) -> "MemberContributionPayload":
+        """Serialize a live :class:`MemberContribution`."""
+        return cls(
+            expert_id=contribution.expert_id,
+            role=contribution.role,
+            covered_skills=tuple(contribution.covered_skills),
+            authority=contribution.authority,
+            sa_share=contribution.sa_share,
+            ca_share=contribution.ca_share,
+            cc_share=contribution.cc_share,
+            critical=contribution.critical,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "expert_id": self.expert_id,
+            "role": self.role,
+            "covered_skills": list(self.covered_skills),
+            "authority": self.authority,
+            "sa_share": self.sa_share,
+            "ca_share": self.ca_share,
+            "cc_share": self.cc_share,
+            "critical": self.critical,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "MemberContributionPayload":
+        """Build a payload from its dict form (inverse of ``to_dict``)."""
+        return cls(
+            expert_id=data["expert_id"],
+            role=data["role"],
+            covered_skills=tuple(data["covered_skills"]),
+            authority=data["authority"],
+            sa_share=data["sa_share"],
+            ca_share=data["ca_share"],
+            cc_share=data["cc_share"],
+            critical=data["critical"],
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ScoreBreakdown:
+    """The team's value under every objective (Definitions 2-6)."""
+
+    cc: float
+    ca: float
+    sa: float
+    ca_cc: float
+    sa_ca_cc: float
+
+    @classmethod
+    def from_team(cls, evaluator: TeamEvaluator, team: Team) -> "ScoreBreakdown":
+        """Score ``team`` under all five objectives via ``evaluator``."""
+        return cls(
+            cc=evaluator.cc(team),
+            ca=evaluator.ca(team),
+            sa=evaluator.sa(team),
+            ca_cc=evaluator.ca_cc(team),
+            sa_ca_cc=evaluator.sa_ca_cc(team),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "cc": self.cc,
+            "ca": self.ca,
+            "sa": self.sa,
+            "ca_cc": self.ca_cc,
+            "sa_ca_cc": self.sa_ca_cc,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "ScoreBreakdown":
+        """Build a breakdown from its dict form (inverse of ``to_dict``)."""
+        return cls(**{k: float(data[k]) for k in ("cc", "ca", "sa", "ca_cc", "sa_ca_cc")})
+
+
+@dataclass(frozen=True, slots=True)
+class TimingInfo:
+    """Wall-clock cost of one solve and how many indexes it paid for.
+
+    ``oracle_builds`` counts PLL constructions during the solve: on the
+    engine's multi-query hot path it should be 0 for every request after
+    the first one that shares a cached oracle.
+    """
+
+    solve_seconds: float
+    oracle_builds: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "solve_seconds": self.solve_seconds,
+            "oracle_builds": self.oracle_builds,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TimingInfo":
+        """Build timing info from its dict form (inverse of ``to_dict``)."""
+        return cls(
+            solve_seconds=float(data["solve_seconds"]),
+            oracle_builds=int(data["oracle_builds"]),
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class TeamResponse:
+    """One solver's answer to a :class:`TeamRequest`.
+
+    ``found`` is false when the solver could not produce a team (project
+    uncoverable holders disconnected, or an intractable exact search —
+    in which case ``error`` says why).  ``alternates`` holds ranked
+    runner-up teams when the request asked for ``k > 1``.
+    """
+
+    request: TeamRequest
+    solver: str
+    found: bool
+    team: TeamPayload | None = None
+    alternates: tuple[TeamPayload, ...] = ()
+    contributions: tuple[MemberContributionPayload, ...] = ()
+    scores: ScoreBreakdown | None = None
+    timing: TimingInfo | None = None
+    error: str | None = None
+
+    def to_dict(self) -> dict[str, Any]:
+        """This message as a JSON-ready dict (inverse of ``from_dict``)."""
+        return {
+            "request": self.request.to_dict(),
+            "solver": self.solver,
+            "found": self.found,
+            "team": self.team.to_dict() if self.team is not None else None,
+            "alternates": [t.to_dict() for t in self.alternates],
+            "contributions": [c.to_dict() for c in self.contributions],
+            "scores": self.scores.to_dict() if self.scores is not None else None,
+            "timing": self.timing.to_dict() if self.timing is not None else None,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "TeamResponse":
+        """Build a response from its dict form (inverse of ``to_dict``)."""
+        return cls(
+            request=TeamRequest.from_dict(data["request"]),
+            solver=data["solver"],
+            found=data["found"],
+            team=(
+                TeamPayload.from_dict(data["team"])
+                if data.get("team") is not None
+                else None
+            ),
+            alternates=tuple(
+                TeamPayload.from_dict(t) for t in data.get("alternates", ())
+            ),
+            contributions=tuple(
+                MemberContributionPayload.from_dict(c)
+                for c in data.get("contributions", ())
+            ),
+            scores=(
+                ScoreBreakdown.from_dict(data["scores"])
+                if data.get("scores") is not None
+                else None
+            ),
+            timing=(
+                TimingInfo.from_dict(data["timing"])
+                if data.get("timing") is not None
+                else None
+            ),
+            error=data.get("error"),
+        )
+
+    def to_json(self) -> str:
+        """Canonical (sorted-keys) JSON encoding."""
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TeamResponse":
+        """Parse a response from its JSON encoding."""
+        return cls.from_dict(json.loads(text))
+
+    def format(self) -> str:
+        """Human-readable answer for terminals (the CLI's default view)."""
+        head = f"solver: {self.solver}  skills: {', '.join(self.request.skills)}"
+        if self.timing is not None:
+            head += (
+                f"  ({self.timing.solve_seconds:.3f}s, "
+                f"{self.timing.oracle_builds} index build"
+                f"{'' if self.timing.oracle_builds == 1 else 's'})"
+            )
+        if not self.found or self.team is None:
+            reason = f": {self.error}" if self.error else ""
+            return f"{head}\nno team found{reason}"
+        lines = [head]
+        if self.team.root is not None:
+            lines.append(f"root: {self.team.root}")
+        for c in sorted(self.contributions, key=lambda c: -c.total):
+            skills = f" covers {', '.join(c.covered_skills)}" if c.covered_skills else ""
+            flag = " [critical]" if c.critical else ""
+            lines.append(
+                f"  {c.expert_id:<20} {c.role:<12} h={c.authority:<6.1f} "
+                f"total={c.total:.4f}{flag}{skills}"
+            )
+        if self.scores is not None:
+            s = self.scores
+            lines.append(
+                f"scores: cc={s.cc:.4f} ca={s.ca:.4f} sa={s.sa:.4f} "
+                f"ca-cc={s.ca_cc:.4f} sa-ca-cc={s.sa_ca_cc:.4f}"
+            )
+        if self.alternates:
+            lines.append(f"alternates: {len(self.alternates)} more ranked team(s)")
+        return "\n".join(lines)
+

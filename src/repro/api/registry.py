@@ -1,0 +1,107 @@
+"""The solver registry: string keys -> solver adapter factories.
+
+The serving layer never hard-codes a solver dispatch ladder; it looks the
+requested solver name up in a :class:`SolverRegistry` and instantiates
+the adapter bound to the engine handling the request.  The built-in
+solvers (greedy, rarest_first, sa_optimal, exact, brute_force, random,
+pareto) are registered in :data:`repro.api.solvers.DEFAULT_REGISTRY`;
+applications can register their own strategies next to them without
+touching this package.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from .messages import TeamRequest, TeamResponse
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .engine import TeamFormationEngine
+
+__all__ = ["Solver", "SolverFactory", "SolverRegistry", "UnknownSolverError"]
+
+
+@runtime_checkable
+class Solver(Protocol):
+    """Anything that answers a :class:`TeamRequest` with a :class:`TeamResponse`."""
+
+    def solve(self, request: TeamRequest) -> TeamResponse:
+        """Solve one request end to end."""
+        ...
+
+
+#: A factory binds an adapter to the engine (network + scales + oracle
+#: cache) that will serve its requests.
+SolverFactory = Callable[["TeamFormationEngine"], Solver]
+
+
+class UnknownSolverError(KeyError):
+    """Raised when a request names a solver the registry does not know."""
+
+    def __init__(self, name: str, available: tuple[str, ...]) -> None:
+        super().__init__(name)
+        self.name = name
+        self.available = available
+
+    def __str__(self) -> str:
+        return (
+            f"unknown solver {self.name!r}; registered solvers: "
+            f"{', '.join(self.available)}"
+        )
+
+
+class SolverRegistry:
+    """A string-keyed mapping of solver names to adapter factories."""
+
+    def __init__(self) -> None:
+        self._factories: dict[str, SolverFactory] = {}
+
+    def register(
+        self, name: str, factory: SolverFactory, *, replace: bool = False
+    ) -> None:
+        """Register ``factory`` under ``name``.
+
+        Re-registering an existing name requires ``replace=True`` so a
+        typo cannot silently shadow a built-in.
+        """
+        if not name:
+            raise ValueError("solver name must be non-empty")
+        if name in self._factories and not replace:
+            raise ValueError(
+                f"solver {name!r} is already registered; pass replace=True"
+            )
+        self._factories[name] = factory
+
+    def factory(self, name: str) -> SolverFactory:
+        """The factory for ``name``; :class:`UnknownSolverError` if absent."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise UnknownSolverError(name, self.names()) from None
+
+    def create(self, name: str, engine: "TeamFormationEngine") -> Solver:
+        """Instantiate the adapter for ``name`` bound to ``engine``."""
+        return self.factory(name)(engine)
+
+    def names(self) -> tuple[str, ...]:
+        """All registered solver names, sorted."""
+        return tuple(sorted(self._factories))
+
+    def copy(self) -> "SolverRegistry":
+        """An independent registry with the same entries (for extension)."""
+        clone = SolverRegistry()
+        clone._factories.update(self._factories)
+        return clone
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._factories
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SolverRegistry({', '.join(self.names())})"

@@ -1,14 +1,18 @@
-"""Command-line entry point: re-run any paper experiment from a shell.
+"""Command-line entry point: serve team queries and re-run experiments.
 
 Examples::
 
+    repro-teams solve --skills graphics dataation --solver greedy
+    repro-teams --list-solvers
     repro-teams figure4 --scale small
     repro-teams figure3 --scale small --projects 5 --skills 4 6
     repro-teams quality --seed 3
     python -m repro.cli figure6
 
-Each subcommand regenerates one table/figure of the paper (DESIGN.md §4)
-on a reproducible synthetic-DBLP network and prints the result table.
+``solve`` answers one team request through the
+:class:`repro.api.TeamFormationEngine`; every other subcommand
+regenerates one table/figure of the paper (DESIGN.md §4) on a
+reproducible synthetic-DBLP network and prints the result table.
 """
 
 from __future__ import annotations
@@ -17,6 +21,12 @@ import argparse
 import sys
 from collections.abc import Sequence
 
+from .api import (
+    DEFAULT_REGISTRY,
+    TeamFormationEngine,
+    TeamRequest,
+    UnknownSolverError,
+)
 from .eval.experiments import (
     run_dataset_stats,
     run_figure3,
@@ -37,6 +47,18 @@ def _positive_int(value: str) -> int:
     if number < 1:
         raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
     return number
+
+
+class _ListSolversAction(argparse.Action):
+    """``--list-solvers``: print the registry's names and exit (like --help)."""
+
+    def __init__(self, option_strings, dest, **kwargs):
+        super().__init__(option_strings, dest, nargs=0, **kwargs)
+
+    def __call__(self, parser, namespace, values, option_string=None):
+        for name in DEFAULT_REGISTRY.names():
+            print(name)
+        parser.exit()
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -63,7 +85,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for 2-hop-cover index construction "
         "(default: 1; the index is identical for any N)",
     )
+    parser.add_argument(
+        "--list-solvers",
+        action=_ListSolversAction,
+        help="print the registered solver names and exit",
+    )
+    # Only some subcommands define --chart; an explicit parser-level
+    # default keeps args.chart present (and False) for all of them.
+    parser.set_defaults(chart=False)
     sub = parser.add_subparsers(dest="experiment", required=True)
+
+    psolve = sub.add_parser(
+        "solve", help="answer one team request through the engine"
+    )
+    psolve.add_argument(
+        "--skills", nargs="+", required=True, metavar="SKILL",
+        help="required skills (the project)",
+    )
+    psolve.add_argument(
+        "--solver", default="greedy",
+        help="registered solver name (see --list-solvers)",
+    )
+    psolve.add_argument(
+        "--objective", default="sa-ca-cc",
+        help="objective to optimize/rank by (cc|ca|ca-cc|sa-ca-cc)",
+    )
+    psolve.add_argument(
+        "--sa-mode", choices=("per_skill", "distinct"), default="per_skill"
+    )
+    psolve.add_argument("--oracle", choices=("pll", "dijkstra"), default="pll")
+    psolve.add_argument("--k", type=_positive_int, default=1)
+    psolve.add_argument(
+        "--num-samples", type=_positive_int, default=None,
+        help="sample budget for the random solver",
+    )
+    psolve.add_argument(
+        "--json", action="store_true", help="emit the TeamResponse as JSON"
+    )
 
     p3 = sub.add_parser("figure3", help="SA-CA-CC score vs lambda, all methods")
     p3.add_argument("--projects", type=int, default=10, help="projects per panel")
@@ -117,6 +175,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         f"(scale={args.scale}, seed={args.seed})\n",
         file=sys.stderr,
     )
+    if args.experiment == "solve":
+        return _run_solve(network, args)
     if args.experiment == "figure3":
         result = run_figure3(
             network,
@@ -159,7 +219,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:  # pragma: no cover - argparse enforces choices
         raise AssertionError(args.experiment)
     print(result.format())
-    if getattr(args, "chart", False):
+    if args.chart:
         if args.experiment == "figure3":
             for num_skills in args.skills:
                 print()
@@ -170,15 +230,41 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
+def _run_solve(network, args) -> int:
+    """Answer one ``solve`` request through the engine."""
+    engine = TeamFormationEngine(network)
+    try:
+        request = TeamRequest(
+            skills=tuple(args.skills),
+            solver=args.solver,
+            objective=args.objective,
+            gamma=args.gamma,
+            lam=args.lam,
+            sa_mode=args.sa_mode,
+            oracle_kind=args.oracle,
+            k=args.k,
+            seed=args.seed,
+            num_samples=args.num_samples,
+        )
+        response = engine.solve(request)
+    except (UnknownSolverError, ValueError) as exc:
+        # Malformed request (bad objective/gamma/lam) or unknown solver:
+        # a clean usage error, not a traceback.
+        print(exc, file=sys.stderr)
+        return 2
+    print(response.to_json() if args.json else response.format())
+    return 0 if response.found else 1
+
+
 def _run_pareto(network, args) -> int:
     import random
 
-    from .core import ParetoTeamDiscovery
     from .eval.workload import sample_project
 
     project = sample_project(network, args.num_skills, random.Random(args.seed))
-    frontier = ParetoTeamDiscovery(
-        network, k_per_cell=args.k_per_cell
+    engine = TeamFormationEngine(network)
+    frontier = engine.pareto_discovery(
+        k_per_cell=args.k_per_cell, oracle_kind="dijkstra"
     ).discover(project)
     print(f"project: {project}")
     print(f"frontier: {len(frontier)} non-dominated teams (CC, CA, SA)")
@@ -193,16 +279,13 @@ def _run_pareto(network, args) -> int:
 def _run_replace(network, args) -> int:
     import random
 
-    from .core import (
-        GreedyTeamFinder,
-        ReplacementError,
-        ReplacementRecommender,
-    )
+    from .core import ReplacementError, ReplacementRecommender
     from .eval.workload import sample_project
 
     project = sample_project(network, args.num_skills, random.Random(args.seed))
-    team = GreedyTeamFinder(
-        network, objective="sa-ca-cc", gamma=args.gamma, lam=args.lam
+    engine = TeamFormationEngine(network)
+    team = engine.greedy_finder(
+        objective="sa-ca-cc", gamma=args.gamma, lam=args.lam
     ).find_team(project)
     print(f"project: {project}")
     print(f"team: {sorted(team.members)}")

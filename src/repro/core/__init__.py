@@ -5,7 +5,7 @@ from .brute_force import BruteForceSolver
 from .diverse import diverse_top_k, diversify
 from .exact import ExactSolver, IntractableError
 from .explain import MemberContribution, TeamExplanation, explain_team
-from .greedy import OBJECTIVES, GreedyTeamFinder
+from .greedy import OBJECTIVES, GreedyTeamFinder, search_graph_for
 from .multi_project import (
     MultiProjectStaffing,
     PortfolioResult,
@@ -34,6 +34,7 @@ __all__ = [
     "explain_team",
     "OBJECTIVES",
     "GreedyTeamFinder",
+    "search_graph_for",
     "MultiProjectStaffing",
     "PortfolioResult",
     "ProjectAssignment",

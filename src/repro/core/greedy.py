@@ -36,11 +36,32 @@ from .objectives import ObjectiveScales, SaMode, TeamEvaluator
 from .team import Team
 from .transform import authority_fold_transform
 
-__all__ = ["GreedyTeamFinder", "OBJECTIVES"]
+__all__ = ["GreedyTeamFinder", "OBJECTIVES", "search_graph_for"]
 
 OBJECTIVES = ("cc", "ca", "ca-cc", "sa-ca-cc")
 
 _INF = float("inf")
+
+
+def search_graph_for(
+    network: ExpertNetwork,
+    objective: str,
+    gamma: float,
+    scales: ObjectiveScales,
+) -> Graph:
+    """The graph Algorithm 1 measures distances on for ``objective``.
+
+    ``cc`` searches plain ``G`` with normalized weights (a monotone
+    rescale, so teams are unchanged); every authority-aware mode searches
+    the folded graph ``G'``.  Shared between :class:`GreedyTeamFinder`
+    and the engine's oracle cache so an injected oracle is always built
+    over the exact graph the finder would have built itself.
+    """
+    if objective == "cc":
+        return network.graph.reweighted(lambda u, v, w: w / scales.edge_scale)
+    if objective == "ca":
+        gamma = 1.0
+    return authority_fold_transform(network, gamma, scales=scales)
 
 
 class GreedyTeamFinder:
@@ -85,6 +106,7 @@ class GreedyTeamFinder:
         scales: ObjectiveScales | None = None,
         sa_mode: SaMode = "per_skill",
         oracle: DistanceOracle | None = None,
+        search_graph: Graph | None = None,
         index_workers: int | None = None,
         batch_queries: bool = True,
     ) -> None:
@@ -99,7 +121,12 @@ class GreedyTeamFinder:
         )
         self.gamma = self.evaluator.gamma
         self.lam = self.evaluator.lam
-        self._search_graph = self._build_search_graph()
+        # An injected search graph must come from `search_graph_for` with
+        # this finder's (objective, gamma, scales) — the engine passes it
+        # alongside the matching oracle so neither is built twice.
+        self._search_graph = (
+            search_graph if search_graph is not None else self._build_search_graph()
+        )
         # An injected oracle lets a lambda sweep share one index: the
         # search graph depends only on (network, gamma, scales), never on
         # lambda, so `finder.oracle` can be handed to the next finder.
@@ -136,14 +163,8 @@ class GreedyTeamFinder:
     # search-graph construction
     # ------------------------------------------------------------------
     def _build_search_graph(self) -> Graph:
-        scales = self.evaluator.scales
-        if self.objective == "cc":
-            # Plain G with normalized weights (monotone, so identical teams).
-            return self.network.graph.reweighted(
-                lambda u, v, w: w / scales.edge_scale
-            )
-        return authority_fold_transform(
-            self.network, self.gamma, scales=scales
+        return search_graph_for(
+            self.network, self.objective, self.gamma, self.evaluator.scales
         )
 
     # ------------------------------------------------------------------

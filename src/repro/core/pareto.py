@@ -81,6 +81,7 @@ class ParetoTeamDiscovery:
         oracle_kind: str = "dijkstra",
         scales: ObjectiveScales | None = None,
         sa_mode: SaMode = "per_skill",
+        finder_factory: Callable[..., GreedyTeamFinder] | None = None,
     ) -> None:
         bad = [g for g in grid if not 0.0 <= g <= 1.0]
         if bad:
@@ -93,9 +94,22 @@ class ParetoTeamDiscovery:
         self.oracle_kind = oracle_kind
         self.scales = scales or ObjectiveScales.from_network(network)
         self.sa_mode: SaMode = sa_mode
+        # The sweep builds one greedy finder per grid cell; an injected
+        # factory (e.g. TeamFormationEngine.greedy_finder) lets all cells
+        # share cached distance oracles instead of rebuilding per cell.
+        self._finder_factory = finder_factory or self._default_finder
         # A parameter-free evaluator for the raw objective vector.
         self._vector_eval = TeamEvaluator(
             network, gamma=0.5, lam=0.5, scales=self.scales, sa_mode=sa_mode
+        )
+
+    def _default_finder(self, **params: object) -> GreedyTeamFinder:
+        return GreedyTeamFinder(
+            self.network,
+            oracle_kind=self.oracle_kind,
+            scales=self.scales,
+            sa_mode=self.sa_mode,
+            **params,  # type: ignore[arg-type]
         )
 
     def discover(self, project: Iterable[str]) -> list[ParetoTeam]:
@@ -121,32 +135,13 @@ class ParetoTeamDiscovery:
         return sorted(frontier, key=lambda p: (p.cc, p.ca, p.sa))
 
     def _generate(self, skills: list[str]):
-        finder = GreedyTeamFinder(
-            self.network,
-            objective="cc",
-            oracle_kind=self.oracle_kind,
-            scales=self.scales,
-            sa_mode=self.sa_mode,
-        )
+        finder = self._finder_factory(objective="cc")
         yield from finder.find_top_k(skills, k=self.k_per_cell)
         for gamma in self.grid:
-            finder = GreedyTeamFinder(
-                self.network,
-                objective="ca-cc",
-                gamma=gamma,
-                oracle_kind=self.oracle_kind,
-                scales=self.scales,
-                sa_mode=self.sa_mode,
-            )
+            finder = self._finder_factory(objective="ca-cc", gamma=gamma)
             yield from finder.find_top_k(skills, k=self.k_per_cell)
             for lam in self.grid:
-                finder = GreedyTeamFinder(
-                    self.network,
-                    objective="sa-ca-cc",
-                    gamma=gamma,
-                    lam=lam,
-                    oracle_kind=self.oracle_kind,
-                    scales=self.scales,
-                    sa_mode=self.sa_mode,
+                finder = self._finder_factory(
+                    objective="sa-ca-cc", gamma=gamma, lam=lam
                 )
                 yield from finder.find_top_k(skills, k=self.k_per_cell)

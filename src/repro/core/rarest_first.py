@@ -38,12 +38,17 @@ class RarestFirstSolver:
         *,
         aggregate: Literal["diameter", "sum"] = "diameter",
         oracle_kind: str = "pll",
+        oracle: DistanceOracle | None = None,
     ) -> None:
         if aggregate not in ("diameter", "sum"):
             raise ValueError(f"unknown aggregate {aggregate!r}")
         self.network = network
         self.aggregate = aggregate
-        self._oracle: DistanceOracle = build_oracle(network.graph, oracle_kind)
+        # An injected oracle (built over the *plain* network graph) lets
+        # many queries share one index, mirroring GreedyTeamFinder.
+        self._oracle: DistanceOracle = (
+            oracle if oracle is not None else build_oracle(network.graph, oracle_kind)
+        )
 
     def find_team(self, project: Iterable[str]) -> Team | None:
         """Best team by the anchor heuristic; None if disconnected."""

@@ -34,13 +34,22 @@ class SaOptimalSolver:
         self,
         network: ExpertNetwork,
         *,
+        gamma: float = 0.6,
+        lam: float = 1.0,
         scales: ObjectiveScales | None = None,
         sa_mode: SaMode = "per_skill",
     ) -> None:
         self.network = network
+        # Defaults are Problem 4's reading of the objective: lam=1 weighs
+        # SA alone.  The chosen team never depends on gamma/lam (the
+        # per-skill argmax only uses node costs), but callers scoring the
+        # result through ``self.evaluator`` see the parameters they asked
+        # for instead of silently hardcoded ones.
         self.evaluator = TeamEvaluator(
-            network, gamma=0.6, lam=1.0, scales=scales, sa_mode=sa_mode
+            network, gamma=gamma, lam=lam, scales=scales, sa_mode=sa_mode
         )
+        self.gamma = self.evaluator.gamma
+        self.lam = self.evaluator.lam
 
     def find_team(self, project: Iterable[str]) -> Team | None:
         """The SA-optimal team, or ``None`` if the per-skill optima cannot

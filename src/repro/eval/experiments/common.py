@@ -1,15 +1,18 @@
 """Shared infrastructure for the per-figure experiment runners.
 
-:class:`MethodSuite` owns one finder per ranking strategy over a fixed
-network and gamma.  The expensive piece — the 2-hop-cover index over the
-transformed graph ``G'`` — is built once and shared by the ``ca-cc``
-finder and every ``sa-ca-cc(lambda)`` finder (the search graph depends on
-gamma but not lambda), matching the paper's note that all three
-strategies "use the same fundamental algorithm and indexing methods".
+:class:`MethodSuite` exposes one finder per ranking strategy over a fixed
+network and gamma.  Since the API redesign it is a thin view over a
+:class:`repro.api.TeamFormationEngine`: the expensive piece — the
+2-hop-cover index over the transformed graph ``G'`` — lives in the
+engine's keyed oracle cache, shared by the ``ca-cc`` finder and every
+``sa-ca-cc(lambda)`` finder (the search graph depends on gamma but not
+lambda), matching the paper's note that all three strategies "use the
+same fundamental algorithm and indexing methods".
 """
 
 from __future__ import annotations
 
+from ...api.engine import TeamFormationEngine
 from ...core.greedy import GreedyTeamFinder
 from ...core.objectives import ObjectiveScales, SaMode, TeamEvaluator
 from ...expertise.network import ExpertNetwork
@@ -21,7 +24,12 @@ GREEDY_METHODS = ("cc", "ca-cc", "sa-ca-cc")
 
 
 class MethodSuite:
-    """Per-method finders over one network, sharing indexes where legal."""
+    """Per-method finders over one network, sharing indexes via the engine.
+
+    An existing engine can be passed in so a CLI session, an experiment
+    ladder and ad-hoc solver constructions all draw on one oracle cache;
+    otherwise the suite creates its own.
+    """
 
     def __init__(
         self,
@@ -32,63 +40,49 @@ class MethodSuite:
         oracle_kind: str = "pll",
         scales: ObjectiveScales | None = None,
         sa_mode: SaMode = "per_skill",
+        engine: TeamFormationEngine | None = None,
     ) -> None:
         self.network = network
         self.gamma = gamma
         self.lam = lam
         self.oracle_kind = oracle_kind
-        self.scales = scales or ObjectiveScales.from_network(network)
         self.sa_mode: SaMode = sa_mode
-        self._cc: GreedyTeamFinder | None = None
-        self._ca_cc: GreedyTeamFinder | None = None
-        self._sa_ca_cc: dict[float, GreedyTeamFinder] = {}
+        self.engine = engine or TeamFormationEngine(
+            network, scales=scales, sa_mode=sa_mode, oracle_kind=oracle_kind
+        )
+        self.scales = self.engine.scales
 
     # ------------------------------------------------------------------
     @property
     def cc(self) -> GreedyTeamFinder:
         """Algorithm 1 on plain ``G`` (Problem 1, the prior-art baseline)."""
-        if self._cc is None:
-            self._cc = GreedyTeamFinder(
-                self.network,
-                objective="cc",
-                oracle_kind=self.oracle_kind,
-                scales=self.scales,
-                sa_mode=self.sa_mode,
-            )
-        return self._cc
+        return self.engine.greedy_finder(
+            objective="cc", oracle_kind=self.oracle_kind, sa_mode=self.sa_mode
+        )
 
     @property
     def ca_cc(self) -> GreedyTeamFinder:
         """Algorithm 1 on ``G'`` optimizing CA-CC (Problem 3)."""
-        if self._ca_cc is None:
-            self._ca_cc = GreedyTeamFinder(
-                self.network,
-                objective="ca-cc",
-                gamma=self.gamma,
-                oracle_kind=self.oracle_kind,
-                scales=self.scales,
-                sa_mode=self.sa_mode,
-            )
-        return self._ca_cc
+        return self.engine.greedy_finder(
+            objective="ca-cc",
+            gamma=self.gamma,
+            oracle_kind=self.oracle_kind,
+            sa_mode=self.sa_mode,
+        )
 
     def sa_ca_cc(self, lam: float | None = None) -> GreedyTeamFinder:
         """Algorithm 1 on ``G'`` optimizing SA-CA-CC (Problem 5).
 
-        All lambdas share the CA-CC finder's oracle: only the per-skill
-        score combination changes with lambda, never the index.
+        All lambdas share one oracle through the engine cache: only the
+        per-skill score combination changes with lambda, never the index.
         """
-        lam = self.lam if lam is None else lam
-        if lam not in self._sa_ca_cc:
-            self._sa_ca_cc[lam] = GreedyTeamFinder(
-                self.network,
-                objective="sa-ca-cc",
-                gamma=self.gamma,
-                lam=lam,
-                scales=self.scales,
-                sa_mode=self.sa_mode,
-                oracle=self.ca_cc.oracle,
-            )
-        return self._sa_ca_cc[lam]
+        return self.engine.greedy_finder(
+            objective="sa-ca-cc",
+            gamma=self.gamma,
+            lam=self.lam if lam is None else lam,
+            oracle_kind=self.oracle_kind,
+            sa_mode=self.sa_mode,
+        )
 
     def finder(self, method: str, lam: float | None = None) -> GreedyTeamFinder:
         """Dispatch by Figure 3 legend name."""
@@ -102,10 +96,8 @@ class MethodSuite:
 
     def evaluator(self, lam: float | None = None) -> TeamEvaluator:
         """An SA-CA-CC evaluator at this suite's gamma and the given lambda."""
-        return TeamEvaluator(
-            self.network,
+        return self.engine.evaluator(
             gamma=self.gamma,
             lam=self.lam if lam is None else lam,
-            scales=self.scales,
             sa_mode=self.sa_mode,
         )

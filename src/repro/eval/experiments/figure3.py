@@ -15,8 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ...core.exact import ExactSolver, IntractableError
-from ...core.random_search import RandomSolver
+from ...core.exact import IntractableError
 from ...core.team import Team
 from ...expertise.network import ExpertNetwork
 from ..reporting import format_table
@@ -141,19 +140,15 @@ def run_figure3(
             teams: dict[tuple[float, str], Team | None] = {}
             cc_team = suite.cc.find_team(project)
             cacc_team = suite.ca_cc.find_team(project)
-            random_solver = RandomSolver(
-                network,
+            random_solver = suite.engine.random_solver(
                 gamma=gamma,
-                scales=suite.scales,
                 num_samples=random_samples,
                 seed=seed * 1000 + p_idx,
             )
             random_by_lam = random_solver.find_teams_for_lambdas(project, lambdas)
             exact_solver = (
-                ExactSolver(
-                    network,
+                suite.engine.exact_solver(
                     gamma=gamma,
-                    scales=suite.scales,
                     max_assignments=exact_max_assignments,
                     time_budget=exact_time_budget,
                 )

@@ -48,7 +48,7 @@ from .metrics import (
     density,
     local_clustering,
 )
-from .pll import PrunedLandmarkLabeling
+from .pll import PrunedLandmarkLabeling, pll_build_count
 from .steiner import (
     MAX_DW_TERMINALS,
     dreyfus_wagner,
@@ -83,6 +83,7 @@ __all__ = [
     "get_default_index_workers",
     "set_default_index_workers",
     "PrunedLandmarkLabeling",
+    "pll_build_count",
     "approximate_average_distance",
     "average_clustering",
     "average_degree",

@@ -68,7 +68,22 @@ from collections.abc import Iterable
 
 from .adjacency import Graph, GraphError, Node
 
-__all__ = ["PrunedLandmarkLabeling", "MAX_BATCH", "all_pairs_distances"]
+__all__ = [
+    "PrunedLandmarkLabeling",
+    "MAX_BATCH",
+    "all_pairs_distances",
+    "pll_build_count",
+]
+
+#: Monotone count of completed PLL index constructions in this process.
+#: Oracle-reuse tests snapshot it before a sweep and assert how many
+#: builds the sweep actually paid for (see :func:`pll_build_count`).
+_build_count = 0
+
+
+def pll_build_count() -> int:
+    """How many :class:`PrunedLandmarkLabeling` indexes this process built."""
+    return _build_count
 
 
 def all_pairs_distances(oracle, sources, targets):
@@ -378,6 +393,8 @@ class PrunedLandmarkLabeling:
         self._parents: dict[Node, list[Node | None]] = {u: [] for u in graph.nodes()}
         self._source_cache: dict[Node, dict[Node, float]] = {}
         self._build(batch_size)
+        global _build_count
+        _build_count += 1
 
     # ------------------------------------------------------------------
     # construction

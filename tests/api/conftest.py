@@ -1,0 +1,38 @@
+"""Fixtures for the API-layer tests: a small, fully tractable network.
+
+Seven experts (the paper's Figure 1 scenario plus a third skill) keep
+every registered solver — including brute force's member-set enumeration
+and Exact's assignment product — fast enough to run on every request.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.expertise import Expert, ExpertNetwork
+
+PROJECT = ("SN", "TM")
+PROJECT3 = ("DB", "SN", "TM")
+
+
+@pytest.fixture(scope="session")
+def figure1_network() -> ExpertNetwork:
+    experts = [
+        Expert("liu", skills={"SN"}, h_index=9),
+        Expert("han", h_index=139),
+        Expert("ren", skills={"TM"}, h_index=11),
+        Expert("golshan", skills={"SN", "DB"}, h_index=5),
+        Expert("lappas", h_index=12),
+        Expert("kotzias", skills={"TM", "DB"}, h_index=3),
+        Expert("bridge", h_index=1),
+    ]
+    edges = [
+        ("liu", "han", 1.0),
+        ("han", "ren", 1.0),
+        ("golshan", "lappas", 1.0),
+        ("lappas", "kotzias", 1.0),
+        ("han", "bridge", 5.0),
+        ("bridge", "lappas", 5.0),
+        ("liu", "ren", 3.0),
+    ]
+    return ExpertNetwork(experts, edges)

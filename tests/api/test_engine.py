@@ -1,0 +1,245 @@
+"""Engine semantics: per-solver identity with direct construction, the
+shared-oracle cache, batch solving, and response assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import TeamFormationEngine, TeamPayload, TeamRequest
+from repro.core import (
+    BruteForceSolver,
+    ExactSolver,
+    GreedyTeamFinder,
+    ParetoTeamDiscovery,
+    RandomSolver,
+    RarestFirstSolver,
+    TeamEvaluator,
+)
+from repro.core.sa_solver import SaOptimalSolver
+from repro.graph.pll import pll_build_count
+
+from .conftest import PROJECT, PROJECT3
+
+
+def _direct_greedy(network, request):
+    return GreedyTeamFinder(
+        network,
+        objective=request.objective,
+        gamma=request.gamma,
+        lam=request.lam,
+        sa_mode=request.sa_mode,
+        oracle_kind=request.oracle_kind,
+    ).find_team(list(request.skills))
+
+
+def _direct_rarest_first(network, request):
+    return RarestFirstSolver(
+        network, oracle_kind=request.oracle_kind
+    ).find_team(list(request.skills))
+
+
+def _direct_sa_optimal(network, request):
+    return SaOptimalSolver(
+        network, gamma=request.gamma, lam=request.lam, sa_mode=request.sa_mode
+    ).find_team(list(request.skills))
+
+
+def _direct_exact(network, request):
+    return ExactSolver(
+        network, gamma=request.gamma, lam=request.lam, sa_mode=request.sa_mode
+    ).find_team(list(request.skills))
+
+
+def _direct_brute_force(network, request):
+    return BruteForceSolver(
+        network,
+        objective=request.objective,
+        gamma=request.gamma,
+        lam=request.lam,
+        sa_mode=request.sa_mode,
+    ).find_team(list(request.skills))
+
+
+def _direct_random(network, request):
+    return RandomSolver(
+        network,
+        gamma=request.gamma,
+        lam=request.lam,
+        sa_mode=request.sa_mode,
+        num_samples=request.num_samples,
+        seed=request.seed,
+    ).find_team(list(request.skills))
+
+
+def _direct_pareto(network, request):
+    frontier = ParetoTeamDiscovery(
+        network, oracle_kind=request.oracle_kind, sa_mode=request.sa_mode
+    ).discover(list(request.skills))
+    evaluator = TeamEvaluator(
+        network, gamma=request.gamma, lam=request.lam, sa_mode=request.sa_mode
+    )
+    best = min(
+        frontier,
+        key=lambda p: (evaluator.score(p.team, request.objective), p.vector),
+    )
+    return best.team
+
+
+IDENTITY_CASES = [
+    (
+        "greedy",
+        _direct_greedy,
+        {"objective": "sa-ca-cc", "gamma": 0.6, "lam": 0.4},
+    ),
+    ("greedy", _direct_greedy, {"objective": "cc"}),
+    ("greedy", _direct_greedy, {"objective": "ca", "gamma": 0.3}),
+    ("rarest_first", _direct_rarest_first, {}),
+    ("sa_optimal", _direct_sa_optimal, {"gamma": 0.2, "lam": 0.9}),
+    ("exact", _direct_exact, {"gamma": 0.6, "lam": 0.6}),
+    ("brute_force", _direct_brute_force, {"objective": "sa-ca-cc"}),
+    ("random", _direct_random, {"seed": 11, "num_samples": 300}),
+    ("pareto", _direct_pareto, {"oracle_kind": "dijkstra"}),
+]
+
+
+@pytest.mark.parametrize(
+    "solver,direct,params",
+    IDENTITY_CASES,
+    ids=[f"{name}-{i}" for i, (name, _, _) in enumerate(IDENTITY_CASES)],
+)
+def test_engine_team_identical_to_direct_construction(
+    figure1_network, solver, direct, params
+):
+    """Acceptance: every registered solver, engine == direct construction."""
+    request = TeamRequest(skills=PROJECT, solver=solver, **params)
+    engine = TeamFormationEngine(figure1_network)
+    response = engine.solve(request)
+    assert response.found, response.error
+    expected = direct(figure1_network, request)
+    assert response.team == TeamPayload.from_team(expected)
+
+
+def test_lambda_sweep_builds_exactly_one_pll_index(figure1_network):
+    """Acceptance: a 3-value lambda sweep pays for one index build."""
+    engine = TeamFormationEngine(figure1_network)
+    requests = [
+        TeamRequest(skills=PROJECT3, solver="greedy", lam=lam, oracle_kind="pll")
+        for lam in (0.2, 0.5, 0.8)
+    ]
+    before = pll_build_count()
+    responses = engine.solve_many(requests)
+    assert pll_build_count() - before == 1
+    # The response-level counters agree: first request paid, the rest hit.
+    assert responses[0].timing.oracle_builds == 1
+    assert all(r.timing.oracle_builds == 0 for r in responses[1:])
+    assert all(r.found for r in responses)
+
+
+def test_naive_per_query_construction_builds_one_index_each(figure1_network):
+    """The contrast case: direct per-query solvers rebuild the index."""
+    before = pll_build_count()
+    for lam in (0.2, 0.5, 0.8):
+        GreedyTeamFinder(figure1_network, lam=lam).find_team(list(PROJECT3))
+    assert pll_build_count() - before == 3
+
+
+def test_oracle_cache_is_keyed_on_gamma(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    engine.solve(TeamRequest(skills=PROJECT, solver="greedy", gamma=0.3))
+    before = pll_build_count()
+    engine.solve(TeamRequest(skills=PROJECT, solver="greedy", gamma=0.7))
+    assert pll_build_count() - before == 1  # different fold, new index
+    before = pll_build_count()
+    engine.solve(
+        TeamRequest(skills=PROJECT, solver="greedy", gamma=0.7, lam=0.9)
+    )
+    assert pll_build_count() - before == 0  # same fold, cache hit
+
+
+def test_oracle_cache_is_bounded(figure1_network):
+    engine = TeamFormationEngine(figure1_network, max_cached_oracles=2)
+    for gamma in (0.1, 0.2, 0.3, 0.4):
+        engine.solve(TeamRequest(skills=PROJECT, solver="greedy", gamma=gamma))
+    assert len(engine.cached_oracle_keys) <= 2
+    # Evicted entries rebuild on demand and still answer correctly.
+    response = engine.solve(
+        TeamRequest(skills=PROJECT, solver="greedy", gamma=0.1)
+    )
+    assert response.found
+
+
+def test_ca_objective_shares_gamma_one_fold(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    engine.solve(
+        TeamRequest(skills=PROJECT, solver="greedy", objective="ca-cc", gamma=1.0)
+    )
+    before = pll_build_count()
+    # "ca" degenerates to the fold at gamma=1: must reuse the index above.
+    engine.solve(
+        TeamRequest(skills=PROJECT, solver="greedy", objective="ca", gamma=0.4)
+    )
+    assert pll_build_count() - before == 0
+
+
+def test_k_returns_ranked_alternates(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    response = engine.solve(TeamRequest(skills=PROJECT, solver="greedy", k=3))
+    assert response.found
+    assert len(response.alternates) == 2
+    keys = {response.team} | set(response.alternates)
+    assert len(keys) == 3  # distinct teams
+
+
+def test_uncoverable_project_is_an_in_band_negative(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    response = engine.solve(
+        TeamRequest(skills=("quantum-basket-weaving",), solver="greedy")
+    )
+    assert not response.found
+    assert response.team is None
+    assert response.error
+
+
+def test_contributions_sum_to_sa_ca_cc_score(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    request = TeamRequest(skills=PROJECT3, solver="greedy", gamma=0.6, lam=0.4)
+    response = engine.solve(request)
+    assert response.found
+    total = sum(c.total for c in response.contributions)
+    assert total == pytest.approx(response.scores.sa_ca_cc)
+
+
+def test_solve_many_matches_individual_solves(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    requests = [
+        TeamRequest(skills=PROJECT, solver="greedy", lam=0.2),
+        TeamRequest(skills=PROJECT, solver="rarest_first"),
+        TeamRequest(skills=PROJECT, solver="sa_optimal"),
+    ]
+    batch = engine.solve_many(requests)
+    fresh = TeamFormationEngine(figure1_network)
+    singles = [fresh.solve(r) for r in requests]
+    assert [r.team for r in batch] == [r.team for r in singles]
+
+
+def test_engine_response_roundtrips_and_validates(figure1_network):
+    from repro.api import TeamResponse
+
+    engine = TeamFormationEngine(figure1_network)
+    response = engine.solve(TeamRequest(skills=PROJECT3, solver="greedy"))
+    rebuilt = TeamResponse.from_json(response.to_json())
+    assert rebuilt == response
+    team = rebuilt.team.to_team()
+    team.validate(set(PROJECT3), network=figure1_network)
+
+
+def test_exact_intractability_reported_in_band(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    adapterless = engine.exact_solver(max_assignments=1)
+    with pytest.raises(Exception):
+        adapterless.find_team(list(PROJECT3))
+    # Through the API the same condition is a negative response, not a raise.
+    registry_response = engine.solve(
+        TeamRequest(skills=PROJECT3, solver="brute_force")
+    )
+    assert registry_response.found  # tiny network: tractable

@@ -1,0 +1,169 @@
+"""JSON round-trip properties and unit behavior of the API messages."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import (
+    MemberContributionPayload,
+    ScoreBreakdown,
+    TeamPayload,
+    TeamRequest,
+    TeamResponse,
+    TimingInfo,
+)
+from repro.core import Team
+from repro.graph import Graph
+
+_ids = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=8,
+)
+_unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+_score = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+requests = st.builds(
+    TeamRequest,
+    skills=st.lists(_ids, min_size=1, max_size=5, unique=True).map(tuple),
+    solver=st.sampled_from(
+        ("greedy", "rarest_first", "sa_optimal", "exact", "brute_force", "random", "pareto")
+    ),
+    objective=st.sampled_from(("cc", "ca", "ca-cc", "sa-ca-cc")),
+    gamma=_unit,
+    lam=_unit,
+    sa_mode=st.sampled_from(("per_skill", "distinct")),
+    oracle_kind=st.sampled_from(("pll", "dijkstra")),
+    k=st.integers(1, 10),
+    seed=st.none() | st.integers(-(2**31), 2**31),
+    num_samples=st.none() | st.integers(1, 100_000),
+)
+
+
+@st.composite
+def team_payloads(draw):
+    members = tuple(sorted(draw(st.lists(_ids, min_size=1, max_size=6, unique=True))))
+    skills = sorted(draw(st.lists(_ids, min_size=1, max_size=4, unique=True)))
+    assignments = tuple(
+        (skill, draw(st.sampled_from(members))) for skill in skills
+    )
+    pairs = [
+        (u, v) for i, u in enumerate(members) for v in members[i + 1 :]
+    ]
+    chosen = draw(
+        st.lists(st.sampled_from(pairs), max_size=len(pairs), unique=True)
+        if pairs
+        else st.just([])
+    )
+    edges = tuple(
+        sorted((u, v, draw(_score)) for u, v in chosen)
+    )
+    root = draw(st.none() | st.sampled_from(members))
+    return TeamPayload(
+        members=members, assignments=assignments, edges=edges, root=root
+    )
+
+
+contributions = st.builds(
+    MemberContributionPayload,
+    expert_id=_ids,
+    role=st.sampled_from(("skill holder", "connector")),
+    covered_skills=st.lists(_ids, max_size=3, unique=True).map(
+        lambda s: tuple(sorted(s))
+    ),
+    authority=_score,
+    sa_share=_score,
+    ca_share=_score,
+    cc_share=_score,
+    critical=st.booleans(),
+)
+
+responses = st.builds(
+    TeamResponse,
+    request=requests,
+    solver=_ids,
+    found=st.booleans(),
+    team=st.none() | team_payloads(),
+    alternates=st.lists(team_payloads(), max_size=2).map(tuple),
+    contributions=st.lists(contributions, max_size=3).map(tuple),
+    scores=st.none()
+    | st.builds(
+        ScoreBreakdown, cc=_score, ca=_score, sa=_score, ca_cc=_score, sa_ca_cc=_score
+    ),
+    timing=st.none()
+    | st.builds(TimingInfo, solve_seconds=_score, oracle_builds=st.integers(0, 5)),
+    error=st.none() | st.text(max_size=40),
+)
+
+
+@given(requests)
+@settings(max_examples=200)
+def test_request_json_roundtrip(request):
+    assert TeamRequest.from_json(request.to_json()) == request
+
+
+@given(requests)
+def test_request_dict_roundtrip_through_json_types(request):
+    # Through an actual JSON encode/decode, so tuples become lists etc.
+    rebuilt = TeamRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+    assert rebuilt == request
+
+
+@given(responses)
+@settings(max_examples=200)
+def test_response_json_roundtrip(response):
+    assert TeamResponse.from_json(response.to_json()) == response
+
+
+@given(team_payloads())
+def test_payload_team_roundtrip(payload):
+    # payload -> live Team -> payload is the identity on canonical payloads
+    assert TeamPayload.from_team(payload.to_team()) == payload
+
+
+def test_request_defaults_fill_missing_keys():
+    request = TeamRequest.from_dict({"skills": ["a", "b"]})
+    assert request.solver == "greedy"
+    assert request.objective == "sa-ca-cc"
+    assert request.k == 1
+
+
+def test_request_validation():
+    with pytest.raises(ValueError):
+        TeamRequest(skills=())
+    with pytest.raises(ValueError):
+        TeamRequest(skills=("a",), gamma=1.5)
+    with pytest.raises(ValueError):
+        TeamRequest(skills=("a",), sa_mode="bogus")
+    with pytest.raises(ValueError):
+        TeamRequest(skills=("a",), oracle_kind="magic")
+    with pytest.raises(ValueError):
+        TeamRequest(skills=("a",), k=0)
+
+
+def test_request_replace():
+    request = TeamRequest(skills=("a",), lam=0.2)
+    swept = request.replace(lam=0.8)
+    assert swept.lam == 0.8
+    assert swept.skills == request.skills
+    assert request.lam == 0.2  # original untouched
+
+
+def test_payload_from_team_is_canonical():
+    tree = Graph()
+    tree.add_edge("b", "a", weight=2.0)
+    tree.add_edge("b", "c", weight=1.0)
+    team = Team(tree=tree, assignments={"s2": "c", "s1": "a"}, root="b")
+    payload = TeamPayload.from_team(team)
+    assert payload.members == ("a", "b", "c")
+    assert payload.assignments == (("s1", "a"), ("s2", "c"))
+    assert payload.edges == (("a", "b", 2.0), ("b", "c", 1.0))
+    rebuilt = payload.to_team()
+    assert rebuilt.key() == team.key()
+    assert rebuilt.root == "b"

@@ -1,0 +1,78 @@
+"""SolverRegistry behavior: lookup, registration, isolation, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import (
+    DEFAULT_REGISTRY,
+    SolverRegistry,
+    TeamFormationEngine,
+    TeamRequest,
+    TeamResponse,
+    UnknownSolverError,
+)
+
+from .conftest import PROJECT
+
+BUILTIN = (
+    "brute_force",
+    "exact",
+    "greedy",
+    "pareto",
+    "random",
+    "rarest_first",
+    "sa_optimal",
+)
+
+
+def test_default_registry_has_all_builtin_solvers():
+    assert DEFAULT_REGISTRY.names() == BUILTIN
+    assert len(DEFAULT_REGISTRY) == len(BUILTIN)
+    for name in BUILTIN:
+        assert name in DEFAULT_REGISTRY
+
+
+def test_unknown_solver_error_lists_alternatives():
+    with pytest.raises(UnknownSolverError) as excinfo:
+        DEFAULT_REGISTRY.factory("gradient_descent")
+    message = str(excinfo.value)
+    assert "gradient_descent" in message
+    assert "greedy" in message
+
+
+def test_duplicate_registration_requires_replace():
+    registry = DEFAULT_REGISTRY.copy()
+    with pytest.raises(ValueError):
+        registry.register("greedy", lambda engine: None)
+    registry.register("greedy", lambda engine: None, replace=True)
+
+
+def test_copy_is_isolated_from_default():
+    registry = DEFAULT_REGISTRY.copy()
+    registry.register("custom", lambda engine: None)
+    assert "custom" in registry
+    assert "custom" not in DEFAULT_REGISTRY
+
+
+def test_custom_solver_routes_through_engine(figure1_network):
+    class EchoSolver:
+        def __init__(self, engine):
+            self.engine = engine
+
+        def solve(self, request):
+            return TeamResponse(request=request, solver="echo", found=False)
+
+    registry = DEFAULT_REGISTRY.copy()
+    registry.register("echo", EchoSolver)
+    engine = TeamFormationEngine(figure1_network, registry=registry)
+    response = engine.solve(TeamRequest(skills=PROJECT, solver="echo"))
+    assert response.solver == "echo"
+    assert not response.found
+    assert "echo" in engine.list_solvers()
+
+
+def test_engine_raises_for_unregistered_solver(figure1_network):
+    engine = TeamFormationEngine(figure1_network)
+    with pytest.raises(UnknownSolverError):
+        engine.solve(TeamRequest(skills=PROJECT, solver="simulated_annealing"))

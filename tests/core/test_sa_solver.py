@@ -96,3 +96,18 @@ def test_deterministic_tie_break():
     net = ExpertNetwork(experts, edges=[("a_holder", "b_holder", 0.5)])
     team = SaOptimalSolver(net).find_team(["s"])
     assert team.assignments["s"] == "a_holder"
+
+
+def test_gamma_lam_accepted_and_visible(network):
+    # The evaluator reflects the caller's parameters instead of silently
+    # hardcoding gamma=0.6, lam=1.0 ...
+    solver = SaOptimalSolver(network, gamma=0.3, lam=0.7)
+    assert solver.gamma == solver.evaluator.gamma == 0.3
+    assert solver.lam == solver.evaluator.lam == 0.7
+    # ... with Problem 4's reading as the defaults ...
+    default = SaOptimalSolver(network)
+    assert default.gamma == 0.6
+    assert default.lam == 1.0
+    # ... and the SA-optimal team itself never depends on them.
+    project = sorted(network.skill_index.skills())[:2]
+    assert solver.find_team(project).key() == default.find_team(project).key()

@@ -113,3 +113,78 @@ def test_replace_runs(capsys):
     assert main(["--scale", "tiny", "replace", "--num-skills", "3"]) == 0
     out = capsys.readouterr().out
     assert "leaves" in out
+
+
+def test_list_solvers_prints_registry_and_exits(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--list-solvers"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out.split()
+    assert "greedy" in out
+    assert "exact" in out
+    assert "pareto" in out
+
+
+def test_solve_runs_end_to_end(capsys):
+    code = main(
+        [
+            "--scale", "tiny",
+            "solve", "--skills", "graphics", "graphers", "--solver", "greedy",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "solver: greedy" in out
+    assert "scores:" in out
+
+
+def test_solve_json_output_roundtrips(capsys):
+    import json
+
+    from repro.api import TeamResponse
+
+    code = main(
+        [
+            "--scale", "tiny",
+            "solve", "--skills", "graphics", "--solver", "sa_optimal", "--json",
+        ]
+    )
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    response = TeamResponse.from_dict(payload)
+    assert response.found
+    assert response.solver == "sa_optimal"
+
+
+def test_solve_unknown_solver_fails_cleanly(capsys):
+    code = main(["--scale", "tiny", "solve", "--skills", "graphics",
+                 "--solver", "nonexistent"])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "unknown solver" in err
+
+
+def test_solve_invalid_parameters_fail_cleanly(capsys):
+    code = main(["--scale", "tiny", "solve", "--skills", "graphics",
+                 "--objective", "bogus"])
+    assert code == 2
+    assert "unknown objective" in capsys.readouterr().err
+    code = main(["--scale", "tiny", "--gamma", "1.5",
+                 "solve", "--skills", "graphics"])
+    assert code == 2
+    assert "gamma" in capsys.readouterr().err
+
+
+def test_solve_uncoverable_project_exits_nonzero(capsys):
+    code = main(["--scale", "tiny", "solve", "--skills", "underwater-welding"])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "no team found" in out
+
+
+def test_chart_default_is_explicit_for_all_subcommands():
+    # Satellite: no more getattr probing — args.chart always exists.
+    for argv in (["figure6"], ["figure3"], ["figure5"], ["stats"],
+                 ["solve", "--skills", "x"]):
+        args = build_parser().parse_args(argv)
+        assert args.chart is False
