@@ -1,0 +1,137 @@
+"""Incremental PLL update vs full rebuild (standalone benchmark).
+
+The dynamic-network subsystem's bet is that absorbing a single edge
+insertion into an existing 2-hop cover (resumed pruned Dijkstras from
+the affected endpoints' hubs) is far cheaper than rebuilding the index.
+This benchmark measures exactly that on the synthetic-DBLP networks:
+
+* build one base index per trial,
+* time ``insert_edge`` for one random new collaboration (incremental),
+* time a from-scratch ``PrunedLandmarkLabeling`` over the updated graph
+  (rebuild),
+* and verify on a random pair sample that the two indexes answer
+  identical distances.
+
+The acceptance target for PR 3 is a >= 5x incremental advantage on the
+``small`` scale; pass ``--min-speedup 5`` to enforce it (exit 1).  The
+CI smoke job runs the tiny scale with a deliberately loose ``2`` floor
+(local margin is >20x, so only a broken incremental path trips it)::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic_updates.py --scale small \
+        --trials 5 --min-speedup 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network
+from repro.graph.pll import PrunedLandmarkLabeling
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def sample_new_edge(graph, rng: random.Random) -> tuple:
+    """A uniformly random node pair not yet collaborating."""
+    nodes = list(graph.nodes())
+    while True:
+        u, v = rng.sample(nodes, 2)
+        if not graph.has_edge(u, v):
+            return u, v
+
+
+def verify_identical(
+    incremental: PrunedLandmarkLabeling,
+    rebuilt: PrunedLandmarkLabeling,
+    rng: random.Random,
+    pairs: int,
+) -> tuple[int, float]:
+    """(mismatches beyond fp noise, max relative difference) on a sample."""
+    nodes = list(incremental._graph.nodes())
+    mismatches, max_rel = 0, 0.0
+    for _ in range(pairs):
+        u, v = rng.choice(nodes), rng.choice(nodes)
+        a, b = incremental.distance(u, v), rebuilt.distance(u, v)
+        if a == b:
+            continue
+        rel = abs(a - b) / max(abs(a), abs(b), 1e-30)
+        max_rel = max(max_rel, rel)
+        if rel > 1e-9:
+            mismatches += 1
+    return mismatches, max_rel
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALE_CONFIGS), default="small")
+    parser.add_argument("--trials", type=_positive_int, default=5)
+    parser.add_argument("--sample-pairs", type=_positive_int, default=2000)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the median speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    network = benchmark_network(args.scale, seed=0)
+    graph = network.graph
+    print(
+        f"scale={args.scale}: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+        f"{args.trials} single-edge insertions"
+    )
+
+    speedups = []
+    for trial in range(args.trials):
+        u, v = sample_new_edge(graph, rng)
+        weight = rng.uniform(0.05, 1.0)
+        base = graph.copy()
+        incremental = PrunedLandmarkLabeling(base)
+
+        t0 = time.perf_counter()
+        incremental.insert_edge(u, v, weight)
+        t_inc = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rebuilt = PrunedLandmarkLabeling(base)  # base now holds the new edge
+        t_full = time.perf_counter() - t0
+
+        mismatches, max_rel = verify_identical(
+            incremental, rebuilt, rng, args.sample_pairs
+        )
+        if mismatches:
+            print(
+                f"FAIL: trial {trial}: {mismatches}/{args.sample_pairs} sampled "
+                f"distances diverge (max rel diff {max_rel:.2e})"
+            )
+            return 1
+        speedup = t_full / t_inc if t_inc > 0 else float("inf")
+        speedups.append(speedup)
+        identical = "identical" if max_rel == 0.0 else f"rel diff<={max_rel:.1e}"
+        print(
+            f"  trial {trial}: incremental {t_inc * 1e3:9.2f}ms   "
+            f"rebuild {t_full * 1e3:9.2f}ms   speedup {speedup:8.1f}x   "
+            f"({args.sample_pairs} pairs {identical})"
+        )
+
+    median = statistics.median(speedups)
+    print(f"  median speedup    : {median:8.1f}x over {args.trials} trials")
+    if args.min_speedup and median < args.min_speedup:
+        print(f"FAIL: median speedup {median:.1f}x < required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,25 @@ The cache key is what the index actually depends on:
 
 * the greedy search graph for ``cc`` depends only on the scales;
 * the folded graph ``G'`` depends on ``gamma`` (never on ``lambda``);
-* RarestFirst measures the *raw* network graph.
+* RarestFirst measures the *raw* network graph;
+* and every entry is keyed on the network's mutation ``version``, so a
+  ``network.add_collaboration(...)`` between two solves can never serve
+  pre-mutation distances.
+
+When the network mutates, a stale entry is *upgraded in place* instead
+of rebuilt whenever the delta allows it: node additions and
+distance-decreasing edge changes stream into oracles that advertise
+``supports_incremental`` (resumed pruned Dijkstras for the 2-hop cover,
+tree invalidation for the Dijkstra oracle), skill-only edits reuse the
+index untouched, and everything else — removals, weight increases,
+authority changes under an authority-folded graph — falls back to a
+fresh build.  :meth:`TeamFormationEngine.apply_updates` runs the same
+reconciliation eagerly and reports what happened per cached index.
+
+``scales`` are normalization constants and deliberately stay frozen at
+engine construction so scores remain comparable across mutations; call
+:meth:`TeamFormationEngine.refresh_scales` to re-derive them (which
+drops every cached oracle).
 
 Every solver the engine hands out — whether through the typed
 :meth:`solve` / :meth:`solve_many` request path or through the factory
@@ -32,7 +50,8 @@ from ..core.pareto import ParetoTeamDiscovery
 from ..core.random_search import DEFAULT_NUM_SAMPLES, RandomSolver
 from ..core.rarest_first import RarestFirstSolver
 from ..core.sa_solver import SaOptimalSolver
-from ..expertise.network import ExpertNetwork
+from ..core.transform import transformed_edge_weight
+from ..expertise.network import ExpertNetwork, NetworkMutation
 from ..graph.adjacency import Graph
 from ..graph.distance import DistanceOracle, build_oracle
 from .messages import TeamRequest, TeamResponse
@@ -96,10 +115,12 @@ class TeamFormationEngine:
         self._index_workers = index_workers
         self._max_cached_oracles = max_cached_oracles
         self._max_cached_finders = max_cached_finders
-        # Search-graph entries carry the graph next to its oracle so a
-        # finder construction never rebuilds the fold a second time.
+        # Entries carry the graph next to its oracle so a finder
+        # construction never rebuilds the fold a second time, and are
+        # keyed ``(*base, network.version)`` where ``base`` is
+        # ``(kind, "cc")``, ``(kind, "fold", gamma)`` or ``(kind, "raw")``.
         self._search_cache: dict[tuple, tuple[Graph, DistanceOracle]] = {}
-        self._raw_oracles: dict[tuple, DistanceOracle] = {}
+        self._raw_oracles: dict[tuple, tuple[Graph, DistanceOracle]] = {}
         self._finders: dict[tuple, GreedyTeamFinder] = {}
         self._adapters: dict[str, Solver] = {}
 
@@ -136,10 +157,11 @@ class TeamFormationEngine:
     ) -> DistanceOracle:
         """The (cached) oracle over Algorithm 1's search graph.
 
-        Keyed on what the index depends on: ``(kind,)`` graph flavor and,
-        for authority-folded graphs, gamma.  ``"ca"`` degenerates to the
-        fold at ``gamma=1`` exactly as :class:`GreedyTeamFinder` does, so
-        the cache never splits hairs the search graph doesn't.
+        Keyed on what the index depends on: ``(kind,)`` graph flavor,
+        for authority-folded graphs gamma, and the network's mutation
+        version.  ``"ca"`` degenerates to the fold at ``gamma=1``
+        exactly as :class:`GreedyTeamFinder` does, so the cache never
+        splits hairs the search graph doesn't.
         """
         return self._search_entry(objective, gamma, oracle_kind)[1]
 
@@ -148,29 +170,190 @@ class TeamFormationEngine:
     ) -> tuple[Graph, DistanceOracle]:
         kind = oracle_kind or self.oracle_kind
         if objective == "cc":
-            key = (kind, "cc")
+            base: tuple = (kind, "cc")
         else:
             effective_gamma = 1.0 if objective == "ca" else gamma
-            key = (kind, "fold", effective_gamma)
-        if key not in self._search_cache:
-            if len(self._search_cache) >= self._max_cached_oracles:
-                del self._search_cache[next(iter(self._search_cache))]
-            graph = search_graph_for(self.network, objective, gamma, self.scales)
-            self._search_cache[key] = (
-                graph,
-                build_oracle(graph, kind, workers=self._index_workers),
-            )
-        return self._search_cache[key]
+            base = (kind, "fold", effective_gamma)
+        return self._entry(self._search_cache, base, self._max_cached_oracles)[0]
 
     def raw_oracle(self, oracle_kind: str | None = None) -> DistanceOracle:
         """The (cached) oracle over the plain communication-cost graph."""
         kind = oracle_kind or self.oracle_kind
-        key = (kind, "raw")
-        if key not in self._raw_oracles:
-            self._raw_oracles[key] = build_oracle(
-                self.network.graph, kind, workers=self._index_workers
-            )
-        return self._raw_oracles[key]
+        entry, _ = self._entry(
+            self._raw_oracles, (kind, "raw"), self._max_cached_oracles
+        )
+        return entry[1]
+
+    # ------------------------------------------------------------------
+    # versioned cache reconciliation
+    # ------------------------------------------------------------------
+    def _entry(
+        self, cache: dict, base: tuple, bound: int
+    ) -> tuple[tuple[Graph, DistanceOracle], str]:
+        """The entry for ``base`` at the *current* network version.
+
+        Returns ``(entry, how)`` where ``how`` records what it cost:
+        ``"cached"`` (already current), ``"incremental"`` (a stale entry
+        absorbed the delta in place), or ``"rebuilt"`` (fresh build).
+        """
+        version = self.network.version
+        key = (*base, version)
+        entry = cache.get(key)
+        if entry is not None:
+            return entry, "cached"
+        entry = self._upgrade_entry(cache, base, version)
+        how = "incremental"
+        if entry is None:
+            entry = self._build_entry(base)
+            how = "rebuilt"
+        if len(cache) >= bound:
+            del cache[next(iter(cache))]
+        cache[key] = entry
+        return entry, how
+
+    def _build_entry(self, base: tuple) -> tuple[Graph, DistanceOracle]:
+        """Build the search graph + oracle for ``base`` from scratch."""
+        kind, flavor = base[0], base[1]
+        if flavor == "raw":
+            graph = self.network.graph
+        elif flavor == "cc":
+            graph = search_graph_for(self.network, "cc", 0.0, self.scales)
+        else:  # fold at base[2] = effective gamma
+            graph = search_graph_for(self.network, "ca-cc", base[2], self.scales)
+        return graph, build_oracle(graph, kind, workers=self._index_workers)
+
+    def _upgrade_entry(
+        self, cache: dict, base: tuple, version: int
+    ) -> tuple[Graph, DistanceOracle] | None:
+        """Bring a stale cached entry for ``base`` up to ``version``.
+
+        Picks the freshest stale entry, asks the network for the
+        mutation delta since its version, and replays it onto the
+        derived graph and oracle when every change is incrementally
+        applicable.  Stale keys for ``base`` are always dropped; returns
+        ``None`` when the caller must rebuild (no stale entry, journal
+        truncated, unsupported mutation, or a non-incremental oracle).
+        """
+        stale = [key for key in cache if key[:-1] == base]
+        if not stale:
+            return None
+        newest = max(stale, key=lambda key: key[-1])
+        graph, oracle = cache[newest]
+        delta = self.network.mutations_since(newest[-1])
+        for key in stale:
+            del cache[key]
+        if delta is None:
+            return None
+        steps = self._plan_incremental(delta, base, oracle)
+        if steps is None:
+            return None
+        for step in steps:
+            if step[0] == "node":
+                oracle.add_node(step[1])
+            else:
+                _, u, v, weight = step
+                oracle.insert_edge(u, v, weight)
+        return graph, oracle
+
+    def _plan_incremental(
+        self,
+        delta: tuple[NetworkMutation, ...],
+        base: tuple,
+        oracle: DistanceOracle,
+    ) -> list[tuple] | None:
+        """Map a network delta onto oracle update steps, or ``None``.
+
+        A delta is incrementally applicable when the oracle supports it
+        and every mutation either leaves the derived graph untouched
+        (skill edits everywhere; authority edits off the fold) or only
+        *decreases* derived distances (new nodes, new edges, derived
+        weight decreases).  Removals, derived weight increases and
+        authority changes under a fold require a rebuild.
+        """
+        if not getattr(oracle, "supports_incremental", False):
+            return None
+        flavor = base[1]
+        steps: list[tuple] = []
+        # Reweighting chains are coalesced to one step per edge: only
+        # the chain's *final* weight matters, compared against the
+        # edge's weight at the cached version (the first record's
+        # ``old_weight``) — intermediate weights are never replayed, so
+        # a chain is incremental iff its net effect is an insertion or
+        # a decrease.
+        edge_origin: dict[frozenset, float | None] = {}
+        edge_final: dict[frozenset, tuple[str, str, float]] = {}
+        for mutation in delta:
+            op = mutation.op
+            if op in ("remove_expert", "remove_collaboration"):
+                return None
+            if op == "update_skills":
+                continue  # no distance impact on any flavor
+            if op == "update_h_index":
+                if flavor == "fold":
+                    return None  # reweights every incident folded edge
+                continue
+            if op == "add_expert":
+                steps.append(("node", mutation.expert_id))
+                continue
+            # add_collaboration: insertion or reweighting
+            pair = frozenset((mutation.u, mutation.v))
+            if pair not in edge_origin:
+                edge_origin[pair] = mutation.old_weight
+            edge_final[pair] = (mutation.u, mutation.v, mutation.weight)
+        # Node additions first: an edge step may reference a new expert.
+        for pair, (u, v, weight) in edge_final.items():
+            new_w = self._derived_weight(base, u, v, weight)
+            origin = edge_origin[pair]
+            if origin is not None and new_w > self._derived_weight(
+                base, u, v, origin
+            ):
+                return None  # net weight increase: distances may grow
+            steps.append(("edge", u, v, new_w))
+        return steps
+
+    def _derived_weight(self, base: tuple, u: str, v: str, weight: float) -> float:
+        """What edge ``{u, v}`` at raw ``weight`` weighs on ``base``'s graph."""
+        flavor = base[1]
+        if flavor == "raw":
+            return weight
+        if flavor == "cc":
+            return weight / self.scales.edge_scale
+        inv_u = self.network.inverse_authority(u) / self.scales.authority_scale
+        inv_v = self.network.inverse_authority(v) / self.scales.authority_scale
+        return transformed_edge_weight(
+            inv_u, inv_v, weight / self.scales.edge_scale, base[2]
+        )
+
+    def apply_updates(self) -> dict[str, int]:
+        """Eagerly reconcile every cached oracle with the network.
+
+        The lazy serving path performs the same reconciliation on the
+        next request touching each index; this method front-loads the
+        work (e.g. after a mutation burst, before a latency-sensitive
+        window) and reports what it cost::
+
+            {"cached": n, "incremental": n, "rebuilt": n}
+        """
+        report = {"cached": 0, "incremental": 0, "rebuilt": 0}
+        for cache in (self._search_cache, self._raw_oracles):
+            for base in {key[:-1] for key in cache}:
+                _, how = self._entry(cache, base, self._max_cached_oracles)
+                report[how] += 1
+        return report
+
+    def refresh_scales(self) -> ObjectiveScales:
+        """Re-derive normalization scales from the mutated network.
+
+        Scales are frozen at construction so scores stay comparable
+        across mutations; call this when the network has drifted enough
+        that stale normalization matters.  Every cached oracle and
+        finder depends on the scales, so both caches are dropped.
+        """
+        self.scales = ObjectiveScales.from_network(self.network)
+        self._search_cache.clear()
+        self._raw_oracles.clear()
+        self._finders.clear()
+        return self.scales
 
     # ------------------------------------------------------------------
     # solver factories (single construction path for adapters AND
@@ -195,9 +378,16 @@ class TeamFormationEngine:
         """
         sa_mode = sa_mode or self.sa_mode
         kind = oracle_kind or self.oracle_kind
-        key = (objective, gamma, lam, sa_mode, kind)
+        # Version-keyed like the oracle cache: a finder holds the oracle
+        # and search graph, so it must never outlive a network mutation.
+        version = self.network.version
+        key = (objective, gamma, lam, sa_mode, kind, version)
         if root_candidates is None and key in self._finders:
             return self._finders[key]
+        # Purge finders built for older versions: each pins a replaced
+        # index, which would otherwise dodge the oracle-cache bound.
+        for stale in [k for k in self._finders if k[-1] != version]:
+            del self._finders[stale]
         search_graph, oracle = self._search_entry(objective, gamma, kind)
         finder = GreedyTeamFinder(
             self.network,

@@ -4,15 +4,20 @@ Examples::
 
     repro-teams solve --skills graphics dataation --solver greedy
     repro-teams --list-solvers
+    repro-teams mutate --script ops.jsonl
     repro-teams figure4 --scale small
     repro-teams figure3 --scale small --projects 5 --skills 4 6
     repro-teams quality --seed 3
     python -m repro.cli figure6
 
 ``solve`` answers one team request through the
-:class:`repro.api.TeamFormationEngine`; every other subcommand
-regenerates one table/figure of the paper (DESIGN.md §4) on a
-reproducible synthetic-DBLP network and prints the result table.
+:class:`repro.api.TeamFormationEngine`; ``mutate`` replays a JSON-lines
+script of network mutations and interleaved solves against one live
+engine (the dynamic-network serving path — each mutation bumps the
+network version and the engine reconciles its cached indexes
+incrementally where possible); every other subcommand regenerates one
+table/figure of the paper (DESIGN.md §4) on a reproducible
+synthetic-DBLP network and prints the result table.
 """
 
 from __future__ import annotations
@@ -123,6 +128,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="emit the TeamResponse as JSON"
     )
 
+    pmut = sub.add_parser(
+        "mutate",
+        help="replay a JSON-lines mutation/solve script against one engine",
+    )
+    pmut.add_argument(
+        "--script", required=True, metavar="FILE",
+        help="JSON-lines ops file ('-' for stdin); each line is an object "
+        'with an "op" key: add_expert, remove_expert, update_skills, '
+        "update_h_index, add_collaboration, remove_collaboration, solve, "
+        "apply_updates",
+    )
+    pmut.add_argument(
+        "--json", action="store_true", help="emit solve responses as JSON"
+    )
+
     p3 = sub.add_parser("figure3", help="SA-CA-CC score vs lambda, all methods")
     p3.add_argument("--projects", type=int, default=10, help="projects per panel")
     p3.add_argument(
@@ -177,6 +197,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     )
     if args.experiment == "solve":
         return _run_solve(network, args)
+    if args.experiment == "mutate":
+        return _run_mutate(network, args)
     if args.experiment == "figure3":
         result = run_figure3(
             network,
@@ -254,6 +276,107 @@ def _run_solve(network, args) -> int:
         return 2
     print(response.to_json() if args.json else response.format())
     return 0 if response.found else 1
+
+
+def _read_ops(script: str):
+    """Parse a JSON-lines ops script ('-' = stdin; blank/# lines skipped)."""
+    import json
+
+    if script == "-":
+        lines = sys.stdin.read().splitlines()
+    else:
+        with open(script, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    ops = []
+    for lineno, line in enumerate(lines, 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            op = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON ({exc})") from None
+        if not isinstance(op, dict) or "op" not in op:
+            raise ValueError(f'line {lineno}: expected an object with an "op" key')
+        ops.append((lineno, op))
+    return ops
+
+
+def _field(op: dict, kind: str, name: str):
+    """A required script-op field, with a usage error naming it if absent."""
+    try:
+        return op[name]
+    except KeyError:
+        raise ValueError(f"op {kind!r} requires field {name!r}") from None
+
+
+def _apply_op(engine, op: dict, *, as_json: bool) -> None:
+    """Apply one script op to the engine's network (or solve/reconcile)."""
+    from .expertise import Expert
+
+    network = engine.network
+    kind = op["op"]
+    if kind == "add_expert":
+        network.add_expert(
+            Expert(
+                _field(op, kind, "id"),
+                name=op.get("name", ""),
+                skills=frozenset(op.get("skills", ())),
+                h_index=op.get("h_index", 1.0),
+            )
+        )
+    elif kind == "remove_expert":
+        network.remove_expert(_field(op, kind, "id"))
+    elif kind == "update_skills":
+        network.update_skills(_field(op, kind, "id"), _field(op, kind, "skills"))
+    elif kind == "update_h_index":
+        network.update_h_index(_field(op, kind, "id"), _field(op, kind, "h_index"))
+    elif kind == "add_collaboration":
+        network.add_collaboration(
+            _field(op, kind, "u"), _field(op, kind, "v"),
+            weight=op.get("weight", 1.0),
+        )
+    elif kind == "remove_collaboration":
+        network.remove_collaboration(_field(op, kind, "u"), _field(op, kind, "v"))
+    elif kind == "solve":
+        _field(op, kind, "skills")
+        request = TeamRequest.from_dict(op)
+        response = engine.solve(request)
+        print(response.to_json() if as_json else response.format())
+    elif kind == "apply_updates":
+        report = engine.apply_updates()
+        print(
+            f"apply_updates: cached={report['cached']} "
+            f"incremental={report['incremental']} rebuilt={report['rebuilt']}"
+        )
+    else:
+        raise ValueError(f"unknown op {kind!r}")
+
+
+def _run_mutate(network, args) -> int:
+    """Replay a mutation/solve script against one live engine."""
+    from .graph.adjacency import GraphError
+
+    engine = TeamFormationEngine(network)
+    try:
+        ops = _read_ops(args.script)
+    except (OSError, ValueError) as exc:
+        print(f"mutate: {exc}", file=sys.stderr)
+        return 2
+    for lineno, op in ops:
+        try:
+            _apply_op(engine, op, as_json=args.json)
+        except (KeyError, GraphError, ValueError, UnknownSolverError) as exc:
+            # Unknown experts/edges, malformed ops, unknown solvers: a
+            # clean usage error naming the offending line, no traceback.
+            print(f"mutate: line {lineno}: {exc}", file=sys.stderr)
+            return 2
+    print(
+        f"replayed {len(ops)} ops; network version {network.version} "
+        f"({len(network)} experts, {network.num_edges} edges)",
+        file=sys.stderr,
+    )
+    return 0
 
 
 def _run_pareto(network, args) -> int:

@@ -3,7 +3,7 @@
 from .authority import AUTHORITY_FLOOR, h_index, inverse_authority, pagerank
 from .expert import Expert
 from .jaccard import collaboration_weight, jaccard_distance, jaccard_similarity
-from .network import ExpertNetwork
+from .network import ExpertNetwork, NetworkMutation
 from .serialize import (
     SCHEMA_VERSION,
     load_network,
@@ -23,6 +23,7 @@ __all__ = [
     "jaccard_distance",
     "jaccard_similarity",
     "ExpertNetwork",
+    "NetworkMutation",
     "SCHEMA_VERSION",
     "load_network",
     "network_from_dict",

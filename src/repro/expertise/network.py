@@ -11,11 +11,33 @@ It couples three views that must stay consistent:
 Construction either takes explicit edges or derives them from paper
 co-authorship (:meth:`ExpertNetwork.from_collaborations`) with Jaccard
 weights, exactly as in Section 4 of the paper.
+
+Dynamic networks
+----------------
+
+The network is *mutable after construction*: experts join and leave,
+profiles change, collaborations appear and are reweighted.  Every
+mutation goes through one of the ``add_expert`` / ``remove_expert`` /
+``update_skills`` / ``update_h_index`` / ``add_collaboration`` /
+``remove_collaboration`` methods, each of which
+
+* keeps the three views (graph, profiles, skill index) consistent,
+* bumps the monotonically increasing :attr:`ExpertNetwork.version`
+  counter, and
+* appends a :class:`NetworkMutation` record to a bounded journal so
+  derived structures (the engine's distance-oracle cache) can replay
+  exactly what changed since the version they were built at
+  (:meth:`ExpertNetwork.mutations_since`).
+
+Construction itself is version 0: the initial expert/edge population is
+not journaled, only post-construction mutations are.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, replace
 
 from ..graph.adjacency import Graph, GraphError
 from ..graph.components import connected_components
@@ -24,7 +46,30 @@ from .expert import Expert
 from .jaccard import collaboration_weight
 from .skills import SkillIndex
 
-__all__ = ["ExpertNetwork"]
+__all__ = ["ExpertNetwork", "NetworkMutation"]
+
+
+@dataclass(frozen=True, slots=True)
+class NetworkMutation:
+    """One journaled network change (the state *after* applying it).
+
+    ``version`` is the network version the mutation produced.  Exactly
+    one of the id fields is populated per ``op``: profile mutations
+    carry ``expert_id``, edge mutations carry ``u``/``v`` (plus the new
+    ``weight`` and, for reweightings/removals, the ``old_weight``).
+    Consumers use ``old_weight`` to decide whether a change is a pure
+    insertion/decrease (incrementally applicable to a 2-hop cover) or
+    requires an index rebuild.
+    """
+
+    version: int
+    op: str  # add_expert | remove_expert | update_skills | update_h_index
+    #        # | add_collaboration | remove_collaboration
+    expert_id: str | None = None
+    u: str | None = None
+    v: str | None = None
+    weight: float | None = None
+    old_weight: float | None = None
 
 
 class ExpertNetwork:
@@ -37,7 +82,16 @@ class ExpertNetwork:
     10.0
     >>> sorted(net.experts_with_skill("db"))
     ['bob']
+    >>> net.add_collaboration("alice", "bob", weight=0.1)
+    >>> net.version
+    1
     """
+
+    #: Maximum journaled mutations retained.  Readers asking for history
+    #: older than the journal's floor get ``None`` (= "rebuild, the
+    #: delta is gone"), so the cap bounds memory without affecting
+    #: correctness.
+    JOURNAL_CAP = 4096
 
     def __init__(
         self,
@@ -50,6 +104,9 @@ class ExpertNetwork:
         self._graph = Graph()
         self._skills = SkillIndex()
         self._floor = authority_floor
+        self._version = 0
+        self._journal: deque[NetworkMutation] = deque()
+        self._journal_floor = 0
         for expert in experts:
             if expert.id in self._experts:
                 raise ValueError(f"duplicate expert id {expert.id!r}")
@@ -63,6 +120,7 @@ class ExpertNetwork:
             else:
                 u, v, w = edge  # type: ignore[misc]
             self.add_collaboration(u, v, weight=w)
+        self._reset_history()
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -87,14 +145,114 @@ class ExpertNetwork:
             net.add_collaboration(
                 u, v, weight=collaboration_weight(a.papers, b.papers)
             )
+        net._reset_history()
         return net
+
+    # ------------------------------------------------------------------
+    # mutation API (each method bumps ``version`` and journals a record)
+    # ------------------------------------------------------------------
+    def _reset_history(self) -> None:
+        """Declare the current state to be version 0 (construction)."""
+        self._version = 0
+        self._journal.clear()
+        self._journal_floor = 0
+
+    def _record(self, mutation_fields: dict) -> None:
+        self._version += 1
+        self._journal.append(NetworkMutation(self._version, **mutation_fields))
+        while len(self._journal) > self.JOURNAL_CAP:
+            dropped = self._journal.popleft()
+            self._journal_floor = dropped.version
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (0 = as constructed)."""
+        return self._version
+
+    def mutations_since(self, version: int) -> tuple[NetworkMutation, ...] | None:
+        """Every journaled mutation after ``version``, oldest first.
+
+        Returns ``None`` when ``version`` predates the journal's floor
+        (the history was truncated by :data:`JOURNAL_CAP`): the caller
+        can no longer replay the delta and must rebuild from scratch.
+        """
+        if version > self._version:
+            raise ValueError(
+                f"version {version} is ahead of the network ({self._version})"
+            )
+        if version < self._journal_floor:
+            return None
+        return tuple(m for m in self._journal if m.version > version)
+
+    def add_expert(self, expert: Expert) -> None:
+        """Add a new (possibly isolated) expert to the network."""
+        if expert.id in self._experts:
+            raise ValueError(f"duplicate expert id {expert.id!r}")
+        self._experts[expert.id] = expert
+        self._graph.add_node(expert.id)
+        self._skills.add(expert)
+        self._record({"op": "add_expert", "expert_id": expert.id})
+
+    def remove_expert(self, expert_id: str) -> Expert:
+        """Remove an expert and every incident collaboration."""
+        expert = self.expert(expert_id)
+        self._graph.remove_node(expert_id)
+        self._skills.remove(expert)
+        del self._experts[expert_id]
+        self._record({"op": "remove_expert", "expert_id": expert_id})
+        return expert
+
+    def update_skills(self, expert_id: str, skills: Iterable[str]) -> Expert:
+        """Replace ``S(c)`` of one expert, keeping the skill index exact."""
+        old = self.expert(expert_id)
+        new = replace(old, skills=frozenset(skills))
+        self._skills.remove(old)
+        self._skills.add(new)
+        self._experts[expert_id] = new
+        self._record({"op": "update_skills", "expert_id": expert_id})
+        return new
+
+    def update_h_index(self, expert_id: str, h_index: float) -> Expert:
+        """Update one expert's authority signal ``a(c)``."""
+        old = self.expert(expert_id)
+        new = replace(old, h_index=h_index)  # Expert validates non-negative
+        self._experts[expert_id] = new
+        self._record({"op": "update_h_index", "expert_id": expert_id})
+        return new
 
     def add_collaboration(self, u: str, v: str, *, weight: float = 1.0) -> None:
         """Add (or reweight) the edge between two known experts."""
         for node in (u, v):
             if node not in self._experts:
                 raise KeyError(f"unknown expert id {node!r}")
+        old_weight = self._graph.weight(u, v) if self._graph.has_edge(u, v) else None
         self._graph.add_edge(u, v, weight=weight)
+        self._record(
+            {
+                "op": "add_collaboration",
+                "u": u,
+                "v": v,
+                "weight": float(weight),
+                "old_weight": old_weight,
+            }
+        )
+
+    def remove_collaboration(self, u: str, v: str) -> float:
+        """Remove the edge between two experts; return its old weight."""
+        for node in (u, v):
+            if node not in self._experts:
+                raise KeyError(f"unknown expert id {node!r}")
+        old_weight = self._graph.weight(u, v)  # raises GraphError if absent
+        self._graph.remove_edge(u, v)
+        self._record(
+            {
+                "op": "remove_collaboration",
+                "u": u,
+                "v": v,
+                "old_weight": old_weight,
+            }
+        )
+        return old_weight
 
     # ------------------------------------------------------------------
     # lookups
@@ -193,6 +351,7 @@ class ExpertNetwork:
         for u, v, w in self._graph.edges():
             if u in keep and v in keep:
                 net.add_collaboration(u, v, weight=w)
+        net._reset_history()
         return net
 
     def validate(self) -> None:
@@ -206,10 +365,21 @@ class ExpertNetwork:
             )
         for skill in self._skills.skills():
             for holder in self._skills.experts_with(skill):
+                if holder not in self._experts:
+                    raise GraphError(
+                        f"index lists unknown expert {holder!r} for {skill!r}"
+                    )
                 if skill not in self._experts[holder].skills:
                     raise GraphError(
                         f"index lists {holder!r} for {skill!r} but the "
                         "profile disagrees"
+                    )
+        for expert in self._experts.values():
+            for skill in expert.skills:
+                if expert.id not in self._skills.experts_with(skill):
+                    raise GraphError(
+                        f"profile of {expert.id!r} holds {skill!r} but the "
+                        "index does not list it"
                     )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -33,6 +33,17 @@ class SkillIndex:
         for skill in expert.skills:
             self._by_skill.setdefault(skill, set()).add(expert.id)
 
+    def remove(self, expert: Expert) -> None:
+        """Drop all skills of ``expert``; forget skills left holderless."""
+        self._num_experts -= 1
+        for skill in expert.skills:
+            holders = self._by_skill.get(skill)
+            if holders is None:
+                continue
+            holders.discard(expert.id)
+            if not holders:
+                del self._by_skill[skill]
+
     def experts_with(self, skill: str) -> frozenset[str]:
         """``C(s)``: ids of experts holding ``skill`` (empty if unknown)."""
         return frozenset(self._by_skill.get(skill, ()))

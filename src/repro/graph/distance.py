@@ -19,6 +19,18 @@ lookups, which removes most of the Python-level dispatch overhead from
 the hot path (measured in ``benchmarks/bench_index_build.py``).  The
 ablation benchmark ``benchmarks/bench_ablation_oracle.py`` swaps one
 implementation for the other.
+
+Both oracles are also *dynamic* for distance-decreasing changes and
+advertise it with ``supports_incremental``: ``insert_edge`` /
+``add_node`` absorb a new edge, a weight decrease or a new node without
+rebuilding (the PLL index repairs its labels with resumed pruned
+Dijkstras; the Dijkstra oracle simply invalidates its cached trees).
+Distance-*increasing* changes (removals, weight increases) require a
+rebuild — the engine's version-keyed oracle cache decides per mutation
+from the network's journal.  That caller-side check matters: when the
+oracle was built over a *shared* graph object that has already been
+mutated, ``insert_edge`` cannot see the pre-mutation weight and its own
+increase guard is best-effort only.
 """
 
 from __future__ import annotations
@@ -64,7 +76,16 @@ def get_default_index_workers() -> int:
 
 @runtime_checkable
 class DistanceOracle(Protocol):
-    """Anything that answers exact shortest-path distance and path queries."""
+    """Anything that answers exact shortest-path distance and path queries.
+
+    ``supports_incremental`` advertises whether the implementation can
+    absorb *distance-decreasing* graph changes in place via
+    ``insert_edge`` / ``add_node`` (plus ``invalidate`` to drop
+    memoized query state).  Implementations that cannot should set it to
+    ``False``; callers then rebuild on every mutation.
+    """
+
+    supports_incremental: bool
 
     def distance(self, u: Node, v: Node) -> float:
         """Exact shortest-path distance, ``inf`` when disconnected."""
@@ -86,6 +107,18 @@ class DistanceOracle(Protocol):
         """One exact shortest path ``[u, ..., v]``."""
         ...
 
+    def insert_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Absorb a new edge or weight decrease without rebuilding."""
+        ...
+
+    def add_node(self, node: Node) -> None:
+        """Absorb a new (isolated) node without rebuilding."""
+        ...
+
+    def invalidate(self) -> None:
+        """Drop memoized query state derived from the graph."""
+        ...
+
 
 class DijkstraOracle:
     """Lazy per-source Dijkstra with memoized shortest-path trees.
@@ -95,6 +128,10 @@ class DijkstraOracle:
     1 iterates every node as a root, which on large graphs would otherwise
     retain ``O(n^2)`` distances).
     """
+
+    #: Nothing is precomputed, so graph changes are absorbed by simply
+    #: invalidating the cached trees (see :meth:`insert_edge`).
+    supports_incremental = True
 
     def __init__(self, graph: Graph, *, max_cached_sources: int = 1024) -> None:
         if max_cached_sources < 1:
@@ -145,6 +182,25 @@ class DijkstraOracle:
         if v not in dist:
             raise GraphError(f"no path from {u!r} to {v!r}")
         return reconstruct_path(parent, v)
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached shortest-path tree (they may be stale)."""
+        self._cache.clear()
+
+    def add_node(self, node: Node) -> None:
+        """Absorb a new isolated node (cached trees stay valid)."""
+        self._graph.add_node(node)
+
+    def insert_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Absorb a new edge or reweighting by invalidating the trees."""
+        for node in (u, v):
+            if not self._graph.has_node(node):
+                raise GraphError(f"node {node!r} not in graph")
+        self._graph.add_edge(u, v, weight=weight)
+        self.invalidate()
 
 
 def build_oracle(

@@ -55,6 +55,30 @@ cannot be spawned; the resulting labels are identical either way.
 Labels also store the *parent* of each labelled node on the shortest-path
 tree of the landmark's Dijkstra, which allows exact path reconstruction
 (:meth:`PrunedLandmarkLabeling.path`) by recursive hub expansion.
+
+Incremental maintenance
+-----------------------
+
+The index is *dynamic for distance-decreasing changes*: new nodes
+(:meth:`PrunedLandmarkLabeling.add_node`), new edges and edge-weight
+decreases (:meth:`PrunedLandmarkLabeling.insert_edge`) are folded into
+the existing labels without a rebuild, in the style of dynamic
+2-hop-cover indexes (Akiba, Iwata and Yoshida, WWW 2014; D'Angelo,
+D'Emidio and Frigioni's weighted generalization): inserting ``{a, b}``
+resumes one pruned Dijkstra per hub of ``a``'s and ``b``'s labels,
+seeded *through* the new edge (hub ``h`` of ``a`` at stored distance
+``d`` seeds ``b`` at ``d + w``), pruning against the live index.  Only
+pairs whose distance actually decreased are traversed, so a single-edge
+update touches a tiny fraction of the label store — measured in
+``benchmarks/bench_dynamic_updates.py`` against a full rebuild.
+
+Distance-*increasing* changes (edge removal, weight increase, node
+removal) can invalidate labels that certify now-broken paths; callers
+must rebuild instead (the engine's version-keyed oracle cache does this
+automatically).  Label entries left behind by an update are never
+removed, only tightened, so queries stay exact; parent pointers of
+superseded entries can however go stale, which :meth:`path` detects by
+re-weighing the reconstructed path and repairs with one graph Dijkstra.
 """
 
 from __future__ import annotations
@@ -67,6 +91,7 @@ from bisect import bisect_left
 from collections.abc import Iterable
 
 from .adjacency import Graph, GraphError, Node
+from .dijkstra import shortest_path
 
 __all__ = [
     "PrunedLandmarkLabeling",
@@ -365,6 +390,11 @@ class PrunedLandmarkLabeling:
     #: :meth:`distances_from`).
     MAX_CACHED_SOURCES = 512
 
+    #: This oracle can absorb node additions and distance-decreasing
+    #: edge changes in place (see :meth:`insert_edge`); callers fall
+    #: back to a rebuild for everything else.
+    supports_incremental = True
+
     def __init__(
         self,
         graph: Graph,
@@ -392,6 +422,9 @@ class PrunedLandmarkLabeling:
         self._dists: dict[Node, list[float]] = {u: [] for u in graph.nodes()}
         self._parents: dict[Node, list[Node | None]] = {u: [] for u in graph.nodes()}
         self._source_cache: dict[Node, dict[Node, float]] = {}
+        #: How many in-place updates this index has absorbed since its
+        #: build (diagnostics; also arms the path-reconstruction check).
+        self.incremental_updates = 0
         self._build(batch_size)
         global _build_count
         _build_count += 1
@@ -460,6 +493,132 @@ class PrunedLandmarkLabeling:
                 self._parents[u].append(via)
                 delta.append((u, rank_l, d))
         return delta
+
+    # ------------------------------------------------------------------
+    # incremental maintenance
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop memoized per-source query state.
+
+        The labels themselves are kept exact by :meth:`insert_edge` /
+        :meth:`add_node` (which call this), so there is nothing else to
+        invalidate; the method exists so every oracle implementation
+        shares one cache-reset entry point.
+        """
+        self._source_cache.clear()
+
+    def add_node(self, node: Node) -> None:
+        """Register a new (isolated) node without rebuilding.
+
+        The node is appended at the lowest landmark priority and given
+        its self-label; subsequent :meth:`insert_edge` calls connect it.
+        Idempotent for nodes already indexed.
+        """
+        if node in self._ranks:
+            return
+        self._graph.add_node(node)
+        rank = len(self._order)
+        self._order.append(node)
+        self._rank[node] = rank
+        self._ranks[node] = [rank]
+        self._dists[node] = [0.0]
+        self._parents[node] = [None]
+        self.invalidate()
+        self.incremental_updates += 1
+
+    def insert_edge(self, u: Node, v: Node, weight: float) -> None:
+        """Absorb a new edge ``{u, v}`` (or a weight *decrease*) in place.
+
+        For every hub ``h`` in either endpoint's label, a pruned
+        Dijkstra is *resumed* through the new edge: ``h``'s stored
+        distance to one endpoint seeds the other endpoint at
+        ``stored + weight``, and the search relaxes outward, labelling
+        exactly the nodes whose distance from ``h`` improved (pruning
+        against the live index stops it everywhere else).  Existing
+        entries are tightened in place, so label arrays never grow
+        stale-monotonic and queries remain exact.
+
+        Weight *increases* are not supported — they can strand labels
+        certifying distances that no longer exist; callers must rebuild
+        instead.  ``ValueError`` is raised when an increase is detected,
+        but the guard is *best-effort*: it compares against the weight
+        currently stored in this index's graph, so a caller that shares
+        the graph object and has already written the new weight to it
+        (as the engine's raw-graph oracle does) must check old-vs-new
+        weight itself before calling — the engine does so from the
+        network's mutation journal and rebuilds on any net increase.
+        """
+        if u == v:
+            raise GraphError(f"self-loop on {u!r} is not allowed")
+        for node in (u, v):
+            if node not in self._ranks:
+                raise GraphError(f"node {node!r} not in index")
+        if self._graph.has_edge(u, v) and weight > self._graph.weight(u, v):
+            raise ValueError(
+                "insert_edge only supports insertions and weight "
+                f"decreases; ({u!r}, {v!r}) would grow from "
+                f"{self._graph.weight(u, v)!r} to {weight!r} — rebuild"
+            )
+        self._graph.add_edge(u, v, weight=weight)
+        self.invalidate()
+        # Snapshot both endpoint labels *before* any repair, then resume
+        # one search per affected hub in ascending rank (priority) order,
+        # merging seeds when the same hub covers both endpoints.
+        seeds: dict[int, list[tuple[float, Node, Node]]] = {}
+        for a, b in ((u, v), (v, u)):
+            for rank_h, d_ha in zip(list(self._ranks[a]), list(self._dists[a])):
+                seeds.setdefault(rank_h, []).append((d_ha + weight, b, a))
+        for rank_h in sorted(seeds):
+            self._resume_pruned_dijkstra(rank_h, seeds[rank_h])
+        self.incremental_updates += 1
+
+    def _resume_pruned_dijkstra(
+        self, rank_h: int, seeds: list[tuple[float, Node, Node]]
+    ) -> None:
+        """Resume landmark ``rank_h``'s pruned Dijkstra from ``seeds``.
+
+        Seeds are ``(distance, node, parent)`` entries justified by an
+        existing label plus the new edge.  The search settles a node
+        only when the live index cannot already certify its distance,
+        in which case the label entry is tightened (or inserted).
+        """
+        adj = self._graph.adjacency()
+        landmark = self._order[rank_h]
+        h_ranks, h_dists = self._ranks[landmark], self._dists[landmark]
+        heap: list[tuple[float, int, Node, Node | None]] = []
+        counter = 0
+        for d, node, via in seeds:
+            heap.append((d, counter, node, via))
+            counter += 1
+        heapq.heapify(heap)
+        settled: set[Node] = set()
+        while heap:
+            d, _, x, via = heapq.heappop(heap)
+            if x in settled:
+                continue
+            if _merge_join_min(h_ranks, h_dists, self._ranks[x], self._dists[x]) <= d:
+                continue
+            settled.add(x)
+            self._set_label(x, rank_h, d, via)
+            for y, w in adj[x].items():
+                if y in settled:
+                    continue
+                heapq.heappush(heap, (d + w, counter, y, x))
+                counter += 1
+
+    def _set_label(
+        self, node: Node, rank_h: int, dist: float, parent: Node | None
+    ) -> None:
+        """Insert or tighten ``node``'s entry for hub rank ``rank_h``."""
+        ranks = self._ranks[node]
+        idx = bisect_left(ranks, rank_h)
+        if idx < len(ranks) and ranks[idx] == rank_h:
+            self._dists[node][idx] = dist
+            self._parents[node][idx] = parent
+        else:
+            ranks.insert(idx, rank_h)
+            self._dists[node].insert(idx, dist)
+            self._parents[node].insert(idx, parent)
 
     # ------------------------------------------------------------------
     # queries
@@ -537,9 +696,27 @@ class PrunedLandmarkLabeling:
         hub = self._best_hub(u, v)
         if hub is None:
             raise GraphError(f"no path between {u!r} and {v!r}")
-        left = self._walk_to_hub(u, hub)
-        right = self._walk_to_hub(v, hub)
-        return left + right[::-1][1:]
+        try:
+            left = self._walk_to_hub(u, hub)
+            right = self._walk_to_hub(v, hub)
+            path = left + right[::-1][1:]
+        except (GraphError, RecursionError):
+            if not self.incremental_updates:
+                raise
+            return self._fallback_path(u, v)
+        if self.incremental_updates:
+            # Incremental updates tighten distances but can leave parent
+            # pointers of superseded entries stale; re-weigh the walk and
+            # repair with one graph Dijkstra if it is no longer shortest.
+            total = sum(self._graph.weight(x, y) for x, y in zip(path, path[1:]))
+            if total > self.distance(u, v) + 1e-9 * max(1.0, total):
+                return self._fallback_path(u, v)
+        return path
+
+    def _fallback_path(self, u: Node, v: Node) -> list[Node]:
+        """Exact path via a plain graph Dijkstra (stale-parent repair)."""
+        _, path = shortest_path(self._graph, u, v)
+        return path
 
     def _best_hub(self, u: Node, v: Node) -> Node | None:
         best, best_rank = _INF, -1

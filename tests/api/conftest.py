@@ -15,8 +15,9 @@ PROJECT = ("SN", "TM")
 PROJECT3 = ("DB", "SN", "TM")
 
 
-@pytest.fixture(scope="session")
-def figure1_network() -> ExpertNetwork:
+def build_figure1_network() -> ExpertNetwork:
+    """A fresh figure-1 network (shared by the static and dynamic suites;
+    the dynamic tests mutate their copy, so they build their own)."""
     experts = [
         Expert("liu", skills={"SN"}, h_index=9),
         Expert("han", h_index=139),
@@ -36,3 +37,8 @@ def figure1_network() -> ExpertNetwork:
         ("liu", "ren", 3.0),
     ]
     return ExpertNetwork(experts, edges)
+
+
+@pytest.fixture(scope="session")
+def figure1_network() -> ExpertNetwork:
+    return build_figure1_network()

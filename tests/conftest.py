@@ -1,13 +1,30 @@
-"""Shared fixtures: hand-built and randomized expert networks."""
+"""Shared fixtures: hand-built and randomized expert networks.
+
+Also registers the hypothesis profiles the suite runs under:
+
+* ``dev`` (default) — few examples, fast inner loop;
+* ``ci`` — more examples, what the coverage gate runs with.
+
+Select with ``HYPOTHESIS_PROFILE=ci python -m pytest``.  Tests that pin
+their own ``@settings(max_examples=...)`` keep their pinned budget; the
+profile governs everything else (notably the dynamic-PLL differential
+suite).
+"""
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import settings
 
 from repro.expertise import Expert, ExpertNetwork
 from repro.eval.workload import benchmark_network
+
+settings.register_profile("ci", max_examples=200, deadline=None)
+settings.register_profile("dev", max_examples=25, deadline=None)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

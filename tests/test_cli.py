@@ -182,6 +182,106 @@ def test_solve_uncoverable_project_exits_nonzero(capsys):
     assert "no team found" in out
 
 
+def _write_script(tmp_path, lines):
+    path = tmp_path / "ops.jsonl"
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    return str(path)
+
+
+def test_mutate_replays_and_serves_post_mutation_state(tmp_path, capsys):
+    script = _write_script(
+        tmp_path,
+        [
+            "# add a super-connected newcomer, then solve through them",
+            '{"op": "solve", "skills": ["graphics"], "solver": "greedy"}',
+            '{"op": "add_expert", "id": "newbie", "skills": ["graphics"],'
+            ' "h_index": 50}',
+            '{"op": "add_collaboration", "u": "newbie", "v": "g000.junior3",'
+            ' "weight": 0.05}',
+            '{"op": "apply_updates"}',
+            '{"op": "update_skills", "id": "newbie", "skills": ["graphics",'
+            ' "graphing"]}',
+            '{"op": "update_h_index", "id": "newbie", "h_index": 80}',
+            '{"op": "solve", "skills": ["graphics", "graphing"],'
+            ' "solver": "greedy"}',
+            '{"op": "remove_collaboration", "u": "newbie", "v": "g000.junior3"}',
+        ],
+    )
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 0
+    captured = capsys.readouterr()
+    assert captured.out.count("solver: greedy") == 2
+    assert "apply_updates: cached=" in captured.out
+    assert "replayed 8 ops; network version 5" in captured.err
+
+
+def test_mutate_unknown_expert_fails_cleanly(tmp_path, capsys):
+    script = _write_script(
+        tmp_path, ['{"op": "remove_expert", "id": "ghost"}']
+    )
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    err = capsys.readouterr().err
+    assert "line 1" in err
+    assert "ghost" in err
+
+
+def test_mutate_unknown_edge_and_op_fail_cleanly(tmp_path, capsys):
+    script = _write_script(
+        tmp_path,
+        [
+            '{"op": "add_collaboration", "u": "g000.junior3",'
+            ' "v": "g004.junior2", "weight": 0.5}',
+            '{"op": "remove_collaboration", "u": "g000.junior3",'
+            ' "v": "g004.junior2"}',
+            '{"op": "remove_collaboration", "u": "g000.junior3",'
+            ' "v": "g004.junior2"}',
+        ],
+    )
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    err = capsys.readouterr().err
+    assert "line 3" in err and "not in graph" in err
+    script = _write_script(tmp_path, ['{"op": "defenestrate", "id": "x"}'])
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    assert "unknown op" in capsys.readouterr().err
+
+
+def test_mutate_unknown_solver_in_script_fails_cleanly(tmp_path, capsys):
+    script = _write_script(
+        tmp_path,
+        ['{"op": "solve", "skills": ["graphics"], "solver": "nonexistent"}'],
+    )
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    assert "unknown solver" in capsys.readouterr().err
+
+
+def test_mutate_rejects_malformed_script(tmp_path, capsys):
+    script = _write_script(tmp_path, ["{not json"])
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    assert "invalid JSON" in capsys.readouterr().err
+    script = _write_script(tmp_path, ['{"skills": ["graphics"]}'])
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 2
+    assert '"op" key' in capsys.readouterr().err
+    assert main(
+        ["--scale", "tiny", "mutate", "--script", str(tmp_path / "missing.jsonl")]
+    ) == 2
+    assert "mutate:" in capsys.readouterr().err
+
+
+def test_mutate_remove_expert_then_solve_is_in_band_miss(tmp_path, capsys):
+    """Removing the holders a pending request depends on is not a crash."""
+    script = _write_script(
+        tmp_path,
+        [
+            '{"op": "add_expert", "id": "solo", "skills": ["uniqueskill"]}',
+            '{"op": "solve", "skills": ["uniqueskill"], "solver": "greedy"}',
+            '{"op": "remove_expert", "id": "solo"}',
+            '{"op": "solve", "skills": ["uniqueskill"], "solver": "greedy"}',
+        ],
+    )
+    assert main(["--scale", "tiny", "mutate", "--script", script]) == 0
+    out = capsys.readouterr().out
+    assert "no team found" in out
+
+
 def test_chart_default_is_explicit_for_all_subcommands():
     # Satellite: no more getattr probing — args.chart always exists.
     for argv in (["figure6"], ["figure3"], ["figure5"], ["stats"],
