@@ -1,0 +1,156 @@
+"""Cold engine build vs snapshot warm start (standalone benchmark).
+
+The persistence subsystem's bet is the paper's own: the 2-hop-cover
+index is expensive to *build* and cheap to *use* — so a process that can
+load a prebuilt index from disk reaches serving readiness far faster
+than one that rebuilds it.  This benchmark measures exactly that:
+
+* **cold**: construct a :class:`TeamFormationEngine` over an in-memory
+  network and build its default serving indexes (the folded search graph
+  at gamma and RarestFirst's raw graph);
+* **save**: ``engine.save_snapshot()`` — reported with on-disk size and
+  write throughput;
+* **warm**: ``TeamFormationEngine.from_snapshot()`` — full CRC
+  verification, network + journal restore, label decode; asserted to
+  perform *zero* index builds;
+* a differential check that cold and warm engines answer one greedy
+  request identically.
+
+The acceptance target for PR 4 is a >= 10x warm-start advantage at the
+``small`` scale; pass ``--min-speedup 10`` to enforce it (exit 1).  The
+CI smoke job runs this with ``--store`` pointing at a directory that is
+then uploaded as a build artifact and re-loaded by the freshly built
+package — guarding the snapshot format against accidental breaks::
+
+    PYTHONPATH=src python benchmarks/bench_snapshot.py --scale small \
+        --trials 3 --min-speedup 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network
+from repro.graph.pll import pll_build_count
+
+GAMMA = 0.6
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def build_cold(network) -> tuple[TeamFormationEngine, float]:
+    """A serving-ready engine the expensive way; returns (engine, secs)."""
+    t0 = time.perf_counter()
+    engine = TeamFormationEngine(network)
+    engine.search_oracle("sa-ca-cc", GAMMA)
+    engine.raw_oracle()
+    return engine, time.perf_counter() - t0
+
+
+def probe_request(network) -> TeamRequest:
+    """One answerable greedy request (most-supported skill)."""
+    skill = max(
+        network.skill_index.skills(),
+        key=lambda s: (len(network.experts_with_skill(s)), s),
+    )
+    return TeamRequest(skills=(skill,), solver="greedy")
+
+
+def canonical(response) -> str:
+    payload = response.to_dict()
+    payload["timing"] = None
+    return json.dumps(payload, sort_keys=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALE_CONFIGS), default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--trials", type=_positive_int, default=3)
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="write the snapshot store here (kept; e.g. for a CI artifact); "
+        "default: a temporary directory",
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the median cold/warm speedup falls below this",
+    )
+    args = parser.parse_args(argv)
+
+    network = benchmark_network(args.scale, seed=args.seed)
+    print(
+        f"scale={args.scale}: {len(network)} experts, {network.num_edges} "
+        f"edges; {args.trials} trials"
+    )
+    request = probe_request(network)
+
+    if args.store is None:
+        tmp = tempfile.TemporaryDirectory()
+        store_dir = Path(tmp.name) / "store"
+    else:
+        store_dir = Path(args.store)
+
+    cold_times, save_times, load_times, size = [], [], [], 0
+    for trial in range(args.trials):
+        engine, t_cold = build_cold(network)
+        cold_times.append(t_cold)
+        cold_answer = canonical(engine.solve(request))
+
+        t0 = time.perf_counter()
+        path = engine.save_snapshot(store_dir, retain=1)
+        t_save = time.perf_counter() - t0
+        save_times.append(t_save)
+        size = path.stat().st_size
+
+        builds_before = pll_build_count()
+        t0 = time.perf_counter()
+        warm = TeamFormationEngine.from_snapshot(store_dir)
+        t_load = time.perf_counter() - t0
+        load_times.append(t_load)
+        if pll_build_count() != builds_before:
+            print("FAIL: warm start paid for an index build")
+            return 1
+        if canonical(warm.solve(request)) != cold_answer:
+            print("FAIL: warm engine answered differently from the cold one")
+            return 1
+        mb = size / 1e6
+        print(
+            f"  trial {trial}: cold {t_cold * 1e3:9.2f}ms   "
+            f"save {t_save * 1e3:8.2f}ms ({mb / t_save:6.1f} MB/s)   "
+            f"load {t_load * 1e3:8.2f}ms ({mb / t_load:6.1f} MB/s)   "
+            f"speedup {t_cold / t_load:8.1f}x"
+        )
+
+    cold, load = statistics.median(cold_times), statistics.median(load_times)
+    save = statistics.median(save_times)
+    speedup = cold / load if load > 0 else float("inf")
+    print(f"  snapshot size     : {size} bytes ({size / 1e6:.2f} MB)")
+    print(f"  median cold start : {cold * 1e3:9.2f}ms")
+    print(f"  median save       : {save * 1e3:9.2f}ms")
+    print(f"  median warm start : {load * 1e3:9.2f}ms")
+    print(f"  median speedup    : {speedup:8.1f}x over {args.trials} trials")
+    if args.min_speedup and speedup < args.min_speedup:
+        print(f"FAIL: median speedup {speedup:.1f}x < required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

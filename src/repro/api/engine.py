@@ -36,11 +36,20 @@ Every solver the engine hands out — whether through the typed
 methods the experiment runners use — is constructed with the same
 arguments a direct instantiation would use, so teams are identical
 either way (asserted per registered solver in ``tests/api``).
+
+The whole serving state is durable: :meth:`TeamFormationEngine.save_snapshot`
+freezes the network (with its mutation journal), the scales and every
+current 2-hop-cover index into a CRC-checked binary snapshot
+(:mod:`repro.storage`), and :meth:`TeamFormationEngine.from_snapshot`
+warm-starts a new process from it without rebuilding an index — or
+attaches the snapshot to a newer live network, reconciling through the
+same version-keyed incremental path mutations use.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
+from pathlib import Path
 
 from ..core.brute_force import BruteForceSolver
 from ..core.exact import ExactSolver
@@ -52,8 +61,18 @@ from ..core.rarest_first import RarestFirstSolver
 from ..core.sa_solver import SaOptimalSolver
 from ..core.transform import transformed_edge_weight
 from ..expertise.network import ExpertNetwork, NetworkMutation
-from ..graph.adjacency import Graph
+from ..graph.adjacency import Graph, GraphError
 from ..graph.distance import DistanceOracle, build_oracle
+from ..graph.pll import PrunedLandmarkLabeling
+from ..storage.codec import (
+    EngineSnapshotState,
+    OracleEntryState,
+    decode_engine_snapshot,
+    encode_engine_snapshot,
+)
+from ..storage.errors import CorruptSnapshotError, StaleSnapshotError
+from ..storage.format import read_container, write_container
+from ..storage.store import SnapshotStore
 from .messages import TeamRequest, TeamResponse
 from .registry import Solver, SolverRegistry
 from .solvers import DEFAULT_REGISTRY
@@ -213,14 +232,24 @@ class TeamFormationEngine:
 
     def _build_entry(self, base: tuple) -> tuple[Graph, DistanceOracle]:
         """Build the search graph + oracle for ``base`` from scratch."""
-        kind, flavor = base[0], base[1]
+        graph = self._derive_graph(base, self.network)
+        return graph, build_oracle(graph, base[0], workers=self._index_workers)
+
+    def _derive_graph(self, base: tuple, network: ExpertNetwork) -> Graph:
+        """The derived graph ``base`` indexes, built over ``network``.
+
+        Factored out of :meth:`_build_entry` so snapshot restoration can
+        derive an entry's graph from the *snapshot's* network (the state
+        the persisted labels were computed over) rather than the
+        engine's possibly-newer live network.
+        """
+        flavor = base[1]
         if flavor == "raw":
-            graph = self.network.graph
-        elif flavor == "cc":
-            graph = search_graph_for(self.network, "cc", 0.0, self.scales)
-        else:  # fold at base[2] = effective gamma
-            graph = search_graph_for(self.network, "ca-cc", base[2], self.scales)
-        return graph, build_oracle(graph, kind, workers=self._index_workers)
+            return network.graph
+        if flavor == "cc":
+            return search_graph_for(network, "cc", 0.0, self.scales)
+        # fold at base[2] = effective gamma
+        return search_graph_for(network, "ca-cc", base[2], self.scales)
 
     def _upgrade_entry(
         self, cache: dict, base: tuple, version: int
@@ -354,6 +383,180 @@ class TeamFormationEngine:
         self._raw_oracles.clear()
         self._finders.clear()
         return self.scales
+
+    # ------------------------------------------------------------------
+    # persistence / warm start (see repro.storage)
+    # ------------------------------------------------------------------
+    def save_snapshot(
+        self,
+        target: "SnapshotStore | str | Path",
+        *,
+        retain: int | None = 5,
+    ) -> Path:
+        """Freeze this engine's serving state into a durable snapshot.
+
+        Persists the network (state *and* mutation journal, so a loaded
+        snapshot can be reconciled with a newer live journal), the
+        frozen normalization scales, the default ``sa_mode`` /
+        ``oracle_kind``, and every cached 2-hop-cover index that is
+        current at the network's version.  Stale cache entries and
+        Dijkstra oracles are skipped: the former would be upgraded or
+        rebuilt on first touch anyway, and the latter hold no
+        precomputation worth the bytes.
+
+        ``target`` may be a :class:`SnapshotStore`, a store *directory*
+        (``retain`` applies), or a single ``*.snap`` file path.  Returns
+        the path written.  The write is atomic either way.
+        """
+        version = self.network.version
+        entries = []
+        for cache_name, cache in (
+            ("search", self._search_cache),
+            ("raw", self._raw_oracles),
+        ):
+            for key, (_graph, oracle) in cache.items():
+                if key[-1] != version:
+                    continue
+                if not isinstance(oracle, PrunedLandmarkLabeling):
+                    continue
+                entries.append(
+                    OracleEntryState(
+                        cache=cache_name,
+                        base=key[:-1],
+                        version=version,
+                        labels=oracle.export_labels(),
+                    )
+                )
+        meta, sections = encode_engine_snapshot(
+            EngineSnapshotState(
+                network=self.network,
+                edge_scale=self.scales.edge_scale,
+                authority_scale=self.scales.authority_scale,
+                sa_mode=self.sa_mode,
+                oracle_kind=self.oracle_kind,
+                entries=tuple(entries),
+            )
+        )
+        if isinstance(target, SnapshotStore):
+            return target.save(meta, sections)
+        path = Path(target)
+        if path.suffix == ".snap":
+            return write_container(path, meta, sections)
+        return SnapshotStore(path, retain=retain).save(meta, sections)
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        source: "SnapshotStore | str | Path",
+        *,
+        network: ExpertNetwork | None = None,
+        registry: SolverRegistry | None = None,
+        index_workers: int | None = None,
+        max_cached_oracles: int = 16,
+        max_cached_finders: int = 128,
+    ) -> "TeamFormationEngine":
+        """Warm-start an engine from a snapshot — no index build.
+
+        ``source`` is a :class:`SnapshotStore`, a store directory (the
+        LATEST snapshot is taken), or one ``*.snap`` file.  Every byte
+        is CRC-verified before interpretation; damage raises
+        :class:`~repro.storage.errors.CorruptSnapshotError`, a
+        too-new format raises
+        :class:`~repro.storage.errors.FormatVersionError`.
+
+        Without ``network``, the engine serves the snapshot's own
+        network, restored at the version it was frozen at (journal tail
+        included, so later mutations reconcile incrementally exactly as
+        they would have on the never-persisted engine).
+
+        With ``network`` — a *live* network that has moved on to a newer
+        version — the engine serves that network while adopting the
+        snapshot's scales and indexes.  Each restored index stays keyed
+        at the snapshot's version over a graph derived from the
+        *snapshot's* state, and the engine's ordinary version-keyed
+        reconciliation replays the live journal delta onto it on first
+        touch (incrementally where the delta allows, rebuilding where it
+        does not).  If the delta is unreplayable — the snapshot predates
+        the live journal's floor, or claims a version the live network
+        has not reached — :class:`StaleSnapshotError` is raised rather
+        than ever serving wrong distances.
+        """
+        if isinstance(source, SnapshotStore):
+            meta, sections = source.load_latest()
+        else:
+            path = Path(source)
+            if path.is_dir():
+                meta, sections = SnapshotStore(path).load_latest()
+            else:
+                meta, sections = read_container(path)
+        state = decode_engine_snapshot(meta, sections)
+        snapshot_net = state.network
+        if network is not None:
+            frozen = snapshot_net.version
+            if network.version < frozen:
+                raise StaleSnapshotError(
+                    f"snapshot at network version {frozen} is ahead of the "
+                    f"live network ({network.version}); it belongs to a "
+                    "different lineage"
+                )
+            if network.mutations_since(frozen) is None:
+                raise StaleSnapshotError(
+                    f"snapshot at network version {frozen} predates the live "
+                    f"journal floor ({network.journal_floor}); the catch-up "
+                    "delta was truncated — take a fresh snapshot"
+                )
+            # Version numbers alone cannot tell lineages apart: two
+            # networks that mutated *differently* can share a version.
+            # The journals can — wherever both retain a record for the
+            # same version, the records must be identical.  (Divergence
+            # older than both journal floors is out of reach; the
+            # journals are the trust boundary, and they cover exactly
+            # the window a replay would rely on.)
+            start = max(network.journal_floor, snapshot_net.journal_floor)
+            snap_overlap = tuple(
+                m for m in snapshot_net.journal_tail() if m.version > start
+            )
+            live_overlap = tuple(
+                m
+                for m in network.mutations_since(start) or ()
+                if m.version <= frozen
+            )
+            if snap_overlap != live_overlap:
+                raise StaleSnapshotError(
+                    "snapshot and live network journals disagree over "
+                    f"their shared history (versions {start + 1}..{frozen}) "
+                    "— the snapshot belongs to a different lineage"
+                )
+        engine = cls(
+            network if network is not None else snapshot_net,
+            scales=ObjectiveScales(
+                edge_scale=state.edge_scale,
+                authority_scale=state.authority_scale,
+            ),
+            sa_mode=state.sa_mode,  # type: ignore[arg-type]
+            oracle_kind=state.oracle_kind,
+            registry=registry,
+            index_workers=index_workers,
+            max_cached_oracles=max_cached_oracles,
+            max_cached_finders=max_cached_finders,
+        )
+        for entry in state.entries:
+            cache = (
+                engine._search_cache
+                if entry.cache == "search"
+                else engine._raw_oracles
+            )
+            if len(cache) >= engine._max_cached_oracles:
+                continue
+            graph = engine._derive_graph(entry.base, snapshot_net)
+            try:
+                oracle = PrunedLandmarkLabeling.from_labels(graph, entry.labels)
+            except GraphError as exc:
+                raise CorruptSnapshotError(
+                    f"oracle entry {entry.base!r}: {exc}"
+                ) from None
+            cache[(*entry.base, entry.version)] = (graph, oracle)
+        return engine
 
     # ------------------------------------------------------------------
     # solver factories (single construction path for adapters AND

@@ -5,6 +5,10 @@ Examples::
     repro-teams solve --skills graphics dataation --solver greedy
     repro-teams --list-solvers
     repro-teams mutate --script ops.jsonl
+    repro-teams snapshot save --store ./snapshots
+    repro-teams solve --snapshot ./snapshots --skills graphics
+    repro-teams mutate --snapshot ./snapshots --script ops.jsonl
+    repro-teams snapshot info --store ./snapshots
     repro-teams figure4 --scale small
     repro-teams figure3 --scale small --projects 5 --skills 4 6
     repro-teams quality --seed 3
@@ -15,9 +19,12 @@ Examples::
 script of network mutations and interleaved solves against one live
 engine (the dynamic-network serving path — each mutation bumps the
 network version and the engine reconciles its cached indexes
-incrementally where possible); every other subcommand regenerates one
-table/figure of the paper (DESIGN.md §4) on a reproducible
-synthetic-DBLP network and prints the result table.
+incrementally where possible); ``snapshot save|load|info|gc`` manage the
+durable warm-start store (:mod:`repro.storage`), and ``solve``/``mutate``
+accept ``--snapshot PATH`` to serve from a loaded snapshot instead of
+rebuilding the synthetic network and its indexes; every other subcommand
+regenerates one table/figure of the paper (DESIGN.md §4) on a
+reproducible synthetic-DBLP network and prints the result table.
 """
 
 from __future__ import annotations
@@ -43,6 +50,7 @@ from .eval.experiments import (
 )
 from .eval.workload import SCALE_CONFIGS, benchmark_corpus, benchmark_network
 from .graph.distance import set_default_index_workers
+from .storage import SnapshotError, SnapshotStore
 
 __all__ = ["main", "build_parser"]
 
@@ -127,6 +135,11 @@ def build_parser() -> argparse.ArgumentParser:
     psolve.add_argument(
         "--json", action="store_true", help="emit the TeamResponse as JSON"
     )
+    psolve.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="warm-start the engine from a snapshot store/file instead of "
+        "building the --scale network (see 'snapshot save')",
+    )
 
     pmut = sub.add_parser(
         "mutate",
@@ -142,6 +155,50 @@ def build_parser() -> argparse.ArgumentParser:
     pmut.add_argument(
         "--json", action="store_true", help="emit solve responses as JSON"
     )
+    pmut.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="replay the script against an engine loaded from a snapshot "
+        "store/file instead of a freshly built --scale network",
+    )
+    pmut.add_argument(
+        "--save-snapshot", metavar="PATH", default=None,
+        help="after replaying, save the mutated engine to this snapshot "
+        "store/file (round-trips the journal end to end)",
+    )
+
+    psnap = sub.add_parser(
+        "snapshot", help="manage durable warm-start snapshots"
+    )
+    snap_sub = psnap.add_subparsers(dest="snapshot_cmd", required=True)
+    ps_save = snap_sub.add_parser(
+        "save", help="build the --scale engine, warm its indexes, snapshot it"
+    )
+    ps_save.add_argument(
+        "--store", required=True, metavar="PATH",
+        help="snapshot store directory (or a single *.snap file path)",
+    )
+    ps_save.add_argument(
+        "--retain", type=_positive_int, default=5,
+        help="snapshots kept in the store after saving (default: 5)",
+    )
+    ps_save.add_argument(
+        "--no-warm", action="store_true",
+        help="skip prebuilding the default search/raw indexes before saving "
+        "(the snapshot then warm-starts the network only)",
+    )
+    ps_load = snap_sub.add_parser(
+        "load", help="load + verify a snapshot and report what it restores"
+    )
+    ps_load.add_argument("--store", required=True, metavar="PATH")
+    ps_info = snap_sub.add_parser(
+        "info", help="list a store's snapshots and the latest manifest"
+    )
+    ps_info.add_argument("--store", required=True, metavar="PATH")
+    ps_gc = snap_sub.add_parser(
+        "gc", help="delete all but the newest snapshots of a store"
+    )
+    ps_gc.add_argument("--store", required=True, metavar="PATH")
+    ps_gc.add_argument("--retain", type=_positive_int, default=5)
 
     p3 = sub.add_parser("figure3", help="SA-CA-CC score vs lambda, all methods")
     p3.add_argument("--projects", type=int, default=10, help="projects per panel")
@@ -188,6 +245,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point: run one experiment and print its table."""
     args = build_parser().parse_args(argv)
     set_default_index_workers(args.parallel_index)
+    if args.experiment == "snapshot":
+        return _run_snapshot(args)
+    if args.experiment in ("solve", "mutate") and args.snapshot:
+        try:
+            engine = TeamFormationEngine.from_snapshot(args.snapshot)
+        except SnapshotError as exc:
+            print(f"snapshot: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"engine warm-started from {args.snapshot}: "
+            f"{len(engine.network)} experts, {engine.network.num_edges} "
+            f"edges, {len(engine.cached_oracle_keys)} cached indexes "
+            f"(network version {engine.network.version})\n",
+            file=sys.stderr,
+        )
+        if args.experiment == "solve":
+            return _run_solve(engine, args)
+        return _run_mutate(engine, args)
     network = benchmark_network(args.scale, seed=args.seed)
     print(
         f"network: {len(network)} experts, {network.num_edges} edges, "
@@ -196,9 +271,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         file=sys.stderr,
     )
     if args.experiment == "solve":
-        return _run_solve(network, args)
+        return _run_solve(TeamFormationEngine(network), args)
     if args.experiment == "mutate":
-        return _run_mutate(network, args)
+        return _run_mutate(TeamFormationEngine(network), args)
     if args.experiment == "figure3":
         result = run_figure3(
             network,
@@ -252,9 +327,69 @@ def main(argv: Sequence[str] | None = None) -> int:
     return 0
 
 
-def _run_solve(network, args) -> int:
+def _run_snapshot(args) -> int:
+    """The ``snapshot save|load|info|gc`` store-management commands."""
+    from pathlib import Path
+
+    from .storage import read_meta
+
+    try:
+        if args.snapshot_cmd == "save":
+            network = benchmark_network(args.scale, seed=args.seed)
+            engine = TeamFormationEngine(network)
+            if not args.no_warm:
+                # The default serving indexes: Algorithm 1's folded
+                # search graph at --gamma, and RarestFirst's raw graph.
+                engine.search_oracle("sa-ca-cc", args.gamma)
+                engine.raw_oracle()
+            path = engine.save_snapshot(args.store, retain=args.retain)
+            print(
+                f"saved {path} ({path.stat().st_size} bytes, "
+                f"{len(engine.cached_oracle_keys)} indexes, "
+                f"network version {network.version})"
+            )
+            return 0
+        if args.snapshot_cmd == "load":
+            engine = TeamFormationEngine.from_snapshot(args.store)
+            print(
+                f"loaded {args.store}: {len(engine.network)} experts, "
+                f"{engine.network.num_edges} edges, "
+                f"{len(engine.cached_oracle_keys)} warm indexes "
+                f"(network version {engine.network.version})"
+            )
+            return 0
+        if args.snapshot_cmd == "info":
+            path = Path(args.store)
+            if path.is_dir():
+                store = SnapshotStore(path)
+                infos = store.list()
+                if not infos:
+                    print(f"snapshot: no snapshots in store {path}", file=sys.stderr)
+                    return 2
+                for info in infos:
+                    print(info.format())
+                meta = store.meta()
+            else:
+                meta = read_meta(path)
+            print(
+                f"latest manifest: network version {meta.get('network_version')}, "
+                f"{meta.get('experts')} experts, {meta.get('edges')} edges, "
+                f"{meta.get('oracle_entries')} persisted indexes"
+            )
+            return 0
+        # gc
+        removed = SnapshotStore(args.store).gc(retain=args.retain)
+        for name in removed:
+            print(f"removed {name}")
+        print(f"retained {args.retain} newest snapshot(s)")
+        return 0
+    except SnapshotError as exc:
+        print(f"snapshot: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_solve(engine, args) -> int:
     """Answer one ``solve`` request through the engine."""
-    engine = TeamFormationEngine(network)
     try:
         request = TeamRequest(
             skills=tuple(args.skills),
@@ -353,11 +488,11 @@ def _apply_op(engine, op: dict, *, as_json: bool) -> None:
         raise ValueError(f"unknown op {kind!r}")
 
 
-def _run_mutate(network, args) -> int:
+def _run_mutate(engine, args) -> int:
     """Replay a mutation/solve script against one live engine."""
     from .graph.adjacency import GraphError
 
-    engine = TeamFormationEngine(network)
+    network = engine.network
     try:
         ops = _read_ops(args.script)
     except (OSError, ValueError) as exc:
@@ -376,6 +511,13 @@ def _run_mutate(network, args) -> int:
         f"({len(network)} experts, {network.num_edges} edges)",
         file=sys.stderr,
     )
+    if args.save_snapshot:
+        try:
+            path = engine.save_snapshot(args.save_snapshot)
+        except SnapshotError as exc:
+            print(f"mutate: {exc}", file=sys.stderr)
+            return 2
+        print(f"saved mutated engine to {path}", file=sys.stderr)
     return 0
 
 

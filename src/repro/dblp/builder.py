@@ -86,7 +86,12 @@ def build_expert_network(
             )
         )
 
-    network = ExpertNetwork.from_collaborations(experts, corpus.coauthor_pairs())
+    # Sorted pairs: coauthor_pairs() is a set, and edge insertion order
+    # is semantic (solver tie-breaks follow adjacency order) — iterating
+    # the set directly would make the network depend on the hash seed.
+    network = ExpertNetwork.from_collaborations(
+        experts, sorted(corpus.coauthor_pairs())
+    )
     if restrict_to_largest_component:
         network = network.largest_connected_subnetwork()
     return network

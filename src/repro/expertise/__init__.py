@@ -7,6 +7,8 @@ from .network import ExpertNetwork, NetworkMutation
 from .serialize import (
     SCHEMA_VERSION,
     load_network,
+    mutation_from_dict,
+    mutation_to_dict,
     network_from_dict,
     network_to_dict,
     save_network,
@@ -26,6 +28,8 @@ __all__ = [
     "NetworkMutation",
     "SCHEMA_VERSION",
     "load_network",
+    "mutation_from_dict",
+    "mutation_to_dict",
     "network_from_dict",
     "network_to_dict",
     "save_network",

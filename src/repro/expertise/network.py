@@ -169,6 +169,53 @@ class ExpertNetwork:
         """Monotone mutation counter (0 = as constructed)."""
         return self._version
 
+    @property
+    def journal_floor(self) -> int:
+        """Oldest version whose delta is still replayable from the journal."""
+        return self._journal_floor
+
+    def journal_tail(self) -> tuple[NetworkMutation, ...]:
+        """Every retained journal record, oldest first.
+
+        This is what the persistence subsystem freezes into a snapshot:
+        together with :attr:`version` and :attr:`journal_floor` it lets
+        a restored network answer :meth:`mutations_since` exactly as the
+        live one would, so index-cache entries loaded at an older
+        version reconcile through the same incremental path.
+        """
+        return tuple(self._journal)
+
+    def restore_history(
+        self,
+        *,
+        version: int,
+        journal: Iterable[NetworkMutation],
+        journal_floor: int,
+    ) -> None:
+        """Adopt a persisted mutation history (persistence hook).
+
+        The graph/profile/skill views must already reflect ``version``
+        — the caller (``repro.storage``) restores them from the same
+        snapshot.  Only the *bookkeeping* is adopted here; the records
+        themselves are validated to be a contiguous, in-range tail so a
+        tampered snapshot cannot smuggle in an inconsistent journal.
+        """
+        records = tuple(journal)
+        if version < 0 or journal_floor < 0 or journal_floor > version:
+            raise ValueError(
+                f"inconsistent history: version={version}, "
+                f"floor={journal_floor}"
+            )
+        expected = tuple(range(journal_floor + 1, version + 1))
+        if tuple(m.version for m in records) != expected:
+            raise ValueError(
+                "journal records do not form the contiguous tail "
+                f"({journal_floor}, {version}]"
+            )
+        self._version = version
+        self._journal = deque(records)
+        self._journal_floor = journal_floor
+
     def mutations_since(self, version: int) -> tuple[NetworkMutation, ...] | None:
         """Every journaled mutation after ``version``, oldest first.
 
@@ -340,13 +387,21 @@ class ExpertNetwork:
         return self.subnetwork(keep)
 
     def subnetwork(self, expert_ids: Iterable[str]) -> "ExpertNetwork":
-        """Induced sub-network on ``expert_ids``."""
+        """Induced sub-network on ``expert_ids``.
+
+        Kept experts preserve this network's insertion order (never the
+        iteration order of the ``expert_ids`` container): solver
+        tie-breaks follow expert order, so an induced sub-network must
+        not depend on whether the caller passed a list or a set — or on
+        the process's hash seed.
+        """
         keep = set(expert_ids)
         unknown = [e for e in keep if e not in self._experts]
         if unknown:
             raise KeyError(f"unknown expert ids: {sorted(unknown)!r}")
         net = ExpertNetwork(
-            (self._experts[e] for e in keep), authority_floor=self._floor
+            (e for e in self._experts.values() if e.id in keep),
+            authority_floor=self._floor,
         )
         for u, v, w in self._graph.edges():
             if u in keep and v in keep:

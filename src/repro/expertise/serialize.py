@@ -6,12 +6,27 @@ sessions.  The schema is deliberately plain JSON (no pickling) so files
 are portable and inspectable::
 
     {
-      "version": 1,
+      "version": 2,
       "authority_floor": 0.5,
       "experts": [{"id": ..., "name": ..., "skills": [...],
                    "h_index": ..., "num_publications": ..., "papers": [...]}],
-      "edges": [[u, v, weight], ...]
+      "edges": [[u, v, weight], ...],
+      "network_version": 3,
+      "journal_floor": 0,
+      "journal": [{"version": 1, "op": "add_collaboration", ...}, ...]
     }
+
+Schema history
+--------------
+* **1** — experts + edges + authority floor (static networks).
+* **2** — adds the dynamic-network mutation history: the monotone
+  ``network_version``, the retained ``journal`` tail and its
+  ``journal_floor``.  Version-1 payloads still load (their history is
+  empty: the network reads as freshly constructed at version 0).
+
+Floats survive the round trip exactly: ``json`` emits ``repr``-based
+shortest decimals, which Python parses back to the identical double —
+so a reloaded network yields bit-identical distances and scales.
 """
 
 from __future__ import annotations
@@ -21,21 +36,64 @@ from pathlib import Path
 from typing import Any
 
 from .expert import Expert
-from .network import ExpertNetwork
+from .network import ExpertNetwork, NetworkMutation
 
 __all__ = [
     "network_to_dict",
     "network_from_dict",
+    "mutation_to_dict",
+    "mutation_from_dict",
     "save_network",
     "load_network",
     "SCHEMA_VERSION",
 ]
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
+
+_MUTATION_FIELDS = ("version", "op", "expert_id", "u", "v", "weight", "old_weight")
+
+
+def mutation_to_dict(mutation: NetworkMutation) -> dict[str, Any]:
+    """One journal record as a JSON-ready dict (``None`` fields omitted)."""
+    out: dict[str, Any] = {"version": mutation.version, "op": mutation.op}
+    for field in _MUTATION_FIELDS[2:]:
+        value = getattr(mutation, field)
+        if value is not None:
+            out[field] = value
+    return out
+
+
+def mutation_from_dict(data: dict[str, Any]) -> NetworkMutation:
+    """Rebuild one journal record (inverse of :func:`mutation_to_dict`)."""
+    unknown = set(data) - set(_MUTATION_FIELDS)
+    if unknown:
+        raise ValueError(f"unknown journal fields {sorted(unknown)!r}")
+    return NetworkMutation(
+        version=int(data["version"]),
+        op=data["op"],
+        expert_id=data.get("expert_id"),
+        u=data.get("u"),
+        v=data.get("v"),
+        weight=None if data.get("weight") is None else float(data["weight"]),
+        old_weight=(
+            None if data.get("old_weight") is None else float(data["old_weight"])
+        ),
+    )
 
 
 def network_to_dict(network: ExpertNetwork) -> dict[str, Any]:
-    """A JSON-serializable snapshot of ``network``."""
+    """A JSON-serializable snapshot of ``network`` (state *and* history).
+
+    Experts appear in their live insertion order and edges in graph
+    *replay* order (:meth:`repro.graph.adjacency.Graph.edges_in_replay_order`),
+    not sorted: several solvers break exact-score ties by iteration
+    order (the greedy root sweep walks ``expert_ids()``, Dijkstra and
+    the Steiner edge sort follow adjacency order), so a faithful
+    round trip must reproduce those orders — that is what makes a
+    warm-started engine answer *byte-identically* to the engine that
+    wrote the snapshot.  Output is still deterministic: the same
+    network always serializes to the same payload.
+    """
     return {
         "version": SCHEMA_VERSION,
         "authority_floor": network.authority_floor,
@@ -48,26 +106,26 @@ def network_to_dict(network: ExpertNetwork) -> dict[str, Any]:
                 "num_publications": e.num_publications,
                 "papers": sorted(e.papers),
             }
-            for e in sorted(network.experts(), key=lambda e: e.id)
+            for e in network.experts()
         ],
-        "edges": sorted(
-            [u, v, w] if u <= v else [v, u, w]
-            for u, v, w in network.graph.edges()
-        ),
+        "edges": [[u, v, w] for u, v, w in network.graph.edges_in_replay_order()],
+        "network_version": network.version,
+        "journal_floor": network.journal_floor,
+        "journal": [mutation_to_dict(m) for m in network.journal_tail()],
     }
 
 
 def network_from_dict(data: dict[str, Any]) -> ExpertNetwork:
     """Rebuild a network from :func:`network_to_dict` output.
 
-    Raises ``ValueError`` on unknown schema versions or malformed
-    payloads (missing keys surface as ``KeyError`` with the offending
-    field).
+    Accepts schema versions 1 (static, empty history) and 2.  Raises
+    ``ValueError`` on unknown schema versions or malformed payloads
+    (missing keys surface as ``KeyError`` with the offending field).
     """
     version = data.get("version")
-    if version != SCHEMA_VERSION:
+    if version not in (1, SCHEMA_VERSION):
         raise ValueError(
-            f"unsupported schema version {version!r}; expected {SCHEMA_VERSION}"
+            f"unsupported schema version {version!r}; expected <= {SCHEMA_VERSION}"
         )
     experts = [
         Expert(
@@ -81,9 +139,16 @@ def network_from_dict(data: dict[str, Any]) -> ExpertNetwork:
         for entry in data["experts"]
     ]
     edges = [(u, v, float(w)) for u, v, w in data.get("edges", [])]
-    return ExpertNetwork(
+    network = ExpertNetwork(
         experts, edges, authority_floor=float(data.get("authority_floor", 0.5))
     )
+    if version >= 2 and data.get("network_version", 0):
+        network.restore_history(
+            version=int(data["network_version"]),
+            journal=[mutation_from_dict(m) for m in data.get("journal", [])],
+            journal_floor=int(data.get("journal_floor", 0)),
+        )
+    return network
 
 
 def save_network(network: ExpertNetwork, path: str | Path) -> None:

@@ -160,6 +160,54 @@ class Graph:
                 if v not in seen:
                     yield (u, v, w)
 
+    def edges_in_replay_order(self) -> list[tuple[Node, Node, float]]:
+        """Edges in an order whose ``add_edge`` replay rebuilds this graph
+        *exactly* — same per-node neighbor iteration order.
+
+        Persistence hook.  Several algorithms break exact-cost ties by
+        insertion order (Dijkstra's heap counter follows adjacency
+        order; the Steiner edge sort is stable over :meth:`edges`), so a
+        faithful snapshot must preserve adjacency order, not just the
+        edge *set*.  A plain :meth:`edges` dump does not replay
+        faithfully: it interleaves each node's neighbors with earlier
+        nodes' lists.
+
+        Adding edge ``{u, v}`` appends ``v`` to ``u``'s list and ``u``
+        to ``v``'s at the same instant, so per-node neighbor orders are
+        cuts of one global sequence — the original insertion sequence is
+        a witness that the induced precedence constraints are acyclic.
+        A Kahn-style merge recovers *a* valid sequence: repeatedly emit
+        an edge that is at the current front of both endpoints' neighbor
+        lists (FIFO over discovery, so the result is deterministic).
+        """
+        cursor = {u: iter(nbrs) for u, nbrs in self._adj.items()}
+        head: dict[Node, Node | None] = {
+            u: next(cursor[u], None) for u in self._adj
+        }
+        ready: list[tuple[Node, Node]] = []
+        queued: set[frozenset] = set()
+        for u, v in head.items():
+            if v is not None and head[v] == u:
+                pair = frozenset((u, v))
+                if pair not in queued:
+                    queued.add(pair)
+                    ready.append((u, v))
+        out: list[tuple[Node, Node, float]] = []
+        index = 0
+        while index < len(ready):
+            u, v = ready[index]
+            index += 1
+            out.append((u, v, self._adj[u][v]))
+            head[u] = next(cursor[u], None)
+            head[v] = next(cursor[v], None)
+            for x in (u, v):
+                y = head[x]
+                if y is not None and head[y] == x:
+                    ready.append((x, y))
+        if len(out) != self._num_edges:  # pragma: no cover - defensive
+            raise GraphError("adjacency orders are inconsistent")
+        return out
+
     @property
     def num_nodes(self) -> int:
         return len(self._adj)

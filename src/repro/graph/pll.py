@@ -772,6 +772,74 @@ class PrunedLandmarkLabeling:
         return path
 
     # ------------------------------------------------------------------
+    # persistence hooks (see repro.storage)
+    # ------------------------------------------------------------------
+    def export_labels(self) -> dict:
+        """The complete index state as plain containers.
+
+        Returns ``{"order", "ranks", "dists", "parents",
+        "incremental_updates"}`` where ``ranks``/``dists``/``parents``
+        are lists aligned with ``order`` (one label per node, in
+        landmark-rank order) and parents are encoded as *ranks* into
+        ``order`` (``-1`` for the landmark's own root entry).  The
+        encoding is lossless: :meth:`from_labels` reconstructs an index
+        whose labels — and therefore distances *and* reconstructed
+        paths — are bit-identical to this one.  The storage layer packs
+        these lists into compact binary arrays; this method stays
+        format-agnostic.
+        """
+        rank = self._rank
+        return {
+            "order": list(self._order),
+            "ranks": [self._ranks[u] for u in self._order],
+            "dists": [self._dists[u] for u in self._order],
+            "parents": [
+                [-1 if p is None else rank[p] for p in self._parents[u]]
+                for u in self._order
+            ],
+            "incremental_updates": self.incremental_updates,
+        }
+
+    @classmethod
+    def from_labels(cls, graph: Graph, state: dict) -> "PrunedLandmarkLabeling":
+        """Rebuild an index from :meth:`export_labels` output — no build.
+
+        ``graph`` must be the graph the labels were computed over (the
+        warm-start path reconstructs it from the same snapshot, so the
+        pairing is consistent by construction); ``order`` must be a
+        permutation of its nodes, which is the one structural invariant
+        cheap enough to verify here.  The restored index never runs a
+        pruned Dijkstra, so :func:`pll_build_count` is *not* bumped —
+        that is the entire point of warm starts, and what the snapshot
+        benchmark asserts.
+        """
+        order = list(state["order"])
+        if set(order) != set(graph.nodes()):
+            raise GraphError(
+                "snapshot labels do not match the graph: order is not a "
+                "permutation of the graph's nodes"
+            )
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._order = order
+        index._rank = {node: i for i, node in enumerate(order)}
+        index.workers = 1
+        index._ranks = {}
+        index._dists = {}
+        index._parents = {}
+        for node, ranks, dists, parents in zip(
+            order, state["ranks"], state["dists"], state["parents"]
+        ):
+            index._ranks[node] = list(ranks)
+            index._dists[node] = list(dists)
+            index._parents[node] = [
+                None if p < 0 else order[p] for p in parents
+            ]
+        index._source_cache = {}
+        index.incremental_updates = int(state["incremental_updates"])
+        return index
+
+    # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
     @property

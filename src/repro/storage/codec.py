@@ -1,0 +1,318 @@
+"""Section codecs: network state and compact binary PLL labels.
+
+The container (:mod:`repro.storage.format`) moves opaque named byte
+sections; this module defines what is *in* them for an engine snapshot:
+
+* ``network`` — the expert network state **and** mutation history as
+  canonical JSON (:func:`repro.expertise.serialize.network_to_dict`).
+  JSON floats round-trip exactly (``repr``-based shortest decimals), so
+  edge weights, h-indexes and scales are bit-preserved.
+* ``engine`` — JSON: the frozen normalization scales, default
+  ``sa_mode`` / ``oracle_kind``, and one metadata record per persisted
+  oracle-cache entry (which cache, graph flavor, gamma, the network
+  version the entry is keyed at, and which label section holds it).
+* ``labels/<i>`` — one 2-hop-cover label store in a flat array layout::
+
+      u32  node count N
+      u32  length of the landmark-order JSON
+      ...  landmark order (JSON list of node ids, rank ascending)
+      u32  incremental_updates counter
+      u64  total label entries T
+      u32[N]  per-node entry counts, in rank order
+      u32[T]  hub ranks, nodes concatenated in rank order
+      f64[T]  hub distances
+      i32[T]  parent ranks (-1 = none)
+
+  Arrays are little-endian on disk whatever the host byte order, packed
+  with the stdlib :mod:`array`/:mod:`struct` modules — ``numpy`` is
+  never required, keeping the runtime dependency-free (the layout is
+  ``numpy.frombuffer``-friendly for external tooling that has it).
+
+Decoders defend against *structurally* broken content with
+:class:`CorruptSnapshotError` even though every section already passed
+its CRC: a CRC protects against bit rot, not against a truncating or
+buggy writer.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import sys
+from array import array
+from dataclasses import dataclass
+from typing import Any
+
+from ..expertise.network import ExpertNetwork
+from ..expertise.serialize import network_from_dict, network_to_dict
+from .errors import CorruptSnapshotError
+
+__all__ = [
+    "OracleEntryState",
+    "EngineSnapshotState",
+    "encode_labels",
+    "decode_labels",
+    "encode_engine_snapshot",
+    "decode_engine_snapshot",
+]
+
+# array typecodes are platform-sized; resolve the 4-byte ones once.
+_U32 = "I" if array("I").itemsize == 4 else "L"
+_I32 = "i" if array("i").itemsize == 4 else "l"
+_SWAP = sys.byteorder == "big"
+
+_LABEL_HEAD = struct.Struct("<II")
+_LABEL_MID = struct.Struct("<IQ")
+
+#: Identifies an engine snapshot's manifest (vs other future payloads).
+SNAPSHOT_KIND = "engine-snapshot"
+
+
+def _pack(typecode: str, values: list) -> bytes:
+    data = array(typecode, values)
+    if _SWAP:  # pragma: no cover - big-endian hosts only
+        data.byteswap()
+    return data.tobytes()
+
+
+def _unpack(typecode: str, blob: bytes, offset: int, count: int) -> tuple[list, int]:
+    size = array(typecode).itemsize * count
+    if offset + size > len(blob):
+        raise CorruptSnapshotError(
+            f"label section truncated: need {size} bytes at {offset}, "
+            f"have {len(blob) - offset}"
+        )
+    data = array(typecode)
+    data.frombytes(blob[offset : offset + size])
+    if _SWAP:  # pragma: no cover - big-endian hosts only
+        data.byteswap()
+    return data.tolist(), offset + size
+
+
+# ----------------------------------------------------------------------
+# PLL label sections
+# ----------------------------------------------------------------------
+def encode_labels(state: dict) -> bytes:
+    """Pack :meth:`PrunedLandmarkLabeling.export_labels` output."""
+    order_blob = json.dumps(state["order"]).encode("utf-8")
+    counts = [len(ranks) for ranks in state["ranks"]]
+    total = sum(counts)
+    flat_ranks: list[int] = []
+    flat_dists: list[float] = []
+    flat_parents: list[int] = []
+    for ranks, dists, parents in zip(
+        state["ranks"], state["dists"], state["parents"]
+    ):
+        flat_ranks.extend(ranks)
+        flat_dists.extend(dists)
+        flat_parents.extend(parents)
+    return b"".join(
+        [
+            _LABEL_HEAD.pack(len(state["order"]), len(order_blob)),
+            order_blob,
+            _LABEL_MID.pack(int(state["incremental_updates"]), total),
+            _pack(_U32, counts),
+            _pack(_U32, flat_ranks),
+            _pack("d", flat_dists),
+            _pack(_I32, flat_parents),
+        ]
+    )
+
+
+def decode_labels(blob: bytes) -> dict:
+    """Inverse of :func:`encode_labels` (bit-exact)."""
+    if len(blob) < _LABEL_HEAD.size:
+        raise CorruptSnapshotError("label section shorter than its header")
+    n_nodes, order_len = _LABEL_HEAD.unpack_from(blob)
+    offset = _LABEL_HEAD.size
+    if offset + order_len + _LABEL_MID.size > len(blob):
+        raise CorruptSnapshotError("label section truncated in landmark order")
+    try:
+        order = json.loads(blob[offset : offset + order_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptSnapshotError(f"undecodable landmark order ({exc})") from None
+    if not isinstance(order, list) or len(order) != n_nodes:
+        raise CorruptSnapshotError(
+            f"landmark order length {len(order) if isinstance(order, list) else '?'}"
+            f" does not match node count {n_nodes}"
+        )
+    offset += order_len
+    incremental_updates, total = _LABEL_MID.unpack_from(blob, offset)
+    offset += _LABEL_MID.size
+    counts, offset = _unpack(_U32, blob, offset, n_nodes)
+    if sum(counts) != total:
+        raise CorruptSnapshotError(
+            f"label counts sum to {sum(counts)}, header claims {total}"
+        )
+    flat_ranks, offset = _unpack(_U32, blob, offset, total)
+    flat_dists, offset = _unpack("d", blob, offset, total)
+    flat_parents, offset = _unpack(_I32, blob, offset, total)
+    # Rank values index into ``order``: a CRC only proves the bytes are
+    # what the writer wrote, not that the writer was sane — reject
+    # out-of-range references here rather than IndexError-ing later.
+    if total and not (
+        0 <= min(flat_ranks) and max(flat_ranks) < n_nodes
+    ):
+        raise CorruptSnapshotError("label hub rank out of range")
+    if total and not (
+        -1 <= min(flat_parents) and max(flat_parents) < n_nodes
+    ):
+        raise CorruptSnapshotError("label parent rank out of range")
+    ranks, dists, parents = [], [], []
+    start = 0
+    for count in counts:
+        stop = start + count
+        ranks.append(flat_ranks[start:stop])
+        dists.append(flat_dists[start:stop])
+        parents.append(flat_parents[start:stop])
+        start = stop
+    return {
+        "order": order,
+        "ranks": ranks,
+        "dists": dists,
+        "parents": parents,
+        "incremental_updates": incremental_updates,
+    }
+
+
+# ----------------------------------------------------------------------
+# engine snapshots
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, slots=True)
+class OracleEntryState:
+    """One persisted oracle-cache entry.
+
+    ``cache`` is ``"search"`` or ``"raw"`` (which engine cache it lives
+    in); ``base`` is the engine's cache base key — ``(kind, "cc")``,
+    ``(kind, "fold", gamma)`` or ``(kind, "raw")``; ``version`` is the
+    network version the entry is keyed at; ``labels`` is
+    :meth:`PrunedLandmarkLabeling.export_labels` output.
+    """
+
+    cache: str
+    base: tuple
+    version: int
+    labels: dict
+
+
+@dataclass(frozen=True, slots=True)
+class EngineSnapshotState:
+    """Everything :class:`TeamFormationEngine` needs for a warm start."""
+
+    network: ExpertNetwork
+    edge_scale: float
+    authority_scale: float
+    sa_mode: str
+    oracle_kind: str
+    entries: tuple[OracleEntryState, ...]
+
+
+def _base_to_meta(base: tuple) -> dict[str, Any]:
+    meta: dict[str, Any] = {"kind": base[0], "flavor": base[1]}
+    if base[1] == "fold":
+        meta["gamma"] = base[2]
+    return meta
+
+
+def _base_from_meta(meta: dict[str, Any]) -> tuple:
+    if meta["flavor"] == "fold":
+        return (meta["kind"], "fold", float(meta["gamma"]))
+    if meta["flavor"] not in ("cc", "raw"):
+        raise CorruptSnapshotError(f"unknown graph flavor {meta['flavor']!r}")
+    return (meta["kind"], meta["flavor"])
+
+
+def encode_engine_snapshot(
+    state: EngineSnapshotState,
+) -> tuple[dict[str, Any], dict[str, bytes]]:
+    """Encode one engine state into container ``(meta, sections)``."""
+    network_dict = network_to_dict(state.network)
+    entry_meta = []
+    sections: dict[str, bytes] = {
+        "network": json.dumps(network_dict, sort_keys=True).encode("utf-8")
+    }
+    for i, entry in enumerate(state.entries):
+        section = f"labels/{i}"
+        sections[section] = encode_labels(entry.labels)
+        entry_meta.append(
+            {
+                "cache": entry.cache,
+                "version": entry.version,
+                "section": section,
+                **_base_to_meta(entry.base),
+            }
+        )
+    sections["engine"] = json.dumps(
+        {
+            "edge_scale": state.edge_scale,
+            "authority_scale": state.authority_scale,
+            "sa_mode": state.sa_mode,
+            "oracle_kind": state.oracle_kind,
+            "entries": entry_meta,
+        },
+        sort_keys=True,
+    ).encode("utf-8")
+    meta = {
+        "kind": SNAPSHOT_KIND,
+        "network_version": state.network.version,
+        "experts": len(state.network),
+        "edges": state.network.num_edges,
+        "oracle_entries": len(state.entries),
+    }
+    return meta, sections
+
+
+def _json_section(sections: dict[str, bytes], name: str) -> Any:
+    try:
+        return json.loads(sections[name].decode("utf-8"))
+    except KeyError:
+        raise CorruptSnapshotError(f"missing section {name!r}") from None
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CorruptSnapshotError(
+            f"undecodable section {name!r} ({exc})"
+        ) from None
+
+
+def decode_engine_snapshot(
+    meta: dict[str, Any], sections: dict[str, bytes]
+) -> EngineSnapshotState:
+    """Inverse of :func:`encode_engine_snapshot` (verified sections in)."""
+    if meta.get("kind") != SNAPSHOT_KIND:
+        raise CorruptSnapshotError(
+            f"not an engine snapshot (kind={meta.get('kind')!r})"
+        )
+    try:
+        network = network_from_dict(_json_section(sections, "network"))
+    except (ValueError, KeyError, TypeError) as exc:
+        raise CorruptSnapshotError(f"invalid network section ({exc})") from None
+    engine = _json_section(sections, "engine")
+    entries = []
+    try:
+        for record in engine["entries"]:
+            entries.append(
+                OracleEntryState(
+                    cache=record["cache"],
+                    base=_base_from_meta(record),
+                    version=int(record["version"]),
+                    labels=decode_labels(sections[record["section"]]),
+                )
+            )
+        state = EngineSnapshotState(
+            network=network,
+            edge_scale=float(engine["edge_scale"]),
+            authority_scale=float(engine["authority_scale"]),
+            sa_mode=engine["sa_mode"],
+            oracle_kind=engine["oracle_kind"],
+            entries=tuple(entries),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CorruptSnapshotError(f"invalid engine section ({exc})") from None
+    for entry in state.entries:
+        if entry.cache not in ("search", "raw"):
+            raise CorruptSnapshotError(f"unknown cache {entry.cache!r}")
+        if entry.version > network.version:
+            raise CorruptSnapshotError(
+                f"oracle entry at version {entry.version} is ahead of the "
+                f"snapshot network ({network.version})"
+            )
+    return state

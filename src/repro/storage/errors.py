@@ -1,0 +1,74 @@
+"""Typed failure modes of the snapshot persistence subsystem.
+
+Every error a caller can act on gets its own class, because the three
+failure modes demand three different reactions:
+
+* :class:`CorruptSnapshotError` — the bytes are damaged (truncation,
+  bit-flip, wrong file).  React: fall back to an older snapshot or a
+  cold build; never trust partial content.
+* :class:`FormatVersionError` — the bytes are intact but written by a
+  *newer* format than this reader understands.  React: upgrade the
+  package; retrying or falling back to older snapshots is pointless if
+  they share the format.
+* :class:`StaleSnapshotError` — the snapshot is valid but cannot be
+  reconciled with the live network (its version predates the live
+  journal's floor, or is ahead of the live network entirely).  React:
+  take a fresh snapshot from the live engine; replay is impossible.
+
+All three derive from :class:`SnapshotError` so "anything snapshot"
+can be caught in one clause, and *none* of them ever leaves a caller
+holding a silently wrong oracle — loading either returns a verified
+engine or raises.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SnapshotError",
+    "CorruptSnapshotError",
+    "FormatVersionError",
+    "StaleSnapshotError",
+]
+
+
+class SnapshotError(Exception):
+    """Base class for every snapshot persistence failure."""
+
+
+class CorruptSnapshotError(SnapshotError):
+    """The snapshot bytes fail integrity verification.
+
+    Raised on wrong magic, truncated files, manifest/section CRC
+    mismatches, and structurally impossible manifests.  The message
+    names what check failed and where.
+    """
+
+
+class FormatVersionError(SnapshotError):
+    """The snapshot was written by a format this reader does not know.
+
+    Carries both versions so operators can see at a glance whether the
+    fix is "upgrade the package" (snapshot is newer) — downgrades are
+    reported as corruption only when the header itself is damaged.
+    """
+
+    def __init__(self, found: int, supported: int) -> None:
+        super().__init__(
+            f"snapshot format version {found} is not supported "
+            f"(this reader understands versions <= {supported})"
+        )
+        self.found = found
+        self.supported = supported
+
+
+class StaleSnapshotError(SnapshotError):
+    """The snapshot cannot be reconciled with the live network.
+
+    Raised when the snapshot's network version predates the live
+    journal's floor (the mutation delta needed to catch up was
+    truncated), when it claims a version *ahead* of the live network,
+    or when the two journals disagree over their shared history — the
+    snapshot was taken from a different mutation lineage that merely
+    shares a version number.  Loading it against that network would
+    serve wrong distances, so the loader refuses.
+    """

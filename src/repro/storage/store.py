@@ -1,0 +1,180 @@
+"""Directory-backed snapshot store: latest-pointer, retention, GC.
+
+A :class:`SnapshotStore` owns one directory of snapshot files::
+
+    store/
+      snap-000001-v0.snap
+      snap-000002-v3.snap
+      LATEST            <- "snap-000002-v3.snap"
+
+Snapshots are numbered by a monotonically increasing sequence (derived
+from the file names present, so concurrent processes sharing a store
+converge) and tagged with the network version they froze.  Every write
+is atomic (temp + rename, see :func:`repro.storage.format.atomic_write_bytes`)
+and the ``LATEST`` pointer is itself replaced atomically *after* the
+snapshot file is durable, so a crash between the two steps leaves the
+previous snapshot current — never a dangling pointer.
+
+Retention is count-based: ``retain`` newest snapshots survive
+:meth:`SnapshotStore.gc` (the ``LATEST`` target always survives,
+whatever its age).  ``retain=None`` disables automatic GC.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from .errors import SnapshotError
+from .format import atomic_write_bytes, read_container, read_meta, write_container
+
+__all__ = ["SnapshotStore", "SnapshotInfo"]
+
+_SNAP_NAME = re.compile(r"^snap-(\d{6})-v(\d+)\.snap$")
+_LATEST = "LATEST"
+
+
+@dataclass(frozen=True, slots=True)
+class SnapshotInfo:
+    """One store entry: file name, sequence number, sizes, meta."""
+
+    name: str
+    sequence: int
+    network_version: int
+    size_bytes: int
+    is_latest: bool
+
+    def format(self) -> str:
+        """One human-readable listing line (the CLI's ``snapshot info`` view)."""
+        latest = "  <- LATEST" if self.is_latest else ""
+        return (
+            f"{self.name}  seq={self.sequence}  "
+            f"network-version={self.network_version}  "
+            f"{self.size_bytes} bytes{latest}"
+        )
+
+
+class SnapshotStore:
+    """A directory of CRC-verified snapshots with a LATEST pointer.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created on first save.
+    retain:
+        How many newest snapshots :meth:`save` keeps (older ones are
+        garbage-collected after the LATEST pointer moves).  ``None``
+        keeps everything until :meth:`gc` is called explicitly.
+    """
+
+    def __init__(self, root: str | Path, *, retain: int | None = 5) -> None:
+        if retain is not None and retain < 1:
+            raise ValueError("retain must be a positive count (or None)")
+        self.root = Path(root)
+        self.retain = retain
+
+    # ------------------------------------------------------------------
+    # writing
+    # ------------------------------------------------------------------
+    def save(
+        self, meta: dict[str, Any], sections: dict[str, bytes]
+    ) -> Path:
+        """Write a new snapshot, move LATEST to it, GC old ones."""
+        sequence = self._next_sequence()
+        version = int(meta.get("network_version", 0))
+        name = f"snap-{sequence:06d}-v{version}.snap"
+        path = write_container(self.root / name, meta, sections)
+        atomic_write_bytes(self.root / _LATEST, f"{name}\n".encode("utf-8"))
+        if self.retain is not None:
+            self.gc(retain=self.retain)
+        return path
+
+    def _next_sequence(self) -> int:
+        sequences = [info.sequence for info in self.list()]
+        return (max(sequences) + 1) if sequences else 1
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+    def latest_path(self) -> Path:
+        """Path of the snapshot LATEST points to.
+
+        Falls back to the highest-sequence file when the pointer is
+        missing (e.g. a store populated by hand); raises
+        :class:`SnapshotError` when the store holds no snapshot at all.
+        """
+        pointer = self.root / _LATEST
+        if pointer.exists():
+            name = pointer.read_text(encoding="utf-8").strip()
+            path = self.root / name
+            if _SNAP_NAME.match(name) and path.exists():
+                return path
+        infos = self.list()
+        if not infos:
+            raise SnapshotError(f"no snapshots in store {self.root}")
+        return self.root / infos[-1].name
+
+    def load_latest(self) -> tuple[dict[str, Any], dict[str, bytes]]:
+        """Read and verify the latest snapshot: ``(meta, sections)``."""
+        return read_container(self.latest_path())
+
+    def load(self, name: str) -> tuple[dict[str, Any], dict[str, bytes]]:
+        """Read and verify one snapshot by file name."""
+        return read_container(self.root / name)
+
+    def list(self) -> list[SnapshotInfo]:
+        """Every snapshot in the store, oldest first."""
+        if not self.root.is_dir():
+            return []
+        latest_name = None
+        pointer = self.root / _LATEST
+        if pointer.exists():
+            latest_name = pointer.read_text(encoding="utf-8").strip()
+        infos = []
+        for path in self.root.iterdir():
+            match = _SNAP_NAME.match(path.name)
+            if not match:
+                continue
+            infos.append(
+                SnapshotInfo(
+                    name=path.name,
+                    sequence=int(match.group(1)),
+                    network_version=int(match.group(2)),
+                    size_bytes=path.stat().st_size,
+                    is_latest=path.name == latest_name,
+                )
+            )
+        infos.sort(key=lambda info: info.sequence)
+        return infos
+
+    def meta(self, name: str | None = None) -> dict[str, Any]:
+        """Verified manifest meta of one snapshot (default: latest)."""
+        path = self.root / name if name else self.latest_path()
+        return read_meta(path)
+
+    # ------------------------------------------------------------------
+    # retention
+    # ------------------------------------------------------------------
+    def gc(self, *, retain: int | None = None) -> list[str]:
+        """Delete all but the ``retain`` newest snapshots.
+
+        The LATEST target is never deleted.  Returns the removed file
+        names (oldest first).
+        """
+        keep = self.retain if retain is None else retain
+        if keep is None or keep < 1:
+            raise ValueError("gc needs a positive retain count")
+        infos = self.list()
+        try:
+            latest = self.latest_path().name
+        except SnapshotError:
+            return []
+        removed = []
+        for info in infos[:-keep] if len(infos) > keep else []:
+            if info.name == latest:
+                continue
+            (self.root / info.name).unlink(missing_ok=True)
+            removed.append(info.name)
+        return removed

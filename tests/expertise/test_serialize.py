@@ -70,3 +70,78 @@ def test_defaults_for_optional_fields():
     net = network_from_dict(data)
     assert net.expert("x").h_index == 1.0
     assert net.expert("x").skills == frozenset()
+
+
+def test_schema_v1_payload_still_loads_as_version_zero(network):
+    data = network_to_dict(network)
+    data["version"] = 1
+    for key in ("network_version", "journal", "journal_floor"):
+        data.pop(key)
+    clone = network_from_dict(data)
+    assert clone.version == 0
+    assert clone.journal_tail() == ()
+
+
+def test_mutation_history_round_trips(network):
+    network.add_expert(Expert("d", skills={"ml"}, h_index=2))
+    network.add_collaboration("d", "a", weight=0.5)
+    network.add_collaboration("a", "b", weight=0.1)  # reweight
+    network.remove_collaboration("b", "c")
+    network.update_h_index("d", 5)
+    clone = network_from_dict(network_to_dict(network))
+    assert clone.version == network.version == 5
+    assert clone.journal_tail() == network.journal_tail()
+    assert clone.mutations_since(2) == network.mutations_since(2)
+    # and the restored journal keeps extending from where it left off
+    clone.update_skills("d", {"viz"})
+    assert clone.version == 6
+
+
+def test_iteration_order_round_trips_exactly(network):
+    """Expert and adjacency iteration orders are semantic (solver
+    tie-breaks); the round trip must preserve them, not just the sets."""
+    network.add_expert(Expert("d", skills={"ml"}))
+    network.add_collaboration("d", "b", weight=0.9)
+    clone = network_from_dict(network_to_dict(network))
+    assert list(clone.expert_ids()) == list(network.expert_ids())
+    for node in network.graph.nodes():
+        assert list(clone.graph.neighbors(node).items()) == list(
+            network.graph.neighbors(node).items()
+        )
+
+
+def test_tampered_journal_rejected(network):
+    network.add_collaboration("a", "b", weight=0.5)
+    data = network_to_dict(network)
+    data["journal"][0]["version"] = 40  # no longer the contiguous tail
+    with pytest.raises(ValueError, match="contiguous tail"):
+        network_from_dict(data)
+    data = network_to_dict(network)
+    data["journal"][0]["bogus_field"] = 1
+    with pytest.raises(ValueError, match="unknown journal fields"):
+        network_from_dict(data)
+
+
+def test_edges_in_replay_order_rebuilds_adjacency_exactly():
+    import random
+
+    from repro.graph.adjacency import Graph
+
+    rng = random.Random(5)
+    graph = Graph()
+    nodes = [f"n{i}" for i in range(12)]
+    for node in nodes:
+        graph.add_node(node)
+    for _ in range(40):
+        u, v = rng.sample(nodes, 2)
+        graph.add_edge(u, v, weight=rng.random())
+    replayed = Graph()
+    for node in graph.nodes():
+        replayed.add_node(node)
+    for u, v, w in graph.edges_in_replay_order():
+        replayed.add_edge(u, v, weight=w)
+    assert list(replayed.nodes()) == list(graph.nodes())
+    for node in graph.nodes():
+        assert list(replayed.neighbors(node).items()) == list(
+            graph.neighbors(node).items()
+        )

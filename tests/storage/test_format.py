@@ -1,0 +1,135 @@
+"""Container-level tests: round-trip fidelity and every corruption path.
+
+The acceptance bar for the persistence subsystem is that *no* damaged or
+foreign file is ever interpreted: truncations, bit flips, wrong magic
+and future format versions must all surface as the typed errors — and
+only an intact file yields bytes back.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.storage import (
+    SNAPSHOT_FORMAT_VERSION,
+    SNAPSHOT_MAGIC,
+    CorruptSnapshotError,
+    FormatVersionError,
+    read_container,
+    read_meta,
+    write_container,
+)
+
+SECTIONS = {
+    "network": b'{"experts": []}',
+    "labels/0": bytes(range(256)) * 4,
+    "empty": b"",
+}
+META = {"kind": "engine-snapshot", "network_version": 7}
+
+
+@pytest.fixture()
+def snapshot_path(tmp_path):
+    path = tmp_path / "one.snap"
+    write_container(path, META, SECTIONS)
+    return path
+
+
+def test_round_trip(snapshot_path):
+    meta, sections = read_container(snapshot_path)
+    assert meta == META
+    assert sections == SECTIONS
+
+
+def test_read_meta_is_cheap_and_verified(snapshot_path):
+    assert read_meta(snapshot_path) == META
+
+
+def test_empty_sections_round_trip(tmp_path):
+    path = write_container(tmp_path / "empty.snap", {"kind": "x"}, {})
+    meta, sections = read_container(path)
+    assert meta == {"kind": "x"}
+    assert sections == {}
+
+
+def test_missing_file_is_corrupt_error(tmp_path):
+    with pytest.raises(CorruptSnapshotError, match="unreadable"):
+        read_container(tmp_path / "nope.snap")
+
+
+def test_wrong_magic_rejected(snapshot_path):
+    blob = snapshot_path.read_bytes()
+    snapshot_path.write_bytes(b"GARBAGE!" + blob[8:])
+    with pytest.raises(CorruptSnapshotError, match="bad magic"):
+        read_container(snapshot_path)
+    with pytest.raises(CorruptSnapshotError, match="bad magic"):
+        read_meta(snapshot_path)
+
+
+def test_truncated_header_rejected(snapshot_path):
+    snapshot_path.write_bytes(snapshot_path.read_bytes()[:10])
+    with pytest.raises(CorruptSnapshotError, match="truncated header"):
+        read_container(snapshot_path)
+
+
+def test_truncated_manifest_rejected(snapshot_path):
+    snapshot_path.write_bytes(snapshot_path.read_bytes()[:24])
+    with pytest.raises(CorruptSnapshotError, match="truncated manifest"):
+        read_container(snapshot_path)
+
+
+def test_truncated_section_rejected(snapshot_path):
+    # Drop the tail of the last section: its CRC never gets a chance —
+    # the length check fires first and names the section.
+    snapshot_path.write_bytes(snapshot_path.read_bytes()[:-16])
+    with pytest.raises(CorruptSnapshotError, match="truncated"):
+        read_container(snapshot_path)
+
+
+def test_flipped_payload_byte_rejected(snapshot_path):
+    blob = bytearray(snapshot_path.read_bytes())
+    blob[-1] ^= 0xFF  # inside the last section's payload
+    snapshot_path.write_bytes(bytes(blob))
+    with pytest.raises(CorruptSnapshotError, match="CRC mismatch"):
+        read_container(snapshot_path)
+
+
+def test_flipped_manifest_byte_rejected(snapshot_path):
+    blob = bytearray(snapshot_path.read_bytes())
+    blob[20] ^= 0xFF  # first manifest byte
+    snapshot_path.write_bytes(bytes(blob))
+    with pytest.raises(CorruptSnapshotError, match="manifest CRC"):
+        read_container(snapshot_path)
+
+
+def test_flipped_crc_field_rejected(snapshot_path):
+    blob = bytearray(snapshot_path.read_bytes())
+    blob[16] ^= 0x01  # low byte of the stored manifest CRC
+    snapshot_path.write_bytes(bytes(blob))
+    with pytest.raises(CorruptSnapshotError, match="manifest CRC"):
+        read_container(snapshot_path)
+
+
+def test_future_format_version_rejected(snapshot_path):
+    blob = bytearray(snapshot_path.read_bytes())
+    struct.pack_into("<H", blob, 8, SNAPSHOT_FORMAT_VERSION + 1)
+    snapshot_path.write_bytes(bytes(blob))
+    with pytest.raises(FormatVersionError) as excinfo:
+        read_container(snapshot_path)
+    assert excinfo.value.found == SNAPSHOT_FORMAT_VERSION + 1
+    assert excinfo.value.supported == SNAPSHOT_FORMAT_VERSION
+    with pytest.raises(FormatVersionError):
+        read_meta(snapshot_path)
+
+
+def test_magic_constant_is_stable():
+    # The magic is a wire contract; changing it orphans every snapshot.
+    assert SNAPSHOT_MAGIC == b"RPROSNAP"
+
+
+def test_atomic_write_leaves_no_temp_files(tmp_path):
+    write_container(tmp_path / "a.snap", META, SECTIONS)
+    leftovers = [p.name for p in tmp_path.iterdir() if p.name != "a.snap"]
+    assert leftovers == []

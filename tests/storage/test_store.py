@@ -1,0 +1,115 @@
+"""SnapshotStore behavior: naming, LATEST pointer, retention, GC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage import SnapshotError, SnapshotStore
+
+
+def save(store, version=0, payload=b"x"):
+    return store.save(
+        {"kind": "engine-snapshot", "network_version": version},
+        {"blob": payload},
+    )
+
+
+def test_save_names_and_latest(tmp_path):
+    store = SnapshotStore(tmp_path / "st")
+    first = save(store, version=3)
+    assert first.name == "snap-000001-v3.snap"
+    second = save(store, version=5)
+    assert second.name == "snap-000002-v5.snap"
+    assert store.latest_path() == second
+    meta, sections = store.load_latest()
+    assert meta["network_version"] == 5
+    assert sections == {"blob": b"x"}
+
+
+def test_list_reports_sequence_and_latest(tmp_path):
+    store = SnapshotStore(tmp_path)
+    save(store, version=1)
+    save(store, version=2)
+    infos = store.list()
+    assert [i.sequence for i in infos] == [1, 2]
+    assert [i.is_latest for i in infos] == [False, True]
+    assert all(i.size_bytes > 0 for i in infos)
+    assert "LATEST" in infos[-1].format()
+
+
+def test_empty_store(tmp_path):
+    store = SnapshotStore(tmp_path / "missing")
+    assert store.list() == []
+    with pytest.raises(SnapshotError, match="no snapshots"):
+        store.latest_path()
+
+
+def test_retention_on_save(tmp_path):
+    store = SnapshotStore(tmp_path, retain=2)
+    for version in range(5):
+        save(store, version=version)
+    names = [i.name for i in store.list()]
+    assert names == ["snap-000004-v3.snap", "snap-000005-v4.snap"]
+    assert store.latest_path().name == "snap-000005-v4.snap"
+
+
+def test_explicit_gc(tmp_path):
+    store = SnapshotStore(tmp_path, retain=None)  # no automatic GC
+    for version in range(4):
+        save(store, version=version)
+    assert len(store.list()) == 4
+    removed = store.gc(retain=1)
+    assert removed == [
+        "snap-000001-v0.snap",
+        "snap-000002-v1.snap",
+        "snap-000003-v2.snap",
+    ]
+    assert [i.name for i in store.list()] == ["snap-000004-v3.snap"]
+
+
+def test_gc_never_removes_latest_target(tmp_path):
+    store = SnapshotStore(tmp_path, retain=None)
+    keep = save(store)
+    # Hand-add a higher-sequence file without moving LATEST (simulates a
+    # crash after the snapshot write but before the pointer update).
+    (tmp_path / "snap-000009-v9.snap").write_bytes(b"not yet pointed at")
+    removed = store.gc(retain=1)
+    assert keep.name not in removed
+    assert keep.exists()
+
+
+def test_latest_pointer_falls_back_to_highest_sequence(tmp_path):
+    store = SnapshotStore(tmp_path)
+    save(store, version=1)
+    newest = save(store, version=2)
+    (tmp_path / "LATEST").unlink()
+    assert store.latest_path() == newest
+
+
+def test_sequence_resumes_after_gc(tmp_path):
+    store = SnapshotStore(tmp_path, retain=1)
+    save(store)
+    save(store)
+    third = save(store)
+    assert third.name.startswith("snap-000003")
+
+
+def test_meta_reads_without_sections(tmp_path):
+    store = SnapshotStore(tmp_path)
+    save(store, version=8)
+    assert store.meta()["network_version"] == 8
+
+
+def test_invalid_retain_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        SnapshotStore(tmp_path, retain=0)
+    with pytest.raises(ValueError):
+        SnapshotStore(tmp_path, retain=None).gc(retain=0)
+
+
+def test_foreign_files_ignored(tmp_path):
+    store = SnapshotStore(tmp_path)
+    save(store)
+    (tmp_path / "README.txt").write_text("not a snapshot")
+    (tmp_path / "snap-bogus.snap").write_bytes(b"bad name")
+    assert len(store.list()) == 1

@@ -282,6 +282,97 @@ def test_mutate_remove_expert_then_solve_is_in_band_miss(tmp_path, capsys):
     assert "no team found" in out
 
 
+def _strip_timing(text: str) -> str:
+    import re
+
+    return re.sub(r"\(\d+\.\d+s, \d+ index builds?\)", "", text)
+
+
+def test_snapshot_save_info_load_gc(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "saved" in out and "2 indexes" in out
+    assert main(["snapshot", "info", "--store", store]) == 0
+    out = capsys.readouterr().out
+    assert "LATEST" in out and "persisted indexes" in out
+    assert main(["snapshot", "load", "--store", store]) == 0
+    assert "warm indexes" in capsys.readouterr().out
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["snapshot", "gc", "--store", store, "--retain", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "removed snap-000001" in out
+
+
+def test_snapshot_info_empty_store_fails_cleanly(tmp_path, capsys):
+    assert main(["snapshot", "info", "--store", str(tmp_path)]) == 2
+    assert "no snapshots" in capsys.readouterr().err
+
+
+def test_solve_from_snapshot_matches_cold_solve(tmp_path, capsys):
+    store = str(tmp_path / "store")
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", store]) == 0
+    capsys.readouterr()
+    assert main(["--scale", "tiny", "solve", "--skills", "graphics"]) == 0
+    cold = _strip_timing(capsys.readouterr().out)
+    assert (
+        main(["solve", "--snapshot", store, "--skills", "graphics"]) == 0
+    )
+    captured = capsys.readouterr()
+    assert _strip_timing(captured.out) == cold
+    assert "warm-started" in captured.err
+    assert "0 index builds" in captured.out  # the snapshot paid for it
+
+
+def test_solve_from_corrupt_snapshot_fails_cleanly(tmp_path, capsys):
+    store = tmp_path / "store"
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", str(store)]) == 0
+    capsys.readouterr()
+    snap = next(store.glob("*.snap"))
+    blob = bytearray(snap.read_bytes())
+    blob[-1] ^= 0xFF
+    snap.write_bytes(bytes(blob))
+    assert main(["solve", "--snapshot", str(store), "--skills", "graphics"]) == 2
+    assert "CRC mismatch" in capsys.readouterr().err
+
+
+def test_mutate_snapshot_round_trip_end_to_end(tmp_path, capsys):
+    """Journal-snapshot round trip: mutate a loaded engine, re-save it,
+    and serve the mutated state from the new snapshot."""
+    store = str(tmp_path / "store")
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", store]) == 0
+    import re
+
+    script = _write_script(
+        tmp_path,
+        [
+            # A unique id: the benchmark network is cached per process
+            # and other CLI tests may already have mutated it.
+            '{"op": "add_expert", "id": "snapmut1", "skills": ["graphics"],'
+            ' "h_index": 80}',
+            '{"op": "add_collaboration", "u": "snapmut1", "v": "g000.junior3",'
+            ' "weight": 0.05}',
+            '{"op": "solve", "skills": ["graphics"], "solver": "greedy"}',
+        ],
+    )
+    assert main(
+        ["mutate", "--snapshot", store, "--script", script,
+         "--save-snapshot", store]
+    ) == 0
+    captured = capsys.readouterr()
+    assert "saved mutated engine" in captured.err
+    version = re.search(r"replayed .*? network version (\d+)", captured.err).group(1)
+    mutated_solve = _strip_timing(
+        captured.out.split("solver: greedy", 1)[1]
+    )
+    # The re-saved snapshot serves the post-mutation state directly.
+    assert main(["solve", "--snapshot", store, "--skills", "graphics"]) == 0
+    captured = capsys.readouterr()
+    assert f"network version {version}" in captured.err
+    assert _strip_timing(captured.out.split("solver: greedy", 1)[1]) == mutated_solve
+
+
 def test_chart_default_is_explicit_for_all_subcommands():
     # Satellite: no more getattr probing — args.chart always exists.
     for argv in (["figure6"], ["figure3"], ["figure5"], ["stats"],
