@@ -1,0 +1,166 @@
+"""Concurrent serving vs the sequential loop (standalone benchmark).
+
+Three ways to answer the same warm request batch, all from one PR-4
+snapshot so no path pays an index build:
+
+* **sequential** — one warm-started engine, plain ``solve_many`` (the
+  pre-PR-5 serving loop);
+* **threaded** — the same shared engine with ``solve_many(parallel=N)``
+  (exercises the engine's thread-safety; the GIL bounds its speedup, so
+  it is reported, not gated);
+* **pool** — an :class:`EngineReplicaPool` of N worker processes, each
+  warm-started from the same snapshot file, with warm request groups
+  split across every replica.
+
+Responses must be **byte-identical** across all three paths (timing
+nulled — wall-clock can never reproduce), and the warm batch must
+report zero oracle builds end to end.  The PR-5 acceptance gate is a
+>= 3x pool speedup over sequential at the small scale given >= 4 usable
+cores; on hosts with fewer cores the throughput gate auto-relaxes to
+the identity-only check (exactly as the PR-1 build bench does), which
+still runs and must pass::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py --scale small \
+        --requests 24 --min-speedup 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
+from repro.serving.pool import EngineReplicaPool, usable_cores
+
+GAMMA = 0.6
+LAMBDAS = (0.2, 0.4, 0.6, 0.8)
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value!r}")
+    return number
+
+
+def build_requests(network, count: int, num_skills: int, seed: int) -> list[TeamRequest]:
+    """A lambda sweep at the snapshot's gamma: every request warm."""
+    projects = sample_projects(
+        network, num_skills, (count + len(LAMBDAS) - 1) // len(LAMBDAS), seed=seed
+    )
+    requests = [
+        TeamRequest(skills=tuple(project), solver="greedy", gamma=GAMMA, lam=lam)
+        for project in projects
+        for lam in LAMBDAS
+    ]
+    return requests[:count]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=sorted(SCALE_CONFIGS), default="small")
+    parser.add_argument("--requests", type=_positive_int, default=24)
+    parser.add_argument("--num-skills", type=_positive_int, default=4)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--replicas", type=_positive_int, default=None,
+        help="replica worker processes (default: usable cores, max 4)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=0.0,
+        help="fail (exit 1) when the pool speedup falls below this — "
+        "auto-relaxed to the identity-only check under 4 usable cores",
+    )
+    args = parser.parse_args(argv)
+
+    cores = usable_cores()
+    replicas = args.replicas or max(1, min(4, cores))
+    network = benchmark_network(args.scale, seed=0)
+    requests = build_requests(network, args.requests, args.num_skills, args.seed)
+    print(
+        f"scale={args.scale}: {len(network)} experts, {network.num_edges} "
+        f"edges; {len(requests)} requests ({len(LAMBDAS)}-lambda sweep at "
+        f"gamma={GAMMA}); usable cores: {cores}; replicas: {replicas}"
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = Path(tmp) / "store"
+        warm = TeamFormationEngine(network)
+        warm.search_oracle("sa-ca-cc", GAMMA)
+        warm.raw_oracle()
+        warm.save_snapshot(store)
+
+        sequential_engine = TeamFormationEngine.from_snapshot(store)
+        t0 = time.perf_counter()
+        sequential = sequential_engine.solve_many(requests)
+        sequential_s = time.perf_counter() - t0
+
+        threaded_engine = TeamFormationEngine.from_snapshot(store)
+        t0 = time.perf_counter()
+        threaded = threaded_engine.solve_many(requests, parallel=replicas)
+        threaded_s = time.perf_counter() - t0
+
+        with EngineReplicaPool(store, replicas=replicas) as pool:
+            t0 = time.perf_counter()
+            pooled = pool.solve_many(requests)
+            pool_s = time.perf_counter() - t0
+            pool_mode = f"{pool.replicas} worker process(es)"
+
+    expected = [r.canonical_json() for r in sequential]
+    if [r.canonical_json() for r in threaded] != expected:
+        print("FAIL: threaded solve_many answers differ from sequential")
+        return 1
+    if [r.canonical_json() for r in pooled] != expected:
+        print("FAIL: replica-pool answers differ from sequential")
+        return 1
+    builds = sum(
+        r.timing.oracle_builds
+        for path in (sequential, threaded, pooled)
+        for r in path
+        if r.timing
+    )
+    if builds != 0:
+        print(f"FAIL: warm batches paid {builds} oracle builds, expected 0")
+        return 1
+
+    n = len(requests)
+    print(
+        f"  sequential loop   : {sequential_s:8.3f}s  {n / sequential_s:8.1f} q/s"
+    )
+    print(
+        f"  threaded (N={replicas})    : {threaded_s:8.3f}s  "
+        f"{n / threaded_s:8.1f} q/s  ({threaded_s and sequential_s / threaded_s:.2f}x)"
+    )
+    print(
+        f"  replica pool      : {pool_s:8.3f}s  {n / pool_s:8.1f} q/s  "
+        f"({sequential_s / pool_s:.2f}x, {pool_mode})"
+    )
+    print("  identity          : byte-identical responses, 0 oracle builds")
+
+    if args.min_speedup > 0:
+        if cores < 4:
+            print(
+                f"  gate              : relaxed to identity-only "
+                f"({cores} usable core(s) < 4; throughput target "
+                f"{args.min_speedup:.1f}x needs real parallelism)"
+            )
+        elif sequential_s / pool_s < args.min_speedup:
+            print(
+                f"FAIL: pool speedup {sequential_s / pool_s:.2f}x below "
+                f"required {args.min_speedup:.2f}x"
+            )
+            return 1
+        else:
+            print(
+                f"  gate              : pool speedup >= "
+                f"{args.min_speedup:.1f}x satisfied"
+            )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -37,6 +37,19 @@ methods the experiment runners use — is constructed with the same
 arguments a direct instantiation would use, so teams are identical
 either way (asserted per registered solver in ``tests/api``).
 
+The engine is **thread-safe** (see :mod:`repro.serving`): concurrent
+misses on the same cache key single-flight onto one build, eviction and
+memo bookkeeping are lock-protected, stale entries are upgraded onto a
+*clone* so an oracle a concurrent solve still holds is never mutated
+under it, and a reader/writer discipline keeps
+:meth:`TeamFormationEngine.mutate` / :meth:`~TeamFormationEngine.apply_updates`
+/ :meth:`~TeamFormationEngine.refresh_scales` (writers) from tearing an
+in-flight :meth:`solve` (reader).  The one contract concurrency adds:
+when any other thread may be solving, mutate the network through
+:meth:`TeamFormationEngine.mutate`, not by calling the
+:class:`ExpertNetwork` mutation API directly — the engine cannot
+serialize writes it never sees.
+
 The whole serving state is durable: :meth:`TeamFormationEngine.save_snapshot`
 freezes the network (with its mutation journal), the scales and every
 current 2-hop-cover index into a CRC-checked binary snapshot
@@ -48,7 +61,10 @@ same version-keyed incremental path mutations use.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+import threading
+from collections.abc import Callable, Iterable, Iterator, Sequence
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
 from pathlib import Path
 
 from ..core.brute_force import BruteForceSolver
@@ -62,8 +78,9 @@ from ..core.sa_solver import SaOptimalSolver
 from ..core.transform import transformed_edge_weight
 from ..expertise.network import ExpertNetwork, NetworkMutation
 from ..graph.adjacency import Graph, GraphError
-from ..graph.distance import DistanceOracle, build_oracle
+from ..graph.distance import DijkstraOracle, DistanceOracle, build_oracle
 from ..graph.pll import PrunedLandmarkLabeling
+from ..serving.locks import ReadWriteLock
 from ..storage.codec import (
     EngineSnapshotState,
     OracleEntryState,
@@ -72,9 +89,9 @@ from ..storage.codec import (
 )
 from ..storage.errors import CorruptSnapshotError, StaleSnapshotError
 from ..storage.format import read_container, write_container
-from ..storage.store import SnapshotStore
+from ..storage.store import SnapshotStore, resolve_snapshot_path
 from .messages import TeamRequest, TeamResponse
-from .registry import Solver, SolverRegistry
+from .registry import Solver, SolverRegistry, UnknownSolverError
 from .solvers import DEFAULT_REGISTRY
 
 __all__ = ["TeamFormationEngine"]
@@ -142,31 +159,121 @@ class TeamFormationEngine:
         self._raw_oracles: dict[tuple, tuple[Graph, DistanceOracle]] = {}
         self._finders: dict[tuple, GreedyTeamFinder] = {}
         self._adapters: dict[str, Solver] = {}
+        # Concurrency (see repro.serving): `_mutex` guards every cache
+        # dict above and is only ever the *innermost* lock; `_build_locks`
+        # holds one per-cache-key lock so concurrent misses single-flight
+        # onto one build; `_rw` is the reader (solve) / writer (mutate,
+        # apply_updates, refresh_scales) discipline.
+        self._mutex = threading.RLock()
+        self._build_locks: dict[tuple, threading.Lock] = {}
+        self._rw = ReadWriteLock()
 
     # ------------------------------------------------------------------
     # the request/response serving path
     # ------------------------------------------------------------------
     def solve(self, request: TeamRequest) -> TeamResponse:
-        """Answer one request via its registered solver."""
-        return self._adapter(request.solver).solve(request)
+        """Answer one request via its registered solver.
 
-    def solve_many(self, requests: Iterable[TeamRequest]) -> list[TeamResponse]:
+        Raise-through by design: an unknown solver or malformed request
+        surfaces as an exception here (batch callers get per-request
+        isolation from :meth:`solve_many` instead).  Holds the read side
+        of the engine's reader/writer lock for the whole solve, so a
+        concurrent :meth:`mutate` / :meth:`refresh_scales` can never
+        tear it mid-flight.
+        """
+        with self._rw.read_locked():
+            return self._adapter(request.solver).solve(request)
+
+    def solve_many(
+        self,
+        requests: Iterable[TeamRequest],
+        *,
+        parallel: int | None = None,
+        on_error: str = "isolate",
+    ) -> list[TeamResponse]:
         """Answer a batch of requests, sharing cached indexes throughout.
 
         This is the hot path the engine exists for: a gamma-homogeneous
         batch (e.g. a lambda sweep) pays for at most one PLL build no
-        matter how many requests it contains.
+        matter how many requests it contains — including when served
+        concurrently, where misses on the same key single-flight onto
+        one build.
+
+        ``parallel`` threads the batch over the shared engine
+        (``None``/``1`` keeps the sequential loop); responses come back
+        in request order either way.
+
+        ``on_error`` controls batch isolation.  The default
+        ``"isolate"`` converts a per-request failure (unknown solver,
+        request the solver cannot digest) into an error
+        :class:`TeamResponse` (``found=False`` with a typed
+        ``error_kind``) so one bad request never discards the rest of
+        the batch's answers; ``"raise"`` restores the single-``solve``
+        raise-through behavior.
         """
-        return [self.solve(request) for request in requests]
+        requests = list(requests)
+        if on_error not in ("isolate", "raise"):
+            raise ValueError(
+                f"on_error must be 'isolate' or 'raise', got {on_error!r}"
+            )
+        if parallel is not None and parallel < 1:
+            raise ValueError("parallel must be a positive worker count")
+        answer: Callable[[TeamRequest], TeamResponse] = (
+            self.solve_isolated if on_error == "isolate" else self.solve
+        )
+        if parallel is None or parallel == 1 or len(requests) <= 1:
+            return [answer(request) for request in requests]
+        with ThreadPoolExecutor(
+            max_workers=min(parallel, len(requests)),
+            thread_name_prefix="solve-many",
+        ) as pool:
+            return list(pool.map(answer, requests))
+
+    def solve_isolated(self, request: TeamRequest) -> TeamResponse:
+        """:meth:`solve`, with failures returned in-band as responses.
+
+        The serving loops (``solve_many``, the replica pool, ``serve``)
+        route through this so one poisoned request yields one error
+        response instead of aborting a batch.  ``error_kind`` is
+        ``"unknown_solver"``, ``"invalid_request"`` (the solver rejected
+        the request's shape), or ``"internal"``.
+        """
+        try:
+            return self.solve(request)
+        except UnknownSolverError as exc:
+            return TeamResponse.for_error(request, "unknown_solver", str(exc))
+        except (ValueError, KeyError, GraphError) as exc:
+            return TeamResponse.for_error(request, "invalid_request", str(exc))
+        except Exception as exc:  # noqa: BLE001 - serving isolation boundary
+            return TeamResponse.for_error(
+                request, "internal", f"{type(exc).__name__}: {exc}"
+            )
+
+    @contextmanager
+    def mutate(self) -> Iterator[ExpertNetwork]:
+        """Exclusive access to the network for a mutation block.
+
+        ``with engine.mutate() as network:`` takes the write side of the
+        engine's reader/writer lock, so every in-flight solve completes
+        (or has not started) before the mutations land and no solve can
+        observe a half-applied mutation burst.  This is the supported
+        way to mutate the network while other threads are solving;
+        calling the :class:`ExpertNetwork` mutation API directly remains
+        fine in single-threaded code but is unsynchronized.
+        """
+        with self._rw.write_locked():
+            yield self.network
 
     def list_solvers(self) -> tuple[str, ...]:
         """Names this engine can route to, sorted."""
         return self.registry.names()
 
     def _adapter(self, name: str) -> Solver:
-        if name not in self._adapters:
-            self._adapters[name] = self.registry.create(name, self)
-        return self._adapters[name]
+        with self._mutex:
+            adapter = self._adapters.get(name)
+            if adapter is None:
+                adapter = self._adapters[name] = self.registry.create(name, self)
+            return adapter
 
     # ------------------------------------------------------------------
     # the shared-oracle session layer
@@ -213,22 +320,83 @@ class TeamFormationEngine:
 
         Returns ``(entry, how)`` where ``how`` records what it cost:
         ``"cached"`` (already current), ``"incremental"`` (a stale entry
-        absorbed the delta in place), or ``"rebuilt"`` (fresh build).
+        absorbed the delta onto a clone), or ``"rebuilt"`` (fresh
+        build).
+
+        Concurrent misses on the same key **single-flight**: the first
+        thread in takes the key's build lock and pays for the build,
+        every other thread blocks on that lock and finds the entry
+        cached on re-check — a cold engine hammered from N threads bumps
+        ``pll_build_count`` by exactly 1 per key.  ``_mutex`` is only
+        held for dict bookkeeping, never across a build, so misses on
+        *different* keys build concurrently.
         """
-        version = self.network.version
-        key = (*base, version)
-        entry = cache.get(key)
-        if entry is not None:
-            return entry, "cached"
-        entry = self._upgrade_entry(cache, base, version)
-        how = "incremental"
-        if entry is None:
-            entry = self._build_entry(base)
-            how = "rebuilt"
-        if len(cache) >= bound:
-            del cache[next(iter(cache))]
-        cache[key] = entry
-        return entry, how
+        while True:
+            version = self.network.version
+            key = (*base, version)
+            with self._mutex:
+                entry = cache.get(key)
+                if entry is not None:
+                    return entry, "cached"
+                build_lock = self._build_locks.setdefault(key, threading.Lock())
+            with build_lock:
+                with self._mutex:
+                    if self._build_locks.get(key) is not build_lock:
+                        # This flight was deregistered while we waited
+                        # (entry built, then evicted, and a fresh flight
+                        # registered a new lock): rejoin from the top
+                        # rather than build concurrently with it.
+                        continue
+                    entry = cache.get(key)
+                    if entry is not None:
+                        # Joined a flight that already landed.
+                        return entry, "cached"
+                    stale = self._claim_stale(cache, base)
+                try:
+                    how = "incremental"
+                    entry = (
+                        self._upgrade_entry(stale, base)
+                        if stale is not None
+                        else None
+                    )
+                    if entry is None:
+                        entry = self._build_entry(base)
+                        how = "rebuilt"
+                    with self._mutex:
+                        if len(cache) >= bound:
+                            # FIFO eviction under the lock: an evicted
+                            # entry is only unlinked from the cache — an
+                            # in-flight solve still holding it keeps its
+                            # own reference.
+                            cache.pop(next(iter(cache)), None)
+                        cache[key] = entry
+                    return entry, how
+                finally:
+                    # Only the thread that owns this flight deregisters
+                    # its lock (landed or raised); an identity check
+                    # keeps a slow unwinder from popping a *newer*
+                    # flight's lock out from under its builder.
+                    with self._mutex:
+                        if self._build_locks.get(key) is build_lock:
+                            del self._build_locks[key]
+
+    def _claim_stale(
+        self, cache: dict, base: tuple
+    ) -> tuple[tuple[Graph, DistanceOracle], int] | None:
+        """Pop the freshest stale entry for ``base`` (with its version).
+
+        Every stale key for ``base`` is dropped from the cache (the
+        claimed one feeds the upgrade; older siblings are dead weight).
+        Must be called under ``_mutex``.
+        """
+        stale = [key for key in cache if key[:-1] == base]
+        if not stale:
+            return None
+        newest = max(stale, key=lambda key: key[-1])
+        entry = cache[newest]
+        for key in stale:
+            del cache[key]
+        return entry, newest[-1]
 
     def _build_entry(self, base: tuple) -> tuple[Graph, DistanceOracle]:
         """Build the search graph + oracle for ``base`` from scratch."""
@@ -252,36 +420,57 @@ class TeamFormationEngine:
         return search_graph_for(network, "ca-cc", base[2], self.scales)
 
     def _upgrade_entry(
-        self, cache: dict, base: tuple, version: int
+        self, stale: tuple[tuple[Graph, DistanceOracle], int], base: tuple
     ) -> tuple[Graph, DistanceOracle] | None:
-        """Bring a stale cached entry for ``base`` up to ``version``.
+        """Bring a claimed stale entry for ``base`` up to the current version.
 
-        Picks the freshest stale entry, asks the network for the
-        mutation delta since its version, and replays it onto the
-        derived graph and oracle when every change is incrementally
-        applicable.  Stale keys for ``base`` are always dropped; returns
-        ``None`` when the caller must rebuild (no stale entry, journal
-        truncated, unsupported mutation, or a non-incremental oracle).
+        Asks the network for the mutation delta since the stale entry's
+        version and replays it onto a **clone** of the derived graph and
+        oracle when every change is incrementally applicable.  The clone
+        is what makes lazy reconciliation safe under concurrency: the
+        stale oracle object may still be mid-query in another thread's
+        solve (it was current when that solve started), so it is never
+        mutated — the replay lands on a private copy that becomes the
+        new cache entry.  Returns ``None`` when the caller must rebuild
+        (journal truncated, unsupported mutation, or a non-incremental
+        oracle).
         """
-        stale = [key for key in cache if key[:-1] == base]
-        if not stale:
-            return None
-        newest = max(stale, key=lambda key: key[-1])
-        graph, oracle = cache[newest]
-        delta = self.network.mutations_since(newest[-1])
-        for key in stale:
-            del cache[key]
+        (graph, oracle), stale_version = stale
+        delta = self.network.mutations_since(stale_version)
         if delta is None:
             return None
         steps = self._plan_incremental(delta, base, oracle)
         if steps is None:
             return None
+        graph, oracle = self._clone_entry(graph, oracle, base)
         for step in steps:
             if step[0] == "node":
                 oracle.add_node(step[1])
             else:
                 _, u, v, weight = step
                 oracle.insert_edge(u, v, weight)
+        return graph, oracle
+
+    def _clone_entry(
+        self, graph: Graph, oracle: DistanceOracle, base: tuple
+    ) -> tuple[Graph, DistanceOracle]:
+        """An independent copy of a cache entry, safe to replay onto.
+
+        The PLL clone (:meth:`PrunedLandmarkLabeling.clone`) is a pure
+        memory copy — no pruned Dijkstras, so ``pll_build_count`` stays
+        put and the incremental path keeps its large advantage over a
+        rebuild.  For the ``raw`` flavor the entry's graph is (a copy
+        of) the live network graph, which the network has already
+        mutated in place; copying it here simply captures that current
+        state before the label replay tightens the index to match.
+        """
+        cloned_graph = graph.copy()
+        if isinstance(oracle, PrunedLandmarkLabeling):
+            return cloned_graph, oracle.clone(cloned_graph)
+        if isinstance(oracle, DijkstraOracle):
+            return cloned_graph, DijkstraOracle(cloned_graph)
+        # Unknown oracle type advertising supports_incremental: fall back
+        # to sharing (pre-concurrency behavior) rather than guessing.
         return graph, oracle
 
     def _plan_incremental(
@@ -364,10 +553,13 @@ class TeamFormationEngine:
             {"cached": n, "incremental": n, "rebuilt": n}
         """
         report = {"cached": 0, "incremental": 0, "rebuilt": 0}
-        for cache in (self._search_cache, self._raw_oracles):
-            for base in {key[:-1] for key in cache}:
-                _, how = self._entry(cache, base, self._max_cached_oracles)
-                report[how] += 1
+        with self._rw.write_locked():
+            for cache in (self._search_cache, self._raw_oracles):
+                with self._mutex:
+                    bases = {key[:-1] for key in cache}
+                for base in bases:
+                    _, how = self._entry(cache, base, self._max_cached_oracles)
+                    report[how] += 1
         return report
 
     def refresh_scales(self) -> ObjectiveScales:
@@ -376,13 +568,18 @@ class TeamFormationEngine:
         Scales are frozen at construction so scores stay comparable
         across mutations; call this when the network has drifted enough
         that stale normalization matters.  Every cached oracle and
-        finder depends on the scales, so both caches are dropped.
+        finder depends on the scales, so both caches are dropped.  Runs
+        as a writer: no in-flight solve can observe the new scales with
+        an old oracle (or vice versa).
         """
-        self.scales = ObjectiveScales.from_network(self.network)
-        self._search_cache.clear()
-        self._raw_oracles.clear()
-        self._finders.clear()
-        return self.scales
+        with self._rw.write_locked():
+            scales = ObjectiveScales.from_network(self.network)
+            with self._mutex:
+                self.scales = scales
+                self._search_cache.clear()
+                self._raw_oracles.clear()
+                self._finders.clear()
+            return self.scales
 
     # ------------------------------------------------------------------
     # persistence / warm start (see repro.storage)
@@ -408,12 +605,23 @@ class TeamFormationEngine:
         (``retain`` applies), or a single ``*.snap`` file path.  Returns
         the path written.  The write is atomic either way.
         """
+        with self._rw.read_locked():
+            return self._save_snapshot_locked(target, retain=retain)
+
+    def _save_snapshot_locked(
+        self,
+        target: "SnapshotStore | str | Path",
+        *,
+        retain: int | None,
+    ) -> Path:
         version = self.network.version
         entries = []
-        for cache_name, cache in (
-            ("search", self._search_cache),
-            ("raw", self._raw_oracles),
-        ):
+        with self._mutex:
+            caches = (
+                ("search", dict(self._search_cache)),
+                ("raw", dict(self._raw_oracles)),
+            )
+        for cache_name, cache in caches:
             for key, (_graph, oracle) in cache.items():
                 if key[-1] != version:
                     continue
@@ -481,14 +689,7 @@ class TeamFormationEngine:
         has not reached — :class:`StaleSnapshotError` is raised rather
         than ever serving wrong distances.
         """
-        if isinstance(source, SnapshotStore):
-            meta, sections = source.load_latest()
-        else:
-            path = Path(source)
-            if path.is_dir():
-                meta, sections = SnapshotStore(path).load_latest()
-            else:
-                meta, sections = read_container(path)
+        meta, sections = read_container(resolve_snapshot_path(source))
         state = decode_engine_snapshot(meta, sections)
         snapshot_net = state.network
         if network is not None:
@@ -585,12 +786,13 @@ class TeamFormationEngine:
         # and search graph, so it must never outlive a network mutation.
         version = self.network.version
         key = (objective, gamma, lam, sa_mode, kind, version)
-        if root_candidates is None and key in self._finders:
-            return self._finders[key]
-        # Purge finders built for older versions: each pins a replaced
-        # index, which would otherwise dodge the oracle-cache bound.
-        for stale in [k for k in self._finders if k[-1] != version]:
-            del self._finders[stale]
+        if root_candidates is None:
+            with self._mutex:
+                finder = self._finders.get(key)
+                if finder is not None:
+                    return finder
+        # Construct outside the mutex: `_search_entry` may pay for an
+        # index build and must not serialize unrelated cache traffic.
         search_graph, oracle = self._search_entry(objective, gamma, kind)
         finder = GreedyTeamFinder(
             self.network,
@@ -604,9 +806,20 @@ class TeamFormationEngine:
             search_graph=search_graph,
         )
         if root_candidates is None:
-            if len(self._finders) >= self._max_cached_finders:
-                del self._finders[next(iter(self._finders))]
-            self._finders[key] = finder
+            with self._mutex:
+                # A racing thread may have memoized its own copy first;
+                # return that one so the memo stays stable.
+                existing = self._finders.get(key)
+                if existing is not None:
+                    return existing
+                # Purge finders built for older versions: each pins a
+                # replaced index, which would otherwise dodge the
+                # oracle-cache bound.
+                for stale in [k for k in self._finders if k[-1] != version]:
+                    del self._finders[stale]
+                if len(self._finders) >= self._max_cached_finders:
+                    self._finders.pop(next(iter(self._finders)), None)
+                self._finders[key] = finder
         return finder
 
     def rarest_first_solver(
@@ -752,9 +965,10 @@ class TeamFormationEngine:
     @property
     def cached_oracle_keys(self) -> tuple[tuple, ...]:
         """Which oracle cache entries exist (observability/tests)."""
-        return tuple(
-            sorted([*self._search_cache, *self._raw_oracles], key=repr)
-        )
+        with self._mutex:
+            return tuple(
+                sorted([*self._search_cache, *self._raw_oracles], key=repr)
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -146,9 +146,17 @@ class TeamPayload:
 
     @classmethod
     def from_team(cls, team: Team) -> "TeamPayload":
-        """Serialize a live :class:`Team` into its canonical payload."""
+        """Serialize a live :class:`Team` into its canonical payload.
+
+        Weights are coerced to ``float`` so the payload is byte-stable
+        under a JSON round-trip even when a graph was built with
+        integer weights.
+        """
         edges = tuple(
-            sorted((min(u, v), max(u, v), w) for u, v, w in team.tree.edges())
+            sorted(
+                (min(u, v), max(u, v), float(w))
+                for u, v, w in team.tree.edges()
+            )
         )
         return cls(
             members=tuple(sorted(team.members)),
@@ -207,15 +215,19 @@ class MemberContributionPayload:
     def from_contribution(
         cls, contribution: MemberContribution
     ) -> "MemberContributionPayload":
-        """Serialize a live :class:`MemberContribution`."""
+        """Serialize a live :class:`MemberContribution`.
+
+        Shares are coerced to ``float`` for byte-stability under a JSON
+        round-trip (see :meth:`ScoreBreakdown.from_team`).
+        """
         return cls(
             expert_id=contribution.expert_id,
             role=contribution.role,
             covered_skills=tuple(contribution.covered_skills),
-            authority=contribution.authority,
-            sa_share=contribution.sa_share,
-            ca_share=contribution.ca_share,
-            cc_share=contribution.cc_share,
+            authority=float(contribution.authority),
+            sa_share=float(contribution.sa_share),
+            ca_share=float(contribution.ca_share),
+            cc_share=float(contribution.cc_share),
             critical=contribution.critical,
         )
 
@@ -259,13 +271,20 @@ class ScoreBreakdown:
 
     @classmethod
     def from_team(cls, evaluator: TeamEvaluator, team: Team) -> "ScoreBreakdown":
-        """Score ``team`` under all five objectives via ``evaluator``."""
+        """Score ``team`` under all five objectives via ``evaluator``.
+
+        Scores are coerced to ``float``: an evaluator may legitimately
+        return an exact ``int`` 0, but a payload holding one would stop
+        being byte-identical to its own JSON round-trip (``0`` vs
+        ``0.0``) — and replica-pool responses, which travel as JSON,
+        must match in-process responses byte for byte.
+        """
         return cls(
-            cc=evaluator.cc(team),
-            ca=evaluator.ca(team),
-            sa=evaluator.sa(team),
-            ca_cc=evaluator.ca_cc(team),
-            sa_ca_cc=evaluator.sa_ca_cc(team),
+            cc=float(evaluator.cc(team)),
+            ca=float(evaluator.ca(team)),
+            sa=float(evaluator.sa(team)),
+            ca_cc=float(evaluator.ca_cc(team)),
+            sa_ca_cc=float(evaluator.sa_ca_cc(team)),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -320,6 +339,13 @@ class TeamResponse:
     uncoverable holders disconnected, or an intractable exact search —
     in which case ``error`` says why).  ``alternates`` holds ranked
     runner-up teams when the request asked for ``k > 1``.
+
+    ``error_kind`` types the failure so batch callers can branch
+    without parsing prose: ``"uncoverable"`` / ``"intractable"`` are a
+    solver's legitimate negative answers, while ``"unknown_solver"`` /
+    ``"invalid_request"`` / ``"internal"`` mark requests the isolation
+    layer (:meth:`repro.api.TeamFormationEngine.solve_isolated`) caught
+    so one bad request cannot abort the rest of a batch.
     """
 
     request: TeamRequest
@@ -331,6 +357,20 @@ class TeamResponse:
     scores: ScoreBreakdown | None = None
     timing: TimingInfo | None = None
     error: str | None = None
+    error_kind: str | None = None
+
+    @classmethod
+    def for_error(
+        cls, request: TeamRequest, kind: str, message: str
+    ) -> "TeamResponse":
+        """A typed error answer for a request no solver could process."""
+        return cls(
+            request=request,
+            solver=request.solver,
+            found=False,
+            error=message,
+            error_kind=kind,
+        )
 
     def to_dict(self) -> dict[str, Any]:
         """This message as a JSON-ready dict (inverse of ``from_dict``)."""
@@ -344,6 +384,7 @@ class TeamResponse:
             "scores": self.scores.to_dict() if self.scores is not None else None,
             "timing": self.timing.to_dict() if self.timing is not None else None,
             "error": self.error,
+            "error_kind": self.error_kind,
         }
 
     @classmethod
@@ -376,6 +417,7 @@ class TeamResponse:
                 else None
             ),
             error=data.get("error"),
+            error_kind=data.get("error_kind"),
         )
 
     def to_json(self) -> str:
@@ -386,6 +428,19 @@ class TeamResponse:
     def from_json(cls, text: str) -> "TeamResponse":
         """Parse a response from its JSON encoding."""
         return cls.from_dict(json.loads(text))
+
+    def canonical_json(self) -> str:
+        """:meth:`to_json` with the ``timing`` block nulled.
+
+        The identity contract of the serving layer — replica-pool,
+        threaded and sequential answers must match **byte for byte** —
+        can never hold for wall-clock timing, so identity checks (the
+        serving/snapshot benchmarks, the concurrency regression tests)
+        compare this form instead of ``to_json``.
+        """
+        payload = self.to_dict()
+        payload["timing"] = None
+        return json.dumps(payload, sort_keys=True)
 
     def format(self) -> str:
         """Human-readable answer for terminals (the CLI's default view)."""
@@ -398,7 +453,8 @@ class TeamResponse:
             )
         if not self.found or self.team is None:
             reason = f": {self.error}" if self.error else ""
-            return f"{head}\nno team found{reason}"
+            kind = f" [{self.error_kind}]" if self.error_kind else ""
+            return f"{head}\nno team found{kind}{reason}"
         lines = [head]
         if self.team.root is not None:
             lines.append(f"root: {self.team.root}")

@@ -65,20 +65,26 @@ class _BaseAdapter:
         started = time.perf_counter()
         builds_before = pll_build_count()
         error: str | None = None
+        error_kind: str | None = None
         teams: list[Team] = []
         try:
             teams = [t for t in self._find(request) if t is not None]
-        except (IntractableError, SkillCoverageError) as exc:
-            # Both are legitimate negative answers for a serving API:
-            # "this project cannot be staffed" / "exact search over
-            # budget" — reported in-band, not as a 500.
+        except SkillCoverageError as exc:
+            # A legitimate negative answer for a serving API: "this
+            # project cannot be staffed" — reported in-band, not as a 500.
             error = str(exc)
+            error_kind = "uncoverable"
+        except IntractableError as exc:
+            # Likewise: "exact search over budget" is an answer.
+            error = str(exc)
+            error_kind = "intractable"
         return self._respond(
             request,
             teams,
             started=started,
             builds_before=builds_before,
             error=error,
+            error_kind=error_kind,
         )
 
     def _find(self, request: TeamRequest) -> list[Team | None]:
@@ -94,6 +100,7 @@ class _BaseAdapter:
         started: float,
         builds_before: int,
         error: str | None = None,
+        error_kind: str | None = None,
     ) -> TeamResponse:
         engine = self._engine
         team = teams[0] if teams else None
@@ -130,6 +137,7 @@ class _BaseAdapter:
             scores=scores,
             timing=timing,
             error=error,
+            error_kind=error_kind,
         )
 
 

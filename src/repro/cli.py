@@ -4,6 +4,7 @@ Examples::
 
     repro-teams solve --skills graphics dataation --solver greedy
     repro-teams --list-solvers
+    repro-teams serve --input requests.jsonl --snapshot ./snapshots --replicas 4
     repro-teams mutate --script ops.jsonl
     repro-teams snapshot save --store ./snapshots
     repro-teams solve --snapshot ./snapshots --skills graphics
@@ -15,7 +16,11 @@ Examples::
     python -m repro.cli figure6
 
 ``solve`` answers one team request through the
-:class:`repro.api.TeamFormationEngine`; ``mutate`` replays a JSON-lines
+:class:`repro.api.TeamFormationEngine`; ``serve`` answers a whole
+JSON-lines request batch (stdin or a file) with per-request error
+isolation, optionally threaded over the shared engine (``--parallel``)
+or fanned out across a pool of snapshot-warmed replica processes
+(``--replicas`` + ``--snapshot``); ``mutate`` replays a JSON-lines
 script of network mutations and interleaved solves against one live
 engine (the dynamic-network serving path — each mutation bumps the
 network version and the engine reconciles its cached indexes
@@ -141,6 +146,33 @@ def build_parser() -> argparse.ArgumentParser:
         "building the --scale network (see 'snapshot save')",
     )
 
+    pserve = sub.add_parser(
+        "serve",
+        help="answer a JSON-lines request batch (one TeamRequest per line)",
+    )
+    pserve.add_argument(
+        "--input", default="-", metavar="FILE",
+        help="JSON-lines request file ('-' = stdin, the default); each "
+        'line is a TeamRequest dict, e.g. {"skills": ["SN"], "solver": '
+        '"greedy"}',
+    )
+    pserve.add_argument(
+        "--snapshot", metavar="PATH", default=None,
+        help="serve from a snapshot store/file instead of building the "
+        "--scale network (required with --replicas)",
+    )
+    pserve.add_argument(
+        "--replicas", type=_positive_int, default=None, metavar="N",
+        help="fan the batch out across N replica worker processes, each "
+        "warm-started from --snapshot (cold index groups are pinned so "
+        "each index is built at most once pool-wide)",
+    )
+    pserve.add_argument(
+        "--parallel", type=_positive_int, default=None, metavar="N",
+        help="thread the batch over the shared in-process engine with N "
+        "threads (ignored when --replicas is given)",
+    )
+
     pmut = sub.add_parser(
         "mutate",
         help="replay a JSON-lines mutation/solve script against one engine",
@@ -247,6 +279,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     set_default_index_workers(args.parallel_index)
     if args.experiment == "snapshot":
         return _run_snapshot(args)
+    if args.experiment == "serve":
+        return _run_serve(args)
     if args.experiment in ("solve", "mutate") and args.snapshot:
         try:
             engine = TeamFormationEngine.from_snapshot(args.snapshot)
@@ -388,6 +422,63 @@ def _run_snapshot(args) -> int:
         return 2
 
 
+def _run_serve(args) -> int:
+    """Answer a JSON-lines request batch (the ``serve`` subcommand)."""
+    from .serving.server import read_requests, serve_batch
+
+    if args.replicas is not None and not args.snapshot:
+        print(
+            "serve: --replicas requires --snapshot (each replica process "
+            "warm-starts from it)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        if args.input == "-":
+            text = sys.stdin.read()
+        else:
+            with open(args.input, encoding="utf-8") as handle:
+                text = handle.read()
+        requests = read_requests(text, solver_names=DEFAULT_REGISTRY.names())
+    except (OSError, ValueError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    try:
+        if args.replicas is not None:
+            from .serving.pool import EngineReplicaPool
+
+            with EngineReplicaPool(
+                args.snapshot, replicas=args.replicas
+            ) as pool:
+                print(
+                    f"replica pool: {pool.replicas} worker(s) over "
+                    f"{pool.snapshot_path.name} "
+                    f"({len(pool.warm_bases)} warm indexes)",
+                    file=sys.stderr,
+                )
+                tally = serve_batch(pool.solve_many, requests, sys.stdout)
+        else:
+            if args.snapshot:
+                engine = TeamFormationEngine.from_snapshot(args.snapshot)
+            else:
+                network = benchmark_network(args.scale, seed=args.seed)
+                engine = TeamFormationEngine(network)
+            tally = serve_batch(
+                lambda batch: engine.solve_many(batch, parallel=args.parallel),
+                requests,
+                sys.stdout,
+            )
+    except SnapshotError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"served {tally['requests']} request(s): {tally['found']} found, "
+        f"{tally['misses']} without a team, {tally['errors']} errors",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _run_solve(engine, args) -> int:
     """Answer one ``solve`` request through the engine."""
     try:
@@ -446,11 +537,34 @@ def _field(op: dict, kind: str, name: str):
 
 
 def _apply_op(engine, op: dict, *, as_json: bool) -> None:
-    """Apply one script op to the engine's network (or solve/reconcile)."""
+    """Apply one script op to the engine's network (or solve/reconcile).
+
+    Mutations go through ``engine.mutate()`` — the script replay is
+    single-threaded, but using the engine's write-side entry point keeps
+    the CLI on the same discipline concurrent embedders must follow.
+    """
+    kind = op["op"]
+    if kind == "solve":
+        _field(op, kind, "skills")
+        request = TeamRequest.from_dict(op)
+        response = engine.solve(request)
+        print(response.to_json() if as_json else response.format())
+        return
+    if kind == "apply_updates":
+        report = engine.apply_updates()
+        print(
+            f"apply_updates: cached={report['cached']} "
+            f"incremental={report['incremental']} rebuilt={report['rebuilt']}"
+        )
+        return
+    with engine.mutate() as network:
+        _apply_mutation_op(network, op, kind)
+
+
+def _apply_mutation_op(network, op: dict, kind: str) -> None:
+    """Dispatch one network-mutation script op."""
     from .expertise import Expert
 
-    network = engine.network
-    kind = op["op"]
     if kind == "add_expert":
         network.add_expert(
             Expert(
@@ -473,17 +587,6 @@ def _apply_op(engine, op: dict, *, as_json: bool) -> None:
         )
     elif kind == "remove_collaboration":
         network.remove_collaboration(_field(op, kind, "u"), _field(op, kind, "v"))
-    elif kind == "solve":
-        _field(op, kind, "skills")
-        request = TeamRequest.from_dict(op)
-        response = engine.solve(request)
-        print(response.to_json() if as_json else response.format())
-    elif kind == "apply_updates":
-        report = engine.apply_updates()
-        print(
-            f"apply_updates: cached={report['cached']} "
-            f"incremental={report['incremental']} rebuilt={report['rebuilt']}"
-        )
     else:
         raise ValueError(f"unknown op {kind!r}")
 

@@ -141,12 +141,17 @@ class DijkstraOracle:
         self._cache: dict[Node, tuple[dict[Node, float], dict[Node, Node | None]]] = {}
 
     def _tree(self, source: Node) -> tuple[dict[Node, float], dict[Node, Node | None]]:
-        if source not in self._cache:
+        tree = self._cache.get(source)
+        if tree is None:
             if len(self._cache) >= self._max_cached:
-                oldest = next(iter(self._cache))
-                del self._cache[oldest]
-            self._cache[source] = dijkstra(self._graph, source)
-        return self._cache[source]
+                # Tolerant FIFO pop: concurrent queries through a shared
+                # oracle may race to evict; losing the race is fine.
+                try:
+                    self._cache.pop(next(iter(self._cache)), None)
+                except (StopIteration, RuntimeError):
+                    pass
+            tree = self._cache[source] = dijkstra(self._graph, source)
+        return tree
 
     def distance(self, u: Node, v: Node) -> float:
         """Exact shortest-path distance, ``inf`` when disconnected."""

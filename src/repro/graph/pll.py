@@ -655,7 +655,16 @@ class PrunedLandmarkLabeling:
         cache = self._source_cache.get(source)
         if cache is None:
             if len(self._source_cache) >= self.MAX_CACHED_SOURCES:
-                self._source_cache.pop(next(iter(self._source_cache)))
+                # Concurrent solves share this oracle (the engine's
+                # cache hands out one instance); two threads evicting at
+                # once must not trip over each other, so the FIFO pop is
+                # tolerant of the key vanishing mid-step.
+                try:
+                    self._source_cache.pop(
+                        next(iter(self._source_cache)), None
+                    )
+                except (StopIteration, RuntimeError):
+                    pass
             cache = self._source_cache[source] = {}
         out: dict[Node, float] = {}
         all_ranks, all_dists = self._ranks, self._dists
@@ -770,6 +779,33 @@ class PrunedLandmarkLabeling:
             path.append(nxt)
             current = nxt
         return path
+
+    def clone(self, graph: Graph | None = None) -> "PrunedLandmarkLabeling":
+        """An independent copy of this index — no build, no validation.
+
+        The engine's concurrent reconciliation replays mutation deltas
+        onto a clone so the original — which an in-flight solve may
+        still be querying — is never mutated underneath it.  ``graph``
+        is the graph the clone should own (defaults to a copy of this
+        index's own); it may already carry nodes/edges the labels have
+        not absorbed yet, exactly as the shared live graph did on the
+        pre-clone in-place path — the caller's replayed ``add_node`` /
+        ``insert_edge`` steps close that gap.  Unlike
+        :meth:`from_labels` (which guards untrusted snapshot bytes),
+        cloning a live in-process index is a trusted path, so no
+        permutation check applies.  ``pll_build_count`` is not bumped.
+        """
+        index = type(self).__new__(type(self))
+        index._graph = self._graph.copy() if graph is None else graph
+        index._order = list(self._order)
+        index._rank = dict(self._rank)
+        index.workers = self.workers
+        index._ranks = {u: list(r) for u, r in self._ranks.items()}
+        index._dists = {u: list(d) for u, d in self._dists.items()}
+        index._parents = {u: list(p) for u, p in self._parents.items()}
+        index._source_cache = {}
+        index.incremental_updates = self.incremental_updates
+        return index
 
     # ------------------------------------------------------------------
     # persistence hooks (see repro.storage)

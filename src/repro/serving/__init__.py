@@ -1,0 +1,80 @@
+"""repro.serving — the concurrent serving layer.
+
+PR 4 made serving state durable; this package makes it **concurrent**,
+in two tiers:
+
+* **Tier one — a thread-safe engine.**
+  :class:`repro.api.TeamFormationEngine` is safe to share across
+  threads: concurrent cache misses on the same oracle key single-flight
+  onto one build (:mod:`repro.serving.locks` has the reader/writer
+  primitive; the per-key build locks live in the engine), FIFO eviction
+  and memo bookkeeping are lock-protected, stale indexes are upgraded
+  onto clones so an in-flight solve never observes a half-reconciled
+  index, and ``engine.mutate()`` / ``apply_updates()`` /
+  ``refresh_scales()`` run as exclusive writers.
+  ``engine.solve_many(requests, parallel=N)`` threads a batch over the
+  shared engine with per-request error isolation.
+
+* **Tier two — a replica pool over snapshots.**
+  :class:`EngineReplicaPool` (:mod:`repro.serving.pool`) spawns N
+  worker processes that each warm-start a private engine replica from
+  one PR-4 snapshot (``from_snapshot`` — zero index builds per worker)
+  and schedules request batches across them.  Requests are grouped by
+  the index their solve needs (:mod:`repro.serving.batch`): groups whose
+  index is already warm in the snapshot spread across every replica,
+  while a cold group stays on one replica so the pool as a whole builds
+  each missing index at most once.
+
+:mod:`repro.serving.server` is the JSON-lines request/response loop
+behind ``repro-teams serve``.
+
+Submodules import lazily (PEP 562): the engine imports
+:mod:`repro.serving.locks`, while :mod:`repro.serving.pool` imports the
+engine — eager re-exports here would complete that cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "EngineReplicaPool",
+    "ReadWriteLock",
+    "plan_jobs",
+    "request_index_key",
+    "read_requests",
+    "serve_batch",
+    "usable_cores",
+]
+
+_EXPORTS = {
+    "EngineReplicaPool": ("repro.serving.pool", "EngineReplicaPool"),
+    "ReadWriteLock": ("repro.serving.locks", "ReadWriteLock"),
+    "plan_jobs": ("repro.serving.batch", "plan_jobs"),
+    "request_index_key": ("repro.serving.batch", "request_index_key"),
+    "read_requests": ("repro.serving.server", "read_requests"),
+    "serve_batch": ("repro.serving.server", "serve_batch"),
+    "usable_cores": ("repro.serving.pool", "usable_cores"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
+    from .batch import plan_jobs, request_index_key
+    from .locks import ReadWriteLock
+    from .pool import EngineReplicaPool, usable_cores
+    from .server import read_requests, serve_batch
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

@@ -1,0 +1,106 @@
+"""Request placement for the replica pool: group, then split or pin.
+
+The pool's scheduling problem is the engine's cache-key problem turned
+inside out.  Inside one engine, a gamma-homogeneous batch pays for at
+most one PLL build because every request after the first hits the keyed
+oracle cache.  Across N replica processes there is no shared cache — so
+a naive round-robin of a cold-gamma batch would pay for the same build
+N times, once per replica it touched.
+
+The placement rule keeps the pool-wide guarantee:
+
+* requests are grouped by the oracle-cache base their solve will touch
+  (:func:`request_index_key` — the ``(gamma, oracle_kind)`` grouping
+  from the engine, refined by graph flavor exactly as the engine's own
+  cache keys are);
+* a group whose index is **warm in the snapshot** every replica loaded
+  (or that needs no index at all) is split across all replicas — free
+  parallelism, no build anywhere;
+* a **cold** group is pinned to a single replica, so the missing index
+  is built at most once pool-wide.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Collection, Sequence
+
+from ..api.messages import TeamRequest
+
+__all__ = ["request_index_key", "plan_jobs"]
+
+#: Solvers that never touch a distance oracle: their requests are
+#: always free to spread across replicas.
+_NO_INDEX_SOLVERS = frozenset(
+    {"sa_optimal", "exact", "brute_force", "random"}
+)
+
+
+def request_index_key(request: TeamRequest) -> tuple | None:
+    """The oracle-cache base ``request``'s solve will touch, or ``None``.
+
+    Mirrors :meth:`TeamFormationEngine._search_entry`'s keying: ``cc``
+    ignores gamma, ``ca`` degenerates to the fold at ``gamma=1``,
+    RarestFirst measures the raw graph, and the assignment-style solvers
+    use no distance index at all.  Pareto mines a whole gamma grid of
+    folds, so it is modelled as its own (never-warm) group per
+    ``oracle_kind`` and stays pinned to one replica.
+    """
+    solver = request.solver
+    if solver in _NO_INDEX_SOLVERS:
+        return None
+    kind = request.oracle_kind
+    if solver == "rarest_first":
+        return (kind, "raw")
+    if solver == "pareto":
+        return (kind, "pareto")
+    # Greedy (and unknown/custom solvers, conservatively treated like
+    # it): Algorithm 1's search graph.
+    objective = request.objective
+    if objective == "cc":
+        return (kind, "cc")
+    effective_gamma = 1.0 if objective == "ca" else request.gamma
+    return (kind, "fold", effective_gamma)
+
+
+def plan_jobs(
+    requests: Sequence[TeamRequest],
+    replicas: int,
+    warm_bases: Collection[tuple],
+) -> list[tuple[tuple | None, list[int]]]:
+    """Partition a batch into per-replica jobs of request *indices*.
+
+    Returns ``(pin_key, indices)`` jobs in a deterministic order, where
+    ``indices`` index into ``requests``.  Splittable groups (no index
+    needed, or warm in ``warm_bases``) are dealt round-robin with
+    ``pin_key=None`` so heterogeneous solve times balance; a cold group
+    stays whole and carries its index base as ``pin_key`` — the pool
+    routes every job with the same ``pin_key`` to the same replica, so
+    the missing index is built at most once pool-wide *across batches*,
+    not merely within one.  The caller reassembles responses by index,
+    so job order never affects the response order.
+    """
+    if replicas < 1:
+        raise ValueError("replicas must be positive")
+    warm = set(warm_bases)
+    groups: dict[tuple | None, list[int]] = {}
+    for index, request in enumerate(requests):
+        groups.setdefault(request_index_key(request), []).append(index)
+    jobs: list[tuple[tuple | None, list[int]]] = []
+    for key, indices in groups.items():
+        dijkstra_backed = key is not None and key[0] == "dijkstra"
+        splittable = (
+            key is None
+            or key in warm
+            # A Dijkstra "index" is lazy per-source trees — there is no
+            # build to duplicate, so pinning would only serialize.
+            or (dijkstra_backed and key[1] != "pareto")
+        )
+        if splittable:
+            if replicas > 1 and len(indices) > 1:
+                for offset in range(min(replicas, len(indices))):
+                    jobs.append((None, indices[offset::replicas]))
+            else:
+                jobs.append((None, indices))
+        else:
+            jobs.append((key, indices))
+    return [(pin, job) for pin, job in jobs if job]

@@ -1,0 +1,294 @@
+"""A pool of engine replicas, each warm-started from one snapshot.
+
+:class:`EngineReplicaPool` is the multi-process tier of the serving
+layer.  The parent resolves a PR-4 snapshot to one concrete file, then
+spawns N worker processes whose initializer calls
+:meth:`TeamFormationEngine.from_snapshot` on that file — a warm start,
+so **zero** index builds happen per worker no matter how many replicas
+the pool runs.  Request batches are planned by :mod:`repro.serving.batch`
+(warm groups spread across replicas, cold groups pinned so the pool
+builds each missing index at most once) and travel as JSON strings —
+the same lossless encoding the wire API uses — so nothing about a
+request or response needs to be picklable beyond text.
+
+Workers answer through :meth:`TeamFormationEngine.solve_isolated`, so a
+poisoned request inside a job yields one typed error response instead
+of killing the job (or the worker).
+
+In sandboxes where worker processes cannot be spawned (no fork/spawn,
+restricted semaphores), the pool degrades to a single in-process
+replica: same API, same responses, no parallelism — mirroring the PLL
+builder's own fallback.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..storage.codec import warm_bases_from_meta
+from ..storage.format import read_container
+from ..storage.store import resolve_snapshot_path
+from .batch import plan_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..api.engine import TeamFormationEngine
+    from ..api.messages import TeamRequest, TeamResponse
+    from ..storage.store import SnapshotStore
+
+__all__ = ["EngineReplicaPool", "usable_cores"]
+
+
+def usable_cores() -> int:
+    """Cores this process may schedule on (affinity-aware).
+
+    The one shared answer to "how parallel can this host go": the
+    pool's default replica count and the serving benchmark's gate-relax
+    threshold both read it, so they can never disagree.
+    """
+    import os
+
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+#: The replica owned by this worker process (set by the initializer).
+_WORKER_ENGINE: "TeamFormationEngine | None" = None
+_WORKER_INIT_ERROR: str | None = None
+
+
+def _init_replica(snapshot_path: str) -> None:
+    """Worker initializer: warm-start this process's private replica.
+
+    Never raises: ``multiprocessing.Pool`` responds to a crashing
+    initializer by silently respawning the worker forever, which would
+    turn a failed warm start (snapshot GC'd between parent validation
+    and worker spawn, per-worker OOM) into a hang.  The failure is
+    recorded instead, and the first job raises it cleanly through
+    ``Pool.map`` back to the caller.
+    """
+    global _WORKER_ENGINE, _WORKER_INIT_ERROR
+    from ..api.engine import TeamFormationEngine
+
+    try:
+        _WORKER_ENGINE = TeamFormationEngine.from_snapshot(snapshot_path)
+    except Exception as exc:  # noqa: BLE001 - see docstring
+        _WORKER_INIT_ERROR = f"{type(exc).__name__}: {exc}"
+
+
+def _probe_replica(_: object = None) -> str | None:
+    """First task on every worker: report the warm-start outcome."""
+    return _WORKER_INIT_ERROR
+
+
+def _serve_job(job: list[tuple[int, str]]) -> list[tuple[int, str]]:
+    """Answer one job of ``(index, request_json)`` on this replica."""
+    from ..api.messages import TeamRequest
+
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise RuntimeError(
+            "replica warm start failed: "
+            + (_WORKER_INIT_ERROR or "initializer did not run")
+        )
+    out = []
+    for index, text in job:
+        response = engine.solve_isolated(TeamRequest.from_json(text))
+        out.append((index, response.to_json()))
+    return out
+
+
+class EngineReplicaPool:
+    """N process-local engine replicas serving one snapshot's state.
+
+    Parameters
+    ----------
+    source:
+        A :class:`SnapshotStore`, store directory, or ``*.snap`` file.
+        Resolved to one concrete file up front, so every replica loads
+        identical bytes (and therefore answers byte-identical
+        responses) even if the store's LATEST pointer moves later.
+    replicas:
+        Worker process count; defaults to the usable core count.  The
+        parent verifies the snapshot (full CRC pass) before spawning
+        anything, so a corrupt file fails fast with the storage layer's
+        typed error instead of a worker crash loop.
+
+    >>> # with EngineReplicaPool("./snapshots", replicas=4) as pool:
+    >>> #     responses = pool.solve_many(requests)
+    """
+
+    def __init__(
+        self,
+        source: "SnapshotStore | str | Path",
+        *,
+        replicas: int | None = None,
+    ) -> None:
+        self._path = resolve_snapshot_path(source)
+        # Fail fast in the parent: decode errors here carry the typed
+        # snapshot exceptions; a worker initializer crash would not.
+        meta, _sections = read_container(self._path)
+        self._warm_bases = frozenset(warm_bases_from_meta(meta))
+        if replicas is None:
+            replicas = max(1, usable_cores())
+        if replicas < 1:
+            raise ValueError("replicas must be positive")
+        self._requested_replicas = replicas
+        self._closed = False
+        # One single-worker executor per replica (not one N-worker
+        # pool): routing is what makes pinning mean something — a cold
+        # group's jobs must land on the *same* worker process across
+        # batches, so its index is built at most once for the pool's
+        # whole lifetime.  ProcessPoolExecutor rather than
+        # multiprocessing.Pool because a worker dying mid-job must
+        # surface as BrokenProcessPool, not hang a silently-respawned
+        # pool's never-completed result.
+        self._workers: list[ProcessPoolExecutor] = []
+        self._pinned_worker: dict[tuple, int] = {}
+        self._next_worker = 0
+        self._local: "TeamFormationEngine | None" = None
+        if replicas > 1:
+            workers: list[ProcessPoolExecutor] = []
+            try:
+                ctx = multiprocessing.get_context()
+                for _ in range(replicas):
+                    workers.append(
+                        ProcessPoolExecutor(
+                            max_workers=1,
+                            mp_context=ctx,
+                            initializer=_init_replica,
+                            initargs=(str(self._path),),
+                        )
+                    )
+                # Eager probe: spawn every worker now and surface a
+                # failed warm start (e.g. the snapshot vanished between
+                # parent validation and worker spawn) as a construction
+                # error, not a first-batch surprise.  All probes are
+                # submitted before any result is awaited so the N
+                # snapshot loads overlap instead of serializing.
+                probes = [w.submit(_probe_replica) for w in workers]
+                for probe in probes:
+                    error = probe.result()
+                    if error is not None:
+                        raise RuntimeError(
+                            f"replica warm start failed: {error}"
+                        )
+                self._workers = workers
+            except (OSError, ValueError, pickle.PickleError, BrokenProcessPool):
+                # Constrained sandbox (no fork/spawn): degrade to
+                # in-process serving.
+                for worker in workers:
+                    worker.shutdown(wait=False, cancel_futures=True)
+                self._workers = []
+            except BaseException:
+                # A failed warm start is an error, not a degrade — but
+                # never leak spawned workers on the way out.
+                for worker in workers:
+                    worker.shutdown(wait=False, cancel_futures=True)
+                raise
+        if not self._workers:
+            from ..api.engine import TeamFormationEngine
+
+            self._local = TeamFormationEngine.from_snapshot(self._path)
+
+    # ------------------------------------------------------------------
+    @property
+    def replicas(self) -> int:
+        """How many replicas actually serve (1 in degraded mode)."""
+        return len(self._workers) if self._workers else 1
+
+    @property
+    def snapshot_path(self) -> Path:
+        """The one snapshot file every replica warm-started from."""
+        return self._path
+
+    @property
+    def warm_bases(self) -> frozenset:
+        """Index bases prebuilt in the snapshot (drives job splitting)."""
+        return self._warm_bases
+
+    # ------------------------------------------------------------------
+    def solve_many(
+        self, requests: "list[TeamRequest]"
+    ) -> "list[TeamResponse]":
+        """Answer a batch across the pool; responses in request order.
+
+        Per-request error isolation always applies (the pool exists to
+        serve, not to crash): a bad request comes back as a typed error
+        response, exactly as :meth:`TeamFormationEngine.solve_many`
+        returns in its default ``isolate`` mode.
+        """
+        from ..api.messages import TeamResponse
+
+        requests = list(requests)
+        if not requests:
+            return []
+        if self._closed:
+            raise RuntimeError("the replica pool has been closed")
+        if not self._workers:
+            assert self._local is not None
+            # Round-trip through JSON even in-process, so degraded mode
+            # returns the exact bytes worker mode would.
+            return [
+                TeamResponse.from_json(response.to_json())
+                for response in self._local.solve_many(requests)
+            ]
+        jobs = plan_jobs(requests, len(self._workers), self._warm_bases)
+        pending = []
+        for pin, job in jobs:
+            payload = [(index, requests[index].to_json()) for index in job]
+            worker = self._workers[self._route(pin)]
+            pending.append(worker.submit(_serve_job, payload))
+        responses: "list[TeamResponse | None]" = [None] * len(requests)
+        # future.result() raises BrokenProcessPool if a worker died
+        # mid-job (OOM kill, segfault) — an error the caller sees, never
+        # a silently-respawned worker and a hang.
+        for future in pending:
+            for index, text in future.result():
+                responses[index] = TeamResponse.from_json(text)
+        assert all(r is not None for r in responses)
+        return responses  # type: ignore[return-value]
+
+    def _route(self, pin: tuple | None) -> int:
+        """Pick the worker for a job; pinned keys stick for pool life."""
+        if pin is None:
+            worker = self._next_worker
+            self._next_worker = (self._next_worker + 1) % len(self._workers)
+            return worker
+        worker = self._pinned_worker.get(pin)
+        if worker is None:
+            # First sight of this cold group: round-robin over the
+            # pinned assignments so multiple cold groups spread out.
+            worker = len(self._pinned_worker) % len(self._workers)
+            self._pinned_worker[pin] = worker
+        return worker
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent).
+
+        A closed pool refuses further batches; create a new pool to
+        serve again.
+        """
+        self._closed = True
+        for worker in self._workers:
+            worker.shutdown(wait=False, cancel_futures=True)
+        self._workers = []
+        self._local = None
+
+    def __enter__(self) -> "EngineReplicaPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EngineReplicaPool(snapshot={self._path.name!r}, "
+            f"replicas={self.replicas}, warm={len(self._warm_bases)})"
+        )

@@ -1,0 +1,100 @@
+"""The JSON-lines serving loop behind ``repro-teams serve``.
+
+One request per line (a :class:`TeamRequest` dict), one response per
+line (a :class:`TeamResponse` JSON object), in request order::
+
+    {"skills": ["SN", "TM"], "solver": "greedy", "lam": 0.4}
+    {"skills": ["DB"], "solver": "rarest_first"}
+
+Parsing is strict and **up front**: a malformed line, an unvalidatable
+request, or an unknown solver is a usage error naming the offending
+line — the caller (the CLI) reports it cleanly and exits 2, matching
+the ``mutate --script`` convention, before any work is done.  Failures
+*during* solving, by contrast, are served in-band: the batch runs with
+per-request error isolation, so one request a solver chokes on becomes
+one typed error response instead of aborting the batch.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Callable, Collection, Sequence
+from typing import IO
+
+from ..api.messages import TeamRequest, TeamResponse
+
+__all__ = ["read_requests", "serve_batch"]
+
+
+def read_requests(
+    text: str, *, solver_names: Collection[str] | None = None
+) -> list[TeamRequest]:
+    """Parse a JSON-lines request batch (blank / ``#`` lines skipped).
+
+    Raises :class:`ValueError` naming the first offending line for
+    malformed JSON, a non-object line, an invalid request, or — when
+    ``solver_names`` is given — a solver the registry does not know.
+    An empty batch is also a :class:`ValueError`: a serve invocation
+    with nothing to serve is a usage error, not a silent no-op.
+    """
+    requests: list[TeamRequest] = []
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        try:
+            data = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"line {lineno}: invalid JSON ({exc})") from None
+        if not isinstance(data, dict):
+            raise ValueError(
+                f"line {lineno}: expected a JSON object with a 'skills' key"
+            )
+        try:
+            request = TeamRequest.from_dict(data)
+        except KeyError as exc:
+            raise ValueError(
+                f"line {lineno}: missing required field {exc.args[0]!r}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise ValueError(f"line {lineno}: {exc}") from None
+        if solver_names is not None and request.solver not in solver_names:
+            known = ", ".join(sorted(solver_names))
+            raise ValueError(
+                f"line {lineno}: unknown solver {request.solver!r}; "
+                f"registered solvers: {known}"
+            )
+        requests.append(request)
+    if not requests:
+        raise ValueError("no requests in input (empty batch)")
+    return requests
+
+
+def serve_batch(
+    solve_many: Callable[[list[TeamRequest]], Sequence[TeamResponse]],
+    requests: list[TeamRequest],
+    out: IO[str],
+) -> dict[str, int]:
+    """Serve one parsed batch; write responses as JSON lines to ``out``.
+
+    ``solve_many`` is whichever backend answers the batch — the shared
+    engine (optionally threaded) or a replica pool; both already apply
+    per-request error isolation.  Returns the tally::
+
+        {"requests": n, "found": n, "misses": n, "errors": n}
+
+    where ``misses`` are legitimate negative answers (uncoverable /
+    intractable) and ``errors`` are requests the isolation layer caught.
+    """
+    responses = solve_many(requests)
+    tally = {"requests": len(requests), "found": 0, "misses": 0, "errors": 0}
+    for response in responses:
+        out.write(response.to_json())
+        out.write("\n")
+        if response.found:
+            tally["found"] += 1
+        elif response.error_kind in (None, "uncoverable", "intractable"):
+            tally["misses"] += 1
+        else:
+            tally["errors"] += 1
+    return tally

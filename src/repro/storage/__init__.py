@@ -32,6 +32,7 @@ from .codec import (
     decode_labels,
     encode_engine_snapshot,
     encode_labels,
+    warm_bases_from_meta,
 )
 from .errors import (
     CorruptSnapshotError,
@@ -46,11 +47,12 @@ from .format import (
     read_meta,
     write_container,
 )
-from .store import SnapshotInfo, SnapshotStore
+from .store import SnapshotInfo, SnapshotStore, resolve_snapshot_path
 
 __all__ = [
     "SnapshotStore",
     "SnapshotInfo",
+    "resolve_snapshot_path",
     "SnapshotError",
     "CorruptSnapshotError",
     "FormatVersionError",
@@ -66,4 +68,5 @@ __all__ = [
     "decode_engine_snapshot",
     "encode_labels",
     "decode_labels",
+    "warm_bases_from_meta",
 ]

@@ -258,8 +258,26 @@ def encode_engine_snapshot(
         "experts": len(state.network),
         "edges": state.network.num_edges,
         "oracle_entries": len(state.entries),
+        # Which index bases are warm, duplicated into the manifest so a
+        # scheduler (the replica pool) can plan request placement from
+        # `read_meta` alone — no CRC pass, no label decode.
+        "warm": [_base_to_meta(entry.base) for entry in state.entries],
     }
     return meta, sections
+
+
+def warm_bases_from_meta(meta: dict[str, Any]) -> tuple[tuple, ...]:
+    """The oracle-cache bases a snapshot carries prebuilt indexes for.
+
+    Read from the manifest ``meta`` (see :func:`repro.storage.format.read_meta`);
+    snapshots written before the ``warm`` manifest key existed simply
+    report no warm bases, which schedulers must treat as "assume cold"
+    — a correct, merely conservative answer.
+    """
+    try:
+        return tuple(_base_from_meta(entry) for entry in meta.get("warm", ()))
+    except (KeyError, TypeError, CorruptSnapshotError):
+        return ()
 
 
 def _json_section(sections: dict[str, bytes], name: str) -> Any:

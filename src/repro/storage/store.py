@@ -30,10 +30,32 @@ from typing import Any
 from .errors import SnapshotError
 from .format import atomic_write_bytes, read_container, read_meta, write_container
 
-__all__ = ["SnapshotStore", "SnapshotInfo"]
+__all__ = ["SnapshotStore", "SnapshotInfo", "resolve_snapshot_path"]
 
 _SNAP_NAME = re.compile(r"^snap-(\d{6})-v(\d+)\.snap$")
 _LATEST = "LATEST"
+
+
+def resolve_snapshot_path(source: "SnapshotStore | str | Path") -> Path:
+    """Pin a snapshot *source* to one concrete ``*.snap`` file path.
+
+    ``source`` may be a :class:`SnapshotStore`, a store directory (the
+    LATEST snapshot is taken), or a single snapshot file.  Resolution
+    happens exactly once, which is what the concurrent consumers need:
+    the replica pool resolves the path in the parent and hands the same
+    file to every worker process, so all replicas warm-start from
+    identical bytes even if the store's LATEST pointer moves while the
+    pool is being populated.  :class:`SnapshotError` when the store is
+    empty or the file is missing.
+    """
+    if isinstance(source, SnapshotStore):
+        return source.latest_path()
+    path = Path(source)
+    if path.is_dir():
+        return SnapshotStore(path).latest_path()
+    if not path.exists():
+        raise SnapshotError(f"snapshot {path} does not exist")
+    return path
 
 
 @dataclass(frozen=True, slots=True)

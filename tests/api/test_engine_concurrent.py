@@ -1,0 +1,347 @@
+"""Concurrency regressions for the engine: single-flight builds, batch
+isolation, and the mutation/solve reader-writer discipline.
+
+These tests pin the PR-5 thread-safety contract:
+
+* a cold engine hammered from many threads pays for **exactly one** PLL
+  build per cache key (the pre-fix engine raced the misses and built
+  once per thread);
+* one bad request in a ``solve_many`` batch yields one typed error
+  response instead of discarding every already-computed answer;
+* a solve racing :meth:`TeamFormationEngine.mutate` always answers
+  exactly as a fresh single-threaded engine would at *some* network
+  version inside the solve's observation window — never a hybrid of two
+  versions, never a distance from a half-reconciled index.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+import threading
+
+import pytest
+
+from repro.api import TeamFormationEngine, TeamRequest, UnknownSolverError
+from repro.expertise import Expert, ExpertNetwork
+from repro.graph.pll import pll_build_count
+
+from .conftest import PROJECT, build_figure1_network
+
+GREEDY = TeamRequest(skills=PROJECT, solver="greedy")
+
+
+def build_race_network(num: int = 120) -> ExpertNetwork:
+    """A network whose PLL build is slow enough to race on one core.
+
+    The figure-1 build finishes inside a single scheduler timeslice, so
+    an unsynchronized cold-cache race would only reproduce by luck; a
+    120-expert ring with random chords takes long enough to index that
+    every other hammer thread reliably reaches the (missing) cache
+    entry mid-build.  Construction is deterministic (seeded).
+    """
+    rng = random.Random(11)
+    experts = [
+        Expert(f"e{i:03d}", skills={f"s{i % 6}"}, h_index=1 + (i % 17))
+        for i in range(num)
+    ]
+    edges = [
+        (f"e{i:03d}", f"e{(i + 1) % num:03d}", 1.0 + (i % 5) * 0.25)
+        for i in range(num)
+    ]
+    for _ in range(num * 3):
+        u, v = rng.sample(range(num), 2)
+        edges.append((f"e{u:03d}", f"e{v:03d}", 0.5 + rng.random() * 4))
+    return ExpertNetwork(experts, edges)
+
+
+RACE_GREEDY = TeamRequest(skills=("s0", "s3"), solver="greedy")
+
+
+def canonical(response) -> str:
+    """Response JSON with the (non-deterministic) timing nulled."""
+    return response.canonical_json()
+
+
+@pytest.fixture(autouse=True)
+def aggressive_thread_switching():
+    """Shrink the GIL switch interval so races actually interleave.
+
+    The figure-1 network's PLL build fits inside one default (5 ms) GIL
+    slice, which would let the pre-fix engine pass the single-flight
+    hammer by scheduling luck; at 10 µs the build spans many switches
+    and the unsynchronized engine reliably double-builds.
+    """
+    previous = sys.getswitchinterval()
+    sys.setswitchinterval(1e-5)
+    try:
+        yield
+    finally:
+        sys.setswitchinterval(previous)
+
+
+def hammer(threads: int, work) -> list:
+    """Run ``work(i)`` on ``threads`` threads after a common barrier."""
+    barrier = threading.Barrier(threads)
+    results: list = [None] * threads
+    errors: list = []
+
+    def runner(i: int) -> None:
+        barrier.wait()
+        try:
+            results[i] = work(i)
+        except BaseException as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    pool = [
+        threading.Thread(target=runner, args=(i,), daemon=True)
+        for i in range(threads)
+    ]
+    for t in pool:
+        t.start()
+    for t in pool:
+        t.join(timeout=60)
+    assert not errors, errors
+    assert not any(t.is_alive() for t in pool), "hammer threads deadlocked"
+    return results
+
+
+# ----------------------------------------------------------------------
+# single-flight index builds
+# ----------------------------------------------------------------------
+def test_cold_cache_hammer_builds_exactly_once():
+    """≥8 threads racing one cold cache key cause exactly one PLL build."""
+    engine = TeamFormationEngine(build_race_network())
+    before = pll_build_count()
+    responses = hammer(10, lambda i: engine.solve(RACE_GREEDY))
+    assert pll_build_count() - before == 1
+    expected = canonical(responses[0])
+    assert all(canonical(r) == expected for r in responses)
+    assert all(r.found for r in responses)
+
+
+def test_cold_cache_hammer_one_build_per_distinct_key():
+    """Distinct gammas are distinct keys: one build each, built racily."""
+    engine = TeamFormationEngine(build_race_network())
+    gammas = (0.3, 0.7)
+    before = pll_build_count()
+    hammer(8, lambda i: engine.solve(RACE_GREEDY.replace(gamma=gammas[i % 2])))
+    assert pll_build_count() - before == len(gammas)
+
+
+def test_parallel_solve_many_matches_sequential():
+    """Threaded ``solve_many`` answers byte-identically (timing aside)."""
+    requests = [
+        GREEDY.replace(lam=lam, gamma=gamma)
+        for lam in (0.2, 0.4, 0.6, 0.8)
+        for gamma in (0.3, 0.6)
+    ] + [TeamRequest(skills=("DB",), solver="rarest_first")]
+    sequential = TeamFormationEngine(build_figure1_network()).solve_many(requests)
+    threaded = TeamFormationEngine(build_figure1_network()).solve_many(
+        requests, parallel=4
+    )
+    assert [canonical(r) for r in threaded] == [
+        canonical(r) for r in sequential
+    ]
+
+
+# ----------------------------------------------------------------------
+# batch isolation (the solve_many mid-batch abort bugfix)
+# ----------------------------------------------------------------------
+def test_solve_many_isolates_bad_requests_mid_batch():
+    """Requests after a poisoned one still get answered."""
+    engine = TeamFormationEngine(build_figure1_network())
+    batch = [
+        GREEDY,
+        GREEDY.replace(solver="no_such_solver"),
+        GREEDY.replace(lam=0.4),
+    ]
+    responses = engine.solve_many(batch)
+    assert len(responses) == 3
+    assert responses[0].found and responses[2].found
+    bad = responses[1]
+    assert not bad.found
+    assert bad.error_kind == "unknown_solver"
+    assert "no_such_solver" in (bad.error or "")
+    assert bad.request == batch[1]
+    # The good answers are exactly what a clean batch produces.
+    clean = engine.solve_many([batch[0], batch[2]])
+    assert canonical(responses[0]) == canonical(clean[0])
+    assert canonical(responses[2]) == canonical(clean[1])
+
+
+def test_solve_many_on_error_raise_restores_raise_through():
+    engine = TeamFormationEngine(build_figure1_network())
+    with pytest.raises(UnknownSolverError):
+        engine.solve_many(
+            [GREEDY, GREEDY.replace(solver="no_such_solver")],
+            on_error="raise",
+        )
+    with pytest.raises(ValueError):
+        engine.solve_many([GREEDY], on_error="sometimes")
+    with pytest.raises(ValueError):
+        engine.solve_many([GREEDY], parallel=0)
+
+
+def test_single_solve_still_raises_through():
+    engine = TeamFormationEngine(build_figure1_network())
+    with pytest.raises(UnknownSolverError):
+        engine.solve(GREEDY.replace(solver="no_such_solver"))
+
+
+def test_isolated_uncoverable_skill_is_typed_in_band():
+    engine = TeamFormationEngine(build_figure1_network())
+    responses = engine.solve_many(
+        [GREEDY.replace(skills=("no-such-skill",)), GREEDY]
+    )
+    assert not responses[0].found
+    assert responses[0].error_kind == "uncoverable"
+    assert responses[1].found
+
+
+# ----------------------------------------------------------------------
+# mutation/solve race (differential vs per-version fresh engines)
+# ----------------------------------------------------------------------
+# add_collaboration-only mutations keep the node set fixed, so every
+# observable difference between versions flows through edge weights —
+# i.e. through the distance index the race is about.
+MUTATIONS = (
+    ("liu", "golshan", 2.0),
+    ("ren", "kotzias", 2.0),
+    ("han", "lappas", 1.5),
+    ("liu", "ren", 1.0),  # decrease (was 3.0): incremental clone path
+    ("bridge", "golshan", 1.0),
+    ("han", "ren", 0.5),  # decrease (was 1.0)
+)
+RACE_REQUESTS = (
+    GREEDY,
+    TeamRequest(skills=("SN", "DB"), solver="rarest_first"),
+)
+
+
+def reference_answers() -> dict[int, dict[TeamRequest, str]]:
+    """Canonical answers from fresh single-threaded engines per version."""
+    refs: dict[int, dict[TeamRequest, str]] = {}
+    for upto in range(len(MUTATIONS) + 1):
+        engine = TeamFormationEngine(build_figure1_network())
+        with engine.mutate() as network:
+            for u, v, w in MUTATIONS[:upto]:
+                network.add_collaboration(u, v, weight=w)
+        assert engine.network.version == upto
+        refs[upto] = {
+            request: canonical(engine.solve(request))
+            for request in RACE_REQUESTS
+        }
+    return refs
+
+
+def test_mutate_solve_race_is_version_consistent():
+    """Racy solves match a fresh engine at some version in their window."""
+    refs = reference_answers()
+    engine = TeamFormationEngine(build_figure1_network())
+    observations: list[tuple[TeamRequest, int, str, int]] = []
+    observations_lock = threading.Lock()
+    start = threading.Barrier(5)
+    done = threading.Event()
+
+    def mutator() -> None:
+        start.wait()
+        for u, v, w in MUTATIONS:
+            with engine.mutate() as network:
+                network.add_collaboration(u, v, weight=w)
+        done.set()
+
+    def solver(worker: int) -> None:
+        start.wait()
+        request = RACE_REQUESTS[worker % len(RACE_REQUESTS)]
+        while True:
+            finished = done.is_set()
+            v_pre = engine.network.version
+            answer = canonical(engine.solve(request))
+            v_post = engine.network.version
+            with observations_lock:
+                observations.append((request, v_pre, answer, v_post))
+            if finished:
+                return
+
+    threads = [threading.Thread(target=mutator, daemon=True)] + [
+        threading.Thread(target=solver, args=(i,), daemon=True)
+        for i in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    assert not any(t.is_alive() for t in threads), "race test deadlocked"
+
+    assert engine.network.version == len(MUTATIONS)
+    # Every racy answer must equal the reference at some version inside
+    # its observation window — a torn index would match none of them.
+    assert observations
+    post_final = 0
+    for request, v_pre, answer, v_post in observations:
+        window = {
+            refs[v][request] for v in range(v_pre, v_post + 1)
+        }
+        assert answer in window, (
+            f"racy answer matches no version in [{v_pre}, {v_post}]"
+        )
+        if v_pre == len(MUTATIONS):
+            post_final += 1
+    # The loop structure guarantees at least one fully-post-mutation
+    # solve per worker (the iteration entered after done was set).
+    assert post_final >= 4
+
+
+def test_apply_updates_and_refresh_scales_race_solves():
+    """Writer methods interleave with a solve storm without tearing."""
+    engine = TeamFormationEngine(build_figure1_network())
+    baseline = canonical(engine.solve(GREEDY))
+    stop = threading.Event()
+
+    def writer() -> None:
+        for _ in range(5):
+            engine.apply_updates()
+            engine.refresh_scales()
+        stop.set()
+
+    def reader(_: int) -> list[str]:
+        answers = []
+        while not stop.is_set():
+            answers.append(canonical(engine.solve(GREEDY)))
+        return answers
+
+    writer_thread = threading.Thread(target=writer, daemon=True)
+    writer_thread.start()
+    results = hammer(4, reader)
+    writer_thread.join(timeout=60)
+    assert not writer_thread.is_alive()
+    # The network never changed, so refreshed scales are identical and
+    # every answer must equal the baseline bit for bit.
+    for answers in results:
+        assert all(answer == baseline for answer in answers)
+
+
+def test_mutate_is_exclusive_against_solves():
+    """No solve result can be produced while mutate() holds the lock."""
+    engine = TeamFormationEngine(build_figure1_network())
+    engine.solve(GREEDY)  # warm the cache
+    inside = threading.Event()
+    release = threading.Event()
+    solved = threading.Event()
+
+    def blocked_solver() -> None:
+        inside.wait(timeout=30)
+        engine.solve(GREEDY)
+        solved.set()
+
+    thread = threading.Thread(target=blocked_solver, daemon=True)
+    thread.start()
+    with engine.mutate() as network:
+        inside.set()
+        network.add_collaboration("liu", "kotzias", weight=2.0)
+        # Give the solver a chance to (incorrectly) slip through.
+        assert not solved.wait(timeout=0.3)
+        release.set()
+    thread.join(timeout=60)
+    assert solved.is_set()

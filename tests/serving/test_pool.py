@@ -1,0 +1,232 @@
+"""The replica pool: placement planning and end-to-end identity.
+
+The pool's contract: N worker processes each warm-start from one
+snapshot (zero builds at load), responses come back in request order
+and byte-identical (timing aside) to a sequential engine serving the
+same snapshot, warm request groups spread across replicas, and cold
+groups build their index at most once pool-wide.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.serving.batch import plan_jobs, request_index_key
+from repro.serving.pool import EngineReplicaPool
+from repro.storage import SnapshotError
+
+from ..api.conftest import PROJECT, build_figure1_network
+
+GREEDY = TeamRequest(skills=PROJECT, solver="greedy")
+SNAPSHOT_GAMMA = 0.6
+
+
+def canonical(response) -> str:
+    return response.canonical_json()
+
+
+@pytest.fixture(scope="module")
+def snapshot_store(tmp_path_factory):
+    """A store holding one warm snapshot of the figure-1 engine."""
+    store = tmp_path_factory.mktemp("pool-store")
+    engine = TeamFormationEngine(build_figure1_network())
+    engine.search_oracle("sa-ca-cc", SNAPSHOT_GAMMA)
+    engine.raw_oracle()
+    engine.save_snapshot(store)
+    return store
+
+
+# ----------------------------------------------------------------------
+# placement planning
+# ----------------------------------------------------------------------
+def test_request_index_key_mirrors_engine_keying():
+    assert request_index_key(GREEDY) == ("pll", "fold", 0.6)
+    assert request_index_key(GREEDY.replace(objective="ca")) == (
+        "pll",
+        "fold",
+        1.0,
+    )
+    assert request_index_key(GREEDY.replace(objective="cc")) == ("pll", "cc")
+    assert request_index_key(GREEDY.replace(solver="rarest_first")) == (
+        "pll",
+        "raw",
+    )
+    assert request_index_key(GREEDY.replace(solver="pareto")) == (
+        "pll",
+        "pareto",
+    )
+    for solver in ("sa_optimal", "exact", "brute_force", "random"):
+        assert request_index_key(GREEDY.replace(solver=solver)) is None
+    assert request_index_key(GREEDY.replace(oracle_kind="dijkstra")) == (
+        "dijkstra",
+        "fold",
+        0.6,
+    )
+
+
+def test_plan_jobs_splits_warm_and_pins_cold():
+    warm = {("pll", "fold", 0.6)}
+    requests = [GREEDY.replace(lam=lam) for lam in (0.1, 0.2, 0.3, 0.4)] + [
+        GREEDY.replace(gamma=0.9, lam=lam) for lam in (0.1, 0.2, 0.3)
+    ]
+    jobs = plan_jobs(requests, replicas=4, warm_bases=warm)
+    # Every request placed exactly once.
+    placed = sorted(index for _, job in jobs for index in job)
+    assert placed == list(range(len(requests)))
+    cold = [(pin, job) for pin, job in jobs if set(job) & {4, 5, 6}]
+    assert cold == [
+        (("pll", "fold", 0.9), [4, 5, 6])
+    ], "cold gamma group must stay whole and carry its pin key"
+    warm_jobs = [job for pin, job in jobs if pin is None]
+    assert len(warm_jobs) == 4, "warm group spreads across all replicas"
+
+
+def test_plan_jobs_no_index_requests_always_spread():
+    requests = [
+        GREEDY.replace(solver="sa_optimal", lam=lam)
+        for lam in (0.1, 0.2, 0.3, 0.4, 0.5, 0.6)
+    ]
+    jobs = plan_jobs(requests, replicas=3, warm_bases=())
+    assert len(jobs) == 3
+    assert all(pin is None for pin, _ in jobs)
+    assert sorted(i for _, job in jobs for i in job) == list(range(6))
+
+
+def test_plan_jobs_single_replica_is_one_job_per_group():
+    requests = [GREEDY, GREEDY.replace(solver="rarest_first")]
+    jobs = plan_jobs(requests, replicas=1, warm_bases=())
+    assert sorted(i for _, job in jobs for i in job) == [0, 1]
+    with pytest.raises(ValueError):
+        plan_jobs(requests, replicas=0, warm_bases=())
+
+
+# ----------------------------------------------------------------------
+# end to end
+# ----------------------------------------------------------------------
+def batch() -> list[TeamRequest]:
+    return [
+        # Warm fold group (snapshot carries gamma=0.6): splits.
+        *[GREEDY.replace(lam=lam) for lam in (0.2, 0.4, 0.6, 0.8)],
+        # Warm raw group.
+        TeamRequest(skills=("DB",), solver="rarest_first"),
+        # No-index solver.
+        GREEDY.replace(solver="sa_optimal", lam=0.5),
+        # Cold fold group (gamma not in the snapshot): pinned.
+        *[GREEDY.replace(gamma=0.25, lam=lam) for lam in (0.3, 0.7)],
+        # Poisoned request: isolation must answer it in-band.
+        GREEDY.replace(solver="no_such_solver"),
+    ]
+
+
+def test_pool_matches_sequential_engine(snapshot_store):
+    requests = batch()
+    sequential = TeamFormationEngine.from_snapshot(snapshot_store).solve_many(
+        requests
+    )
+    with EngineReplicaPool(snapshot_store, replicas=2) as pool:
+        pooled = pool.solve_many(requests)
+    assert [canonical(r) for r in pooled] == [
+        canonical(r) for r in sequential
+    ]
+    assert pooled[-1].error_kind == "unknown_solver"
+    assert all(
+        pooled[i].request == requests[i] for i in range(len(requests))
+    ), "responses must come back in request order"
+
+
+def test_pool_warm_requests_never_build(snapshot_store):
+    """Zero builds per worker: warm-group responses report 0 builds."""
+    warm_only = [GREEDY.replace(lam=lam) for lam in (0.2, 0.4, 0.6, 0.8)] + [
+        TeamRequest(skills=("DB",), solver="rarest_first")
+    ]
+    with EngineReplicaPool(snapshot_store, replicas=2) as pool:
+        responses = pool.solve_many(warm_only)
+    assert all(r.timing is not None for r in responses)
+    assert sum(r.timing.oracle_builds for r in responses) == 0
+
+
+def test_pool_cold_group_builds_once_pool_wide(snapshot_store):
+    """A cold gamma group pays exactly one build across the whole pool."""
+    cold = [GREEDY.replace(gamma=0.33, lam=lam) for lam in (0.2, 0.5, 0.8)]
+    with EngineReplicaPool(snapshot_store, replicas=2) as pool:
+        responses = pool.solve_many(cold)
+    assert sum(r.timing.oracle_builds for r in responses) == 1
+
+
+def test_pool_cold_group_sticks_to_one_replica_across_batches(snapshot_store):
+    """Pinning is sticky for the pool's lifetime, not per batch.
+
+    Without worker affinity a second batch could land the same cold
+    group on a replica that never built its index and pay a second
+    build; sticky routing makes the follow-up batch report zero.
+    """
+    cold = [GREEDY.replace(gamma=0.41, lam=lam) for lam in (0.2, 0.5, 0.8)]
+    with EngineReplicaPool(snapshot_store, replicas=2) as pool:
+        first = pool.solve_many(cold)
+        second = pool.solve_many(cold)
+        third = pool.solve_many(list(reversed(cold)))
+    assert sum(r.timing.oracle_builds for r in first) == 1
+    assert sum(r.timing.oracle_builds for r in second) == 0
+    assert sum(r.timing.oracle_builds for r in third) == 0
+
+
+def test_pool_degrades_to_local_replica(snapshot_store):
+    pool = EngineReplicaPool(snapshot_store, replicas=1)
+    try:
+        responses = pool.solve_many([GREEDY])
+        assert responses[0].found
+        assert pool.replicas == 1
+    finally:
+        pool.close()
+    with pytest.raises(RuntimeError):
+        pool.solve_many([GREEDY])
+
+
+def test_pool_empty_batch_and_validation(snapshot_store, tmp_path):
+    with EngineReplicaPool(snapshot_store, replicas=1) as pool:
+        assert pool.solve_many([]) == []
+    with pytest.raises(ValueError):
+        EngineReplicaPool(snapshot_store, replicas=0)
+    with pytest.raises(SnapshotError):
+        EngineReplicaPool(tmp_path / "missing.snap", replicas=1)
+
+
+def test_pool_worker_init_failure_raises_instead_of_hanging(
+    snapshot_store, monkeypatch
+):
+    """A failing worker warm start surfaces as an error, not a hang.
+
+    A worker process pool that silently respawns a crashing initializer
+    would hang the first batch forever; the pool instead records the
+    failure worker-side, probes every replica eagerly, and raises at
+    construction.  Forked workers inherit the parent's monkeypatched
+    ``from_snapshot``, simulating a snapshot that vanished between
+    parent validation and worker start.
+    """
+    import multiprocessing
+
+    if multiprocessing.get_start_method() != "fork":
+        pytest.skip("failure injection relies on fork inheritance")
+
+    def boom(cls, source, **kwargs):
+        raise OSError("snapshot file vanished before the worker started")
+
+    monkeypatch.setattr(
+        TeamFormationEngine, "from_snapshot", classmethod(boom)
+    )
+    with pytest.raises(RuntimeError, match="replica warm start failed"):
+        EngineReplicaPool(snapshot_store, replicas=2)
+
+
+def test_pool_rejects_corrupt_snapshot_in_parent(snapshot_store, tmp_path):
+    """Corruption fails fast with a typed error, not a worker crash."""
+    from repro.storage import CorruptSnapshotError, resolve_snapshot_path
+
+    source = resolve_snapshot_path(snapshot_store)
+    data = bytearray(source.read_bytes())
+    data[-3] ^= 0xFF  # flip a payload byte
+    broken = tmp_path / "broken.snap"
+    broken.write_bytes(bytes(data))
+    with pytest.raises(CorruptSnapshotError):
+        EngineReplicaPool(broken, replicas=2)

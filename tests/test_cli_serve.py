@@ -1,0 +1,191 @@
+"""The ``serve`` subcommand: batch serving and its clean error paths.
+
+Error-path convention matches ``mutate --script``: usage errors (bad
+input, unknown solver, empty batch, missing snapshot) exit 2 with a
+one-line message on stderr and no traceback; a served batch exits 0
+with one response JSON line per request on stdout.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+GOOD_LINES = (
+    '{"skills": ["graphics", "sound"], "solver": "greedy", "lam": 0.4}\n'
+    "# a comment line, skipped\n"
+    '{"skills": ["graphics"], "solver": "sa_optimal"}\n'
+)
+
+
+def stripped(text: str) -> list[dict]:
+    """Parsed response rows with the (non-deterministic) timing nulled."""
+    rows = [json.loads(line) for line in text.strip().splitlines()]
+    for row in rows:
+        row["timing"] = None
+    return rows
+
+
+def write_input(tmp_path, text: str):
+    path = tmp_path / "requests.jsonl"
+    path.write_text(text, encoding="utf-8")
+    return str(path)
+
+
+def test_serve_answers_batch_in_order(tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    assert len(lines) == 2
+    first, second = (json.loads(line) for line in lines)
+    assert first["request"]["solver"] == "greedy"
+    assert second["request"]["solver"] == "sa_optimal"
+    assert "served 2 request(s)" in captured.err
+
+
+def test_serve_reads_stdin(tmp_path, capsys, monkeypatch):
+    monkeypatch.setattr("sys.stdin", io.StringIO(GOOD_LINES))
+    assert main(["--scale", "tiny", "serve"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 2
+
+
+def test_serve_parallel_matches_sequential(tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 0
+    sequential = capsys.readouterr().out
+    assert (
+        main(["--scale", "tiny", "serve", "--input", path, "--parallel", "2"])
+        == 0
+    )
+    assert stripped(capsys.readouterr().out) == stripped(sequential)
+
+
+def test_serve_malformed_json_line_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, '{"skills": ["a"]}\n{not json}\n')
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    captured = capsys.readouterr()
+    assert "serve: line 2: invalid JSON" in captured.err
+    assert "Traceback" not in captured.err
+    assert captured.out == ""
+
+
+def test_serve_non_object_line_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, '["skills"]\n')
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    assert "line 1" in capsys.readouterr().err
+
+
+def test_serve_unknown_solver_exits_2(tmp_path, capsys):
+    path = write_input(
+        tmp_path, '{"skills": ["a"], "solver": "definitely_not_registered"}\n'
+    )
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    err = capsys.readouterr().err
+    assert "serve: line 1: unknown solver 'definitely_not_registered'" in err
+    assert "registered solvers:" in err
+    assert "Traceback" not in err
+
+
+def test_serve_invalid_request_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, '{"skills": ["a"], "gamma": 3.0}\n')
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    assert "serve: line 1" in capsys.readouterr().err
+
+
+def test_serve_missing_skills_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, '{"solver": "greedy"}\n')
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    assert "missing required field 'skills'" in capsys.readouterr().err
+
+
+def test_serve_empty_batch_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, "# only comments\n\n")
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 2
+    assert "empty batch" in capsys.readouterr().err
+
+
+def test_serve_missing_input_file_exits_2(tmp_path, capsys):
+    assert (
+        main(
+            ["--scale", "tiny", "serve", "--input", str(tmp_path / "nope.jsonl")]
+        )
+        == 2
+    )
+    assert "serve:" in capsys.readouterr().err
+
+
+def test_serve_replicas_without_snapshot_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert (
+        main(["--scale", "tiny", "serve", "--input", path, "--replicas", "2"])
+        == 2
+    )
+    assert "--replicas requires --snapshot" in capsys.readouterr().err
+
+
+def test_serve_bad_snapshot_exits_2(tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert (
+        main(
+            [
+                "serve",
+                "--input",
+                path,
+                "--snapshot",
+                str(tmp_path / "no-store"),
+                "--replicas",
+                "2",
+            ]
+        )
+        == 2
+    )
+    assert "serve:" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def tiny_snapshot(tmp_path_factory):
+    """A snapshot store of the tiny-scale engine (built once)."""
+    store = tmp_path_factory.mktemp("serve-store")
+    assert main(["--scale", "tiny", "snapshot", "save", "--store", str(store)]) == 0
+    return str(store)
+
+
+def test_serve_from_snapshot_matches_cold_engine(
+    tiny_snapshot, tmp_path, capsys
+):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert main(["--scale", "tiny", "serve", "--input", path]) == 0
+    cold = capsys.readouterr().out
+    assert (
+        main(["serve", "--input", path, "--snapshot", tiny_snapshot]) == 0
+    )
+    assert stripped(capsys.readouterr().out) == stripped(cold)
+
+
+def test_serve_replica_pool_end_to_end(tiny_snapshot, tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert main(["serve", "--input", path, "--snapshot", tiny_snapshot]) == 0
+    sequential = capsys.readouterr().out
+    assert (
+        main(
+            [
+                "serve",
+                "--input",
+                path,
+                "--snapshot",
+                tiny_snapshot,
+                "--replicas",
+                "2",
+            ]
+        )
+        == 0
+    )
+    captured = capsys.readouterr()
+    assert "replica pool:" in captured.err
+    assert stripped(captured.out) == stripped(sequential)
