@@ -1,0 +1,64 @@
+"""Shared ``--json`` reporting for the standalone benchmarks.
+
+Every standalone benchmark accepts ``--json PATH`` and writes one JSON
+document describing the run — benchmark name, host facts, and its
+measured numbers — so CI can merge the per-bench reports into a single
+``BENCH_<run>.json`` artifact (see ``benchmarks/merge_results.py``).
+That artifact is uploaded on every run, which is what turns the
+benchmark gates from point-in-time pass/fail checks into a persisted
+perf trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from pathlib import Path
+
+__all__ = ["usable_cores", "write_json_report"]
+
+
+def usable_cores() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _json_safe(value):
+    """Replace non-finite floats (JSON has no inf/nan) recursively."""
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, dict):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
+def write_json_report(path: str, bench: str, payload: dict) -> Path:
+    """Write one benchmark report to ``path`` and return it.
+
+    The report carries the benchmark name and host facts alongside the
+    caller's metrics so merged trajectories stay interpretable without
+    the CI logs that produced them.
+    """
+    doc = {
+        "bench": bench,
+        "python": platform.python_version(),
+        "usable_cores": usable_cores(),
+        **payload,
+    }
+    out = Path(path)
+    if out.parent != Path("."):
+        out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(_json_safe(doc), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"  json report       : {out}")
+    return out

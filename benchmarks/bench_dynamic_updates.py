@@ -29,6 +29,7 @@ import statistics
 import sys
 import time
 
+from _bench_json import write_json_report
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network
 from repro.graph.pll import PrunedLandmarkLabeling
 
@@ -82,6 +83,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="fail (exit 1) when the median speedup falls below this",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measured numbers as a JSON report",
+    )
     args = parser.parse_args(argv)
 
     rng = random.Random(args.seed)
@@ -127,10 +134,24 @@ def main(argv: list[str] | None = None) -> int:
 
     median = statistics.median(speedups)
     print(f"  median speedup    : {median:8.1f}x over {args.trials} trials")
+    status = 0
     if args.min_speedup and median < args.min_speedup:
         print(f"FAIL: median speedup {median:.1f}x < required {args.min_speedup}x")
-        return 1
-    return 0
+        status = 1
+    if args.json:
+        write_json_report(
+            args.json,
+            "dynamic_updates",
+            {
+                "scale": args.scale,
+                "trials": args.trials,
+                "speedups": speedups,
+                "median_speedup": median,
+                "min_speedup": args.min_speedup,
+                "gate_passed": status == 0,
+            },
+        )
+    return status
 
 
 if __name__ == "__main__":

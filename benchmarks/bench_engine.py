@@ -25,6 +25,7 @@ import argparse
 import sys
 import time
 
+from _bench_json import write_json_report
 from repro.api import TeamFormationEngine, TeamRequest
 from repro.core.greedy import GreedyTeamFinder
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
@@ -92,6 +93,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--requests", type=_positive_int, default=12)
     parser.add_argument("--num-skills", type=_positive_int, default=4)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measured numbers as a JSON report",
+    )
     args = parser.parse_args(argv)
 
     network = benchmark_network(args.scale, seed=0)
@@ -129,6 +136,20 @@ def main(argv: list[str] | None = None) -> int:
         f"({naive_builds} index builds)"
     )
     print(f"  speedup           : {naive_s / engine_s:8.2f}x  (identical teams)")
+    if args.json:
+        write_json_report(
+            args.json,
+            "engine",
+            {
+                "scale": args.scale,
+                "requests": len(requests),
+                "engine_seconds": engine_s,
+                "naive_seconds": naive_s,
+                "engine_qps": engine_qps,
+                "naive_qps": naive_qps,
+                "speedup": naive_s / engine_s,
+            },
+        )
     return 0
 
 

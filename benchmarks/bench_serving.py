@@ -32,6 +32,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from _bench_json import write_json_report
 from repro.api import TeamFormationEngine, TeamRequest
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
 from repro.serving.pool import EngineReplicaPool, usable_cores
@@ -74,6 +75,12 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=0.0,
         help="fail (exit 1) when the pool speedup falls below this — "
         "auto-relaxed to the identity-only check under 4 usable cores",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measured numbers as a JSON report",
     )
     args = parser.parse_args(argv)
 
@@ -141,6 +148,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     print("  identity          : byte-identical responses, 0 oracle builds")
 
+    status = 0
     if args.min_speedup > 0:
         if cores < 4:
             print(
@@ -153,13 +161,29 @@ def main(argv: list[str] | None = None) -> int:
                 f"FAIL: pool speedup {sequential_s / pool_s:.2f}x below "
                 f"required {args.min_speedup:.2f}x"
             )
-            return 1
+            status = 1
         else:
             print(
                 f"  gate              : pool speedup >= "
                 f"{args.min_speedup:.1f}x satisfied"
             )
-    return 0
+    if args.json:
+        write_json_report(
+            args.json,
+            "serving",
+            {
+                "scale": args.scale,
+                "requests": n,
+                "replicas": replicas,
+                "sequential_seconds": sequential_s,
+                "threaded_seconds": threaded_s,
+                "pool_seconds": pool_s,
+                "pool_speedup": sequential_s / pool_s,
+                "min_speedup": args.min_speedup,
+                "gate_passed": status == 0,
+            },
+        )
+    return status
 
 
 if __name__ == "__main__":

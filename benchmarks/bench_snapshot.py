@@ -36,6 +36,7 @@ import tempfile
 import time
 from pathlib import Path
 
+from _bench_json import write_json_report
 from repro.api import TeamFormationEngine, TeamRequest
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network
 from repro.graph.pll import pll_build_count
@@ -92,6 +93,12 @@ def main(argv: list[str] | None = None) -> int:
         default=0.0,
         help="fail (exit 1) when the median cold/warm speedup falls below this",
     )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measured numbers as a JSON report",
+    )
     args = parser.parse_args(argv)
 
     network = benchmark_network(args.scale, seed=args.seed)
@@ -146,10 +153,27 @@ def main(argv: list[str] | None = None) -> int:
     print(f"  median save       : {save * 1e3:9.2f}ms")
     print(f"  median warm start : {load * 1e3:9.2f}ms")
     print(f"  median speedup    : {speedup:8.1f}x over {args.trials} trials")
+    status = 0
     if args.min_speedup and speedup < args.min_speedup:
         print(f"FAIL: median speedup {speedup:.1f}x < required {args.min_speedup}x")
-        return 1
-    return 0
+        status = 1
+    if args.json:
+        write_json_report(
+            args.json,
+            "snapshot",
+            {
+                "scale": args.scale,
+                "trials": args.trials,
+                "snapshot_bytes": size,
+                "median_cold_seconds": cold,
+                "median_save_seconds": save,
+                "median_load_seconds": load,
+                "median_speedup": speedup,
+                "min_speedup": args.min_speedup,
+                "gate_passed": status == 0,
+            },
+        )
+    return status
 
 
 if __name__ == "__main__":

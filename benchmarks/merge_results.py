@@ -1,0 +1,47 @@
+"""Merge per-benchmark ``--json`` reports into one trajectory document.
+
+CI runs each standalone benchmark with ``--json bench-results/<name>.json``
+and then merges the directory into a single ``BENCH_<run id>.json``::
+
+    python benchmarks/merge_results.py bench-results/*.json \
+        --output BENCH_12345.json
+
+The merged document is uploaded as a workflow artifact on every run, so
+query-throughput and warm-start numbers accumulate run over run instead
+of scrolling away in job logs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("inputs", nargs="+", help="per-bench JSON reports")
+    parser.add_argument("--output", required=True, help="merged report path")
+    args = parser.parse_args(argv)
+
+    reports = []
+    for name in sorted(args.inputs):
+        path = Path(name)
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"FAIL: unreadable report {path}: {exc}")
+            return 1
+        reports.append(report)
+    merged = {"reports": reports}
+    out = Path(args.output)
+    out.write_text(
+        json.dumps(merged, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"merged {len(reports)} report(s) into {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

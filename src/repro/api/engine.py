@@ -632,7 +632,7 @@ class TeamFormationEngine:
                         cache=cache_name,
                         base=key[:-1],
                         version=version,
-                        labels=oracle.export_labels(),
+                        labels=oracle.export_flat_labels(),
                     )
                 )
         meta, sections = encode_engine_snapshot(
@@ -751,7 +751,14 @@ class TeamFormationEngine:
                 continue
             graph = engine._derive_graph(entry.base, snapshot_net)
             try:
-                oracle = PrunedLandmarkLabeling.from_labels(graph, entry.labels)
+                if "counts" in entry.labels:
+                    # Flat snapshot columns are adopted as the live
+                    # query representation — no per-entry inflation.
+                    oracle = PrunedLandmarkLabeling.from_flat_labels(
+                        graph, entry.labels
+                    )
+                else:  # legacy per-node-list state
+                    oracle = PrunedLandmarkLabeling.from_labels(graph, entry.labels)
             except GraphError as exc:
                 raise CorruptSnapshotError(
                     f"oracle entry {entry.base!r}: {exc}"

@@ -40,6 +40,7 @@ from typing import Protocol, runtime_checkable
 
 from .adjacency import Graph, GraphError, Node
 from .dijkstra import dijkstra, reconstruct_path
+from .fifo import evict_for_insert
 from .pll import PrunedLandmarkLabeling, all_pairs_distances
 
 __all__ = [
@@ -143,13 +144,7 @@ class DijkstraOracle:
     def _tree(self, source: Node) -> tuple[dict[Node, float], dict[Node, Node | None]]:
         tree = self._cache.get(source)
         if tree is None:
-            if len(self._cache) >= self._max_cached:
-                # Tolerant FIFO pop: concurrent queries through a shared
-                # oracle may race to evict; losing the race is fine.
-                try:
-                    self._cache.pop(next(iter(self._cache)), None)
-                except (StopIteration, RuntimeError):
-                    pass
+            evict_for_insert(self._cache, self._max_cached)
             tree = self._cache[source] = dijkstra(self._graph, source)
         return tree
 

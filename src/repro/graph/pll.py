@@ -87,16 +87,27 @@ import heapq
 import multiprocessing
 import pickle
 import queue as queue_module
+from array import array
 from bisect import bisect_left
 from collections.abc import Iterable
 
 from .adjacency import Graph, GraphError, Node
+from .centrality import betweenness_centrality
 from .dijkstra import shortest_path
+from .fifo import evict_for_insert
+from .pll_kernel import (
+    DIST_TYPECODE,
+    PARENT_TYPECODE,
+    RANK_TYPECODE,
+    FlatLabelStore,
+    numpy_available,
+)
 
 __all__ = [
     "PrunedLandmarkLabeling",
     "MAX_BATCH",
     "all_pairs_distances",
+    "default_landmark_order",
     "pll_build_count",
 ]
 
@@ -137,6 +148,11 @@ MAX_BATCH = 64
 #: would dwarf the search work (the labels are identical either way).
 _MIN_PARALLEL_NODES = 32
 
+#: Recognized query kernels: "flat" (flat store, numpy when available),
+#: "flat-py" (flat store, stdlib dense scatter), "dict" (legacy per-node
+#: dict probing — the benchmark baseline).  All bit-identical.
+_KERNELS = ("flat", "flat-py", "dict")
+
 
 def _batch_schedule(n: int, batch_size: int | None) -> list[range]:
     """Rank batches for ``n`` landmarks, independent of worker count.
@@ -156,6 +172,31 @@ def _batch_schedule(n: int, batch_size: int | None) -> list[range]:
         if batch_size is None:
             size = min(size * 2, MAX_BATCH)
     return batches
+
+
+def default_landmark_order(graph: Graph, strategy: str = "degree") -> list[Node]:
+    """Landmark order for ``graph`` under ``strategy``.
+
+    ``"degree"`` (the default everywhere) is the standard 2-hop-cover
+    heuristic: high-degree hubs first cover the most shortest paths and
+    maximize pruning.  ``"centrality"`` ranks by exact betweenness
+    instead — the nodes shortest paths actually run through — which
+    shrinks hub lists further on graphs whose degree and centrality
+    disagree, at the cost of ``n`` full Dijkstras up front (worth it
+    only when the index answers far more queries than it costs to
+    build, which is why it is opt-in).  Both use a deterministic
+    ``repr`` tie-break so builds are reproducible across runs and
+    node-id types.
+    """
+    if strategy == "degree":
+        return sorted(graph.nodes(), key=lambda n: (-graph.degree(n), repr(n)))
+    if strategy == "centrality":
+        scores = betweenness_centrality(graph)
+        return sorted(
+            graph.nodes(),
+            key=lambda n: (-scores[n], -graph.degree(n), repr(n)),
+        )
+    raise ValueError(f"unknown order strategy {strategy!r}")
 
 
 def _pruned_dijkstra(
@@ -377,6 +418,18 @@ class PrunedLandmarkLabeling:
         Override the doubling batch schedule with constant batches;
         ``1`` restores the classic fully sequential prune discipline
         (slightly smaller labels, no intra-batch parallelism).
+    kernel:
+        Query-kernel selection.  ``"flat"`` (default) freezes the
+        labels into a :class:`FlatLabelStore` on the first batched
+        query and uses the vectorized numpy kernel when numpy is
+        importable; ``"flat-py"`` forces the stdlib dense-scatter
+        kernel on the same flat store; ``"dict"`` keeps the legacy
+        per-node dict probing (the pre-flat baseline, retained for
+        benchmarks and differential tests).  All kernels return
+        bit-identical distances.
+    order_strategy:
+        How to order landmarks when ``order`` is not given — see
+        :func:`default_landmark_order`.
 
     >>> g = Graph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
     >>> pll = PrunedLandmarkLabeling(g)
@@ -402,26 +455,36 @@ class PrunedLandmarkLabeling:
         order: list[Node] | None = None,
         workers: int = 1,
         batch_size: int | None = None,
+        kernel: str = "flat",
+        order_strategy: str = "degree",
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be positive")
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+            )
         self._graph = graph
         if order is None:
-            # Degree-descending with a deterministic tie-break on repr so
-            # builds are reproducible across runs and node-id types.
-            order = sorted(
-                graph.nodes(), key=lambda n: (-graph.degree(n), repr(n))
-            )
+            order = default_landmark_order(graph, order_strategy)
         elif set(order) != set(graph.nodes()):
             raise GraphError("order must be a permutation of the graph's nodes")
         self._rank: dict[Node, int] = {node: i for i, node in enumerate(order)}
         self._order = order
         self.workers = workers
-        # label[u] = parallel arrays (landmark ranks asc, distances, parents)
-        self._ranks: dict[Node, list[int]] = {u: [] for u in graph.nodes()}
-        self._dists: dict[Node, list[float]] = {u: [] for u in graph.nodes()}
-        self._parents: dict[Node, list[Node | None]] = {u: [] for u in graph.nodes()}
-        self._source_cache: dict[Node, dict[Node, float]] = {}
+        self.kernel = kernel
+        self._use_numpy = kernel == "flat" and numpy_available()
+        # label[u] = parallel arrays (landmark ranks asc, distances,
+        # parents) — the build/mutation representation.  Batched queries
+        # freeze it into an immutable FlatLabelStore (``_flat``) and drop
+        # these dicts; mutations thaw it back (see _freeze / _thaw).
+        self._ranks: dict[Node, list[int]] | None = {u: [] for u in graph.nodes()}
+        self._dists: dict[Node, list[float]] | None = {u: [] for u in graph.nodes()}
+        self._parents: dict[Node, list[Node | None]] | None = {
+            u: [] for u in graph.nodes()
+        }
+        self._flat: FlatLabelStore | None = None
+        self._source_cache: dict[Node, dict[Node, float] | list[float]] = {}
         #: How many in-place updates this index has absorbed since its
         #: build (diagnostics; also arms the path-reconstruction check).
         self.incremental_updates = 0
@@ -514,8 +577,9 @@ class PrunedLandmarkLabeling:
         its self-label; subsequent :meth:`insert_edge` calls connect it.
         Idempotent for nodes already indexed.
         """
-        if node in self._ranks:
+        if node in self._rank:
             return
+        self._thaw()
         self._graph.add_node(node)
         rank = len(self._order)
         self._order.append(node)
@@ -551,7 +615,7 @@ class PrunedLandmarkLabeling:
         if u == v:
             raise GraphError(f"self-loop on {u!r} is not allowed")
         for node in (u, v):
-            if node not in self._ranks:
+            if node not in self._rank:
                 raise GraphError(f"node {node!r} not in index")
         if self._graph.has_edge(u, v) and weight > self._graph.weight(u, v):
             raise ValueError(
@@ -560,6 +624,7 @@ class PrunedLandmarkLabeling:
                 f"{self._graph.weight(u, v)!r} to {weight!r} — rebuild"
             )
         self._graph.add_edge(u, v, weight=weight)
+        self._thaw()
         self.invalidate()
         # Snapshot both endpoint labels *before* any repair, then resume
         # one search per affected hub in ascending rank (priority) order,
@@ -621,18 +686,104 @@ class PrunedLandmarkLabeling:
             self._parents[node].insert(idx, parent)
 
     # ------------------------------------------------------------------
+    # representation management (per-node rows <-> flat columns)
+    # ------------------------------------------------------------------
+    def _rows(
+        self,
+    ) -> (
+        tuple[
+            dict[Node, list[int]],
+            dict[Node, list[float]],
+            dict[Node, list[Node | None]],
+        ]
+        | None
+    ):
+        """The per-node row dicts, or ``None`` once frozen.
+
+        All three attributes are read before deciding: a concurrent
+        freeze publishes the flat store *first* and only then drops the
+        rows, so a reader that catches the drop mid-flight gets ``None``
+        here, falls back to ``self._flat``, and never sees a half-null
+        state.
+        """
+        ranks, dists, parents = self._ranks, self._dists, self._parents
+        if ranks is None or dists is None or parents is None:
+            return None
+        return ranks, dists, parents
+
+    def _freeze(self) -> FlatLabelStore:
+        """Freeze the row dicts into an immutable flat store.
+
+        Publish order matters for the engine's share-one-oracle reads:
+        ``_flat`` is set before the rows are dropped, so concurrent
+        queries always find one complete representation.  Racing
+        freezers build identical stores (rows only change under the
+        engine's write lock, on private clones), so a duplicate publish
+        is benign.  The ``"dict"`` kernel keeps querying its rows, so
+        for it the store is returned without being published.
+        """
+        rows = self._rows()
+        if rows is None:
+            return self._flat
+        flat = FlatLabelStore.from_rows(self._order, self._rank, *rows)
+        if self.kernel == "dict":
+            return flat
+        self._flat = flat
+        self._ranks = None
+        self._dists = None
+        self._parents = None
+        return flat
+
+    def _thaw(self) -> None:
+        """Materialize row dicts from the flat store before a mutation.
+
+        Rows are rebuilt first and the store dropped last, mirroring
+        :meth:`_freeze`'s publish order; mutations themselves are only
+        legal under exclusive access (the engine replays them onto
+        private clones), as everywhere else in this class.
+        """
+        flat = self._flat
+        if flat is None:
+            return
+        if self._rows() is None:
+            order = self._order
+            ranks: dict[Node, list[int]] = {}
+            dists: dict[Node, list[float]] = {}
+            parents: dict[Node, list[Node | None]] = {}
+            for row, node in enumerate(order):
+                row_ranks, row_dists, row_parents = flat.row_lists(row)
+                ranks[node] = row_ranks
+                dists[node] = row_dists
+                parents[node] = [None if p < 0 else order[p] for p in row_parents]
+            self._ranks = ranks
+            self._dists = dists
+            self._parents = parents
+        self._flat = None
+
+    # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
     def distance(self, u: Node, v: Node) -> float:
         """Exact shortest-path distance; ``inf`` when disconnected."""
         if u == v:
-            if u not in self._ranks:
+            if u not in self._rank:
                 raise GraphError(f"node {u!r} not in index")
             return 0.0
+        flat = self._flat
+        if flat is None:
+            rows = self._rows()
+            if rows is None:  # frozen mid-call; the store is published
+                flat = self._flat
+            else:
+                ranks, dists, _ = rows
+                try:
+                    return _merge_join_min(ranks[u], dists[u], ranks[v], dists[v])
+                except KeyError as exc:
+                    raise GraphError(
+                        f"node {exc.args[0]!r} not in index"
+                    ) from None
         try:
-            return _merge_join_min(
-                self._ranks[u], self._dists[u], self._ranks[v], self._dists[v]
-            )
+            return flat.merge_join_rows(self._rank[u], self._rank[v])
         except KeyError as exc:
             raise GraphError(f"node {exc.args[0]!r} not in index") from None
 
@@ -642,32 +793,43 @@ class PrunedLandmarkLabeling:
         """Batched ``{target: distance}`` from one source (memoized).
 
         The hot loops of Algorithm 1 sweep one root against many skill
-        holders; this entry point hoists the root's label arrays out of
-        the per-target work and memoizes per-source results in a bounded
-        FIFO cache, so repeated sweeps from the same root (top-k search,
-        lambda sweeps) never re-run a merge-join.
+        holders; this entry point answers the whole sweep through the
+        active kernel.  With flat labels the source row is scattered
+        into a dense rank-indexed vector once and each target costs one
+        indexed gather per label entry (``kernel="flat-py"``); with
+        numpy the whole store is reduced in a single vectorized pass
+        and the source's full distance vector is memoized
+        (``kernel="flat"``).  The legacy ``kernel="dict"`` baseline
+        keeps the per-target merge join.  All kernels minimize the same
+        IEEE-754 sums, so their results are bit-identical; all memoize
+        per source in a bounded FIFO cache, so repeated sweeps from the
+        same root (top-k search, lambda sweeps) cost one dict probe per
+        target.
         """
+        if self.kernel == "dict":
+            return self._distances_from_rows(source, targets)
+        flat = self._flat
+        if flat is None:
+            flat = self._freeze()
+        if self._use_numpy:
+            return self._distances_from_vector(flat, source, targets)
+        return self._distances_from_flat(flat, source, targets)
+
+    def _distances_from_rows(
+        self, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Legacy dict-probing kernel: one merge join per target."""
+        all_ranks, all_dists, _ = self._rows()
         try:
-            src_ranks = self._ranks[source]
+            src_ranks = all_ranks[source]
         except KeyError:
             raise GraphError(f"node {source!r} not in index") from None
-        src_dists = self._dists[source]
+        src_dists = all_dists[source]
         cache = self._source_cache.get(source)
         if cache is None:
-            if len(self._source_cache) >= self.MAX_CACHED_SOURCES:
-                # Concurrent solves share this oracle (the engine's
-                # cache hands out one instance); two threads evicting at
-                # once must not trip over each other, so the FIFO pop is
-                # tolerant of the key vanishing mid-step.
-                try:
-                    self._source_cache.pop(
-                        next(iter(self._source_cache)), None
-                    )
-                except (StopIteration, RuntimeError):
-                    pass
+            evict_for_insert(self._source_cache, self.MAX_CACHED_SOURCES)
             cache = self._source_cache[source] = {}
         out: dict[Node, float] = {}
-        all_ranks, all_dists = self._ranks, self._dists
         for target in targets:
             d = cache.get(target)
             if d is None:
@@ -684,6 +846,69 @@ class PrunedLandmarkLabeling:
                         ) from None
                 cache[target] = d
             out[target] = d
+        return out
+
+    def _distances_from_flat(
+        self, flat: FlatLabelStore, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Stdlib flat kernel: dense scatter of the source row, then one
+        indexed gather per target label entry."""
+        rank = self._rank
+        src_row = rank.get(source)
+        if src_row is None:
+            raise GraphError(f"node {source!r} not in index")
+        cache = self._source_cache.get(source)
+        if cache is None:
+            evict_for_insert(self._source_cache, self.MAX_CACHED_SOURCES)
+            cache = self._source_cache[source] = {}
+        out: dict[Node, float] = {}
+        pending: list[tuple[Node, int]] = []
+        for target in targets:
+            d = cache.get(target)
+            if d is None:
+                if target == source:
+                    d = cache[target] = 0.0
+                else:
+                    row = rank.get(target)
+                    if row is None:
+                        raise GraphError(f"node {target!r} not in index")
+                    out[target] = _INF  # placeholder: batch-filled below
+                    pending.append((target, row))
+                    continue
+            out[target] = d
+        if pending:
+            mins = flat.batch_row_mins(src_row, [row for _, row in pending])
+            for (target, _), d in zip(pending, mins):
+                out[target] = d
+                cache[target] = d
+        return out
+
+    def _distances_from_vector(
+        self, flat: FlatLabelStore, source: Node, targets: Iterable[Node]
+    ) -> dict[Node, float]:
+        """Numpy kernel: memoize the source's full distance vector (one
+        vectorized pass over the whole store), then answer each target
+        with a list index."""
+        rank = self._rank
+        src_row = rank.get(source)
+        if src_row is None:
+            raise GraphError(f"node {source!r} not in index")
+        vector = self._source_cache.get(source)
+        if vector is None:
+            evict_for_insert(self._source_cache, self.MAX_CACHED_SOURCES)
+            # .tolist() converts binary64 exactly; plain floats keep all
+            # downstream arithmetic and JSON numpy-free.
+            vector = flat.row_mins_numpy(src_row).tolist()
+            self._source_cache[source] = vector
+        out: dict[Node, float] = {}
+        for target in targets:
+            if target == source:
+                out[target] = 0.0
+                continue
+            row = rank.get(target)
+            if row is None:
+                raise GraphError(f"node {target!r} not in index")
+            out[target] = vector[row]
         return out
 
     def distances_many(
@@ -728,24 +953,52 @@ class PrunedLandmarkLabeling:
         return path
 
     def _best_hub(self, u: Node, v: Node) -> Node | None:
-        best, best_rank = _INF, -1
-        ru, du = self._ranks[u], self._dists[u]
-        rv, dv = self._ranks[v], self._dists[v]
-        i = j = 0
-        while i < len(ru) and j < len(rv):
-            if ru[i] == rv[j]:
-                total = du[i] + dv[j]
-                if total < best:
-                    best, best_rank = total, ru[i]
-                i += 1
-                j += 1
-            elif ru[i] < rv[j]:
-                i += 1
-            else:
-                j += 1
+        flat = self._flat
+        if flat is not None:
+            best_rank = flat.best_hub_rank(self._rank[u], self._rank[v])
+        else:
+            rows = self._rows()
+            if rows is None:  # frozen mid-call
+                return self._best_hub(u, v)
+            all_ranks, all_dists, _ = rows
+            ru, du = all_ranks[u], all_dists[u]
+            rv, dv = all_ranks[v], all_dists[v]
+            best, best_rank = _INF, -1
+            i = j = 0
+            while i < len(ru) and j < len(rv):
+                if ru[i] == rv[j]:
+                    total = du[i] + dv[j]
+                    if total < best:
+                        best, best_rank = total, ru[i]
+                    i += 1
+                    j += 1
+                elif ru[i] < rv[j]:
+                    i += 1
+                else:
+                    j += 1
         if best_rank < 0:
             return None
         return self._order[best_rank]
+
+    def _parent_entry(self, node: Node, hub_rank: int) -> tuple[bool, Node | None]:
+        """``(found, parent)`` for ``node``'s label entry at ``hub_rank``."""
+        flat = self._flat
+        if flat is not None:
+            start, stop = flat.row_bounds(self._rank[node])
+            idx = bisect_left(flat.ranks, hub_rank, start, stop)
+            if idx < stop and flat.ranks[idx] == hub_rank:
+                parent_rank = flat.parents[idx]
+                return True, None if parent_rank < 0 else self._order[parent_rank]
+            return False, None
+        rows = self._rows()
+        if rows is None:  # frozen mid-call
+            return self._parent_entry(node, hub_rank)
+        all_ranks, _, all_parents = rows
+        ranks = all_ranks[node]
+        idx = bisect_left(ranks, hub_rank)
+        if idx < len(ranks) and ranks[idx] == hub_rank:
+            return True, all_parents[node][idx]
+        return False, None
 
     def _walk_to_hub(self, node: Node, hub: Node) -> list[Node]:
         """Walk parent pointers from ``node`` to ``hub`` (inclusive)."""
@@ -753,13 +1006,8 @@ class PrunedLandmarkLabeling:
         path = [node]
         current = node
         while current != hub:
-            idx = bisect_left(self._ranks[current], hub_rank)
-            if (
-                idx < len(self._ranks[current])
-                and self._ranks[current][idx] == hub_rank
-            ):
-                nxt = self._parents[current][idx]
-            else:
+            found, nxt = self._parent_entry(current, hub_rank)
+            if not found:
                 # `current` carries no entry for `hub`: it was pruned during
                 # `hub`'s Dijkstra, or the batch merge filtered the entry as
                 # redundant.  Either way the pair is certified through some
@@ -800,9 +1048,24 @@ class PrunedLandmarkLabeling:
         index._order = list(self._order)
         index._rank = dict(self._rank)
         index.workers = self.workers
-        index._ranks = {u: list(r) for u, r in self._ranks.items()}
-        index._dists = {u: list(d) for u, d in self._dists.items()}
-        index._parents = {u: list(p) for u, p in self._parents.items()}
+        index.kernel = self.kernel
+        index._use_numpy = self._use_numpy
+        rows = self._rows()
+        if rows is not None:
+            all_ranks, all_dists, all_parents = rows
+            index._ranks = {u: list(r) for u, r in all_ranks.items()}
+            index._dists = {u: list(d) for u, d in all_dists.items()}
+            index._parents = {u: list(p) for u, p in all_parents.items()}
+            index._flat = None
+        else:
+            index._ranks = None
+            index._dists = None
+            index._parents = None
+            # The flat store is immutable, so the clone shares it — an
+            # O(1) clone; the clone's first mutation thaws into its own
+            # private rows.  Read after _rows() returned None: the
+            # freeze that dropped the rows published the store first.
+            index._flat = self._flat
         index._source_cache = {}
         index.incremental_updates = self.incremental_updates
         return index
@@ -822,22 +1085,71 @@ class PrunedLandmarkLabeling:
         whose labels — and therefore distances *and* reconstructed
         paths — are bit-identical to this one.  The storage layer packs
         these lists into compact binary arrays; this method stays
-        format-agnostic.
+        format-agnostic.  (:meth:`export_flat_labels` is the zero-copy
+        sibling that hands the codec flat columns directly.)
         """
+        flat = self._flat
+        if flat is not None:
+            ranks: list[list[int]] = []
+            dists: list[list[float]] = []
+            parents: list[list[int]] = []
+            for row in range(flat.num_rows):
+                row_ranks, row_dists, row_parents = flat.row_lists(row)
+                ranks.append(row_ranks)
+                dists.append(row_dists)
+                parents.append(row_parents)  # already rank-encoded
+            return {
+                "order": list(self._order),
+                "ranks": ranks,
+                "dists": dists,
+                "parents": parents,
+                "incremental_updates": self.incremental_updates,
+            }
+        rows = self._rows()
+        if rows is None:  # frozen mid-call
+            return self.export_labels()
+        all_ranks, all_dists, all_parents = rows
         rank = self._rank
         return {
             "order": list(self._order),
-            "ranks": [self._ranks[u] for u in self._order],
-            "dists": [self._dists[u] for u in self._order],
+            "ranks": [all_ranks[u] for u in self._order],
+            "dists": [all_dists[u] for u in self._order],
             "parents": [
-                [-1 if p is None else rank[p] for p in self._parents[u]]
+                [-1 if p is None else rank[p] for p in all_parents[u]]
                 for u in self._order
             ],
             "incremental_updates": self.incremental_updates,
         }
 
+    def export_flat_labels(self) -> dict:
+        """The complete index state as flat columns — zero-copy when frozen.
+
+        Returns ``{"order", "counts", "ranks", "dists", "parents",
+        "incremental_updates"}`` where ``counts`` holds per-node entry
+        counts in landmark-rank order and the three columns are the
+        concatenated label rows as :mod:`array` arrays (parents
+        rank-encoded, ``-1`` for none) — exactly the snapshot codec's
+        on-disk layout, so encoding each column is one ``tobytes``
+        memcpy.  A frozen index hands out the live store's own columns;
+        callers must treat them as read-only.  :meth:`from_flat_labels`
+        adopts them back without inflation.
+        """
+        flat = self._flat
+        if flat is None:
+            flat = self._freeze()
+        return {
+            "order": list(self._order),
+            "counts": flat.row_counts(),
+            "ranks": flat.ranks,
+            "dists": flat.dists,
+            "parents": flat.parents,
+            "incremental_updates": self.incremental_updates,
+        }
+
     @classmethod
-    def from_labels(cls, graph: Graph, state: dict) -> "PrunedLandmarkLabeling":
+    def from_labels(
+        cls, graph: Graph, state: dict, *, kernel: str = "flat"
+    ) -> "PrunedLandmarkLabeling":
         """Rebuild an index from :meth:`export_labels` output — no build.
 
         ``graph`` must be the graph the labels were computed over (the
@@ -849,6 +1161,10 @@ class PrunedLandmarkLabeling:
         that is the entire point of warm starts, and what the snapshot
         benchmark asserts.
         """
+        if kernel not in _KERNELS:
+            raise ValueError(
+                f"unknown kernel {kernel!r}; expected one of {_KERNELS}"
+            )
         order = list(state["order"])
         if set(order) != set(graph.nodes()):
             raise GraphError(
@@ -860,6 +1176,8 @@ class PrunedLandmarkLabeling:
         index._order = order
         index._rank = {node: i for i, node in enumerate(order)}
         index.workers = 1
+        index.kernel = kernel
+        index._use_numpy = kernel == "flat" and numpy_available()
         index._ranks = {}
         index._dists = {}
         index._parents = {}
@@ -871,6 +1189,62 @@ class PrunedLandmarkLabeling:
             index._parents[node] = [
                 None if p < 0 else order[p] for p in parents
             ]
+        index._flat = None
+        index._source_cache = {}
+        index.incremental_updates = int(state["incremental_updates"])
+        return index
+
+    @classmethod
+    def from_flat_labels(
+        cls, graph: Graph, state: dict
+    ) -> "PrunedLandmarkLabeling":
+        """Adopt :meth:`export_flat_labels` columns — no build, no inflation.
+
+        The warm-start twin of :meth:`from_labels`: the decoded snapshot
+        columns become the live query representation directly, so
+        restoring an index performs no per-entry work at all (rows are
+        materialized lazily only if the index is later mutated).  The
+        same permutation guard applies; column-length disagreement (a
+        truncated snapshot) raises :class:`GraphError`.
+        ``pll_build_count`` is not bumped.
+        """
+        order = list(state["order"])
+        if set(order) != set(graph.nodes()):
+            raise GraphError(
+                "snapshot labels do not match the graph: order is not a "
+                "permutation of the graph's nodes"
+            )
+        counts = state["counts"]
+        if len(counts) != len(order):
+            raise GraphError(
+                f"snapshot labels do not match the graph: {len(counts)} "
+                f"label rows for {len(order)} nodes"
+            )
+        ranks_col = state["ranks"]
+        if not isinstance(ranks_col, array):
+            ranks_col = array(RANK_TYPECODE, ranks_col)
+        dists_col = state["dists"]
+        if not isinstance(dists_col, array):
+            dists_col = array(DIST_TYPECODE, dists_col)
+        parents_col = state["parents"]
+        if not isinstance(parents_col, array):
+            parents_col = array(PARENT_TYPECODE, parents_col)
+        index = cls.__new__(cls)
+        index._graph = graph
+        index._order = order
+        index._rank = {node: i for i, node in enumerate(order)}
+        index.workers = 1
+        index.kernel = "flat"
+        index._use_numpy = numpy_available()
+        try:
+            index._flat = FlatLabelStore.from_columns(
+                counts, ranks_col, dists_col, parents_col
+            )
+        except ValueError as exc:
+            raise GraphError(str(exc)) from None
+        index._ranks = None
+        index._dists = None
+        index._parents = None
         index._source_cache = {}
         index.incremental_updates = int(state["incremental_updates"])
         return index
@@ -881,20 +1255,32 @@ class PrunedLandmarkLabeling:
     @property
     def average_label_size(self) -> float:
         """Mean number of label entries per node (index size indicator)."""
-        if not self._ranks:
+        if not self._order:
             return 0.0
-        return sum(len(r) for r in self._ranks.values()) / len(self._ranks)
+        return self.total_label_entries / len(self._order)
 
     @property
     def total_label_entries(self) -> int:
-        return sum(len(r) for r in self._ranks.values())
+        flat = self._flat
+        if flat is not None:
+            return flat.total_entries
+        rows = self._rows()
+        if rows is None:  # frozen mid-call
+            return self.total_label_entries
+        return sum(len(r) for r in rows[0].values())
 
     def label_of(self, node: Node) -> list[tuple[Node, float]]:
         """Return ``node``'s label as ``[(landmark, distance), ...]``."""
-        return [
-            (self._order[rank], dist)
-            for rank, dist in zip(self._ranks[node], self._dists[node])
-        ]
+        order = self._order
+        flat = self._flat
+        if flat is not None:
+            row_ranks, row_dists, _ = flat.row_lists(self._rank[node])
+            return [(order[r], d) for r, d in zip(row_ranks, row_dists)]
+        rows = self._rows()
+        if rows is None:  # frozen mid-call
+            return self.label_of(node)
+        all_ranks, all_dists, _ = rows
+        return [(order[r], d) for r, d in zip(all_ranks[node], all_dists[node])]
 
     def labels(self) -> dict[Node, list[tuple[Node, float]]]:
         """The whole index as ``{node: [(landmark, distance), ...]}``.
@@ -902,7 +1288,7 @@ class PrunedLandmarkLabeling:
         Used by the equivalence tests (parallel vs sequential builds must
         agree entry-for-entry) and by index-size diagnostics.
         """
-        return {node: self.label_of(node) for node in self._ranks}
+        return {node: self.label_of(node) for node in self._order}
 
 
 def _merge_join_min(

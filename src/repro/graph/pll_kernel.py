@@ -1,0 +1,303 @@
+"""Flat-array storage and vectorized query kernels for the 2-hop cover.
+
+The snapshot codec (:mod:`repro.storage.codec`) has always written PLL
+labels as flat little-endian arrays — per-node entry counts plus three
+``T``-long columns (hub ranks, hub distances, parent ranks).  Until this
+module existed the runtime immediately re-inflated those columns into
+per-node Python lists, so every query paid Python-object dispatch per
+label entry.  :class:`FlatLabelStore` keeps the columns *flat at
+runtime* in the exact on-disk layout:
+
+* ``offsets[i] .. offsets[i + 1]`` delimit the label of the node at
+  landmark rank ``i`` (rows are stored rank-ascending, and hub ranks are
+  sorted ascending within a row — the invariant every kernel relies on);
+* ``ranks`` / ``dists`` / ``parents`` are :mod:`array` columns (u32 /
+  f64 / i32, parents encoded as landmark ranks with ``-1`` for "none"),
+  which makes snapshot encode/decode a straight ``tobytes`` /
+  ``frombytes`` memcpy with no per-entry work.
+
+Two batched distance kernels answer "one source against many targets",
+the shape of every solver hot path (greedy root sweeps, Steiner
+refinement, replacement):
+
+* :meth:`FlatLabelStore.batch_row_mins` — stdlib: scatter the source
+  row into a dense rank-indexed vector once, then answer each target
+  with one indexed gather per label entry (no per-target merge join);
+* :meth:`FlatLabelStore.row_mins_numpy` — optional numpy fast path: the
+  same scatter, then *one* vectorized gather-add over the whole label
+  store and a ``minimum.reduceat`` per-row reduction, yielding the
+  source's distance to **every** node in a single pass.
+
+Both kernels minimize the identical set of IEEE-754 sums the classic
+sorted-hub merge join inspects (a hub missing from the source row
+contributes ``inf``), so their answers are bit-identical to each other
+and to the merge join — the byte-identity contract the engine, the
+replica pool and the snapshot round-trip tests all pin.
+
+The store is immutable: mutation paths in :mod:`repro.graph.pll` thaw
+it back into per-node lists, apply their resumed pruned Dijkstras, and
+re-freeze lazily on the next batched query.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from collections.abc import Iterable, Sequence
+
+try:  # optional fast path; the stdlib kernels are always available
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less environments
+    _np = None
+
+__all__ = [
+    "FlatLabelStore",
+    "RANK_TYPECODE",
+    "PARENT_TYPECODE",
+    "DIST_TYPECODE",
+    "OFFSET_TYPECODE",
+    "numpy_available",
+]
+
+# array typecodes are platform-sized; resolve the 4-byte ones once
+# (mirrors repro.storage.codec, which owns the on-disk layout).
+RANK_TYPECODE = "I" if array("I").itemsize == 4 else "L"
+PARENT_TYPECODE = "i" if array("i").itemsize == 4 else "l"
+DIST_TYPECODE = "d"
+OFFSET_TYPECODE = "q"
+
+_INF = float("inf")
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized numpy kernel can be used in this process."""
+    return _np is not None
+
+
+class FlatLabelStore:
+    """Immutable flat-array (CSR-style) 2-hop-cover label columns.
+
+    Row ``i`` holds the label of the node at landmark rank ``i``; within
+    a row, hub ranks are strictly ascending.  Constructed either from
+    per-node lists (:meth:`from_rows`, the build/mutation
+    representation) or by adopting already-flat columns
+    (:meth:`from_columns`, the zero-copy snapshot warm-start path).
+    """
+
+    __slots__ = ("offsets", "ranks", "dists", "parents", "_np_cols")
+
+    def __init__(
+        self,
+        offsets: array,
+        ranks: array,
+        dists: array,
+        parents: array,
+    ) -> None:
+        self.offsets = offsets
+        self.ranks = ranks
+        self.dists = dists
+        self.parents = parents
+        self._np_cols: tuple | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_rows(
+        cls,
+        order: Sequence,
+        rank_of: dict,
+        row_ranks: dict,
+        row_dists: dict,
+        row_parents: dict,
+    ) -> "FlatLabelStore":
+        """Freeze per-node label lists into flat columns.
+
+        ``row_parents`` holds node ids (or ``None``); they are encoded
+        as landmark ranks via ``rank_of`` so the columns carry no object
+        references at all.
+        """
+        offsets = array(OFFSET_TYPECODE, [0])
+        ranks = array(RANK_TYPECODE)
+        dists = array(DIST_TYPECODE)
+        parents = array(PARENT_TYPECODE)
+        for node in order:
+            ranks.extend(row_ranks[node])
+            dists.extend(row_dists[node])
+            parents.extend(
+                -1 if parent is None else rank_of[parent]
+                for parent in row_parents[node]
+            )
+            offsets.append(len(ranks))
+        return cls(offsets, ranks, dists, parents)
+
+    @classmethod
+    def from_columns(
+        cls,
+        counts: Iterable[int],
+        ranks: array,
+        dists: array,
+        parents: array,
+    ) -> "FlatLabelStore":
+        """Adopt flat columns as-is (the snapshot decode hands them over).
+
+        Only the prefix-sum offsets are computed; the three columns are
+        referenced, not copied, so a warm start performs no per-entry
+        work.
+        """
+        offsets = array(OFFSET_TYPECODE, [0])
+        total = 0
+        for count in counts:
+            total += count
+            offsets.append(total)
+        if total != len(ranks) or total != len(dists) or total != len(parents):
+            raise ValueError(
+                f"label columns disagree: counts sum to {total}, columns "
+                f"hold {len(ranks)}/{len(dists)}/{len(parents)} entries"
+            )
+        return cls(offsets, ranks, dists, parents)
+
+    def copy(self) -> "FlatLabelStore":
+        """An independent copy (array slicing is a C-level memcpy)."""
+        return FlatLabelStore(
+            self.offsets[:], self.ranks[:], self.dists[:], self.parents[:]
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return len(self.offsets) - 1
+
+    @property
+    def total_entries(self) -> int:
+        return len(self.ranks)
+
+    def row_bounds(self, row: int) -> tuple[int, int]:
+        """``(start, stop)`` column bounds of ``row``'s label entries."""
+        return self.offsets[row], self.offsets[row + 1]
+
+    def row_counts(self) -> list[int]:
+        """Per-row entry counts, rank-ascending (the codec's layout)."""
+        offsets = self.offsets
+        return [offsets[i + 1] - offsets[i] for i in range(self.num_rows)]
+
+    def row_lists(self, row: int) -> tuple[list[int], list[float], list[int]]:
+        """One row's columns as plain lists (thaw / inspection path)."""
+        start, stop = self.offsets[row], self.offsets[row + 1]
+        return (
+            self.ranks[start:stop].tolist(),
+            self.dists[start:stop].tolist(),
+            self.parents[start:stop].tolist(),
+        )
+
+    # ------------------------------------------------------------------
+    # query kernels
+    # ------------------------------------------------------------------
+    def merge_join_rows(self, row_a: int, row_b: int) -> float:
+        """Point query: classic sorted-hub merge join of two rows."""
+        ranks, dists, offsets = self.ranks, self.dists, self.offsets
+        i, len_a = offsets[row_a], offsets[row_a + 1]
+        j, len_b = offsets[row_b], offsets[row_b + 1]
+        best = _INF
+        while i < len_a and j < len_b:
+            ra, rb = ranks[i], ranks[j]
+            if ra == rb:
+                total = dists[i] + dists[j]
+                if total < best:
+                    best = total
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+        return best
+
+    def best_hub_rank(self, row_a: int, row_b: int) -> int:
+        """The hub rank minimizing the joined distance, or ``-1``."""
+        ranks, dists, offsets = self.ranks, self.dists, self.offsets
+        i, len_a = offsets[row_a], offsets[row_a + 1]
+        j, len_b = offsets[row_b], offsets[row_b + 1]
+        best, best_rank = _INF, -1
+        while i < len_a and j < len_b:
+            ra, rb = ranks[i], ranks[j]
+            if ra == rb:
+                total = dists[i] + dists[j]
+                if total < best:
+                    best, best_rank = total, ra
+                i += 1
+                j += 1
+            elif ra < rb:
+                i += 1
+            else:
+                j += 1
+        return best_rank
+
+    def batch_row_mins(self, src_row: int, target_rows: list[int]) -> list[float]:
+        """Stdlib batched kernel: source scattered once, targets gathered.
+
+        Scatters the source row into a dense rank-indexed vector, then
+        answers each target with one indexed add per label entry —
+        identical sums to the merge join (a rank the source does not
+        carry gathers ``inf``), at roughly half the iterations and none
+        of the rank comparisons.
+        """
+        offsets, ranks, dists = self.offsets, self.ranks, self.dists
+        dense = [_INF] * self.num_rows
+        for p in range(offsets[src_row], offsets[src_row + 1]):
+            dense[ranks[p]] = dists[p]
+        out = []
+        append = out.append
+        for row in target_rows:
+            best = _INF
+            for p in range(offsets[row], offsets[row + 1]):
+                total = dense[ranks[p]] + dists[p]
+                if total < best:
+                    best = total
+            append(best)
+        return out
+
+    def _np_views(self) -> tuple:
+        """Zero-copy numpy views over the columns (cached; store is
+        immutable so the views can never go stale)."""
+        views = self._np_cols
+        if views is None:
+            views = self._np_cols = (
+                _np.frombuffer(self.ranks, dtype=_np.uint32),
+                _np.frombuffer(self.dists, dtype=_np.float64),
+                _np.frombuffer(self.offsets, dtype=_np.int64),
+            )
+        return views
+
+    def row_mins_numpy(self, src_row: int):
+        """Vectorized kernel: the source's distance to *every* row.
+
+        One gather-add over the whole store plus a per-row
+        ``minimum.reduceat`` — ``O(T)`` C-level work per source,
+        amortized across every target the source is ever swept against
+        (the caller memoizes the returned vector per source).
+        """
+        np_ranks, np_dists, np_offsets = self._np_views()
+        n = self.num_rows
+        total = len(np_ranks)
+        dense = _np.full(n, _np.inf)
+        start, stop = self.offsets[src_row], self.offsets[src_row + 1]
+        dense[np_ranks[start:stop]] = np_dists[start:stop]
+        if total == 0:
+            return dense  # every row empty: all-inf is the exact answer
+        # A sentinel ``inf`` slot keeps every start index valid for
+        # ``reduceat`` (an empty trailing row starts at ``total``, which
+        # a bare ``sums`` would reject) without shifting any segment
+        # boundary; it can never win a min.
+        sums = _np.empty(total + 1)
+        sums[:total] = dense[np_ranks]
+        sums[:total] += np_dists
+        sums[total] = _np.inf
+        starts = np_offsets[:-1]
+        # ``reduceat`` returns a bogus single element for an empty row
+        # (equal consecutive starts); mask those back to inf.
+        mins = _np.minimum.reduceat(sums, starts)
+        mins[np_offsets[1:] == starts] = _np.inf
+        return mins

@@ -30,7 +30,9 @@ from .codec import (
     OracleEntryState,
     decode_engine_snapshot,
     decode_labels,
+    decode_labels_flat,
     encode_engine_snapshot,
+    encode_flat_labels,
     encode_labels,
     warm_bases_from_meta,
 )
@@ -67,6 +69,8 @@ __all__ = [
     "encode_engine_snapshot",
     "decode_engine_snapshot",
     "encode_labels",
+    "encode_flat_labels",
     "decode_labels",
+    "decode_labels_flat",
     "warm_bases_from_meta",
 ]

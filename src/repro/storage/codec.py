@@ -51,7 +51,9 @@ __all__ = [
     "OracleEntryState",
     "EngineSnapshotState",
     "encode_labels",
+    "encode_flat_labels",
     "decode_labels",
+    "decode_labels_flat",
     "encode_engine_snapshot",
     "decode_engine_snapshot",
 ]
@@ -75,7 +77,21 @@ def _pack(typecode: str, values: list) -> bytes:
     return data.tobytes()
 
 
-def _unpack(typecode: str, blob: bytes, offset: int, count: int) -> tuple[list, int]:
+def _pack_array(data: array) -> bytes:
+    """Like :func:`_pack` but for an already-flat :mod:`array` column.
+
+    On little-endian hosts (everywhere we run) this is a single
+    ``tobytes`` memcpy — the zero-copy half of the flat snapshot path.
+    """
+    if _SWAP:  # pragma: no cover - big-endian hosts only
+        data = data[:]  # the caller's column may be a live index's
+        data.byteswap()
+    return data.tobytes()
+
+
+def _unpack_array(
+    typecode: str, blob: bytes, offset: int, count: int
+) -> tuple[array, int]:
     size = array(typecode).itemsize * count
     if offset + size > len(blob):
         raise CorruptSnapshotError(
@@ -86,7 +102,12 @@ def _unpack(typecode: str, blob: bytes, offset: int, count: int) -> tuple[list, 
     data.frombytes(blob[offset : offset + size])
     if _SWAP:  # pragma: no cover - big-endian hosts only
         data.byteswap()
-    return data.tolist(), offset + size
+    return data, offset + size
+
+
+def _unpack(typecode: str, blob: bytes, offset: int, count: int) -> tuple[list, int]:
+    data, offset = _unpack_array(typecode, blob, offset, count)
+    return data.tolist(), offset
 
 
 # ----------------------------------------------------------------------
@@ -119,8 +140,33 @@ def encode_labels(state: dict) -> bytes:
     )
 
 
-def decode_labels(blob: bytes) -> dict:
-    """Inverse of :func:`encode_labels` (bit-exact)."""
+def encode_flat_labels(state: dict) -> bytes:
+    """Pack :meth:`PrunedLandmarkLabeling.export_flat_labels` output.
+
+    Byte-identical to :func:`encode_labels` over the equivalent
+    per-node-list state — the on-disk layout *is* the flat layout, so
+    each column is one memcpy instead of a per-entry Python loop.
+    """
+    order_blob = json.dumps(state["order"]).encode("utf-8")
+    return b"".join(
+        [
+            _LABEL_HEAD.pack(len(state["order"]), len(order_blob)),
+            order_blob,
+            _LABEL_MID.pack(
+                int(state["incremental_updates"]), len(state["ranks"])
+            ),
+            _pack(_U32, state["counts"]),
+            _pack_array(state["ranks"]),
+            _pack_array(state["dists"]),
+            _pack_array(state["parents"]),
+        ]
+    )
+
+
+def _decode_label_columns(
+    blob: bytes,
+) -> tuple[list, list[int], array, array, array, int]:
+    """Shared parse of a label section into validated flat columns."""
     if len(blob) < _LABEL_HEAD.size:
         raise CorruptSnapshotError("label section shorter than its header")
     n_nodes, order_len = _LABEL_HEAD.unpack_from(blob)
@@ -144,34 +190,55 @@ def decode_labels(blob: bytes) -> dict:
         raise CorruptSnapshotError(
             f"label counts sum to {sum(counts)}, header claims {total}"
         )
-    flat_ranks, offset = _unpack(_U32, blob, offset, total)
-    flat_dists, offset = _unpack("d", blob, offset, total)
-    flat_parents, offset = _unpack(_I32, blob, offset, total)
+    flat_ranks, offset = _unpack_array(_U32, blob, offset, total)
+    flat_dists, offset = _unpack_array("d", blob, offset, total)
+    flat_parents, offset = _unpack_array(_I32, blob, offset, total)
     # Rank values index into ``order``: a CRC only proves the bytes are
     # what the writer wrote, not that the writer was sane — reject
     # out-of-range references here rather than IndexError-ing later.
-    if total and not (
-        0 <= min(flat_ranks) and max(flat_ranks) < n_nodes
-    ):
+    if total and not (0 <= min(flat_ranks) and max(flat_ranks) < n_nodes):
         raise CorruptSnapshotError("label hub rank out of range")
-    if total and not (
-        -1 <= min(flat_parents) and max(flat_parents) < n_nodes
-    ):
+    if total and not (-1 <= min(flat_parents) and max(flat_parents) < n_nodes):
         raise CorruptSnapshotError("label parent rank out of range")
+    return order, counts, flat_ranks, flat_dists, flat_parents, incremental_updates
+
+
+def decode_labels_flat(blob: bytes) -> dict:
+    """Inverse of :func:`encode_flat_labels` — columns stay flat.
+
+    Returns the shape :meth:`PrunedLandmarkLabeling.from_flat_labels`
+    adopts directly, so a warm start never inflates per-node lists.
+    """
+    order, counts, ranks, dists, parents, incremental = _decode_label_columns(blob)
+    return {
+        "order": order,
+        "counts": counts,
+        "ranks": ranks,
+        "dists": dists,
+        "parents": parents,
+        "incremental_updates": incremental,
+    }
+
+
+def decode_labels(blob: bytes) -> dict:
+    """Inverse of :func:`encode_labels` (bit-exact, per-node lists)."""
+    order, counts, flat_ranks, flat_dists, flat_parents, incremental = (
+        _decode_label_columns(blob)
+    )
     ranks, dists, parents = [], [], []
     start = 0
     for count in counts:
         stop = start + count
-        ranks.append(flat_ranks[start:stop])
-        dists.append(flat_dists[start:stop])
-        parents.append(flat_parents[start:stop])
+        ranks.append(flat_ranks[start:stop].tolist())
+        dists.append(flat_dists[start:stop].tolist())
+        parents.append(flat_parents[start:stop].tolist())
         start = stop
     return {
         "order": order,
         "ranks": ranks,
         "dists": dists,
         "parents": parents,
-        "incremental_updates": incremental_updates,
+        "incremental_updates": incremental,
     }
 
 
@@ -186,7 +253,10 @@ class OracleEntryState:
     in); ``base`` is the engine's cache base key — ``(kind, "cc")``,
     ``(kind, "fold", gamma)`` or ``(kind, "raw")``; ``version`` is the
     network version the entry is keyed at; ``labels`` is
-    :meth:`PrunedLandmarkLabeling.export_labels` output.
+    :meth:`PrunedLandmarkLabeling.export_flat_labels` output (the
+    legacy :meth:`~PrunedLandmarkLabeling.export_labels` per-node-list
+    shape, distinguished by the absence of a ``"counts"`` key, is still
+    accepted — both encode to the same bytes).
     """
 
     cache: str
@@ -233,7 +303,11 @@ def encode_engine_snapshot(
     }
     for i, entry in enumerate(state.entries):
         section = f"labels/{i}"
-        sections[section] = encode_labels(entry.labels)
+        labels = entry.labels
+        if "counts" in labels:
+            sections[section] = encode_flat_labels(labels)
+        else:
+            sections[section] = encode_labels(labels)
         entry_meta.append(
             {
                 "cache": entry.cache,
@@ -312,7 +386,7 @@ def decode_engine_snapshot(
                     cache=record["cache"],
                     base=_base_from_meta(record),
                     version=int(record["version"]),
-                    labels=decode_labels(sections[record["section"]]),
+                    labels=decode_labels_flat(sections[record["section"]]),
                 )
             )
         state = EngineSnapshotState(

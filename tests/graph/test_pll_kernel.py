@@ -1,0 +1,279 @@
+"""Unit and differential tests for the flat-array label store.
+
+:class:`repro.graph.pll_kernel.FlatLabelStore` is the PR-6 query-side
+representation: CSR-style columns in the snapshot codec's exact layout,
+plus three distance kernels (merge join, stdlib dense-scatter batch,
+optional numpy ``minimum.reduceat``).  The contract pinned here is
+**bit-identity**: every kernel minimizes the identical set of IEEE-754
+hub sums, so their answers must be exactly equal — not merely close —
+on every store, including degenerate ones (empty rows, empty trailing
+rows, all-empty stores) that exercise the ``reduceat`` edge cases.
+"""
+
+from __future__ import annotations
+
+from array import array
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.graph.pll import PrunedLandmarkLabeling, default_landmark_order
+from repro.graph.pll_kernel import (
+    DIST_TYPECODE,
+    PARENT_TYPECODE,
+    RANK_TYPECODE,
+    FlatLabelStore,
+    numpy_available,
+)
+
+_INF = float("inf")
+
+#: Quarter-integer distances: closed under addition, so kernel answers
+#: can be compared with ``==`` and "bit-identical" is well defined.
+DIST_VALUES = [0.25 * k for k in range(0, 17)]
+
+
+def make_store(rows: list[list[tuple[int, float]]]) -> FlatLabelStore:
+    """Build a store from per-row ``[(hub_rank, dist), ...]`` lists."""
+    counts = [len(row) for row in rows]
+    ranks = array(RANK_TYPECODE, [rank for row in rows for rank, _ in row])
+    dists = array(DIST_TYPECODE, [dist for row in rows for _, dist in row])
+    parents = array(PARENT_TYPECODE, [-1] * len(ranks))
+    return FlatLabelStore.from_columns(counts, ranks, dists, parents)
+
+
+def reference_min(row_a: list[tuple[int, float]], row_b: list[tuple[int, float]]):
+    """Brute-force dict-based hub join — the dict-era kernel's answer."""
+    hubs_a = dict(row_a)
+    best = _INF
+    for rank, dist in row_b:
+        if rank in hubs_a:
+            best = min(best, hubs_a[rank] + dist)
+    return best
+
+
+def assert_kernels_identical(store: FlatLabelStore, rows) -> None:
+    """All kernels == brute force, bitwise, for every (source, target)."""
+    n = store.num_rows
+    all_rows = list(range(n))
+    for src in all_rows:
+        batch = store.batch_row_mins(src, all_rows)
+        vector = store.row_mins_numpy(src).tolist() if numpy_available() else None
+        for dst in all_rows:
+            expected = reference_min(rows[src], rows[dst])
+            assert store.merge_join_rows(src, dst) == expected
+            assert batch[dst] == expected
+            if vector is not None:
+                assert vector[dst] == expected
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def test_from_columns_builds_prefix_sum_offsets():
+    rows = [[(0, 0.0)], [(0, 1.0), (1, 0.0)], []]
+    store = make_store(rows)
+    assert store.num_rows == 3
+    assert store.total_entries == 3
+    assert store.row_bounds(0) == (0, 1)
+    assert store.row_bounds(1) == (1, 3)
+    assert store.row_bounds(2) == (3, 3)
+    assert store.row_counts() == [1, 2, 0]
+    assert store.row_lists(1) == ([0, 1], [1.0, 0.0], [-1, -1])
+
+
+def test_from_columns_rejects_count_column_mismatch():
+    with pytest.raises(ValueError, match="columns disagree"):
+        FlatLabelStore.from_columns(
+            [2],
+            array(RANK_TYPECODE, [0]),
+            array(DIST_TYPECODE, [0.0]),
+            array(PARENT_TYPECODE, [-1]),
+        )
+
+
+def test_from_rows_encodes_parents_as_ranks():
+    order = ["b", "a"]
+    rank_of = {"b": 0, "a": 1}
+    store = FlatLabelStore.from_rows(
+        order,
+        rank_of,
+        {"b": [0], "a": [0, 1]},
+        {"b": [0.0], "a": [1.0, 0.0]},
+        {"b": [None], "a": ["b", None]},
+    )
+    assert store.row_lists(0) == ([0], [0.0], [-1])
+    assert store.row_lists(1) == ([0, 1], [1.0, 0.0], [0, -1])
+
+
+def test_copy_is_independent():
+    store = make_store([[(0, 0.0)], [(0, 2.5), (1, 0.0)]])
+    dup = store.copy()
+    dup.dists[0] = 9.0
+    assert store.dists[0] == 0.0
+    assert dup.row_lists(0) == ([0], [9.0], [-1])
+
+
+# ----------------------------------------------------------------------
+# kernel identity, including the reduceat edge cases
+# ----------------------------------------------------------------------
+def test_kernels_agree_on_simple_store():
+    rows = [
+        [(0, 0.0)],
+        [(0, 1.0), (1, 0.0)],
+        [(0, 2.0), (1, 1.0), (2, 0.0)],
+        [(0, 0.5), (3, 0.0)],
+    ]
+    assert_kernels_identical(make_store(rows), rows)
+
+
+def test_kernels_agree_with_empty_middle_and_trailing_rows():
+    # Row 1 is empty (reduceat would report a bogus value without the
+    # mask) and row 3 is an empty *trailing* row whose start index equals
+    # ``total`` — only valid thanks to the sentinel slot.  A clipping
+    # implementation instead of the sentinel silently truncates row 2's
+    # segment; this store is the regression pin for exactly that bug.
+    rows = [[(0, 0.0)], [], [(0, 1.25), (2, 0.0)], []]
+    store = make_store(rows)
+    assert_kernels_identical(store, rows)
+    assert store.batch_row_mins(1, [0, 1, 2, 3]) == [_INF] * 4
+
+
+def test_kernels_agree_on_all_empty_store():
+    rows = [[], [], []]
+    store = make_store(rows)
+    assert store.total_entries == 0
+    assert_kernels_identical(store, rows)
+
+
+def test_best_hub_rank_picks_minimizing_hub():
+    rows = [[(0, 3.0), (1, 0.5)], [(0, 1.0), (1, 0.75)]]
+    store = make_store(rows)
+    # Via hub 0: 4.0; via hub 1: 1.25 — hub 1 wins.
+    assert store.best_hub_rank(0, 1) == 1
+    # Self-join of row 0: hub 0 gives 6.0, hub 1 gives 1.0.
+    assert store.best_hub_rank(0, 0) == 1
+    disconnected = make_store([[(0, 0.0)], [(1, 0.0)]])
+    assert disconnected.best_hub_rank(0, 1) == -1
+
+
+@given(data=st.data())
+def test_kernels_agree_on_random_stores(data):
+    """Random sparse stores: all kernels bit-identical to brute force."""
+    num_rows = data.draw(st.integers(min_value=1, max_value=7), label="rows")
+    rows = []
+    for i in range(num_rows):
+        hubs = data.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_rows - 1),
+                unique=True,
+                max_size=num_rows,
+            ),
+            label=f"hubs{i}",
+        )
+        rows.append(
+            [(rank, data.draw(st.sampled_from(DIST_VALUES))) for rank in sorted(hubs)]
+        )
+    assert_kernels_identical(make_store(rows), rows)
+
+
+# ----------------------------------------------------------------------
+# the store a real index freezes
+# ----------------------------------------------------------------------
+def test_frozen_index_store_matches_label_semantics():
+    graph = Graph.from_edges(
+        [("a", "b", 1.0), ("b", "c", 0.5), ("c", "d", 2.0), ("a", "d", 4.0)]
+    )
+    pll = PrunedLandmarkLabeling(graph)
+    nodes = list(graph.nodes())
+    pll.distances_from(nodes[0], nodes)  # force the freeze
+    store = pll._flat
+    assert store is not None
+    assert store.num_rows == len(nodes)
+    assert store.row_counts() == [
+        len(pll.label_of(node)) for node in pll._order
+    ]
+    for i, node in enumerate(pll._order):
+        ranks, dists, _ = store.row_lists(i)
+        assert ranks == sorted(ranks)
+        assert [(pll._order[r], d) for r, d in zip(ranks, dists)] == pll.label_of(
+            node
+        )
+
+
+# ----------------------------------------------------------------------
+# landmark ordering strategies
+# ----------------------------------------------------------------------
+def _star_plus_tail() -> Graph:
+    # "hub" has max degree; "mid" has the highest betweenness bridge
+    # position on the tail.
+    return Graph.from_edges(
+        [
+            ("hub", "s1", 1.0),
+            ("hub", "s2", 1.0),
+            ("hub", "s3", 1.0),
+            ("hub", "mid", 1.0),
+            ("mid", "t1", 1.0),
+            ("t1", "t2", 1.0),
+        ]
+    )
+
+
+def test_default_landmark_order_degree_sorts_by_degree():
+    graph = _star_plus_tail()
+    order = default_landmark_order(graph, "degree")
+    assert order[0] == "hub"
+    degrees = [graph.degree(node) for node in order]
+    assert degrees == sorted(degrees, reverse=True)
+
+
+def test_default_landmark_order_centrality_ranks_bridges():
+    graph = _star_plus_tail()
+    order = default_landmark_order(graph, "centrality")
+    assert set(order) == set(graph.nodes())
+    # The star hub carries the most shortest paths here; the tail bridge
+    # outranks every leaf.
+    assert order[0] == "hub"
+    assert order.index("mid") < order.index("s1")
+
+
+def test_default_landmark_order_rejects_unknown_strategy():
+    with pytest.raises(ValueError, match="order strategy"):
+        default_landmark_order(Graph(), "pagerank")
+
+
+def test_pll_rejects_unknown_kernel_and_strategy():
+    graph = Graph.from_edges([("a", "b", 1.0)])
+    with pytest.raises(ValueError, match="unknown kernel"):
+        PrunedLandmarkLabeling(graph, kernel="simd")
+    with pytest.raises(ValueError, match="order strategy"):
+        PrunedLandmarkLabeling(graph, order_strategy="pagerank")
+
+
+@pytest.mark.parametrize("kernel", ["flat", "flat-py", "dict"])
+def test_all_kernels_answer_identical_distances(kernel):
+    graph = Graph.from_edges(
+        [("a", "b", 0.25), ("b", "c", 1.5), ("c", "d", 0.75), ("b", "d", 3.0)]
+    )
+    graph.add_node("lonely")
+    reference = PrunedLandmarkLabeling(graph, kernel="dict")
+    pll = PrunedLandmarkLabeling(graph, kernel=kernel)
+    nodes = list(graph.nodes())
+    for source in nodes:
+        assert pll.distances_from(source, nodes) == reference.distances_from(
+            source, nodes
+        )
+        for target in nodes:
+            assert pll.distance(source, target) == reference.distance(source, target)
+
+
+def test_centrality_ordered_index_is_exact():
+    graph = _star_plus_tail()
+    pll = PrunedLandmarkLabeling(graph, order_strategy="centrality")
+    reference = PrunedLandmarkLabeling(graph)
+    nodes = list(graph.nodes())
+    for source in nodes:
+        assert pll.distances_from(source, nodes) == reference.distances_from(
+            source, nodes
+        )
