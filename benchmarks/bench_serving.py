@@ -12,16 +12,27 @@ snapshot so no path pays an index build:
   warm-started from the same snapshot file, with warm request groups
   split across every replica.
 
-Responses must be **byte-identical** across all three paths (timing
-nulled — wall-clock can never reproduce), and the warm batch must
-report zero oracle builds end to end.  The PR-5 acceptance gate is a
->= 3x pool speedup over sequential at the small scale given >= 4 usable
-cores; on hosts with fewer cores the throughput gate auto-relaxes to
-the identity-only check (exactly as the PR-1 build bench does), which
+A fourth pass drives the same batch through the **persistent server**
+(:class:`repro.serving.TeamServer` on a Unix socket, the PR-7 front
+end) and measures *per-request latency* — p50/p95/p99 over sequential
+round trips — since a long-lived service is judged by its tail, not
+its mean.  Server responses must be byte-identical to the sequential
+loop too.  The latency gate is **p99 < 50x p50** at the small scale:
+a warm engine answering homogeneous requests has no excuse for a
+pathological tail; like the throughput gate it auto-relaxes to
+identity-only below 4 usable cores (a preempted single-core runner
+makes tail ratios meaningless).
+
+Responses must be **byte-identical** across all paths (timing nulled —
+wall-clock can never reproduce), and the warm batch must report zero
+oracle builds end to end.  The PR-5 acceptance gate is a >= 3x pool
+speedup over sequential at the small scale given >= 4 usable cores; on
+hosts with fewer cores the throughput gate auto-relaxes to the
+identity-only check (exactly as the PR-1 build bench does), which
 still runs and must pass::
 
     PYTHONPATH=src python benchmarks/bench_serving.py --scale small \
-        --requests 24 --min-speedup 3
+        --requests 24 --min-speedup 3 --max-p99-ratio 50
 """
 
 from __future__ import annotations
@@ -35,7 +46,10 @@ from pathlib import Path
 from _bench_json import write_json_report
 from repro.api import TeamFormationEngine, TeamRequest
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
+from repro.serving.metrics import LatencyReservoir
 from repro.serving.pool import EngineReplicaPool, usable_cores
+from repro.serving.server import BackgroundServer, TeamServer, store_backend_loader
+from repro.serving.server_conn import ServingClient
 
 GAMMA = 0.6
 LAMBDAS = (0.2, 0.4, 0.6, 0.8)
@@ -75,6 +89,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=0.0,
         help="fail (exit 1) when the pool speedup falls below this — "
         "auto-relaxed to the identity-only check under 4 usable cores",
+    )
+    parser.add_argument(
+        "--max-p99-ratio", type=float, default=0.0,
+        help="fail (exit 1) when server p99 latency exceeds this multiple "
+        "of p50 — auto-relaxed under 4 usable cores",
     )
     parser.add_argument(
         "--json",
@@ -117,7 +136,30 @@ def main(argv: list[str] | None = None) -> int:
             pool_s = time.perf_counter() - t0
             pool_mode = f"{pool.replicas} worker process(es)"
 
+        # Persistent-server pass: same requests over a Unix socket,
+        # per-request round-trip latency measured client-side (what a
+        # caller actually experiences: framing + queueing + solve).
+        sock = str(Path(tmp) / "bench.sock")
+        server = TeamServer(store_backend_loader(store), max_pending=256, workers=2)
+        reservoir = LatencyReservoir(capacity=len(requests) + 1)
+        with BackgroundServer(server, unix_path=sock):
+            with ServingClient.connect_unix(sock) as client:
+                served: list[str] = []
+                t0 = time.perf_counter()
+                for request in requests:
+                    sent = time.perf_counter()
+                    client.send_line(request.to_json())
+                    served.append(client.recv_line())
+                    reservoir.observe(time.perf_counter() - sent)
+                server_s = time.perf_counter() - t0
+        latency = reservoir.summary()
+
     expected = [r.canonical_json() for r in sequential]
+    from repro.api.messages import TeamResponse
+
+    if [TeamResponse.from_json(r).canonical_json() for r in served] != expected:
+        print("FAIL: persistent-server answers differ from sequential")
+        return 1
     if [r.canonical_json() for r in threaded] != expected:
         print("FAIL: threaded solve_many answers differ from sequential")
         return 1
@@ -146,6 +188,11 @@ def main(argv: list[str] | None = None) -> int:
         f"  replica pool      : {pool_s:8.3f}s  {n / pool_s:8.1f} q/s  "
         f"({sequential_s / pool_s:.2f}x, {pool_mode})"
     )
+    print(
+        f"  server (socket)   : {server_s:8.3f}s  {n / server_s:8.1f} q/s  "
+        f"p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms "
+        f"p99={latency['p99_ms']:.1f}ms"
+    )
     print("  identity          : byte-identical responses, 0 oracle builds")
 
     status = 0
@@ -167,6 +214,28 @@ def main(argv: list[str] | None = None) -> int:
                 f"  gate              : pool speedup >= "
                 f"{args.min_speedup:.1f}x satisfied"
             )
+    if args.max_p99_ratio > 0:
+        p99_ratio = (
+            latency["p99_ms"] / latency["p50_ms"] if latency["p50_ms"] else 0.0
+        )
+        if cores < 4:
+            print(
+                f"  latency gate      : relaxed to identity-only "
+                f"({cores} usable core(s) < 4; tail ratios are noise "
+                "on a preempted runner)"
+            )
+        elif p99_ratio >= args.max_p99_ratio:
+            print(
+                f"FAIL: server p99/p50 ratio {p99_ratio:.1f}x at or above "
+                f"the {args.max_p99_ratio:.1f}x bound "
+                f"(p50={latency['p50_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms)"
+            )
+            status = 1
+        else:
+            print(
+                f"  latency gate      : p99/p50 = {p99_ratio:.1f}x < "
+                f"{args.max_p99_ratio:.1f}x satisfied"
+            )
     if args.json:
         write_json_report(
             args.json,
@@ -180,6 +249,13 @@ def main(argv: list[str] | None = None) -> int:
                 "pool_seconds": pool_s,
                 "pool_speedup": sequential_s / pool_s,
                 "min_speedup": args.min_speedup,
+                "server_seconds": server_s,
+                "latency_p50_ms": latency["p50_ms"],
+                "latency_p95_ms": latency["p95_ms"],
+                "latency_p99_ms": latency["p99_ms"],
+                "latency_mean_ms": latency["mean_ms"],
+                "latency_max_ms": latency["max_ms"],
+                "max_p99_ratio": args.max_p99_ratio,
                 "gate_passed": status == 0,
             },
         )

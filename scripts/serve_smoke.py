@@ -1,0 +1,204 @@
+"""CI smoke for the persistent server: real process, real signals.
+
+Drives the actual ``repro-teams serve --unix`` process end to end,
+the way the unit suite (in-process loop) cannot:
+
+1. build a snapshot store and start the server on a Unix socket with
+   ``--max-pending 2 --workers 1`` (small on purpose: the overload
+   path must be reachable);
+2. drive ~50 requests: a solve stream, one past-deadline request
+   (``deadline_ms: 0`` — deterministically expired at admission), and
+   an overload burst (more concurrent requests than worker + queue can
+   hold, retried until at least one typed ``overloaded`` rejection is
+   observed);
+3. save a fresh snapshot and send **SIGHUP mid-stream** — the reload
+   must re-resolve LATEST with zero failed in-flight requests and
+   byte-identical answers before and after (same network version);
+4. check the stats-op counters add up: every request received is
+   answered or rejected exactly once;
+5. SIGTERM and assert a graceful exit with code 0.
+
+Runs with only the package itself installed::
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.serving.server_conn import ServingClient
+
+SOLVE = {"skills": ["graphics", "sound"], "solver": "greedy", "lam": 0.4}
+STREAM_REQUESTS = 40
+OVERLOAD_BURST = 8
+OVERLOAD_RETRIES = 10
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}")
+    sys.exit(1)
+
+
+def canonical(response: dict) -> str:
+    response = dict(response)
+    response["timing"] = None
+    return json.dumps(response, sort_keys=True)
+
+
+def wait_for_socket(path: Path, proc: subprocess.Popen, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while not path.exists():
+        if proc.poll() is not None:
+            fail(f"server exited early with {proc.returncode}")
+        if time.monotonic() > deadline:
+            proc.kill()
+            fail("server never bound its socket")
+        time.sleep(0.05)
+
+
+def overload_burst(sock: str) -> tuple[int, int]:
+    """One burst of concurrent requests; returns (overloaded, answered)."""
+    clients = [ServingClient.connect_unix(sock) for _ in range(OVERLOAD_BURST)]
+    try:
+        for client in clients:
+            client.send(SOLVE)
+        kinds = [client.recv().get("error_kind") for client in clients]
+    finally:
+        for client in clients:
+            client.close()
+    overloaded = sum(1 for kind in kinds if kind == "overloaded")
+    return overloaded, len(kinds) - overloaded
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    store = tmp / "store"
+    sock = tmp / "serve.sock"
+
+    print("== building snapshot store ==", flush=True)
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli",
+            "--scale", "tiny",
+            "snapshot", "save", "--store", str(store),
+        ],
+        check=True,
+    )
+
+    print("== starting server ==", flush=True)
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--unix", str(sock),
+            "--snapshot", str(store),
+            "--max-pending", "2",
+            "--workers", "1",
+            "--stats-interval", "5",
+        ],
+    )
+    try:
+        wait_for_socket(sock, proc, timeout=120)
+
+        with ServingClient.connect_unix(str(sock)) as client:
+            baseline = client.round_trip(SOLVE)
+            if "found" not in baseline:
+                fail(f"malformed solve response: {baseline}")
+            expected = canonical(baseline)
+
+            print("== solve stream ==", flush=True)
+            for _ in range(STREAM_REQUESTS // 2):
+                if canonical(client.round_trip(SOLVE)) != expected:
+                    fail("response bytes drifted during the stream")
+
+            print("== past-deadline request ==", flush=True)
+            expired = client.round_trip(dict(SOLVE, deadline_ms=0))
+            if expired.get("error_kind") != "deadline_exceeded":
+                fail(f"deadline_ms=0 answered {expired.get('error_kind')!r}")
+
+            print("== SIGHUP hot reload mid-stream ==", flush=True)
+            subprocess.run(
+                [
+                    sys.executable, "-m", "repro.cli",
+                    "--scale", "tiny",
+                    "snapshot", "save", "--store", str(store),
+                ],
+                check=True,
+            )  # LATEST now names a fresh (identical-content) snapshot
+            proc.send_signal(signal.SIGHUP)
+            for _ in range(STREAM_REQUESTS // 2):
+                if canonical(client.round_trip(SOLVE)) != expected:
+                    fail("response bytes drifted across the reload")
+            stats = client.round_trip({"op": "stats"})
+            reloads = stats["counters"].get("reloads_ok", 0)
+            if reloads < 1:
+                fail(f"SIGHUP produced no successful reload: {stats['counters']}")
+
+        print("== overload burst ==", flush=True)
+        overloaded = 0
+        for attempt in range(OVERLOAD_RETRIES):
+            got, answered = overload_burst(str(sock))
+            overloaded += got
+            if overloaded:
+                print(
+                    f"   burst {attempt + 1}: {got} overloaded, "
+                    f"{answered} answered"
+                )
+                break
+        else:
+            fail(
+                f"no overloaded rejection in {OVERLOAD_RETRIES} bursts of "
+                f"{OVERLOAD_BURST} (queue bound 2, 1 worker)"
+            )
+
+        print("== counters add up ==", flush=True)
+        with ServingClient.connect_unix(str(sock)) as client:
+            stats = client.round_trip({"op": "stats"})
+        counters = stats["counters"]
+        received = counters.get("requests_received", 0)
+        accounted = sum(
+            counters.get(name, 0)
+            for name in (
+                "answered_found",
+                "answered_no_team",
+                "answered_error",
+                "rejected_overloaded",
+                "rejected_deadline",
+            )
+        )
+        if received != accounted:
+            fail(f"counters do not add up: received={received} != {accounted}")
+        if received < STREAM_REQUESTS:
+            fail(f"expected >= {STREAM_REQUESTS} requests, saw {received}")
+        latency = stats["latency"]["request"]
+        print(
+            f"   {received} requests accounted for; "
+            f"p50={latency['p50_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms"
+        )
+
+        print("== graceful shutdown ==", flush=True)
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("server did not exit within 60s of SIGTERM")
+        if code != 0:
+            fail(f"server exited {code}, expected 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    print("serve smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -143,7 +143,7 @@ class TeamFormationEngine:
     ) -> None:
         if max_cached_oracles < 1 or max_cached_finders < 1:
             raise ValueError("cache bounds must be positive")
-        self.network = network
+        self._network = network
         self.scales = scales or ObjectiveScales.from_network(network)
         self.sa_mode: SaMode = sa_mode
         self.oracle_kind = oracle_kind
@@ -167,6 +167,27 @@ class TeamFormationEngine:
         self._mutex = threading.RLock()
         self._build_locks: dict[tuple, threading.Lock] = {}
         self._rw = ReadWriteLock()
+        # Attach the mutation guard (the PR-5 known limit, now closed):
+        # direct network mutation outside `engine.mutate()` bypasses
+        # `_rw` and can tear an in-flight solve, so the network warns on
+        # it (raises under REPRO_STRICT=1).  Latest attach wins if two
+        # engines ever share one network — also a bypass of each
+        # other's locks, which the warning then at least half-covers.
+        network.set_mutation_guard(
+            lambda: self._rw.write_held_by_current_thread
+        )
+
+    @property
+    def network(self) -> ExpertNetwork:
+        """The engine-owned expert network (read-only attachment).
+
+        Reading (lookups, solving) is unrestricted.  *Mutating* it
+        directly is guarded: go through ``with engine.mutate() as net:``
+        so the engine's writer lock serializes the change against
+        in-flight solves — a direct mutation call emits a
+        :class:`UserWarning` (or raises under ``REPRO_STRICT=1``).
+        """
+        return self._network
 
     # ------------------------------------------------------------------
     # the request/response serving path

@@ -49,6 +49,15 @@ class TeamRequest:
     ``num_samples`` only matter to stochastic solvers (``random``);
     ``k`` asks for up to ``k`` ranked teams where the solver supports it
     (extras are returned as ``alternates``).
+
+    ``deadline_ms`` is the caller's per-request latency budget in
+    milliseconds, honored by the persistent server
+    (:class:`repro.serving.server.TeamServer`): a request still queued
+    when its budget runs out is answered with a ``deadline_exceeded``
+    error response instead of occupying a worker.  ``0`` means "already
+    expired" (useful for testing the rejection path); ``None`` defers
+    to the server's configured default.  Solvers themselves ignore it —
+    a solve that has *started* runs to completion.
     """
 
     skills: tuple[str, ...]
@@ -61,6 +70,7 @@ class TeamRequest:
     k: int = 1
     seed: int | None = None
     num_samples: int | None = None
+    deadline_ms: int | None = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "skills", tuple(self.skills))
@@ -80,6 +90,16 @@ class TeamRequest:
             raise ValueError("k must be positive")
         if self.num_samples is not None and self.num_samples < 1:
             raise ValueError("num_samples must be positive")
+        if self.deadline_ms is not None:
+            if not isinstance(self.deadline_ms, int) or isinstance(
+                self.deadline_ms, bool
+            ):
+                raise ValueError(
+                    f"deadline_ms must be an integer millisecond count, "
+                    f"got {self.deadline_ms!r}"
+                )
+            if self.deadline_ms < 0:
+                raise ValueError("deadline_ms must be non-negative")
 
     def to_dict(self) -> dict[str, Any]:
         """This message as a JSON-ready dict (inverse of ``from_dict``)."""
@@ -94,6 +114,7 @@ class TeamRequest:
             "k": self.k,
             "seed": self.seed,
             "num_samples": self.num_samples,
+            "deadline_ms": self.deadline_ms,
         }
 
     @classmethod
@@ -109,6 +130,7 @@ class TeamRequest:
             "k",
             "seed",
             "num_samples",
+            "deadline_ms",
         }
         kwargs = {key: data[key] for key in known if key in data}
         return cls(skills=tuple(data["skills"]), **kwargs)
@@ -345,7 +367,11 @@ class TeamResponse:
     solver's legitimate negative answers, while ``"unknown_solver"`` /
     ``"invalid_request"`` / ``"internal"`` mark requests the isolation
     layer (:meth:`repro.api.TeamFormationEngine.solve_isolated`) caught
-    so one bad request cannot abort the rest of a batch.
+    so one bad request cannot abort the rest of a batch.  The
+    persistent server adds two admission-layer kinds that never reach a
+    solver at all: ``"overloaded"`` (the bounded pending queue was
+    full) and ``"deadline_exceeded"`` (the request's ``deadline_ms``
+    budget ran out while it was still queued).
     """
 
     request: TeamRequest

@@ -5,6 +5,8 @@ Examples::
     repro-teams solve --skills graphics dataation --solver greedy
     repro-teams --list-solvers
     repro-teams serve --input requests.jsonl --snapshot ./snapshots --replicas 4
+    repro-teams serve --unix /tmp/teams.sock --snapshot ./snapshots \
+        --max-pending 64 --default-deadline-ms 5000 --stats-interval 30
     repro-teams mutate --script ops.jsonl
     repro-teams snapshot save --store ./snapshots
     repro-teams solve --snapshot ./snapshots --skills graphics
@@ -20,7 +22,12 @@ Examples::
 JSON-lines request batch (stdin or a file) with per-request error
 isolation, optionally threaded over the shared engine (``--parallel``)
 or fanned out across a pool of snapshot-warmed replica processes
-(``--replicas`` + ``--snapshot``); ``mutate`` replays a JSON-lines
+(``--replicas`` + ``--snapshot``) — or, with ``--listen HOST:PORT`` /
+``--unix PATH``, runs as a *persistent* server speaking the same NDJSON
+protocol over a socket, with a bounded pending queue (``--max-pending``),
+per-request deadlines (``--default-deadline-ms``), in-band stats, and
+SIGHUP hot reload of the snapshot store's LATEST
+(:class:`repro.serving.TeamServer`); ``mutate`` replays a JSON-lines
 script of network mutations and interleaved solves against one live
 engine (the dynamic-network serving path — each mutation bumps the
 network version and the engine reconciles its cached indexes
@@ -171,6 +178,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--parallel", type=_positive_int, default=None, metavar="N",
         help="thread the batch over the shared in-process engine with N "
         "threads (ignored when --replicas is given)",
+    )
+    pserve.add_argument(
+        "--listen", metavar="HOST:PORT", default=None,
+        help="run as a persistent TCP server on HOST:PORT instead of a "
+        "one-shot batch (PORT 0 = any free port, printed on startup)",
+    )
+    pserve.add_argument(
+        "--unix", metavar="PATH", default=None,
+        help="run as a persistent server on a Unix domain socket at PATH",
+    )
+    pserve.add_argument(
+        "--max-pending", type=_positive_int, default=64, metavar="N",
+        help="server mode: bound on admitted-but-unstarted requests; "
+        "arrivals beyond it get a typed 'overloaded' response "
+        "(default: 64)",
+    )
+    pserve.add_argument(
+        "--default-deadline-ms", type=int, default=None, metavar="M",
+        help="server mode: deadline for requests that carry no "
+        "deadline_ms of their own (default: no deadline)",
+    )
+    pserve.add_argument(
+        "--workers", type=_positive_int, default=2, metavar="N",
+        help="server mode: concurrent solve workers over the backend "
+        "(default: 2)",
+    )
+    pserve.add_argument(
+        "--stats-interval", type=float, default=0.0, metavar="SECONDS",
+        help="server mode: log a metrics line every SECONDS (0 = off); "
+        "stats are always available in-band via {\"op\": \"stats\"}",
     )
 
     pmut = sub.add_parser(
@@ -426,6 +463,8 @@ def _run_serve(args) -> int:
     """Answer a JSON-lines request batch (the ``serve`` subcommand)."""
     from .serving.server import read_requests, serve_batch
 
+    if args.listen is not None or args.unix is not None:
+        return _run_server(args)
     if args.replicas is not None and not args.snapshot:
         print(
             "serve: --replicas requires --snapshot (each replica process "
@@ -476,6 +515,96 @@ def _run_serve(args) -> int:
         f"{tally['misses']} without a team, {tally['errors']} errors",
         file=sys.stderr,
     )
+    return 0
+
+
+def _run_server(args) -> int:
+    """Run the persistent server (``serve --listen``/``--unix``)."""
+    import asyncio
+    import logging
+    import signal
+
+    from .serving.server import (
+        TeamServer,
+        fixed_engine_loader,
+        store_backend_loader,
+    )
+
+    if args.listen is not None and args.unix is not None:
+        print("serve: --listen and --unix are mutually exclusive", file=sys.stderr)
+        return 2
+    if args.replicas is not None and not args.snapshot:
+        print(
+            "serve: --replicas requires --snapshot (each replica process "
+            "warm-starts from it)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.default_deadline_ms is not None and args.default_deadline_ms < 0:
+        print("serve: --default-deadline-ms must be non-negative", file=sys.stderr)
+        return 2
+    host = port = None
+    if args.listen is not None:
+        host, sep, port_text = args.listen.rpartition(":")
+        if not sep or not host:
+            print(
+                f"serve: --listen expects HOST:PORT, got {args.listen!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            port = int(port_text)
+        except ValueError:
+            print(f"serve: invalid port {port_text!r}", file=sys.stderr)
+            return 2
+    if args.snapshot:
+        loader = store_backend_loader(args.snapshot, replicas=args.replicas)
+    else:
+        network = benchmark_network(args.scale, seed=args.seed)
+        loader = fixed_engine_loader(TeamFormationEngine(network))
+    # Reload/stats/shutdown events should be visible on stderr even
+    # without the caller configuring logging.
+    logging.basicConfig(
+        level=logging.INFO,
+        stream=sys.stderr,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    server = TeamServer(
+        loader,
+        max_pending=args.max_pending,
+        default_deadline_ms=args.default_deadline_ms,
+        workers=args.workers,
+        stats_interval=args.stats_interval,
+    )
+
+    async def run() -> None:
+        address = await server.start(host=host, port=port, unix_path=args.unix)
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            # SIGHUP -> reload is wired inside server.start; these two
+            # begin the graceful stop that serve_forever waits out.
+            # Best effort like SIGHUP: a loop on a non-main thread
+            # (in-process tests) cannot own signal handlers.
+            try:
+                loop.add_signal_handler(sig, server.request_shutdown)
+            except (NotImplementedError, RuntimeError, ValueError):
+                break
+        if isinstance(address, tuple):
+            print(f"serving on {address[0]}:{address[1]}", file=sys.stderr)
+        else:
+            print(f"serving on {address}", file=sys.stderr)
+        await server.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except SnapshotError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"serve: cannot bind {args.listen or args.unix}: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass  # signal handler not installable (rare): still a clean exit
     return 0
 
 

@@ -35,8 +35,10 @@ not journaled, only post-construction mutations are.
 
 from __future__ import annotations
 
+import os
+import warnings
 from collections import deque
-from collections.abc import Iterable, Iterator
+from collections.abc import Callable, Iterable, Iterator
 from dataclasses import dataclass, replace
 
 from ..graph.adjacency import Graph, GraphError
@@ -100,6 +102,9 @@ class ExpertNetwork:
         *,
         authority_floor: float = AUTHORITY_FLOOR,
     ) -> None:
+        # Guard before anything else: __init__ itself calls
+        # add_collaboration, which consults it.
+        self._mutation_guard: Callable[[], bool] | None = None
         self._experts: dict[str, Expert] = {}
         self._graph = Graph()
         self._skills = SkillIndex()
@@ -216,6 +221,36 @@ class ExpertNetwork:
         self._journal = deque(records)
         self._journal_floor = journal_floor
 
+    def set_mutation_guard(self, guard: Callable[[], bool] | None) -> None:
+        """Install (or clear) the sanctioned-mutation predicate.
+
+        A :class:`~repro.api.engine.TeamFormationEngine` installs a
+        guard returning whether the calling thread holds the engine's
+        write lock.  While a guard is installed, every mutation method
+        consults it *before touching any state*: an unsanctioned call —
+        a direct mutation bypassing ``engine.mutate()``, the PR-5 known
+        limit — emits a :class:`UserWarning`, or raises
+        :class:`RuntimeError` when ``REPRO_STRICT=1`` is set in the
+        environment.  Because the check precedes the mutation, a strict-
+        mode raise leaves the network (and the engine's version-keyed
+        caches) fully consistent.
+        """
+        self._mutation_guard = guard
+
+    def _check_mutation_sanctioned(self, op: str) -> None:
+        guard = self._mutation_guard
+        if guard is None or guard():
+            return
+        message = (
+            f"direct ExpertNetwork.{op}() on an engine-attached network "
+            "bypasses the engine's write lock; wrap the call in "
+            "`with engine.mutate() as net:` so concurrent solves cannot "
+            "observe a torn network"
+        )
+        if os.environ.get("REPRO_STRICT") == "1":
+            raise RuntimeError(message)
+        warnings.warn(message, UserWarning, stacklevel=3)
+
     def mutations_since(self, version: int) -> tuple[NetworkMutation, ...] | None:
         """Every journaled mutation after ``version``, oldest first.
 
@@ -233,6 +268,7 @@ class ExpertNetwork:
 
     def add_expert(self, expert: Expert) -> None:
         """Add a new (possibly isolated) expert to the network."""
+        self._check_mutation_sanctioned("add_expert")
         if expert.id in self._experts:
             raise ValueError(f"duplicate expert id {expert.id!r}")
         self._experts[expert.id] = expert
@@ -242,6 +278,7 @@ class ExpertNetwork:
 
     def remove_expert(self, expert_id: str) -> Expert:
         """Remove an expert and every incident collaboration."""
+        self._check_mutation_sanctioned("remove_expert")
         expert = self.expert(expert_id)
         self._graph.remove_node(expert_id)
         self._skills.remove(expert)
@@ -251,6 +288,7 @@ class ExpertNetwork:
 
     def update_skills(self, expert_id: str, skills: Iterable[str]) -> Expert:
         """Replace ``S(c)`` of one expert, keeping the skill index exact."""
+        self._check_mutation_sanctioned("update_skills")
         old = self.expert(expert_id)
         new = replace(old, skills=frozenset(skills))
         self._skills.remove(old)
@@ -261,6 +299,7 @@ class ExpertNetwork:
 
     def update_h_index(self, expert_id: str, h_index: float) -> Expert:
         """Update one expert's authority signal ``a(c)``."""
+        self._check_mutation_sanctioned("update_h_index")
         old = self.expert(expert_id)
         new = replace(old, h_index=h_index)  # Expert validates non-negative
         self._experts[expert_id] = new
@@ -269,6 +308,7 @@ class ExpertNetwork:
 
     def add_collaboration(self, u: str, v: str, *, weight: float = 1.0) -> None:
         """Add (or reweight) the edge between two known experts."""
+        self._check_mutation_sanctioned("add_collaboration")
         for node in (u, v):
             if node not in self._experts:
                 raise KeyError(f"unknown expert id {node!r}")
@@ -286,6 +326,7 @@ class ExpertNetwork:
 
     def remove_collaboration(self, u: str, v: str) -> float:
         """Remove the edge between two experts; return its old weight."""
+        self._check_mutation_sanctioned("remove_collaboration")
         for node in (u, v):
             if node not in self._experts:
                 raise KeyError(f"unknown expert id {node!r}")

@@ -25,8 +25,13 @@ in two tiers:
   while a cold group stays on one replica so the pool as a whole builds
   each missing index at most once.
 
-:mod:`repro.serving.server` is the JSON-lines request/response loop
-behind ``repro-teams serve``.
+:mod:`repro.serving.server` is the JSON-lines request/response layer
+behind ``repro-teams serve``: the one-shot batch loop, and the
+persistent asyncio front end (:class:`TeamServer` — admission control,
+per-request deadlines, a metrics registry with streaming latency
+percentiles, and zero-downtime snapshot hot reload; wire protocol in
+:mod:`repro.serving.server_conn`, instruments in
+:mod:`repro.serving.metrics`).
 
 Submodules import lazily (PEP 562): the engine imports
 :mod:`repro.serving.locks`, while :mod:`repro.serving.pool` imports the
@@ -38,30 +43,57 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 __all__ = [
+    "BackgroundServer",
+    "EngineBackend",
     "EngineReplicaPool",
+    "MetricsRegistry",
+    "PoolBackend",
     "ReadWriteLock",
+    "ServingClient",
+    "TeamServer",
+    "fixed_engine_loader",
     "plan_jobs",
     "request_index_key",
     "read_requests",
     "serve_batch",
+    "store_backend_loader",
     "usable_cores",
 ]
 
 _EXPORTS = {
+    "BackgroundServer": ("repro.serving.server", "BackgroundServer"),
+    "EngineBackend": ("repro.serving.server", "EngineBackend"),
     "EngineReplicaPool": ("repro.serving.pool", "EngineReplicaPool"),
+    "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
+    "PoolBackend": ("repro.serving.server", "PoolBackend"),
     "ReadWriteLock": ("repro.serving.locks", "ReadWriteLock"),
+    "ServingClient": ("repro.serving.server_conn", "ServingClient"),
+    "TeamServer": ("repro.serving.server", "TeamServer"),
+    "fixed_engine_loader": ("repro.serving.server", "fixed_engine_loader"),
     "plan_jobs": ("repro.serving.batch", "plan_jobs"),
     "request_index_key": ("repro.serving.batch", "request_index_key"),
     "read_requests": ("repro.serving.server", "read_requests"),
     "serve_batch": ("repro.serving.server", "serve_batch"),
+    "store_backend_loader": ("repro.serving.server", "store_backend_loader"),
     "usable_cores": ("repro.serving.pool", "usable_cores"),
 }
 
 if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .batch import plan_jobs, request_index_key
     from .locks import ReadWriteLock
+    from .metrics import MetricsRegistry
     from .pool import EngineReplicaPool, usable_cores
-    from .server import read_requests, serve_batch
+    from .server import (
+        BackgroundServer,
+        EngineBackend,
+        PoolBackend,
+        TeamServer,
+        fixed_engine_loader,
+        read_requests,
+        serve_batch,
+        store_backend_loader,
+    )
+    from .server_conn import ServingClient
 
 
 def __getattr__(name: str):

@@ -150,6 +150,17 @@ class ReadWriteLock:
         with self._cond:
             return self._writer is not None
 
+    @property
+    def write_held_by_current_thread(self) -> bool:
+        """Whether *this* thread holds the write side.
+
+        This is what the engine's mutation guard asks: a direct network
+        mutation is sanctioned exactly when the calling thread is inside
+        ``engine.mutate()`` (or another exclusive-writer entry point).
+        """
+        with self._cond:
+            return self._writer == threading.get_ident()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"ReadWriteLock(readers={self.active_readers}, "

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import multiprocessing
 import pickle
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
@@ -151,6 +152,10 @@ class EngineReplicaPool:
         self._workers: list[ProcessPoolExecutor] = []
         self._pinned_worker: dict[tuple, int] = {}
         self._next_worker = 0
+        # Routing state mutates per job; the persistent server drives
+        # one pool from several executor threads at once, so the
+        # round-robin cursor and pin table need a lock.
+        self._route_lock = threading.Lock()
         self._local: "TeamFormationEngine | None" = None
         if replicas > 1:
             workers: list[ProcessPoolExecutor] = []
@@ -255,18 +260,23 @@ class EngineReplicaPool:
         return responses  # type: ignore[return-value]
 
     def _route(self, pin: tuple | None) -> int:
-        """Pick the worker for a job; pinned keys stick for pool life."""
-        if pin is None:
-            worker = self._next_worker
-            self._next_worker = (self._next_worker + 1) % len(self._workers)
+        """Pick the worker for a job; pinned keys stick for pool life.
+
+        Thread-safe: concurrent callers (the persistent server's solve
+        workers) round-robin without ever double-assigning a pin.
+        """
+        with self._route_lock:
+            if pin is None:
+                worker = self._next_worker
+                self._next_worker = (self._next_worker + 1) % len(self._workers)
+                return worker
+            worker = self._pinned_worker.get(pin)
+            if worker is None:
+                # First sight of this cold group: round-robin over the
+                # pinned assignments so multiple cold groups spread out.
+                worker = len(self._pinned_worker) % len(self._workers)
+                self._pinned_worker[pin] = worker
             return worker
-        worker = self._pinned_worker.get(pin)
-        if worker is None:
-            # First sight of this cold group: round-robin over the
-            # pinned assignments so multiple cold groups spread out.
-            worker = len(self._pinned_worker) % len(self._workers)
-            self._pinned_worker[pin] = worker
-        return worker
 
     # ------------------------------------------------------------------
     def close(self) -> None:

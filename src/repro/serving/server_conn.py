@@ -1,0 +1,243 @@
+"""Per-connection wire protocol of the persistent serving front end.
+
+The protocol is newline-delimited JSON, one message per line, over TCP
+or a Unix socket.  A line is either
+
+* a **solve request** — any object with a ``"skills"`` key, parsed as a
+  :class:`repro.api.messages.TeamRequest` (``deadline_ms`` included) and
+  answered with exactly one :class:`TeamResponse` JSON line, **byte
+  identical** to what an in-process ``engine.solve`` at the same network
+  version would serialize; or
+* an **admin op** — an object with an ``"op"`` key: ``"stats"``
+  (metrics snapshot), ``"reload"`` (hot-swap to the store's LATEST
+  snapshot), ``"ping"`` (liveness), ``"shutdown"`` (graceful stop).
+  Ops are answered with one ``{"op": ...}`` envelope line.
+
+Responses come back **in request order per connection** (requests may
+be pipelined; the handler answers strictly sequentially), so a client
+never needs correlation ids — which is also what keeps solve response
+bytes identical to the batch path.
+
+Unlike the one-shot batch loop (:func:`repro.serving.server.read_requests`,
+where a malformed line is a usage error that aborts the run), a
+long-lived server must survive bad input: a malformed or invalid line
+is answered in-band with one ``{"op": "error", ...}`` envelope and the
+connection stays open.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+from typing import TYPE_CHECKING, Any
+
+from ..api.messages import TeamRequest
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .server import TeamServer
+
+__all__ = [
+    "ADMIN_OPS",
+    "WireProtocolError",
+    "parse_line",
+    "error_line",
+    "serve_connection",
+    "ServingClient",
+]
+
+#: Ops the connection handler dispatches to the server.
+ADMIN_OPS = frozenset({"stats", "reload", "ping", "shutdown"})
+
+#: Per-line size bound: a line this long is an attack or a bug, either
+#: way it must not buffer unboundedly inside the reader.
+MAX_LINE_BYTES = 1 << 20
+
+
+class WireProtocolError(ValueError):
+    """A line the protocol cannot interpret (answered in-band)."""
+
+
+def parse_line(line: str) -> tuple[str, Any]:
+    """Parse one wire line into ``("op", name)`` or ``("solve", request)``.
+
+    Raises :class:`WireProtocolError` with a client-presentable message
+    for malformed JSON, a non-object line, an unknown op, or a request
+    :class:`TeamRequest` validation rejects.  (An *unknown solver* is
+    deliberately not rejected here: the request parses, and the engine's
+    isolation layer answers it with a typed ``unknown_solver`` response
+    — the same bytes the batch path produces.)
+    """
+    try:
+        data = json.loads(line)
+    except json.JSONDecodeError as exc:
+        raise WireProtocolError(f"invalid JSON: {exc}") from None
+    if not isinstance(data, dict):
+        raise WireProtocolError(
+            "expected a JSON object (a TeamRequest dict or an admin op)"
+        )
+    if "op" in data:
+        op = data["op"]
+        if op not in ADMIN_OPS:
+            known = ", ".join(sorted(ADMIN_OPS))
+            raise WireProtocolError(f"unknown op {op!r}; known ops: {known}")
+        return "op", op
+    try:
+        return "solve", TeamRequest.from_dict(data)
+    except KeyError as exc:
+        raise WireProtocolError(
+            f"missing required field {exc.args[0]!r}"
+        ) from None
+    except (TypeError, ValueError) as exc:
+        raise WireProtocolError(str(exc)) from None
+
+
+def error_line(message: str, *, kind: str = "invalid_request") -> str:
+    """The in-band error envelope for a line that never became a request."""
+    return json.dumps(
+        {"op": "error", "error": message, "error_kind": kind}, sort_keys=True
+    )
+
+
+async def serve_connection(
+    server: "TeamServer",
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    """Serve one client connection until EOF, error, or server stop.
+
+    Strictly sequential: read a line, answer it, read the next.
+    Pipelined requests queue in the stream reader and are answered in
+    arrival order.  Backpressure and deadlines are the *server's* job
+    (admission happens in :meth:`TeamServer.submit`); this loop only
+    frames messages and keeps per-connection ordering.
+    """
+    metrics = server.metrics
+    metrics.counter("connections_opened").inc()
+    metrics.gauge("connections_active").add(1)
+    try:
+        while not server.stopping:
+            try:
+                raw = await reader.readline()
+            except (
+                asyncio.LimitOverrunError,
+                ValueError,
+                ConnectionResetError,
+            ):
+                break
+            if not raw:
+                break  # EOF
+            if len(raw) > MAX_LINE_BYTES:
+                await _write_line(
+                    writer, error_line("request line too long")
+                )
+                metrics.counter("invalid_lines").inc()
+                continue
+            line = raw.decode("utf-8", errors="replace").strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                kind, payload = parse_line(line)
+            except WireProtocolError as exc:
+                metrics.counter("invalid_lines").inc()
+                await _write_line(writer, error_line(str(exc)))
+                continue
+            if kind == "op":
+                envelope = await server.handle_op(payload)
+                await _write_line(
+                    writer, json.dumps(envelope, sort_keys=True)
+                )
+                if payload == "shutdown":
+                    break
+            else:
+                response_json = await server.submit(payload)
+                await _write_line(writer, response_json)
+    except (ConnectionResetError, BrokenPipeError):
+        pass  # client went away mid-write; nothing to answer
+    finally:
+        metrics.counter("connections_closed").inc()
+        metrics.gauge("connections_active").add(-1)
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+async def _write_line(writer: asyncio.StreamWriter, text: str) -> None:
+    writer.write(text.encode("utf-8") + b"\n")
+    await writer.drain()
+
+
+class ServingClient:
+    """A small *blocking* client for the NDJSON protocol.
+
+    This is the consumer side the tests, the latency benchmark and the
+    CI smoke script share: connect over TCP or a Unix socket, send one
+    JSON object per line, read one response line per message.  ``send``
+    and ``recv`` are split so callers can pipeline.
+    """
+
+    def __init__(self, sock: socket.socket, *, timeout: float = 30.0) -> None:
+        sock.settimeout(timeout)
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+
+    @classmethod
+    def connect_tcp(
+        cls, host: str, port: int, *, timeout: float = 30.0
+    ) -> "ServingClient":
+        return cls(socket.create_connection((host, port)), timeout=timeout)
+
+    @classmethod
+    def connect_unix(cls, path: str, *, timeout: float = 30.0) -> "ServingClient":
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(path)
+        return cls(sock, timeout=timeout)
+
+    def send(self, message: dict) -> None:
+        """Send one JSON object as a wire line (no response read)."""
+        self.send_line(json.dumps(message))
+
+    def send_line(self, line: str) -> None:
+        """Send one raw line verbatim (malformed-input testing)."""
+        self._file.write(line.encode("utf-8") + b"\n")
+        self._file.flush()
+
+    def recv_line(self) -> str:
+        """Read one raw response line; raises ConnectionError on EOF."""
+        raw = self._file.readline()
+        if not raw:
+            raise ConnectionError("server closed the connection")
+        return raw.decode("utf-8").rstrip("\n")
+
+    def recv(self) -> dict:
+        """Read one response line and parse it as JSON."""
+        return json.loads(self.recv_line())
+
+    def round_trip(self, message: dict) -> dict:
+        """Send one message and read its (parsed) response."""
+        self.send(message)
+        return self.recv()
+
+    def round_trip_raw(self, message: dict) -> str:
+        """Send one message and read its raw response line (byte checks)."""
+        self.send(message)
+        return self.recv_line()
+
+    def close(self) -> None:
+        """Close the socket (idempotent; errors on teardown ignored)."""
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServingClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

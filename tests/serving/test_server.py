@@ -1,0 +1,443 @@
+"""The persistent serving front end, end to end over real sockets.
+
+Covers the tentpole contracts:
+
+* wire responses **byte-identical** (timing aside) to a cold engine at
+  the same network version, for the engine, pool, and store backends;
+* **admission control** — a full pending queue answers ``overloaded``
+  immediately, never buffering without bound or dropping a connection;
+* **deadlines** — an expired budget answers ``deadline_exceeded``
+  without the request ever occupying a solve worker;
+* **stats** — the in-band counters add up: every request received is
+  accounted for as answered or rejected once the server quiesces;
+* **hot reload** — a client storm across a reload observes only
+  version-v or version-v' responses (never a torn mix), a corrupt new
+  LATEST leaves the old backend serving, and requests sent after the
+  reload op returns answer from the new version;
+* a malformed line is answered in-band and the connection survives;
+* shutdown is graceful and idempotent.
+
+All server tests run the asyncio loop on a :class:`BackgroundServer`
+thread and drive it with the blocking :class:`ServingClient`, exactly
+as the benchmark and the CI smoke script do.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.api.messages import TeamResponse
+from repro.serving.pool import EngineReplicaPool
+from repro.serving.server import (
+    BackgroundServer,
+    PoolBackend,
+    TeamServer,
+    fixed_engine_loader,
+    store_backend_loader,
+)
+from repro.serving.server_conn import ServingClient
+
+from ..api.conftest import PROJECT, build_figure1_network
+
+GREEDY = TeamRequest(skills=PROJECT, solver="greedy")
+SNAPSHOT_GAMMA = 0.6
+
+
+def canonical(line: str) -> str:
+    """A wire response line reduced to its timing-nulled canonical form."""
+    return TeamResponse.from_json(line).canonical_json()
+
+
+@pytest.fixture(scope="module")
+def snapshot_store(tmp_path_factory):
+    """A store holding one warm snapshot of the figure-1 engine."""
+    store = tmp_path_factory.mktemp("server-store")
+    engine = TeamFormationEngine(build_figure1_network())
+    engine.search_oracle("sa-ca-cc", SNAPSHOT_GAMMA)
+    engine.raw_oracle()
+    engine.save_snapshot(store)
+    return store
+
+
+class running_server:
+    """Context manager: a TeamServer live on a fresh Unix socket.
+
+    Socket paths go in their own short tempdir (sockaddr_un caps the
+    path around 100 bytes; pytest tmp paths can exceed it).
+    """
+
+    def __init__(self, loader, **kwargs):
+        self._tmp = tempfile.TemporaryDirectory(prefix="srv-")
+        self.socket_path = str(Path(self._tmp.name) / "s.sock")
+        self.server = TeamServer(loader, **kwargs)
+        self._background = BackgroundServer(
+            self.server, unix_path=self.socket_path
+        )
+
+    def client(self, *, timeout: float = 30.0) -> ServingClient:
+        return ServingClient.connect_unix(self.socket_path, timeout=timeout)
+
+    def __enter__(self) -> "running_server":
+        self._background.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        try:
+            self._background.stop()
+        finally:
+            self._tmp.cleanup()
+
+
+class BlockingBackend:
+    """A backend whose solves block until released (admission tests)."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.started = threading.Event()
+
+    def solve(self, request: TeamRequest) -> TeamResponse:
+        self.started.set()
+        assert self.release.wait(timeout=30), "test forgot to release"
+        return TeamResponse.for_error(request, "internal", "blocked solve")
+
+    def describe(self) -> dict:
+        return {"kind": "blocking"}
+
+    def close(self) -> None:
+        self.release.set()
+
+
+def wait_for(predicate, *, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        assert time.monotonic() < deadline, "condition never became true"
+        time.sleep(0.01)
+
+
+def counters(client: ServingClient) -> dict:
+    return client.round_trip({"op": "stats"})["counters"]
+
+
+def assert_accounted(stats: dict) -> None:
+    """The smoke invariant: every received request is answered once."""
+    c = stats["counters"]
+    answered = (
+        c.get("answered_found", 0)
+        + c.get("answered_no_team", 0)
+        + c.get("answered_error", 0)
+        + c.get("rejected_overloaded", 0)
+        + c.get("rejected_deadline", 0)
+    )
+    assert c.get("requests_received", 0) == answered
+
+
+# ----------------------------------------------------------------------
+# byte identity across backends
+# ----------------------------------------------------------------------
+def test_engine_backend_responses_byte_identical_to_cold_engine(
+    snapshot_store,
+):
+    cold = TeamFormationEngine.from_snapshot(snapshot_store)
+    requests = [
+        GREEDY,
+        GREEDY.replace(lam=0.2),
+        TeamRequest(skills=PROJECT, solver="rarest_first"),
+        TeamRequest(skills=("NOPE",), solver="greedy"),  # uncoverable
+        TeamRequest(skills=PROJECT, solver="not_a_solver"),  # typed error
+    ]
+    expected = [cold.solve_isolated(r).canonical_json() for r in requests]
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            got = [
+                canonical(client.round_trip_raw(r.to_dict())) for r in requests
+            ]
+    assert got == expected
+
+
+def test_pool_backend_over_degraded_pool_matches_engine(snapshot_store):
+    # replicas=1 exercises the PoolBackend plumbing without process
+    # spawn cost (the pool serves in-process in degraded mode).
+    cold = TeamFormationEngine.from_snapshot(snapshot_store)
+    pool = EngineReplicaPool(snapshot_store, replicas=1)
+    loader = lambda: PoolBackend(pool)  # noqa: E731
+    with running_server(loader) as srv:
+        with srv.client() as client:
+            stats = client.round_trip({"op": "stats"})
+            assert stats["backend"]["kind"] == "pool"
+            assert stats["backend"]["replicas"] == 1
+            got = canonical(client.round_trip_raw(GREEDY.to_dict()))
+    assert got == cold.solve_isolated(GREEDY).canonical_json()
+
+
+def test_responses_come_back_in_request_order_when_pipelined(snapshot_store):
+    lams = (0.2, 0.4, 0.6, 0.8)
+    with running_server(store_backend_loader(snapshot_store), workers=2) as srv:
+        with srv.client() as client:
+            for lam in lams:
+                client.send(GREEDY.replace(lam=lam).to_dict())
+            got = [json.loads(client.recv_line()) for _ in lams]
+    assert [r["request"]["lam"] for r in got] == list(lams)
+
+
+# ----------------------------------------------------------------------
+# protocol resilience
+# ----------------------------------------------------------------------
+def test_malformed_lines_answered_in_band_and_connection_survives(
+    snapshot_store,
+):
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            client.send_line("{not json")
+            assert client.recv()["error_kind"] == "invalid_request"
+            client.send_line('["a", "list"]')
+            assert "JSON object" in client.recv()["error"]
+            client.send_line('{"op": "selfdestruct"}')
+            assert "known ops" in client.recv()["error"]
+            client.send_line('{"skills": []}')  # TeamRequest validation
+            assert client.recv()["op"] == "error"
+            # ...and the connection still serves after four bad lines.
+            response = client.round_trip(GREEDY.to_dict())
+            assert response["found"] is True
+            stats = client.round_trip({"op": "stats"})
+            assert stats["counters"]["invalid_lines"] == 4
+            assert_accounted(stats)
+
+
+def test_ping_and_stats_shape(snapshot_store):
+    with running_server(
+        store_backend_loader(snapshot_store), max_pending=7
+    ) as srv:
+        with srv.client() as client:
+            assert client.round_trip({"op": "ping"}) == {
+                "op": "ping",
+                "ok": True,
+            }
+            stats = client.round_trip({"op": "stats"})
+            assert stats["server"]["max_pending"] == 7
+            assert stats["backend"]["kind"] == "engine"
+            assert stats["gauges"]["connections_active"] == 1
+            assert "latency" in stats
+
+
+# ----------------------------------------------------------------------
+# admission control and deadlines
+# ----------------------------------------------------------------------
+def test_overload_answers_typed_rejection_immediately():
+    backend = BlockingBackend()
+    with running_server(
+        lambda: backend, max_pending=1, workers=1
+    ) as srv:
+        with srv.client() as c1, srv.client() as c2, srv.client() as c3:
+            c1.send(GREEDY.to_dict())  # occupies the only worker
+            wait_for(backend.started.is_set)
+            c2.send(GREEDY.to_dict())  # fills the pending queue
+            wait_for(
+                lambda: srv.server.metrics.gauge("pending").value >= 1
+            )
+            t0 = time.monotonic()
+            rejected = c3.round_trip(GREEDY.to_dict())
+            elapsed = time.monotonic() - t0
+            assert rejected["error_kind"] == "overloaded"
+            assert rejected["found"] is False
+            assert "retry" in rejected["error"]
+            assert elapsed < 5  # immediate, not after the blocked solve
+            backend.release.set()
+            assert c1.recv()["error_kind"] == "internal"
+            assert c2.recv()["error_kind"] == "internal"
+        with srv.client() as admin:
+            stats = admin.round_trip({"op": "stats"})
+            assert stats["counters"]["rejected_overloaded"] == 1
+            assert_accounted(stats)
+
+
+def test_queued_request_past_deadline_never_occupies_a_worker():
+    backend = BlockingBackend()
+    with running_server(
+        lambda: backend, max_pending=8, workers=1
+    ) as srv:
+        with srv.client() as c1, srv.client() as c2:
+            c1.send(GREEDY.to_dict())
+            wait_for(backend.started.is_set)
+            c2.send(GREEDY.replace(deadline_ms=50).to_dict())
+            time.sleep(0.2)  # let the queued budget expire
+            backend.started.clear()
+            backend.release.set()
+            assert c1.recv()["error_kind"] == "internal"
+            expired = c2.recv()
+            assert expired["error_kind"] == "deadline_exceeded"
+            assert "50 ms" in expired["error"]
+            # The expired request never reached the backend.
+            time.sleep(0.05)
+            assert not backend.started.is_set()
+        with srv.client() as admin:
+            stats = admin.round_trip({"op": "stats"})
+            assert stats["counters"]["rejected_deadline"] == 1
+            assert_accounted(stats)
+
+
+def test_deadline_ms_zero_expires_at_admission(snapshot_store):
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            response = client.round_trip(
+                GREEDY.replace(deadline_ms=0).to_dict()
+            )
+            assert response["error_kind"] == "deadline_exceeded"
+            # The echoed request round-trips its deadline.
+            assert response["request"]["deadline_ms"] == 0
+
+
+def test_server_default_deadline_applies_to_bare_requests(snapshot_store):
+    with running_server(
+        store_backend_loader(snapshot_store), default_deadline_ms=0
+    ) as srv:
+        with srv.client() as client:
+            bare = client.round_trip(GREEDY.to_dict())
+            assert bare["error_kind"] == "deadline_exceeded"
+            # A per-request deadline overrides the server default.
+            own = client.round_trip(GREEDY.replace(deadline_ms=60_000).to_dict())
+            assert own["found"] is True
+
+
+# ----------------------------------------------------------------------
+# hot reload
+# ----------------------------------------------------------------------
+def _mutated_expected(store) -> str:
+    """Save a mutated v' snapshot into ``store``; return its expected
+    canonical answer for GREEDY (must differ from v's)."""
+    engine = TeamFormationEngine.from_snapshot(store)
+    with engine.mutate() as network:
+        network.remove_expert("liu")  # the only other SN holder
+    engine.save_snapshot(store)
+    fresh = TeamFormationEngine.from_snapshot(store)
+    return fresh.solve_isolated(GREEDY).canonical_json()
+
+
+def test_reload_swaps_to_new_latest_and_storm_sees_no_torn_mix(tmp_path):
+    store = tmp_path / "store"
+    engine = TeamFormationEngine(build_figure1_network())
+    engine.search_oracle("sa-ca-cc", SNAPSHOT_GAMMA)
+    engine.save_snapshot(store)
+    expected_v = TeamFormationEngine.from_snapshot(store).solve_isolated(
+        GREEDY
+    ).canonical_json()
+
+    observed: list[str] = []
+    failures: list[BaseException] = []
+    stop = threading.Event()
+
+    def storm():
+        try:
+            with srv.client() as client:
+                while not stop.is_set():
+                    observed.append(
+                        canonical(client.round_trip_raw(GREEDY.to_dict()))
+                    )
+        except BaseException as exc:  # noqa: BLE001 - recorded for the assert
+            failures.append(exc)
+
+    with running_server(store_backend_loader(store), workers=2) as srv:
+        threads = [threading.Thread(target=storm) for _ in range(3)]
+        for t in threads:
+            t.start()
+        wait_for(lambda: len(observed) >= 5)
+        expected_v2 = _mutated_expected(store)  # LATEST moves to v'
+        with srv.client() as admin:
+            envelope = admin.round_trip({"op": "reload"})
+            assert envelope["ok"] is True
+            # A request sent after the reload op returned must answer
+            # from the new version — the swap is already published.
+            assert (
+                canonical(admin.round_trip_raw(GREEDY.to_dict()))
+                == expected_v2
+            )
+        wait_for(lambda: observed and observed[-1] == expected_v2)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+        with srv.client() as admin:
+            stats = admin.round_trip({"op": "stats"})
+            assert stats["counters"]["reloads_ok"] == 1
+            assert stats["backend"]["network_version"] > 0
+            assert_accounted(stats)
+
+    assert not failures, failures
+    assert expected_v2 != expected_v  # the mutation really moved the answer
+    allowed = {expected_v, expected_v2}
+    assert set(observed) <= allowed  # never a torn mix, never an error
+    assert expected_v2 in set(observed)
+
+
+def test_failed_reload_keeps_old_backend_serving(tmp_path):
+    store = tmp_path / "store"
+    engine = TeamFormationEngine(build_figure1_network())
+    engine.save_snapshot(store)
+    expected = TeamFormationEngine.from_snapshot(store).solve_isolated(
+        GREEDY
+    ).canonical_json()
+    with running_server(store_backend_loader(store)) as srv:
+        with srv.client() as client:
+            assert canonical(client.round_trip_raw(GREEDY.to_dict())) == expected
+            # Corrupt the store: LATEST now names a garbage snapshot.
+            garbage = store / "snap-000099-v9.snap"
+            garbage.write_bytes(b"not a snapshot at all")
+            (store / "LATEST").write_text("snap-000099-v9.snap\n")
+            envelope = client.round_trip({"op": "reload"})
+            assert envelope["ok"] is False
+            assert "error" in envelope
+            # The old backend keeps serving, byte-identically.
+            assert canonical(client.round_trip_raw(GREEDY.to_dict())) == expected
+            stats = client.round_trip({"op": "stats"})
+            assert stats["counters"]["reloads_failed"] == 1
+            # Never incremented -> never created (create-on-first-touch).
+            assert stats["counters"].get("reloads_ok", 0) == 0
+            assert_accounted(stats)
+
+
+def test_fixed_engine_loader_reload_reserves_same_backend(snapshot_store):
+    engine = TeamFormationEngine.from_snapshot(snapshot_store)
+    expected = engine.solve_isolated(GREEDY).canonical_json()
+    with running_server(fixed_engine_loader(engine)) as srv:
+        with srv.client() as client:
+            before = canonical(client.round_trip_raw(GREEDY.to_dict()))
+            assert client.round_trip({"op": "reload"})["ok"] is True
+            after = canonical(client.round_trip_raw(GREEDY.to_dict()))
+    assert before == after == expected
+
+
+# ----------------------------------------------------------------------
+# lifecycle
+# ----------------------------------------------------------------------
+def test_shutdown_op_stops_the_server_gracefully(snapshot_store):
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            assert client.round_trip(GREEDY.to_dict())["found"] is True
+            assert client.round_trip({"op": "shutdown"})["ok"] is True
+        wait_for(lambda: srv.server.stopping)
+        # The exit of the with-block calls stop() again: idempotent.
+
+
+def test_server_validates_constructor_bounds(snapshot_store):
+    loader = store_backend_loader(snapshot_store)
+    with pytest.raises(ValueError):
+        TeamServer(loader, max_pending=0)
+    with pytest.raises(ValueError):
+        TeamServer(loader, workers=0)
+    with pytest.raises(ValueError):
+        TeamServer(loader, default_deadline_ms=-1)
+
+
+def test_startup_failure_propagates_to_the_caller(tmp_path):
+    empty = tmp_path / "empty-store"
+    empty.mkdir()
+    from repro.storage import SnapshotError
+
+    with pytest.raises(SnapshotError):
+        with running_server(store_backend_loader(empty)):
+            pass  # pragma: no cover - start() raises

@@ -1,0 +1,80 @@
+"""The NDJSON wire protocol: line parsing and the in-band error shape.
+
+The parsing contract mirrors the batch loop's (same field names, same
+validation), but failure handling differs by design: batch parsing
+aborts with a usage error, while the wire parser raises a typed
+:class:`WireProtocolError` the connection handler answers in-band —
+a long-lived server survives bad input.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.api.messages import TeamRequest
+from repro.serving.server_conn import (
+    ADMIN_OPS,
+    WireProtocolError,
+    error_line,
+    parse_line,
+)
+
+
+def test_parse_line_solve_request():
+    kind, request = parse_line(
+        '{"skills": ["SN", "TM"], "solver": "greedy", "deadline_ms": 250}'
+    )
+    assert kind == "solve"
+    assert isinstance(request, TeamRequest)
+    assert request.skills == ("SN", "TM")
+    assert request.deadline_ms == 250
+
+
+def test_parse_line_admin_ops():
+    for op in ADMIN_OPS:
+        assert parse_line(json.dumps({"op": op})) == ("op", op)
+
+
+def test_parse_line_unknown_op_lists_known_ones():
+    with pytest.raises(WireProtocolError, match="known ops"):
+        parse_line('{"op": "selfdestruct"}')
+
+
+def test_parse_line_malformed_json():
+    with pytest.raises(WireProtocolError, match="invalid JSON"):
+        parse_line("{not json")
+
+
+def test_parse_line_non_object():
+    with pytest.raises(WireProtocolError, match="JSON object"):
+        parse_line('["skills"]')
+
+
+def test_parse_line_missing_required_field():
+    with pytest.raises(WireProtocolError, match="skills"):
+        parse_line('{"solver": "greedy"}')
+
+
+def test_parse_line_invalid_request_value():
+    with pytest.raises(WireProtocolError, match="deadline_ms"):
+        parse_line('{"skills": ["SN"], "deadline_ms": -3}')
+
+
+def test_parse_line_keeps_unknown_solver():
+    # Unknown solvers pass the wire layer: the engine's isolation layer
+    # answers them with the same typed response bytes the batch path
+    # produces, so rejecting here would fork the protocol.
+    kind, request = parse_line('{"skills": ["SN"], "solver": "nope"}')
+    assert kind == "solve"
+    assert request.solver == "nope"
+
+
+def test_error_line_shape_is_sorted_json():
+    line = error_line("boom")
+    assert line == json.dumps(
+        {"op": "error", "error": "boom", "error_kind": "invalid_request"},
+        sort_keys=True,
+    )
+    assert json.loads(line)["error_kind"] == "invalid_request"

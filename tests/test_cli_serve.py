@@ -189,3 +189,123 @@ def test_serve_replica_pool_end_to_end(tiny_snapshot, tmp_path, capsys):
     captured = capsys.readouterr()
     assert "replica pool:" in captured.err
     assert stripped(captured.out) == stripped(sequential)
+
+
+# ----------------------------------------------------------------------
+# persistent server mode (--listen / --unix)
+# ----------------------------------------------------------------------
+def test_server_mode_listen_and_unix_are_mutually_exclusive(capsys):
+    assert (
+        main(
+            [
+                "--scale", "tiny", "serve",
+                "--listen", "127.0.0.1:0",
+                "--unix", "/tmp/x.sock",
+            ]
+        )
+        == 2
+    )
+    assert "mutually exclusive" in capsys.readouterr().err
+
+
+def test_server_mode_bad_listen_spec_exits_2(capsys):
+    assert main(["--scale", "tiny", "serve", "--listen", "8080"]) == 2
+    assert "HOST:PORT" in capsys.readouterr().err
+    assert main(["--scale", "tiny", "serve", "--listen", "host:notaport"]) == 2
+    assert "invalid port" in capsys.readouterr().err
+
+
+def test_server_mode_replicas_without_snapshot_exits_2(capsys):
+    assert (
+        main(
+            [
+                "--scale", "tiny", "serve",
+                "--unix", "/tmp/x.sock",
+                "--replicas", "2",
+            ]
+        )
+        == 2
+    )
+    assert "--replicas requires --snapshot" in capsys.readouterr().err
+
+
+def test_server_mode_bad_snapshot_exits_2(tmp_path, capsys):
+    sock = str(tmp_path / "s.sock")
+    assert (
+        main(
+            [
+                "serve",
+                "--unix", sock,
+                "--snapshot", str(tmp_path / "no-store"),
+            ]
+        )
+        == 2
+    )
+    assert "serve:" in capsys.readouterr().err
+
+
+def test_server_mode_end_to_end_over_unix_socket(tiny_snapshot):
+    """main() serves over a Unix socket until the shutdown op, exit 0."""
+    import tempfile
+    import threading
+    import time
+    from pathlib import Path
+
+    from repro.serving.server_conn import ServingClient
+
+    with tempfile.TemporaryDirectory(prefix="cli-srv-") as tmp:
+        sock = str(Path(tmp) / "s.sock")
+        result: list[int] = []
+        thread = threading.Thread(
+            target=lambda: result.append(
+                main(
+                    [
+                        "serve",
+                        "--unix", sock,
+                        "--snapshot", tiny_snapshot,
+                        "--max-pending", "8",
+                        "--default-deadline-ms", "30000",
+                    ]
+                )
+            ),
+            # Daemon: a failing assertion below must not leave a live
+            # server thread pinning the pytest process open forever.
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 60
+        while not Path(sock).exists():
+            assert time.monotonic() < deadline, "server never bound"
+            assert thread.is_alive(), f"server exited early: {result}"
+            time.sleep(0.02)
+        try:
+            with ServingClient.connect_unix(sock) as client:
+                response = client.round_trip(
+                    {"skills": ["graphics", "sound"], "solver": "greedy"}
+                )
+                # Same answer bytes as the batch path at this version
+                # (tiny scale may or may not cover the project — the
+                # contract here is a well-formed echo, not coverage).
+                assert response["request"]["solver"] == "greedy"
+                assert isinstance(response["found"], bool)
+                assert client.round_trip({"op": "ping"})["ok"] is True
+                expired = client.round_trip(
+                    {"skills": ["graphics"], "deadline_ms": 0}
+                )
+                assert expired["error_kind"] == "deadline_exceeded"
+                stats = client.round_trip({"op": "stats"})
+                assert stats["server"]["default_deadline_ms"] == 30000
+                assert stats["counters"]["requests_received"] == 2
+                assert_shutdown = client.round_trip({"op": "shutdown"})
+                assert assert_shutdown["ok"] is True
+        finally:
+            # Belt and braces: if an assertion fired before the
+            # shutdown op, stop the server so join() can succeed.
+            if thread.is_alive():
+                try:
+                    with ServingClient.connect_unix(sock) as closer:
+                        closer.round_trip({"op": "shutdown"})
+                except OSError:
+                    pass
+        thread.join(timeout=60)
+        assert result == [0]
