@@ -1,0 +1,211 @@
+"""Delta catch-up vs full snapshot transfer (standalone benchmark).
+
+Delta-snapshot replication's bet: when the primary mutates, a follower
+catches up by replaying a few enriched journal records through the
+incremental 2-hop-cover path — *much* cheaper than re-shipping and
+re-loading the whole engine snapshot, and infinitely cheaper than a
+cold index rebuild.  This benchmark measures exactly that race, per
+mutation burst:
+
+* **delta**: frame the journal suffix (``ReplicationLog.delta_since``)
+  and apply it on a lagging follower (``ReplicaFollower.apply``) —
+  pinned to zero PLL builds;
+* **snapshot**: frame the primary's full state
+  (``ReplicationLog.snapshot_frame``) and apply it on an equally
+  lagging follower — the fallback a follower past the journal floor
+  pays.
+
+Both followers (and the live primary) must answer a probe request
+byte-identically after catching up; any divergence fails the run.  Pass
+``--min-speedup`` to enforce a median snapshot/delta advantage (exit 1
+below it)::
+
+    PYTHONPATH=src python benchmarks/bench_replication.py --scale small \
+        --bursts 8 --mutations-per-burst 4 --min-speedup 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import statistics
+import sys
+import time
+
+from _bench_json import write_json_report
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.eval.workload import SCALE_CONFIGS, benchmark_network
+from repro.expertise import Expert
+from repro.graph.pll import pll_build_count
+from repro.serving.replication import ReplicaFollower, ReplicationLog
+
+
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value!r}"
+        )
+    return number
+
+
+def probe_request(network) -> TeamRequest:
+    """One answerable greedy request (most-supported skill)."""
+    skill = max(
+        network.skill_index.skills(),
+        key=lambda s: (len(network.experts_with_skill(s)), s),
+    )
+    return TeamRequest(skills=(skill,), solver="greedy")
+
+
+def mutate_burst(network, rng: random.Random, count: int) -> None:
+    """``count`` mutations from the incrementally-applicable family.
+
+    Expert joins, new collaborations and weight decreases stream into a
+    2-hop cover without a rebuild — the delta path this benchmark prices.
+    """
+    skills = sorted(network.skill_index.skills())
+    for _ in range(count):
+        ids = list(network.expert_ids())
+        op = rng.choice(("add_expert", "add_edge", "decrease"))
+        if op == "add_expert":
+            joiner = f"joiner_{network.version}"
+            network.add_expert(
+                Expert(
+                    joiner,
+                    skills={rng.choice(skills)},
+                    h_index=rng.randint(1, 20),
+                )
+            )
+            network.add_collaboration(
+                joiner, rng.choice(ids), weight=rng.uniform(0.1, 1.0)
+            )
+        elif op == "add_edge":
+            u, v = rng.sample(ids, 2)
+            if network.graph.has_edge(u, v):
+                network.add_collaboration(
+                    u, v, weight=network.graph.weight(u, v) * 0.7
+                )
+            else:
+                network.add_collaboration(u, v, weight=rng.uniform(0.1, 1.0))
+        else:
+            u, v, w = rng.choice(list(network.graph.edges()))
+            network.add_collaboration(u, v, weight=w * rng.uniform(0.4, 0.95))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALE_CONFIGS), default="small"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--bursts", type=_positive_int, default=8)
+    parser.add_argument("--mutations-per-burst", type=_positive_int, default=4)
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) when the median snapshot/delta catch-up "
+        "advantage falls below this",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the measured numbers as a JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    rng = random.Random(args.seed)
+    network = benchmark_network(args.scale, seed=args.seed)
+    primary = TeamFormationEngine(network)
+    request = probe_request(network)
+    primary.solve(request)  # warm the serving index before any transfer
+    log = ReplicationLog(primary)
+    follower = ReplicaFollower(
+        TeamFormationEngine.from_snapshot_bytes(primary.snapshot_bytes())
+    )
+    print(
+        f"scale={args.scale}: {len(network)} experts, {network.num_edges} "
+        f"edges; {args.bursts} bursts x {args.mutations_per_burst} mutations"
+    )
+
+    delta_times, snap_times, delta_sizes, snap_sizes = [], [], [], []
+    for burst in range(args.bursts):
+        # A second follower lagging identically, for the snapshot race.
+        lagged_blob = primary.snapshot_bytes()
+        with primary.mutate() as net:
+            mutate_burst(net, rng, args.mutations_per_burst)
+
+        builds_before = pll_build_count()
+        t0 = time.perf_counter()
+        delta = log.delta_since(follower.version)
+        follower.apply(delta)
+        t_delta = time.perf_counter() - t0
+        live_answer = primary.solve(request).canonical_json()
+        delta_answer = follower.engine.solve(request).canonical_json()
+        if pll_build_count() != builds_before:
+            print("FAIL: the delta catch-up path paid for an index rebuild")
+            return 1
+        if delta_answer != live_answer:
+            print("FAIL: delta-synced follower diverged from the primary")
+            return 1
+
+        laggard = ReplicaFollower(
+            TeamFormationEngine.from_snapshot_bytes(lagged_blob)
+        )
+        t0 = time.perf_counter()
+        snap = log.snapshot_frame()
+        laggard.apply(snap)
+        t_snap = time.perf_counter() - t0
+        if laggard.engine.solve(request).canonical_json() != live_answer:
+            print("FAIL: snapshot-synced follower diverged from the primary")
+            return 1
+
+        delta_times.append(t_delta)
+        snap_times.append(t_snap)
+        delta_sizes.append(len(delta))
+        snap_sizes.append(len(snap))
+        print(
+            f"  burst {burst}: delta {t_delta * 1e3:8.2f}ms "
+            f"({len(delta):>7} B)   snapshot {t_snap * 1e3:8.2f}ms "
+            f"({len(snap):>9} B)   advantage {t_snap / t_delta:6.1f}x"
+        )
+
+    t_delta = statistics.median(delta_times)
+    t_snap = statistics.median(snap_times)
+    speedup = t_snap / t_delta if t_delta > 0 else float("inf")
+    print(f"  median delta catch-up    : {t_delta * 1e3:9.2f}ms")
+    print(f"  median snapshot transfer : {t_snap * 1e3:9.2f}ms")
+    print(f"  median delta stream size : {statistics.median(delta_sizes):.0f} B")
+    print(f"  median snapshot size     : {statistics.median(snap_sizes):.0f} B")
+    print(f"  median delta advantage   : {speedup:8.1f}x")
+    status = 0
+    if args.min_speedup and speedup < args.min_speedup:
+        print(
+            f"FAIL: median delta advantage {speedup:.1f}x < "
+            f"required {args.min_speedup}x"
+        )
+        status = 1
+    if args.json:
+        write_json_report(
+            args.json,
+            "replication",
+            {
+                "scale": args.scale,
+                "bursts": args.bursts,
+                "mutations_per_burst": args.mutations_per_burst,
+                "median_delta_seconds": t_delta,
+                "median_snapshot_seconds": t_snap,
+                "median_delta_bytes": statistics.median(delta_sizes),
+                "median_snapshot_bytes": statistics.median(snap_sizes),
+                "median_delta_advantage": speedup,
+                "min_speedup": args.min_speedup,
+                "gate_passed": status == 0,
+            },
+        )
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

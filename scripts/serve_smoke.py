@@ -16,7 +16,12 @@ the way the unit suite (in-process loop) cannot:
    byte-identical answers before and after (same network version);
 4. check the stats-op counters add up: every request received is
    answered or rejected exactly once;
-5. SIGTERM and assert a graceful exit with code 0.
+5. SIGTERM and assert a graceful exit with code 0;
+6. restart with ``--replicate`` and run a mutate-then-solve
+   convergence pass: a ``{"op": "mutate"}`` burst must report the
+   followers caught up (``replica_version == primary_version``) and
+   the next solve must carry the advanced ``network_version`` — the
+   staleness bug this mode exists to prevent.
 
 Runs with only the package itself installed::
 
@@ -191,6 +196,69 @@ def main() -> int:
             fail("server did not exit within 60s of SIGTERM")
         if code != 0:
             fail(f"server exited {code}, expected 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+    print("== replicated server: mutate-then-solve convergence ==", flush=True)
+    rsock = tmp / "serve-repl.sock"
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--unix", str(rsock),
+            "--snapshot", str(store),
+            "--replicate",
+            "--max-lag-ms", "5000",
+            "--workers", "1",
+            "--stats-interval", "5",
+        ],
+    )
+    try:
+        wait_for_socket(rsock, proc, timeout=120)
+        with ServingClient.connect_unix(str(rsock)) as client:
+            before = client.round_trip(SOLVE)
+            version = before.get("network_version")
+            if not isinstance(version, int):
+                fail(f"replicated solve carries no network_version: {before}")
+
+            mutated = client.round_trip({
+                "op": "mutate",
+                "ops": [
+                    {"op": "add_expert", "id": "smoke_a",
+                     "skills": ["graphics"], "h_index": 30},
+                    {"op": "add_expert", "id": "smoke_b",
+                     "skills": ["sound"], "h_index": 30},
+                    {"op": "add_collaboration",
+                     "u": "smoke_a", "v": "smoke_b", "weight": 1.0},
+                ],
+            })
+            if not mutated.get("ok") or mutated.get("applied") != 3:
+                fail(f"mutate burst failed: {mutated}")
+            if mutated["replica_version"] != mutated["primary_version"]:
+                fail(f"followers lag the primary after mutate: {mutated}")
+
+            after = client.round_trip(SOLVE)
+            if after.get("network_version") != version + 3:
+                fail(
+                    f"solve still serves version "
+                    f"{after.get('network_version')} after 3 mutations "
+                    f"(started at {version})"
+                )
+            print(
+                f"   converged: network_version {version} -> "
+                f"{after['network_version']}, "
+                f"{mutated['snapshot_fallbacks']} snapshot fallbacks"
+            )
+
+        proc.send_signal(signal.SIGTERM)
+        try:
+            code = proc.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            fail("replicated server did not exit within 60s of SIGTERM")
+        if code != 0:
+            fail(f"replicated server exited {code}, expected 0")
     finally:
         if proc.poll() is None:
             proc.kill()

@@ -77,6 +77,7 @@ from ..core.rarest_first import RarestFirstSolver
 from ..core.sa_solver import SaOptimalSolver
 from ..core.transform import transformed_edge_weight
 from ..expertise.network import ExpertNetwork, NetworkMutation
+from ..expertise.serialize import expert_from_dict, mutation_from_dict
 from ..graph.adjacency import Graph, GraphError
 from ..graph.distance import DijkstraOracle, DistanceOracle, build_oracle
 from ..graph.pll import PrunedLandmarkLabeling
@@ -87,8 +88,19 @@ from ..storage.codec import (
     decode_engine_snapshot,
     encode_engine_snapshot,
 )
-from ..storage.errors import CorruptSnapshotError, StaleSnapshotError
-from ..storage.format import read_container, write_container
+from ..storage.delta import FRAME_DELTA, iter_frames
+from ..storage.errors import (
+    CorruptDeltaError,
+    CorruptSnapshotError,
+    JournalTruncatedError,
+    StaleSnapshotError,
+)
+from ..storage.format import (
+    decode_container,
+    encode_container,
+    read_container,
+    write_container,
+)
 from ..storage.store import SnapshotStore, resolve_snapshot_path
 from .messages import TeamRequest, TeamResponse
 from .registry import Solver, SolverRegistry, UnknownSolverError
@@ -635,6 +647,31 @@ class TeamFormationEngine:
         *,
         retain: int | None,
     ) -> Path:
+        meta, sections = self._snapshot_sections_locked()
+        if isinstance(target, SnapshotStore):
+            return target.save(meta, sections)
+        path = Path(target)
+        if path.suffix == ".snap":
+            return write_container(path, meta, sections)
+        return SnapshotStore(path, retain=retain).save(meta, sections)
+
+    def snapshot_bytes(self) -> bytes:
+        """The engine's serving state as one in-memory snapshot container.
+
+        Exactly what :meth:`save_snapshot` writes to disk — the same
+        CRC-checked container format — but returned as bytes, so a
+        replication primary can ship a full-state transfer over the
+        wire (wrapped in a snapshot frame, see :mod:`repro.storage.delta`)
+        without touching the filesystem.  Load with
+        :meth:`from_snapshot_bytes`.
+        """
+        with self._rw.read_locked():
+            meta, sections = self._snapshot_sections_locked()
+        return encode_container(meta, sections)
+
+    def _snapshot_sections_locked(
+        self,
+    ) -> tuple[dict, dict[str, bytes]]:
         version = self.network.version
         entries = []
         with self._mutex:
@@ -656,7 +693,7 @@ class TeamFormationEngine:
                         labels=oracle.export_flat_labels(),
                     )
                 )
-        meta, sections = encode_engine_snapshot(
+        return encode_engine_snapshot(
             EngineSnapshotState(
                 network=self.network,
                 edge_scale=self.scales.edge_scale,
@@ -666,12 +703,6 @@ class TeamFormationEngine:
                 entries=tuple(entries),
             )
         )
-        if isinstance(target, SnapshotStore):
-            return target.save(meta, sections)
-        path = Path(target)
-        if path.suffix == ".snap":
-            return write_container(path, meta, sections)
-        return SnapshotStore(path, retain=retain).save(meta, sections)
 
     @classmethod
     def from_snapshot(
@@ -712,6 +743,55 @@ class TeamFormationEngine:
         """
         meta, sections = read_container(resolve_snapshot_path(source))
         state = decode_engine_snapshot(meta, sections)
+        return cls._from_snapshot_state(
+            state,
+            network=network,
+            registry=registry,
+            index_workers=index_workers,
+            max_cached_oracles=max_cached_oracles,
+            max_cached_finders=max_cached_finders,
+        )
+
+    @classmethod
+    def from_snapshot_bytes(
+        cls,
+        blob: bytes,
+        *,
+        network: ExpertNetwork | None = None,
+        registry: SolverRegistry | None = None,
+        index_workers: int | None = None,
+        max_cached_oracles: int = 16,
+        max_cached_finders: int = 128,
+    ) -> "TeamFormationEngine":
+        """:meth:`from_snapshot` for an in-memory container.
+
+        The inverse of :meth:`snapshot_bytes`: verifies and loads a
+        snapshot container that arrived as bytes — the replication
+        full-transfer fallback — with identical semantics (and identical
+        typed errors) to loading the same container from a file.
+        """
+        meta, sections = decode_container(blob, source="<snapshot bytes>")
+        state = decode_engine_snapshot(meta, sections)
+        return cls._from_snapshot_state(
+            state,
+            network=network,
+            registry=registry,
+            index_workers=index_workers,
+            max_cached_oracles=max_cached_oracles,
+            max_cached_finders=max_cached_finders,
+        )
+
+    @classmethod
+    def _from_snapshot_state(
+        cls,
+        state: EngineSnapshotState,
+        *,
+        network: ExpertNetwork | None,
+        registry: SolverRegistry | None,
+        index_workers: int | None,
+        max_cached_oracles: int,
+        max_cached_finders: int,
+    ) -> "TeamFormationEngine":
         snapshot_net = state.network
         if network is not None:
             frozen = snapshot_net.version
@@ -786,6 +866,187 @@ class TeamFormationEngine:
                 ) from None
             cache[(*entry.base, entry.version)] = (graph, oracle)
         return engine
+
+    # ------------------------------------------------------------------
+    # replication: consuming a primary's delta stream
+    # (see repro.serving.replication for the primary side)
+    # ------------------------------------------------------------------
+    def apply_delta_stream(self, data: bytes) -> dict:
+        """Advance this engine by replaying a replication delta stream.
+
+        ``data`` is a concatenation of delta frames
+        (:mod:`repro.storage.delta`); every frame is CRC-verified before
+        any of it is interpreted.  Each frame's enriched journal records
+        are applied through :meth:`mutate` — the same write-locked path
+        local mutations take — so the follower's network version, journal
+        and state advance exactly as the primary's did, and the cached
+        2-hop-cover indexes reconcile through the ordinary version-keyed
+        incremental path (eagerly, via :meth:`apply_updates`, when the
+        primary's hints say the whole delta is incrementally
+        applicable; lazily on first touch otherwise).
+
+        Replay is idempotent (frames at or below the current version are
+        skipped whole) and gap-checked: a stream starting *past* the
+        current version raises
+        :class:`~repro.storage.errors.JournalTruncatedError` — the typed
+        signal to fall back to a full snapshot transfer.  A record that
+        contradicts the follower's own journal (same version, different
+        mutation) raises
+        :class:`~repro.storage.errors.StaleSnapshotError`: the two sides
+        belong to different mutation lineages and no delta can reconcile
+        them.  A snapshot frame raises ``ValueError`` — a full-state
+        transfer replaces the engine, which an engine cannot do to
+        itself; route mixed streams through
+        :class:`repro.serving.replication.ReplicaFollower`.
+
+        Returns ``{"frames", "applied", "skipped", "reconciled"}`` where
+        ``reconciled`` is the :meth:`apply_updates` report when the
+        eager path ran, else ``None``.
+        """
+        report: dict = {"frames": 0, "applied": 0, "skipped": 0}
+        hints_incremental = True
+        for kind, payload in iter_frames(data):
+            if kind != FRAME_DELTA:
+                raise ValueError(
+                    "snapshot frame in delta stream: a full-state transfer "
+                    "replaces the whole engine — route it through "
+                    "repro.serving.replication.ReplicaFollower (or "
+                    "TeamFormationEngine.from_snapshot_bytes)"
+                )
+            frame = self.apply_delta_payload(payload)
+            report["frames"] += 1
+            report["applied"] += frame["applied"]
+            report["skipped"] += frame["skipped"]
+            if frame["applied"]:
+                hints_incremental = (
+                    hints_incremental and frame["incremental_hint"]
+                )
+        report["reconciled"] = (
+            self.apply_updates()
+            if report["applied"] and hints_incremental
+            else None
+        )
+        return report
+
+    def apply_delta_payload(self, payload: dict) -> dict:
+        """Apply one verified delta-frame payload; returns what happened.
+
+        ``payload`` is the parsed JSON object a delta frame carries
+        (already structurally validated by
+        :func:`repro.storage.delta.iter_frames`).  Same idempotency,
+        gap and lineage semantics as :meth:`apply_delta_stream`, for a
+        single frame.
+        """
+        current = self.network.version
+        from_version, to_version = payload["from_version"], payload["to_version"]
+        if to_version <= current:
+            # Already replayed (a retransmit, or an overlapping fetch).
+            return {
+                "applied": 0,
+                "skipped": to_version - from_version,
+                "incremental_hint": False,
+            }
+        if from_version > current:
+            raise JournalTruncatedError(current, from_version)
+        applied = skipped = 0
+        with self.mutate() as network:
+            expected = from_version + 1
+            for entry in payload["records"]:
+                mutation, expert, h_index = self._parse_replication_record(entry)
+                if mutation.version != expected:
+                    raise CorruptDeltaError(
+                        f"delta records are not contiguous: expected version "
+                        f"{expected}, got {mutation.version}"
+                    )
+                expected += 1
+                if mutation.version <= network.version:
+                    skipped += 1  # idempotent partial overlap
+                    continue
+                self._apply_replicated_mutation(network, mutation, expert, h_index)
+                recorded = network.journal_tail()[-1]
+                if recorded != mutation:
+                    raise StaleSnapshotError(
+                        f"replicated mutation at version {mutation.version} "
+                        "disagrees with the record the follower's own journal "
+                        "produced — primary and follower belong to different "
+                        "mutation lineages"
+                    )
+                applied += 1
+            if expected != to_version + 1:
+                raise CorruptDeltaError(
+                    f"delta payload ends at version {expected - 1}, "
+                    f"declared to_version is {to_version}"
+                )
+        hints = payload.get("hints")
+        hint = bool(isinstance(hints, dict) and hints.get("incremental"))
+        return {"applied": applied, "skipped": skipped, "incremental_hint": hint}
+
+    @staticmethod
+    def _parse_replication_record(entry: object) -> tuple[NetworkMutation, object, float | None]:
+        if not isinstance(entry, dict) or not isinstance(entry.get("mutation"), dict):
+            raise CorruptDeltaError("malformed replication record (no mutation)")
+        try:
+            mutation = mutation_from_dict(entry["mutation"])
+            expert = (
+                None
+                if entry.get("expert") is None
+                else expert_from_dict(entry["expert"])
+            )
+            h_index = (
+                None if entry.get("h_index") is None else float(entry["h_index"])
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CorruptDeltaError(
+                f"malformed replication record: {exc}"
+            ) from None
+        return mutation, expert, h_index
+
+    def _apply_replicated_mutation(
+        self,
+        network: ExpertNetwork,
+        mutation: NetworkMutation,
+        expert,
+        h_index: float | None,
+    ) -> None:
+        op = mutation.op
+        if op in ("add_expert", "update_skills") and expert is None:
+            raise CorruptDeltaError(
+                f"record at version {mutation.version}: {op} without the "
+                "enriched expert profile"
+            )
+        if op == "update_h_index" and h_index is None:
+            raise CorruptDeltaError(
+                f"record at version {mutation.version}: update_h_index "
+                "without the enriched h-index value"
+            )
+        try:
+            if op == "add_expert":
+                network.add_expert(expert)
+            elif op == "remove_expert":
+                network.remove_expert(mutation.expert_id)
+            elif op == "update_skills":
+                network.update_skills(mutation.expert_id, expert.skills)
+            elif op == "update_h_index":
+                network.update_h_index(mutation.expert_id, h_index)
+            elif op == "add_collaboration":
+                network.add_collaboration(
+                    mutation.u, mutation.v, weight=mutation.weight
+                )
+            elif op == "remove_collaboration":
+                network.remove_collaboration(mutation.u, mutation.v)
+            else:
+                raise CorruptDeltaError(
+                    f"record at version {mutation.version}: unknown op {op!r}"
+                )
+        except (KeyError, ValueError, GraphError) as exc:
+            # The mutation is well-formed but impossible against this
+            # state (duplicate id, unknown expert, absent edge): the
+            # follower has diverged from the primary's lineage.
+            raise StaleSnapshotError(
+                f"replicated mutation at version {mutation.version} cannot "
+                f"be applied to the follower's state ({exc}) — primary and "
+                "follower belong to different mutation lineages"
+            ) from None
 
     # ------------------------------------------------------------------
     # solver factories (single construction path for adapters AND

@@ -371,7 +371,17 @@ class TeamResponse:
     persistent server adds two admission-layer kinds that never reach a
     solver at all: ``"overloaded"`` (the bounded pending queue was
     full) and ``"deadline_exceeded"`` (the request's ``deadline_ms``
-    budget ran out while it was still queued).
+    budget ran out while it was still queued).  Replicated serving adds
+    ``"stale_replica"``: the replica's bounded-staleness admission check
+    found it lagging the primary by more than the configured budget, so
+    the request was rejected rather than answered from stale state.
+
+    ``network_version`` is the network mutation version the answer was
+    computed at.  It is ``None`` (and **omitted from the dict/JSON
+    forms**) outside replicated serving, so pre-replication payloads,
+    logs and byte-identity fixtures are unchanged; the replica pool and
+    the replicated server stamp it so callers can correlate answers
+    with the mutation stream.
     """
 
     request: TeamRequest
@@ -384,6 +394,7 @@ class TeamResponse:
     timing: TimingInfo | None = None
     error: str | None = None
     error_kind: str | None = None
+    network_version: int | None = None
 
     @classmethod
     def for_error(
@@ -400,7 +411,7 @@ class TeamResponse:
 
     def to_dict(self) -> dict[str, Any]:
         """This message as a JSON-ready dict (inverse of ``from_dict``)."""
-        return {
+        out = {
             "request": self.request.to_dict(),
             "solver": self.solver,
             "found": self.found,
@@ -412,6 +423,11 @@ class TeamResponse:
             "error": self.error,
             "error_kind": self.error_kind,
         }
+        # Default-omitted (not emitted as null): un-replicated payloads
+        # keep their exact pre-replication byte form.
+        if self.network_version is not None:
+            out["network_version"] = self.network_version
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TeamResponse":
@@ -444,6 +460,7 @@ class TeamResponse:
             ),
             error=data.get("error"),
             error_kind=data.get("error_kind"),
+            network_version=data.get("network_version"),
         )
 
     def to_json(self) -> str:
@@ -456,16 +473,21 @@ class TeamResponse:
         return cls.from_dict(json.loads(text))
 
     def canonical_json(self) -> str:
-        """:meth:`to_json` with the ``timing`` block nulled.
+        """:meth:`to_json` with ``timing`` nulled and ``network_version``
+        dropped.
 
         The identity contract of the serving layer — replica-pool,
         threaded and sequential answers must match **byte for byte** —
         can never hold for wall-clock timing, so identity checks (the
         serving/snapshot benchmarks, the concurrency regression tests)
-        compare this form instead of ``to_json``.
+        compare this form instead of ``to_json``.  ``network_version``
+        is likewise excluded: it identifies *who answered* (a replicated
+        backend stamps it, a plain engine does not), never *what the
+        answer is*, so it must not break identity between the two.
         """
         payload = self.to_dict()
         payload["timing"] = None
+        payload.pop("network_version", None)
         return json.dumps(payload, sort_keys=True)
 
     def format(self) -> str:

@@ -209,6 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="server mode: log a metrics line every SECONDS (0 = off); "
         "stats are always available in-band via {\"op\": \"stats\"}",
     )
+    pserve.add_argument(
+        "--replicate", action="store_true",
+        help="server mode: serve from a live primary engine with "
+        "delta-snapshot replication to the --replicas pool; enables the "
+        '{"op": "mutate"} admin op (requires --snapshot)',
+    )
+    pserve.add_argument(
+        "--max-lag-ms", type=float, default=None, metavar="M",
+        help="with --replicate: reject solves when the replicas are more "
+        "than M ms behind the primary (typed 'stale_replica' response; "
+        "default: answer at any staleness)",
+    )
 
     pmut = sub.add_parser(
         "mutate",
@@ -465,6 +477,14 @@ def _run_serve(args) -> int:
 
     if args.listen is not None or args.unix is not None:
         return _run_server(args)
+    if args.replicate:
+        print(
+            "serve: --replicate needs a persistent server "
+            "(--listen or --unix); a one-shot batch has no follower to "
+            "keep current",
+            file=sys.stderr,
+        )
+        return 2
     if args.replicas is not None and not args.snapshot:
         print(
             "serve: --replicas requires --snapshot (each replica process "
@@ -527,6 +547,7 @@ def _run_server(args) -> int:
     from .serving.server import (
         TeamServer,
         fixed_engine_loader,
+        replicated_backend_loader,
         store_backend_loader,
     )
 
@@ -540,6 +561,23 @@ def _run_server(args) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.replicate and not args.snapshot:
+        print(
+            "serve: --replicate requires --snapshot (the primary and every "
+            "follower warm-start from the same bytes)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.max_lag_ms is not None:
+        if not args.replicate:
+            print(
+                "serve: --max-lag-ms only applies with --replicate",
+                file=sys.stderr,
+            )
+            return 2
+        if args.max_lag_ms < 0:
+            print("serve: --max-lag-ms must be non-negative", file=sys.stderr)
+            return 2
     if args.default_deadline_ms is not None and args.default_deadline_ms < 0:
         print("serve: --default-deadline-ms must be non-negative", file=sys.stderr)
         return 2
@@ -557,7 +595,11 @@ def _run_server(args) -> int:
         except ValueError:
             print(f"serve: invalid port {port_text!r}", file=sys.stderr)
             return 2
-    if args.snapshot:
+    if args.replicate:
+        loader = replicated_backend_loader(
+            args.snapshot, replicas=args.replicas, max_lag_ms=args.max_lag_ms
+        )
+    elif args.snapshot:
         loader = store_backend_loader(args.snapshot, replicas=args.replicas)
     else:
         network = benchmark_network(args.scale, seed=args.seed)
@@ -691,33 +733,16 @@ def _apply_op(engine, op: dict, *, as_json: bool) -> None:
 
 
 def _apply_mutation_op(network, op: dict, kind: str) -> None:
-    """Dispatch one network-mutation script op."""
-    from .expertise import Expert
+    """Dispatch one network-mutation script op.
 
-    if kind == "add_expert":
-        network.add_expert(
-            Expert(
-                _field(op, kind, "id"),
-                name=op.get("name", ""),
-                skills=frozenset(op.get("skills", ())),
-                h_index=op.get("h_index", 1.0),
-            )
-        )
-    elif kind == "remove_expert":
-        network.remove_expert(_field(op, kind, "id"))
-    elif kind == "update_skills":
-        network.update_skills(_field(op, kind, "id"), _field(op, kind, "skills"))
-    elif kind == "update_h_index":
-        network.update_h_index(_field(op, kind, "id"), _field(op, kind, "h_index"))
-    elif kind == "add_collaboration":
-        network.add_collaboration(
-            _field(op, kind, "u"), _field(op, kind, "v"),
-            weight=op.get("weight", 1.0),
-        )
-    elif kind == "remove_collaboration":
-        network.remove_collaboration(_field(op, kind, "u"), _field(op, kind, "v"))
-    else:
-        raise ValueError(f"unknown op {kind!r}")
+    The dispatch itself lives in :func:`repro.serving.replication.
+    apply_network_op` — the ``{"op": "mutate"}`` server path applies the
+    same JSON ops, and the two must never drift apart in field names or
+    error text.
+    """
+    from .serving.replication import apply_network_op
+
+    apply_network_op(network, {**op, "op": kind})
 
 
 def _run_mutate(engine, args) -> int:

@@ -102,9 +102,10 @@ class ExpertNetwork:
         *,
         authority_floor: float = AUTHORITY_FLOOR,
     ) -> None:
-        # Guard before anything else: __init__ itself calls
-        # add_collaboration, which consults it.
+        # Guard and listeners before anything else: __init__ itself
+        # calls add_collaboration, which consults both.
         self._mutation_guard: Callable[[], bool] | None = None
+        self._mutation_listeners: list[Callable[[NetworkMutation], None]] = []
         self._experts: dict[str, Expert] = {}
         self._graph = Graph()
         self._skills = SkillIndex()
@@ -164,10 +165,18 @@ class ExpertNetwork:
 
     def _record(self, mutation_fields: dict) -> None:
         self._version += 1
-        self._journal.append(NetworkMutation(self._version, **mutation_fields))
+        mutation = NetworkMutation(self._version, **mutation_fields)
+        self._journal.append(mutation)
         while len(self._journal) > self.JOURNAL_CAP:
             dropped = self._journal.popleft()
             self._journal_floor = dropped.version
+        # Synchronous, post-append: when a listener runs, the network
+        # state *is* the state at ``mutation.version`` — which is what
+        # lets a replication log capture the payload a bare journal
+        # record omits (the added expert's profile, the new skill set)
+        # exactly as of that version.
+        for listener in tuple(self._mutation_listeners):
+            listener(mutation)
 
     @property
     def version(self) -> int:
@@ -236,6 +245,31 @@ class ExpertNetwork:
         caches) fully consistent.
         """
         self._mutation_guard = guard
+
+    def add_mutation_listener(
+        self, listener: Callable[[NetworkMutation], None]
+    ) -> None:
+        """Subscribe ``listener`` to every future journaled mutation.
+
+        The listener runs *synchronously* at the end of ``_record``, when
+        the network state exactly equals the state at the mutation's
+        version — this is the hook :class:`repro.serving.replication.
+        ReplicationLog` uses to capture the payload a bare
+        :class:`NetworkMutation` omits (the added expert's full profile,
+        the replaced skill set, the new h-index).  Listeners must not
+        mutate the network (that would re-enter ``_record``) and should
+        not raise: an exception propagates to the mutating caller.
+        """
+        self._mutation_listeners.append(listener)
+
+    def remove_mutation_listener(
+        self, listener: Callable[[NetworkMutation], None]
+    ) -> None:
+        """Unsubscribe a listener; tolerates one already removed."""
+        try:
+            self._mutation_listeners.remove(listener)
+        except ValueError:
+            pass
 
     def _check_mutation_sanctioned(self, op: str) -> None:
         guard = self._mutation_guard

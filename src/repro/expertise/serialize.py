@@ -43,6 +43,8 @@ __all__ = [
     "network_from_dict",
     "mutation_to_dict",
     "mutation_from_dict",
+    "expert_to_dict",
+    "expert_from_dict",
     "save_network",
     "load_network",
     "SCHEMA_VERSION",
@@ -81,6 +83,34 @@ def mutation_from_dict(data: dict[str, Any]) -> NetworkMutation:
     )
 
 
+def expert_to_dict(expert: Expert) -> dict[str, Any]:
+    """One full expert profile as a JSON-ready dict (sorted sets)."""
+    return {
+        "id": expert.id,
+        "name": expert.name,
+        "skills": sorted(expert.skills),
+        "h_index": expert.h_index,
+        "num_publications": expert.num_publications,
+        "papers": sorted(expert.papers),
+    }
+
+
+def expert_from_dict(data: dict[str, Any]) -> Expert:
+    """Rebuild one expert profile (inverse of :func:`expert_to_dict`).
+
+    Every field except ``id`` is optional and defaults exactly as the
+    :class:`Expert` constructor does, so schema-1 payloads load.
+    """
+    return Expert(
+        id=data["id"],
+        name=data.get("name", ""),
+        skills=frozenset(data.get("skills", ())),
+        h_index=float(data.get("h_index", 1.0)),
+        num_publications=int(data.get("num_publications", 0)),
+        papers=frozenset(data.get("papers", ())),
+    )
+
+
 def network_to_dict(network: ExpertNetwork) -> dict[str, Any]:
     """A JSON-serializable snapshot of ``network`` (state *and* history).
 
@@ -97,17 +127,7 @@ def network_to_dict(network: ExpertNetwork) -> dict[str, Any]:
     return {
         "version": SCHEMA_VERSION,
         "authority_floor": network.authority_floor,
-        "experts": [
-            {
-                "id": e.id,
-                "name": e.name,
-                "skills": sorted(e.skills),
-                "h_index": e.h_index,
-                "num_publications": e.num_publications,
-                "papers": sorted(e.papers),
-            }
-            for e in network.experts()
-        ],
+        "experts": [expert_to_dict(e) for e in network.experts()],
         "edges": [[u, v, w] for u, v, w in network.graph.edges_in_replay_order()],
         "network_version": network.version,
         "journal_floor": network.journal_floor,
@@ -127,17 +147,7 @@ def network_from_dict(data: dict[str, Any]) -> ExpertNetwork:
         raise ValueError(
             f"unsupported schema version {version!r}; expected <= {SCHEMA_VERSION}"
         )
-    experts = [
-        Expert(
-            id=entry["id"],
-            name=entry.get("name", ""),
-            skills=frozenset(entry.get("skills", ())),
-            h_index=float(entry.get("h_index", 1.0)),
-            num_publications=int(entry.get("num_publications", 0)),
-            papers=frozenset(entry.get("papers", ())),
-        )
-        for entry in data["experts"]
-    ]
+    experts = [expert_from_dict(entry) for entry in data["experts"]]
     edges = [(u, v, float(w)) for u, v, w in data.get("edges", [])]
     network = ExpertNetwork(
         experts, edges, authority_floor=float(data.get("authority_floor", 0.5))

@@ -33,6 +33,13 @@ percentiles, and zero-downtime snapshot hot reload; wire protocol in
 :mod:`repro.serving.server_conn`, instruments in
 :mod:`repro.serving.metrics`).
 
+:mod:`repro.serving.replication` keeps replicas current against a live
+primary: :class:`ReplicationLog` frames the primary's mutation journal
+into CRC-checked delta byte streams, :class:`ReplicaFollower` applies
+them through the engine's version-keyed incremental path, and
+``serve --replicate`` wires both under a :class:`ReplicatedBackend`
+with bounded-staleness admission (``--max-lag-ms``).
+
 Submodules import lazily (PEP 562): the engine imports
 :mod:`repro.serving.locks`, while :mod:`repro.serving.pool` imports the
 engine — eager re-exports here would complete that cycle.
@@ -49,10 +56,16 @@ __all__ = [
     "MetricsRegistry",
     "PoolBackend",
     "ReadWriteLock",
+    "ReplicaFollower",
+    "ReplicatedBackend",
+    "ReplicationLog",
+    "ReplicationRecord",
     "ServingClient",
     "TeamServer",
+    "apply_network_op",
     "fixed_engine_loader",
     "plan_jobs",
+    "replicated_backend_loader",
     "request_index_key",
     "read_requests",
     "serve_batch",
@@ -67,10 +80,19 @@ _EXPORTS = {
     "MetricsRegistry": ("repro.serving.metrics", "MetricsRegistry"),
     "PoolBackend": ("repro.serving.server", "PoolBackend"),
     "ReadWriteLock": ("repro.serving.locks", "ReadWriteLock"),
+    "ReplicaFollower": ("repro.serving.replication", "ReplicaFollower"),
+    "ReplicatedBackend": ("repro.serving.server", "ReplicatedBackend"),
+    "ReplicationLog": ("repro.serving.replication", "ReplicationLog"),
+    "ReplicationRecord": ("repro.serving.replication", "ReplicationRecord"),
     "ServingClient": ("repro.serving.server_conn", "ServingClient"),
     "TeamServer": ("repro.serving.server", "TeamServer"),
+    "apply_network_op": ("repro.serving.replication", "apply_network_op"),
     "fixed_engine_loader": ("repro.serving.server", "fixed_engine_loader"),
     "plan_jobs": ("repro.serving.batch", "plan_jobs"),
+    "replicated_backend_loader": (
+        "repro.serving.server",
+        "replicated_backend_loader",
+    ),
     "request_index_key": ("repro.serving.batch", "request_index_key"),
     "read_requests": ("repro.serving.server", "read_requests"),
     "serve_batch": ("repro.serving.server", "serve_batch"),
@@ -83,13 +105,21 @@ if TYPE_CHECKING:  # pragma: no cover - static imports for type checkers
     from .locks import ReadWriteLock
     from .metrics import MetricsRegistry
     from .pool import EngineReplicaPool, usable_cores
+    from .replication import (
+        ReplicaFollower,
+        ReplicationLog,
+        ReplicationRecord,
+        apply_network_op,
+    )
     from .server import (
         BackgroundServer,
         EngineBackend,
         PoolBackend,
+        ReplicatedBackend,
         TeamServer,
         fixed_engine_loader,
         read_requests,
+        replicated_backend_loader,
         serve_batch,
         store_backend_loader,
     )

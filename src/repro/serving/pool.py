@@ -40,6 +40,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..api.engine import TeamFormationEngine
     from ..api.messages import TeamRequest, TeamResponse
     from ..storage.store import SnapshotStore
+    from .replication import ReplicationLog
 
 __all__ = ["EngineReplicaPool", "usable_cores"]
 
@@ -104,6 +105,29 @@ def _serve_job(job: list[tuple[int, str]]) -> list[tuple[int, str]]:
     return out
 
 
+def _apply_delta_job(data: bytes) -> int:
+    """Advance this worker's replica by one delta stream; return its version.
+
+    Runs on the worker's single-job executor, so it is naturally
+    serialized against solve jobs — a solve never observes a
+    half-applied stream.  A snapshot frame rebinds the worker's engine
+    to the freshly transferred one.
+    """
+    global _WORKER_ENGINE
+    from .replication import ReplicaFollower
+
+    engine = _WORKER_ENGINE
+    if engine is None:
+        raise RuntimeError(
+            "replica warm start failed: "
+            + (_WORKER_INIT_ERROR or "initializer did not run")
+        )
+    follower = ReplicaFollower(engine)
+    follower.apply(data)
+    _WORKER_ENGINE = follower.engine
+    return follower.version
+
+
 class EngineReplicaPool:
     """N process-local engine replicas serving one snapshot's state.
 
@@ -135,6 +159,12 @@ class EngineReplicaPool:
         # snapshot exceptions; a worker initializer crash would not.
         meta, _sections = read_container(self._path)
         self._warm_bases = frozenset(warm_bases_from_meta(meta))
+        # Replication state (attach_primary): which network version the
+        # replicas currently serve, and the bounded-staleness budget.
+        self._replica_version = int(meta.get("network_version", 0))
+        self._log: "ReplicationLog | None" = None
+        self._max_lag_ms: float | None = None
+        self._snapshot_fallbacks = 0
         if replicas is None:
             replicas = max(1, usable_cores())
         if replicas < 1:
@@ -228,6 +258,8 @@ class EngineReplicaPool:
         response, exactly as :meth:`TeamFormationEngine.solve_many`
         returns in its default ``isolate`` mode.
         """
+        from dataclasses import replace
+
         from ..api.messages import TeamResponse
 
         requests = list(requests)
@@ -235,29 +267,84 @@ class EngineReplicaPool:
             return []
         if self._closed:
             raise RuntimeError("the replica pool has been closed")
+        stale = self._stale_rejection()
+        if stale is not None:
+            # Bounded staleness is an *admission* check: a too-stale
+            # replica set answers nothing, typed, rather than answering
+            # from a world the primary has left behind.
+            return [
+                replace(
+                    TeamResponse.for_error(request, "stale_replica", stale),
+                    network_version=self._replica_version,
+                )
+                for request in requests
+            ]
+        stamp = self._replica_version if self._log is not None else None
         if not self._workers:
             assert self._local is not None
             # Round-trip through JSON even in-process, so degraded mode
             # returns the exact bytes worker mode would.
             return [
-                TeamResponse.from_json(response.to_json())
+                self._stamped(
+                    TeamResponse.from_json(response.to_json()), stamp
+                )
                 for response in self._local.solve_many(requests)
             ]
         jobs = plan_jobs(requests, len(self._workers), self._warm_bases)
+        # Route the whole batch under ONE lock acquisition, then submit
+        # and await entirely outside it.  Routing is pure bookkeeping
+        # (a cursor bump or a dict lookup); holding `_route_lock` across
+        # submission — let alone across `future.result()` — would
+        # serialize concurrent callers of a pool that exists to overlap
+        # them (the PR-7 single-request server path did exactly that).
+        with self._route_lock:
+            routed = [(self._route_locked(pin), job) for pin, job in jobs]
         pending = []
-        for pin, job in jobs:
+        for worker_index, job in routed:
             payload = [(index, requests[index].to_json()) for index in job]
-            worker = self._workers[self._route(pin)]
-            pending.append(worker.submit(_serve_job, payload))
+            pending.append(
+                self._workers[worker_index].submit(_serve_job, payload)
+            )
         responses: "list[TeamResponse | None]" = [None] * len(requests)
         # future.result() raises BrokenProcessPool if a worker died
         # mid-job (OOM kill, segfault) — an error the caller sees, never
         # a silently-respawned worker and a hang.
         for future in pending:
             for index, text in future.result():
-                responses[index] = TeamResponse.from_json(text)
+                responses[index] = self._stamped(
+                    TeamResponse.from_json(text), stamp
+                )
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]
+
+    @staticmethod
+    def _stamped(
+        response: "TeamResponse", stamp: int | None
+    ) -> "TeamResponse":
+        """Stamp the replica's network version onto a pooled answer.
+
+        Only when replication is attached (``stamp`` is not ``None``):
+        an un-replicated pool keeps the exact pre-replication payload
+        bytes.
+        """
+        if stamp is None:
+            return response
+        from dataclasses import replace
+
+        return replace(response, network_version=stamp)
+
+    def _stale_rejection(self) -> str | None:
+        """The typed rejection message when the staleness budget is blown."""
+        if self._log is None or self._max_lag_ms is None:
+            return None
+        lag = self._log.lag_ms(self._replica_version)
+        if lag <= self._max_lag_ms:
+            return None
+        return (
+            f"replicas are {lag:.0f}ms behind the primary "
+            f"(version {self._replica_version}, budget "
+            f"{self._max_lag_ms:.0f}ms) — sync and retry"
+        )
 
     def _route(self, pin: tuple | None) -> int:
         """Pick the worker for a job; pinned keys stick for pool life.
@@ -266,17 +353,122 @@ class EngineReplicaPool:
         workers) round-robin without ever double-assigning a pin.
         """
         with self._route_lock:
-            if pin is None:
-                worker = self._next_worker
-                self._next_worker = (self._next_worker + 1) % len(self._workers)
-                return worker
-            worker = self._pinned_worker.get(pin)
-            if worker is None:
-                # First sight of this cold group: round-robin over the
-                # pinned assignments so multiple cold groups spread out.
-                worker = len(self._pinned_worker) % len(self._workers)
-                self._pinned_worker[pin] = worker
+            return self._route_locked(pin)
+
+    def _route_locked(self, pin: tuple | None) -> int:
+        """:meth:`_route` body; caller holds ``_route_lock``."""
+        if pin is None:
+            worker = self._next_worker
+            self._next_worker = (self._next_worker + 1) % len(self._workers)
             return worker
+        worker = self._pinned_worker.get(pin)
+        if worker is None:
+            # First sight of this cold group: round-robin over the
+            # pinned assignments so multiple cold groups spread out.
+            worker = len(self._pinned_worker) % len(self._workers)
+            self._pinned_worker[pin] = worker
+        return worker
+
+    # ------------------------------------------------------------------
+    # replication (see repro.serving.replication)
+    # ------------------------------------------------------------------
+    @property
+    def replica_version(self) -> int:
+        """The network version every replica currently serves."""
+        return self._replica_version
+
+    @property
+    def snapshot_fallbacks(self) -> int:
+        """How many syncs had to fall back to a full snapshot transfer."""
+        return self._snapshot_fallbacks
+
+    def attach_primary(
+        self,
+        log: "ReplicationLog",
+        *,
+        max_lag_ms: float | None = None,
+    ) -> None:
+        """Subscribe this pool's replicas to a primary's replication log.
+
+        After attaching, :meth:`sync` advances every replica from the
+        log's delta stream, every answer is stamped with the replica
+        ``network_version`` it was computed at, and — when
+        ``max_lag_ms`` is set — :meth:`solve_many` rejects requests
+        with a typed ``stale_replica`` error whenever the replicas lag
+        the primary by more than the budget, instead of ever answering
+        from too-stale state.
+        """
+        if max_lag_ms is not None and max_lag_ms < 0:
+            raise ValueError("max_lag_ms must be non-negative")
+        self._log = log
+        self._max_lag_ms = max_lag_ms
+
+    def sync(self, log: "ReplicationLog | None" = None) -> int:
+        """Advance every replica to the primary's tip; returns the version.
+
+        The delta path: fetch ``log.delta_since(replica_version)`` and
+        broadcast the (identical) bytes to every worker, where they
+        replay through the engine's incremental reconciliation — zero
+        index rebuilds when the delta allows it.  When the pool has
+        fallen past the log's floor (:class:`JournalTruncatedError`) or
+        a replica reports an unreconcilable lineage
+        (:class:`StaleSnapshotError`), it falls back to one full
+        snapshot transfer — counted in :attr:`snapshot_fallbacks` —
+        and continues.
+        """
+        from ..storage.errors import JournalTruncatedError, StaleSnapshotError
+
+        log = log if log is not None else self._log
+        if log is None:
+            raise RuntimeError("no replication log attached (attach_primary)")
+        if self._closed:
+            raise RuntimeError("the replica pool has been closed")
+        try:
+            data = log.delta_since(self._replica_version)
+        except JournalTruncatedError:
+            data = None
+        if data is not None:
+            if not data:
+                return self._replica_version  # already at the tip
+            try:
+                return self.apply_delta(data)
+            except StaleSnapshotError:
+                # A replica's state cannot absorb the delta (diverged
+                # lineage): repair it the same way a truncated journal
+                # is repaired — with the primary's full state.
+                pass
+        self._snapshot_fallbacks += 1
+        return self.apply_delta(log.snapshot_frame())
+
+    def apply_delta(self, data: bytes) -> int:
+        """Broadcast one delta stream to every replica; returns the version.
+
+        All replicas receive identical bytes, so they advance in
+        lockstep; a divergent outcome (two replicas reporting different
+        versions afterwards) is a hard error, never a quietly
+        inconsistent pool.
+        """
+        if self._closed:
+            raise RuntimeError("the replica pool has been closed")
+        if not self._workers:
+            assert self._local is not None
+            from .replication import ReplicaFollower
+
+            follower = ReplicaFollower(self._local)
+            follower.apply(data)
+            self._local = follower.engine
+            self._replica_version = follower.version
+            return self._replica_version
+        futures = [
+            worker.submit(_apply_delta_job, data) for worker in self._workers
+        ]
+        versions = {future.result() for future in futures}
+        if len(versions) != 1:
+            raise RuntimeError(
+                f"replicas diverged after delta apply: versions {sorted(versions)}"
+            )
+        self._replica_version = versions.pop()
+        return self._replica_version
 
     # ------------------------------------------------------------------
     def close(self) -> None:

@@ -68,8 +68,10 @@ __all__ = [
     "BackgroundServer",
     "EngineBackend",
     "PoolBackend",
+    "ReplicatedBackend",
     "store_backend_loader",
     "fixed_engine_loader",
+    "replicated_backend_loader",
 ]
 
 logger = logging.getLogger("repro.serving")
@@ -214,6 +216,86 @@ class PoolBackend:
         self.pool.close()
 
 
+class ReplicatedBackend:
+    """A live primary engine delta-replicated into a follower pool.
+
+    The backend PR 7's :class:`PoolBackend` could not be: *mutable*.
+    The primary engine owns the authoritative network; a
+    :class:`~repro.serving.replication.ReplicationLog` captures its
+    mutation stream; the replica pool's followers advance from that
+    stream (:meth:`EngineReplicaPool.sync`) instead of being frozen at
+    their warm-start snapshot.  Solves route to the followers (with the
+    pool's bounded-staleness admission check and ``network_version``
+    stamping); :meth:`mutate` applies a list of JSON mutation ops to
+    the primary and immediately syncs the followers, so by the time the
+    ``mutate`` envelope is answered, every replica serves the new
+    version.
+    """
+
+    def __init__(
+        self, pool, log, *, snapshot_path: "Path | None" = None
+    ) -> None:
+        self.pool = pool
+        self.log = log
+        self.snapshot_path = Path(snapshot_path) if snapshot_path else None
+
+    def solve(self, request: TeamRequest) -> TeamResponse:
+        """Answer one request through the follower pool (error-isolated)."""
+        return self.pool.solve_many([request])[0]
+
+    def mutate(self, ops: "list[dict]") -> dict:
+        """Apply mutation ops to the primary, then sync the followers.
+
+        Ops use the shared JSON vocabulary of
+        :func:`repro.serving.replication.apply_network_op`.  Applies
+        under the primary engine's write lock; a failing op stops the
+        list there (earlier ops stay applied, as in the ``mutate`` CLI)
+        but the followers are *still* synced to whatever prefix landed,
+        so primary and replicas never drift apart on an error path.
+        """
+        from ..graph.adjacency import GraphError
+        from .replication import apply_network_op
+
+        engine = self.log.engine
+        error = None
+        applied = 0
+        with engine.mutate() as network:
+            for op in ops:
+                try:
+                    apply_network_op(network, op)
+                except (KeyError, ValueError, GraphError) as exc:
+                    error = f"op {applied + 1} ({op.get('op')!r}): {exc}"
+                    break
+                applied += 1
+        replica_version = self.pool.sync(self.log)
+        report = {
+            "ok": error is None,
+            "applied": applied,
+            "primary_version": engine.network.version,
+            "replica_version": replica_version,
+            "snapshot_fallbacks": self.pool.snapshot_fallbacks,
+        }
+        if error is not None:
+            report["error"] = error
+        return report
+
+    def describe(self) -> dict:
+        """JSON-ready identity of this backend (stats/reload envelopes)."""
+        return {
+            "kind": "replicated",
+            "replicas": self.pool.replicas,
+            "primary_version": self.log.engine.network.version,
+            "replica_version": self.pool.replica_version,
+            "snapshot_fallbacks": self.pool.snapshot_fallbacks,
+            "snapshot": self.snapshot_path.name if self.snapshot_path else None,
+        }
+
+    def close(self) -> None:
+        """Detach the log and shut the worker processes down."""
+        self.log.close()
+        self.pool.close()
+
+
 def store_backend_loader(
     source: "str | Path", *, replicas: int | None = None
 ) -> Callable[[], "EngineBackend | PoolBackend"]:
@@ -238,6 +320,41 @@ def store_backend_loader(
         return EngineBackend(
             TeamFormationEngine.from_snapshot(path), snapshot_path=path
         )
+
+    return load
+
+
+def replicated_backend_loader(
+    source: "str | Path",
+    *,
+    replicas: int | None = None,
+    max_lag_ms: float | None = None,
+) -> Callable[[], ReplicatedBackend]:
+    """A backend loader for replicated serving (``serve --replicate``).
+
+    Each run (startup and every hot reload) re-resolves ``source`` to
+    the store's current LATEST snapshot, warm-starts the primary engine
+    *and* the follower pool from those identical bytes, and wires the
+    primary's :class:`~repro.serving.replication.ReplicationLog` into
+    the pool with the given staleness budget.
+    """
+    from ..storage.store import resolve_snapshot_path
+
+    def load() -> ReplicatedBackend:
+        path = resolve_snapshot_path(source)
+        from ..api.engine import TeamFormationEngine
+        from .pool import EngineReplicaPool
+        from .replication import ReplicationLog
+
+        primary = TeamFormationEngine.from_snapshot(path)
+        log = ReplicationLog(primary)
+        try:
+            pool = EngineReplicaPool(path, replicas=replicas)
+        except BaseException:
+            log.close()
+            raise
+        pool.attach_primary(log, max_lag_ms=max_lag_ms)
+        return ReplicatedBackend(pool, log, snapshot_path=path)
 
     return load
 
@@ -605,19 +722,71 @@ class TeamServer:
     # ------------------------------------------------------------------
     # admin ops
     # ------------------------------------------------------------------
-    async def handle_op(self, op: str) -> dict:
-        """Answer one admin op with its JSON envelope."""
-        self.metrics.counter(f"op_{op}").inc()
-        if op == "ping":
+    async def handle_op(self, op: "str | dict") -> dict:
+        """Answer one admin op with its JSON envelope.
+
+        Accepts the whole parsed op object (payload-carrying ops like
+        ``mutate`` need their extra keys) or, for convenience and
+        backward compatibility, a bare op name.
+        """
+        data = {"op": op} if isinstance(op, str) else op
+        name = data["op"]
+        self.metrics.counter(f"op_{name}").inc()
+        if name == "ping":
             return {"op": "ping", "ok": True}
-        if op == "stats":
+        if name == "stats":
             return self.stats()
-        if op == "reload":
+        if name == "reload":
             return await self.reload(reason="admin op")
-        if op == "shutdown":
+        if name == "mutate":
+            return await self._handle_mutate(data)
+        if name == "shutdown":
             self.request_shutdown()
             return {"op": "shutdown", "ok": True}
-        raise ValueError(f"unknown op {op!r}")  # parse_line filters first
+        raise ValueError(f"unknown op {name!r}")  # parse_line filters first
+
+    async def _handle_mutate(self, data: dict) -> dict:
+        """Apply a ``mutate`` op's ``"ops"`` list on a mutable backend.
+
+        Runs the backend's ``mutate`` (apply to primary + sync
+        followers) in a thread with a lease held, so a concurrent hot
+        reload can never close the backend mid-mutation.  Backends
+        without a ``mutate`` method (plain engine/pool) answer a typed
+        refusal — mutation requires ``serve --replicate``.
+        """
+        ops = data.get("ops")
+        if not isinstance(ops, list) or not all(
+            isinstance(entry, dict) for entry in ops
+        ):
+            return {
+                "op": "mutate",
+                "ok": False,
+                "error": 'mutate requires an "ops" list of objects',
+            }
+        assert self._lease is not None
+        lease = self._lease
+        backend = lease.acquire()
+        try:
+            mutate = getattr(backend, "mutate", None)
+            if mutate is None:
+                return {
+                    "op": "mutate",
+                    "ok": False,
+                    "error": "backend does not support mutation "
+                    "(start the server with --replicate)",
+                    "backend": backend.describe(),
+                }
+            report = await asyncio.to_thread(mutate, ops)
+        except Exception as exc:  # noqa: BLE001 - serving boundary
+            logger.exception("mutate op failed")
+            return {
+                "op": "mutate",
+                "ok": False,
+                "error": f"{type(exc).__name__}: {exc}",
+            }
+        finally:
+            lease.release()
+        return {"op": "mutate", **report}
 
     def stats(self) -> dict:
         """The stats-op envelope: server facts, backend, metrics."""

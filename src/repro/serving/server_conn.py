@@ -10,8 +10,11 @@ or a Unix socket.  A line is either
   version would serialize; or
 * an **admin op** — an object with an ``"op"`` key: ``"stats"``
   (metrics snapshot), ``"reload"`` (hot-swap to the store's LATEST
-  snapshot), ``"ping"`` (liveness), ``"shutdown"`` (graceful stop).
-  Ops are answered with one ``{"op": ...}`` envelope line.
+  snapshot), ``"ping"`` (liveness), ``"shutdown"`` (graceful stop),
+  ``"mutate"`` (apply a ``"ops"`` list of network mutations on a
+  replicated backend and sync its followers).  Ops are answered with
+  one ``{"op": ...}`` envelope line; payload-carrying ops keep their
+  extra keys (the whole object reaches the server).
 
 Responses come back **in request order per connection** (requests may
 be pipelined; the handler answers strictly sequentially), so a client
@@ -47,7 +50,7 @@ __all__ = [
 ]
 
 #: Ops the connection handler dispatches to the server.
-ADMIN_OPS = frozenset({"stats", "reload", "ping", "shutdown"})
+ADMIN_OPS = frozenset({"stats", "reload", "ping", "shutdown", "mutate"})
 
 #: Per-line size bound: a line this long is an attack or a bug, either
 #: way it must not buffer unboundedly inside the reader.
@@ -59,7 +62,11 @@ class WireProtocolError(ValueError):
 
 
 def parse_line(line: str) -> tuple[str, Any]:
-    """Parse one wire line into ``("op", name)`` or ``("solve", request)``.
+    """Parse one wire line into ``("op", dict)`` or ``("solve", request)``.
+
+    An op line yields the *whole* parsed object (not just the op name),
+    so payload-carrying ops — ``mutate`` with its ``"ops"`` list —
+    reach :meth:`TeamServer.handle_op` intact.
 
     Raises :class:`WireProtocolError` with a client-presentable message
     for malformed JSON, a non-object line, an unknown op, or a request
@@ -81,7 +88,7 @@ def parse_line(line: str) -> tuple[str, Any]:
         if op not in ADMIN_OPS:
             known = ", ".join(sorted(ADMIN_OPS))
             raise WireProtocolError(f"unknown op {op!r}; known ops: {known}")
-        return "op", op
+        return "op", data
     try:
         return "solve", TeamRequest.from_dict(data)
     except KeyError as exc:
@@ -147,7 +154,7 @@ async def serve_connection(
                 await _write_line(
                     writer, json.dumps(envelope, sort_keys=True)
                 )
-                if payload == "shutdown":
+                if payload["op"] == "shutdown":
                     break
             else:
                 response_json = await server.submit(payload)

@@ -13,9 +13,14 @@ mean *once per deployment* instead of once per process:
   (stdlib ``struct``/``array`` only — ``numpy`` never required);
 * :mod:`repro.storage.store` — :class:`SnapshotStore`, a snapshot
   directory with a LATEST pointer and count-based retention/GC;
+* :mod:`repro.storage.delta` — the replication delta stream: CRC-checked
+  frames carrying enriched journal records (or a whole snapshot
+  container for the full-transfer fallback) between a primary and its
+  follower replicas (:mod:`repro.serving.replication`);
 * :mod:`repro.storage.errors` — the typed failure modes
-  (:class:`CorruptSnapshotError`, :class:`FormatVersionError`,
-  :class:`StaleSnapshotError`).
+  (:class:`CorruptSnapshotError`, :class:`CorruptDeltaError`,
+  :class:`FormatVersionError`, :class:`StaleSnapshotError`,
+  :class:`JournalTruncatedError`).
 
 The consumer is :meth:`repro.api.TeamFormationEngine.save_snapshot` /
 :meth:`~repro.api.TeamFormationEngine.from_snapshot`, which freeze and
@@ -36,15 +41,27 @@ from .codec import (
     encode_labels,
     warm_bases_from_meta,
 )
+from .delta import (
+    DELTA_FORMAT_VERSION,
+    DELTA_MAGIC,
+    FRAME_DELTA,
+    FRAME_SNAPSHOT,
+    encode_delta_frame,
+    encode_snapshot_frame,
+    iter_frames,
+)
 from .errors import (
+    CorruptDeltaError,
     CorruptSnapshotError,
     FormatVersionError,
+    JournalTruncatedError,
     SnapshotError,
     StaleSnapshotError,
 )
 from .format import (
     SNAPSHOT_FORMAT_VERSION,
     SNAPSHOT_MAGIC,
+    decode_container,
     read_container,
     read_meta,
     write_container,
@@ -57,10 +74,20 @@ __all__ = [
     "resolve_snapshot_path",
     "SnapshotError",
     "CorruptSnapshotError",
+    "CorruptDeltaError",
     "FormatVersionError",
     "StaleSnapshotError",
+    "JournalTruncatedError",
     "SNAPSHOT_MAGIC",
     "SNAPSHOT_FORMAT_VERSION",
+    "DELTA_MAGIC",
+    "DELTA_FORMAT_VERSION",
+    "FRAME_DELTA",
+    "FRAME_SNAPSHOT",
+    "encode_delta_frame",
+    "encode_snapshot_frame",
+    "iter_frames",
+    "decode_container",
     "read_container",
     "read_meta",
     "write_container",

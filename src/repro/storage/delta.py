@@ -1,0 +1,175 @@
+"""The replication delta stream: length-prefixed, CRC-checked frames.
+
+Delta-snapshot replication (:mod:`repro.serving.replication`) moves a
+follower engine from network version *u* to version *v* as **bytes**, so
+the transport can be anything — a socket, a file, a message queue, a
+plain function call between processes.  This module owns the byte
+layout, mirroring the snapshot container's conventions
+(:mod:`repro.storage.format`): a fixed little-endian header, one CRC-32
+per payload, typed errors before any content is interpreted.
+
+A stream is a concatenation of *frames*::
+
+    offset  size  field
+    0       8     magic  b"RPRODELT"
+    8       2     format version (unsigned, little-endian)
+    10      2     frame kind (FRAME_DELTA=1 | FRAME_SNAPSHOT=2)
+    12      4     payload length in bytes
+    16      4     CRC-32 of the payload
+    20      ...   payload
+
+* a **delta frame** (kind 1) carries a UTF-8 JSON object describing one
+  contiguous run of enriched journal records — ``from_version``,
+  ``to_version``, the records themselves, and advisory incremental-PLL
+  hints (see :class:`repro.serving.replication.ReplicationLog`);
+* a **snapshot frame** (kind 2) carries one complete engine snapshot
+  container (the exact bytes :func:`repro.storage.format.encode_container`
+  produces) for the full-transfer fallback when the delta a follower
+  needs has been truncated past the journal floor.
+
+Frames are self-delimiting, so a stream can be cut anywhere between
+frames and resumed later; a cut *inside* a frame surfaces as
+:class:`~repro.storage.errors.CorruptDeltaError` (truncation), never as
+a silently short delta.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from collections.abc import Iterator
+from typing import Any
+
+from .errors import CorruptDeltaError, FormatVersionError
+
+__all__ = [
+    "DELTA_MAGIC",
+    "DELTA_FORMAT_VERSION",
+    "FRAME_DELTA",
+    "FRAME_SNAPSHOT",
+    "encode_delta_frame",
+    "encode_snapshot_frame",
+    "iter_frames",
+]
+
+DELTA_MAGIC = b"RPRODELT"
+
+#: Bump on any incompatible change to the frame layout or the delta
+#: payload schema.  Readers reject newer versions with
+#: :class:`FormatVersionError` — same policy as the snapshot container.
+#: History: 1 — initial format (PR 8).
+DELTA_FORMAT_VERSION = 1
+
+#: Frame kinds.  A delta frame advances a follower incrementally; a
+#: snapshot frame replaces its whole engine state (the fallback path).
+FRAME_DELTA = 1
+FRAME_SNAPSHOT = 2
+
+_FRAME_HEADER = struct.Struct("<8sHHII")
+
+
+def _frame(kind: int, payload: bytes) -> bytes:
+    header = _FRAME_HEADER.pack(
+        DELTA_MAGIC,
+        DELTA_FORMAT_VERSION,
+        kind,
+        len(payload),
+        zlib.crc32(payload),
+    )
+    return header + payload
+
+
+def encode_delta_frame(payload: dict[str, Any]) -> bytes:
+    """Frame one delta payload (a JSON-ready dict) into stream bytes."""
+    return _frame(
+        FRAME_DELTA, json.dumps(payload, sort_keys=True).encode("utf-8")
+    )
+
+
+def encode_snapshot_frame(container: bytes) -> bytes:
+    """Frame one complete snapshot container into stream bytes.
+
+    ``container`` is the output of
+    :func:`repro.storage.format.encode_container` — it carries its own
+    magic, manifest and per-section CRCs, which the receiver verifies a
+    second time when decoding it; the frame CRC here only guards the
+    transport hop.
+    """
+    return _frame(FRAME_SNAPSHOT, container)
+
+
+def iter_frames(data: bytes) -> Iterator[tuple[int, Any]]:
+    """Decode a stream into verified ``(kind, payload)`` frames, in order.
+
+    For :data:`FRAME_DELTA` the payload is the parsed JSON object (its
+    structure validated: ``from_version`` / ``to_version`` integers,
+    ``records`` a list); for :data:`FRAME_SNAPSHOT` it is the raw
+    container bytes.  Raises :class:`CorruptDeltaError` on bad magic,
+    truncation, CRC mismatch, or a malformed delta payload, and
+    :class:`FormatVersionError` when the stream was written by a newer
+    format.  Every yielded payload has passed its CRC.
+    """
+    offset = 0
+    index = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < _FRAME_HEADER.size:
+            raise CorruptDeltaError(
+                f"frame {index}: truncated header "
+                f"({total - offset} bytes, need {_FRAME_HEADER.size})"
+            )
+        magic, version, kind, length, crc = _FRAME_HEADER.unpack_from(
+            data, offset
+        )
+        if magic != DELTA_MAGIC:
+            raise CorruptDeltaError(
+                f"frame {index}: bad magic {magic!r} "
+                "(not a repro delta stream)"
+            )
+        if version > DELTA_FORMAT_VERSION:
+            raise FormatVersionError(version, DELTA_FORMAT_VERSION)
+        start = offset + _FRAME_HEADER.size
+        payload = data[start : start + length]
+        if len(payload) != length:
+            raise CorruptDeltaError(
+                f"frame {index}: truncated payload "
+                f"({len(payload)}/{length} bytes)"
+            )
+        if zlib.crc32(payload) != crc:
+            raise CorruptDeltaError(f"frame {index}: payload CRC mismatch")
+        if kind == FRAME_DELTA:
+            yield kind, _parse_delta_payload(payload, index)
+        elif kind == FRAME_SNAPSHOT:
+            yield kind, payload
+        else:
+            raise CorruptDeltaError(
+                f"frame {index}: unknown frame kind {kind}"
+            )
+        offset = start + length
+        index += 1
+
+
+def _parse_delta_payload(payload: bytes, index: int) -> dict[str, Any]:
+    try:
+        parsed = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        # CRC passed but the JSON is malformed: the *writer* was broken.
+        raise CorruptDeltaError(
+            f"frame {index}: undecodable delta payload ({exc})"
+        ) from None
+    if (
+        not isinstance(parsed, dict)
+        or not isinstance(parsed.get("from_version"), int)
+        or not isinstance(parsed.get("to_version"), int)
+        or not isinstance(parsed.get("records"), list)
+    ):
+        raise CorruptDeltaError(
+            f"frame {index}: malformed delta payload structure"
+        )
+    if parsed["from_version"] >= parsed["to_version"]:
+        raise CorruptDeltaError(
+            f"frame {index}: empty or backwards version range "
+            f"({parsed['from_version']} -> {parsed['to_version']})"
+        )
+    return parsed

@@ -15,7 +15,13 @@ failure modes demand three different reactions:
   journal's floor, or is ahead of the live network entirely).  React:
   take a fresh snapshot from the live engine; replay is impossible.
 
-All three derive from :class:`SnapshotError` so "anything snapshot"
+Replication (PR 8) refines two of these without adding new reactions:
+:class:`CorruptDeltaError` is :class:`CorruptSnapshotError` for the
+delta-frame stream, and :class:`JournalTruncatedError` is
+:class:`StaleSnapshotError` surfaced mid-replication — the typed signal
+that a follower must fall back to a full snapshot transfer.
+
+All of them derive from :class:`SnapshotError` so "anything snapshot"
 can be caught in one clause, and *none* of them ever leaves a caller
 holding a silently wrong oracle — loading either returns a verified
 engine or raises.
@@ -26,8 +32,10 @@ from __future__ import annotations
 __all__ = [
     "SnapshotError",
     "CorruptSnapshotError",
+    "CorruptDeltaError",
     "FormatVersionError",
     "StaleSnapshotError",
+    "JournalTruncatedError",
 ]
 
 
@@ -41,6 +49,17 @@ class CorruptSnapshotError(SnapshotError):
     Raised on wrong magic, truncated files, manifest/section CRC
     mismatches, and structurally impossible manifests.  The message
     names what check failed and where.
+    """
+
+
+class CorruptDeltaError(CorruptSnapshotError):
+    """A replication delta stream fails integrity verification.
+
+    Same contract as :class:`CorruptSnapshotError` (wrong magic,
+    truncated frame, CRC mismatch, structurally impossible payload) for
+    the delta-frame stream of :mod:`repro.storage.delta`.  React like a
+    failed fetch: re-request the delta, or fall back to a full snapshot
+    transfer — never apply a partially verified frame.
     """
 
 
@@ -60,6 +79,12 @@ class FormatVersionError(SnapshotError):
         self.found = found
         self.supported = supported
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` — the formatted
+        # message, not our two ints — so a worker-raised instance would
+        # fail to unpickle in the parent.  Replay the real constructor.
+        return (type(self), (self.found, self.supported))
+
 
 class StaleSnapshotError(SnapshotError):
     """The snapshot cannot be reconciled with the live network.
@@ -72,3 +97,31 @@ class StaleSnapshotError(SnapshotError):
     shares a version number.  Loading it against that network would
     serve wrong distances, so the loader refuses.
     """
+
+
+class JournalTruncatedError(StaleSnapshotError):
+    """A catch-up delta was requested from past the journal's floor.
+
+    Raised (instead of silently answering "rebuild from scratch") when a
+    replication consumer asks for the mutations since a version the
+    bounded journal no longer retains — the follower fell too far
+    behind.  React: transfer a full snapshot and resume the delta stream
+    from its version.  Subclasses :class:`StaleSnapshotError` because it
+    is the same condition (`the delta needed to catch up was truncated`)
+    surfaced mid-replication rather than at load time, so existing
+    "stale → take a fresh snapshot" handlers keep working.
+    """
+
+    def __init__(self, since_version: int, floor: int) -> None:
+        super().__init__(
+            f"cannot replay the delta since version {since_version}: the "
+            f"journal floor has advanced to {floor} — fall back to a full "
+            "snapshot transfer"
+        )
+        self.since_version = since_version
+        self.floor = floor
+
+    def __reduce__(self):
+        # Same pickling concern as FormatVersionError: replica-pool
+        # workers raise this across a process boundary.
+        return (type(self), (self.since_version, self.floor))

@@ -45,6 +45,7 @@ __all__ = [
     "SNAPSHOT_FORMAT_VERSION",
     "write_container",
     "encode_container",
+    "decode_container",
     "read_container",
     "read_meta",
     "atomic_write_bytes",
@@ -147,22 +148,17 @@ def _parse_manifest(manifest: bytes, source: str) -> dict[str, Any]:
     return parsed
 
 
-def read_container(
-    path: str | Path,
+def decode_container(
+    blob: bytes, *, source: str = "<bytes>"
 ) -> tuple[dict[str, Any], dict[str, bytes]]:
-    """Read and fully verify one snapshot file.
+    """Fully verify one in-memory snapshot container.
 
-    Returns ``(meta, sections)``.  Raises
-    :class:`CorruptSnapshotError` on any integrity failure and
-    :class:`FormatVersionError` on a future format version; on success
-    every returned byte has passed its CRC.
+    The byte-level twin of :func:`read_container`, for containers that
+    arrive over a wire instead of from a file — the replication layer
+    ships full snapshots as one frame payload (:mod:`repro.storage.delta`)
+    and verifies them here before interpretation.  ``source`` names the
+    origin in error messages.
     """
-    path = Path(path)
-    source = str(path)
-    try:
-        blob = path.read_bytes()
-    except OSError as exc:
-        raise CorruptSnapshotError(f"{source}: unreadable ({exc})") from exc
     _version, manifest, payload_start = _parse_header(blob, source)
     parsed = _parse_manifest(manifest, source)
     sections: dict[str, bytes] = {}
@@ -182,6 +178,25 @@ def read_container(
             )
         sections[name] = payload
     return parsed["meta"], sections
+
+
+def read_container(
+    path: str | Path,
+) -> tuple[dict[str, Any], dict[str, bytes]]:
+    """Read and fully verify one snapshot file.
+
+    Returns ``(meta, sections)``.  Raises
+    :class:`CorruptSnapshotError` on any integrity failure and
+    :class:`FormatVersionError` on a future format version; on success
+    every returned byte has passed its CRC.
+    """
+    path = Path(path)
+    source = str(path)
+    try:
+        blob = path.read_bytes()
+    except OSError as exc:
+        raise CorruptSnapshotError(f"{source}: unreadable ({exc})") from exc
+    return decode_container(blob, source=source)
 
 
 def read_meta(path: str | Path) -> dict[str, Any]:

@@ -167,3 +167,40 @@ def test_payload_from_team_is_canonical():
     rebuilt = payload.to_team()
     assert rebuilt.key() == team.key()
     assert rebuilt.root == "b"
+
+
+def test_network_version_is_default_omitted():
+    """Absent from the JSON payload unless set (byte-stability pin).
+
+    Pre-replication suites (and old recorded JSON) compare serialized
+    responses byte for byte; a new always-present key would break every
+    one of them, so ``network_version`` only appears once a replicated
+    backend stamps it.
+    """
+    request = TeamRequest(skills=("a",))
+    plain = TeamResponse(request=request, solver="greedy", found=False)
+    assert "network_version" not in plain.to_dict()
+    assert "network_version" not in json.loads(plain.to_json())
+    stamped = TeamResponse(
+        request=request, solver="greedy", found=False, network_version=7
+    )
+    assert stamped.to_dict()["network_version"] == 7
+    assert TeamResponse.from_json(stamped.to_json()) == stamped
+    # Old JSON without the key still parses (defaults to None).
+    assert TeamResponse.from_json(plain.to_json()).network_version is None
+
+
+def test_canonical_json_ignores_network_version():
+    """Identity compares *what* was answered, not *who* answered it.
+
+    Two engines at the same network state must be byte-indistinguishable
+    through ``canonical_json`` even when one is a replica stamping its
+    version — that is the differential gate replication is held to.
+    """
+    from dataclasses import replace
+
+    request = TeamRequest(skills=("a",))
+    plain = TeamResponse(request=request, solver="greedy", found=False)
+    stamped = replace(plain, network_version=7)
+    assert plain.canonical_json() == stamped.canonical_json()
+    assert "network_version" not in plain.canonical_json()

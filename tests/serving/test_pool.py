@@ -230,3 +230,188 @@ def test_pool_rejects_corrupt_snapshot_in_parent(snapshot_store, tmp_path):
     broken.write_bytes(bytes(data))
     with pytest.raises(CorruptSnapshotError):
         EngineReplicaPool(broken, replicas=2)
+
+
+# ----------------------------------------------------------------------
+# batch routing must not serialize callers (PR-8 bugfix)
+# ----------------------------------------------------------------------
+class _StubWorker:
+    """A fake worker executor: records submissions, resolves on demand."""
+
+    def __init__(self):
+        import threading
+
+        self.submissions = []
+        self.submitted = threading.Event()
+
+    def submit(self, fn, payload):
+        from concurrent.futures import Future
+
+        future = Future()
+        self.submissions.append((payload, future))
+        self.submitted.set()
+        return future
+
+    def shutdown(self, wait=False, cancel_futures=False):
+        pass
+
+
+def test_solve_many_does_not_hold_route_lock_across_submit(snapshot_store):
+    """Routing takes the lock; submitting and awaiting must not.
+
+    Regression pin: if ``solve_many`` held ``_route_lock`` while
+    awaiting worker results, a second concurrent batch could not even
+    *route* until the first completed — single-request batches through
+    the server would serialize.  With stub workers whose futures only
+    resolve when the test says so, the second thread must reach its
+    submit while the first is still blocked awaiting its result.
+    """
+    import threading
+
+    engine = TeamFormationEngine.from_snapshot(snapshot_store)
+    pool = EngineReplicaPool(snapshot_store, replicas=1)
+    stubs = [_StubWorker(), _StubWorker()]
+    pool._workers = stubs  # degrade-mode pool, stub process executors
+    pool._local = None
+    requests = [GREEDY, GREEDY.replace(lam=0.3)]
+    results: list = [None, None]
+
+    def run(slot: int) -> None:
+        results[slot] = pool.solve_many([requests[slot]])
+
+    threads = [
+        threading.Thread(target=run, args=(slot,)) for slot in (0, 1)
+    ]
+    threads[0].start()
+    assert stubs[0].submitted.wait(5), "first batch never reached submit"
+    threads[1].start()
+    # The proof: the second batch routes AND submits while the first
+    # batch's future is still unresolved.
+    assert stubs[1].submitted.wait(5), (
+        "second batch blocked on _route_lock while the first awaited "
+        "its worker result"
+    )
+    for stub in stubs:
+        for payload, future in stub.submissions:
+            future.set_result(
+                [
+                    (
+                        index,
+                        engine.solve_isolated(
+                            TeamRequest.from_json(text)
+                        ).to_json(),
+                    )
+                    for index, text in payload
+                ]
+            )
+    for thread in threads:
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+    for slot in (0, 1):
+        assert canonical(results[slot][0]) == canonical(
+            engine.solve_isolated(requests[slot])
+        )
+
+
+# ----------------------------------------------------------------------
+# replication: syncing the pool against a live primary
+# ----------------------------------------------------------------------
+RAREST = TeamRequest(skills=("DB",), solver="rarest_first")
+
+
+def primary_with_log(snapshot_store, **log_kwargs):
+    from repro.serving.replication import ReplicationLog
+
+    primary = TeamFormationEngine.from_snapshot(snapshot_store)
+    return primary, ReplicationLog(primary, **log_kwargs)
+
+
+def test_pool_sync_advances_and_stamps_versions(snapshot_store):
+    primary, log = primary_with_log(snapshot_store)
+    with EngineReplicaPool(snapshot_store, replicas=1) as pool:
+        pool.attach_primary(log)
+        before = pool.solve_many([GREEDY])[0]
+        assert before.network_version == 0
+        with primary.mutate() as network:
+            network.update_h_index("liu", 30)
+            network.add_collaboration("liu", "golshan", weight=0.4)
+        assert pool.sync() == primary.network.version
+        after = pool.solve_many([GREEDY])[0]
+        assert after.network_version == primary.network.version
+        assert canonical(after) == canonical(primary.solve(GREEDY))
+        assert pool.snapshot_fallbacks == 0
+        # Syncing at the tip is a no-op.
+        assert pool.sync() == pool.replica_version
+
+
+def test_pool_sync_worker_mode_converges_all_replicas(snapshot_store):
+    primary, log = primary_with_log(snapshot_store)
+    with EngineReplicaPool(snapshot_store, replicas=2) as pool:
+        pool.attach_primary(log)
+        with primary.mutate() as network:
+            network.update_skills("bridge", {"SN", "DB"})
+            network.add_collaboration("ren", "kotzias", weight=0.7)
+        version = pool.sync()
+        assert version == primary.network.version
+        # Enough requests that both replicas answer some of the batch.
+        requests = [GREEDY.replace(lam=lam) for lam in (0.2, 0.4, 0.6, 0.8)]
+        live = [primary.solve(r) for r in requests]
+        pooled = pool.solve_many(requests)
+        assert [canonical(r) for r in pooled] == [canonical(r) for r in live]
+        assert all(r.network_version == version for r in pooled)
+
+
+def test_pool_falls_back_past_the_journal_floor(snapshot_store):
+    """Satellite pin: a shrunken journal bound under a live follower.
+
+    The primary's log only retains 2 records; after 5 mutations the
+    pool's catch-up delta is gone.  That must surface as one counted
+    full-snapshot fallback that still converges — never a silent
+    'rebuild from scratch' or a stale answer.
+    """
+    primary, log = primary_with_log(snapshot_store, capacity=2)
+    with EngineReplicaPool(snapshot_store, replicas=1) as pool:
+        pool.attach_primary(log)
+        with primary.mutate() as network:
+            for i in range(5):
+                network.update_h_index("liu", 10 + i)
+        assert pool.snapshot_fallbacks == 0
+        version = pool.sync()
+        assert version == primary.network.version
+        assert pool.snapshot_fallbacks == 1
+        assert canonical(pool.solve_many([GREEDY])[0]) == canonical(
+            primary.solve(GREEDY)
+        )
+
+
+def test_pool_bounded_staleness_rejects_with_a_typed_error(snapshot_store):
+    primary, log = primary_with_log(snapshot_store)
+    with EngineReplicaPool(snapshot_store, replicas=1) as pool:
+        pool.attach_primary(log, max_lag_ms=0.0)
+        current = pool.solve_many([GREEDY])[0]
+        assert current.error_kind is None  # in budget: answered
+        with primary.mutate() as network:
+            network.update_h_index("liu", 30)
+        rejected = pool.solve_many([GREEDY, RAREST])
+        assert [r.error_kind for r in rejected] == ["stale_replica"] * 2
+        assert all(not r.found for r in rejected)
+        assert all(
+            r.network_version == pool.replica_version for r in rejected
+        )
+        pool.sync()
+        healed = pool.solve_many([GREEDY])[0]
+        assert healed.error_kind is None
+        assert canonical(healed) == canonical(primary.solve(GREEDY))
+
+
+def test_pool_replication_validation(snapshot_store):
+    primary, log = primary_with_log(snapshot_store)
+    with EngineReplicaPool(snapshot_store, replicas=1) as pool:
+        with pytest.raises(RuntimeError, match="no replication log"):
+            pool.sync()
+        with pytest.raises(ValueError, match="non-negative"):
+            pool.attach_primary(log, max_lag_ms=-1.0)
+        pool.attach_primary(log)
+        # Unreplicated pools never stamp; replicated ones always do —
+        # which is why attaching is opt-in.
+        assert pool.solve_many([GREEDY])[0].network_version == 0

@@ -441,3 +441,96 @@ def test_startup_failure_propagates_to_the_caller(tmp_path):
     with pytest.raises(SnapshotError):
         with running_server(store_backend_loader(empty)):
             pass  # pragma: no cover - start() raises
+
+
+# ----------------------------------------------------------------------
+# replicated serving: the mutate op end to end
+# ----------------------------------------------------------------------
+MUTATION_OPS = [
+    {"op": "add_expert", "id": "new", "skills": ["SN"], "h_index": 7},
+    {"op": "add_collaboration", "u": "new", "v": "han", "weight": 0.5},
+    {"op": "update_skills", "id": "bridge", "skills": ["TM"]},
+]
+
+
+def test_replicated_server_mutates_and_serves_the_new_version(snapshot_store):
+    from repro.serving.replication import apply_network_op
+    from repro.serving.server import replicated_backend_loader
+
+    # The reference: a plain engine that applies the same ops locally.
+    reference = TeamFormationEngine.from_snapshot(snapshot_store)
+    loader = replicated_backend_loader(snapshot_store, replicas=1)
+    with running_server(loader) as srv, srv.client() as client:
+        before = TeamResponse.from_json(client.round_trip_raw(GREEDY.to_dict()))
+        assert before.network_version == 0
+        assert canonical(before.to_json()) == canonical(
+            reference.solve(GREEDY).to_json()
+        )
+        envelope = client.round_trip({"op": "mutate", "ops": MUTATION_OPS})
+        assert envelope["ok"] is True
+        assert envelope["applied"] == len(MUTATION_OPS)
+        assert envelope["primary_version"] == envelope["replica_version"] == 3
+        with reference.mutate() as network:
+            for op in MUTATION_OPS:
+                apply_network_op(network, op)
+        after = TeamResponse.from_json(client.round_trip_raw(GREEDY.to_dict()))
+        assert after.network_version == 3
+        assert canonical(after.to_json()) == canonical(
+            reference.solve(GREEDY).to_json()
+        )
+        stats = client.round_trip({"op": "stats"})
+        assert stats["backend"]["kind"] == "replicated"
+        assert stats["backend"]["replica_version"] == 3
+
+
+def test_replicated_server_failing_op_reports_and_stays_synced(
+    snapshot_store,
+):
+    from repro.serving.server import replicated_backend_loader
+
+    loader = replicated_backend_loader(snapshot_store, replicas=1)
+    with running_server(loader) as srv, srv.client() as client:
+        envelope = client.round_trip(
+            {
+                "op": "mutate",
+                "ops": [
+                    {"op": "update_h_index", "id": "liu", "h_index": 12},
+                    {"op": "remove_expert", "id": "nobody"},
+                    {"op": "update_h_index", "id": "ren", "h_index": 1},
+                ],
+            }
+        )
+        assert envelope["ok"] is False
+        assert envelope["applied"] == 1
+        assert "nobody" in envelope["error"]
+        # The applied prefix still replicated: answers carry version 1.
+        response = TeamResponse.from_json(
+            client.round_trip_raw(GREEDY.to_dict())
+        )
+        assert response.network_version == 1
+        assert envelope["replica_version"] == envelope["primary_version"] == 1
+
+
+def test_mutate_op_refused_without_a_replicated_backend(snapshot_store):
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            envelope = client.round_trip(
+                {"op": "mutate", "ops": [{"op": "remove_expert", "id": "x"}]}
+            )
+            assert envelope["ok"] is False
+            assert "--replicate" in envelope["error"]
+            # The refusal is in-band; the connection still serves.
+            assert client.round_trip(GREEDY.to_dict())["found"]
+
+
+def test_mutate_op_validates_the_ops_payload(snapshot_store):
+    from repro.serving.server import replicated_backend_loader
+
+    loader = replicated_backend_loader(snapshot_store, replicas=1)
+    with running_server(loader) as srv, srv.client() as client:
+        for bad in ({"op": "mutate"}, {"op": "mutate", "ops": "x"},
+                    {"op": "mutate", "ops": [17]}):
+            envelope = client.round_trip(bad)
+            assert envelope["ok"] is False
+            assert '"ops" list' in envelope["error"]
+        assert client.round_trip({"op": "ping"}) == {"op": "ping", "ok": True}

@@ -33,8 +33,13 @@ def test_parse_line_solve_request():
 
 
 def test_parse_line_admin_ops():
+    # The full payload object comes through, not just the op name —
+    # ops like mutate carry arguments next to their "op" key.
     for op in ADMIN_OPS:
-        assert parse_line(json.dumps({"op": op})) == ("op", op)
+        assert parse_line(json.dumps({"op": op})) == ("op", {"op": op})
+    kind, data = parse_line('{"op": "mutate", "ops": [{"op": "add_expert"}]}')
+    assert kind == "op"
+    assert data == {"op": "mutate", "ops": [{"op": "add_expert"}]}
 
 
 def test_parse_line_unknown_op_lists_known_ones():

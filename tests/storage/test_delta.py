@@ -1,0 +1,184 @@
+"""The replication delta codec: framing, verification, typed errors.
+
+Every byte-level failure mode must surface as a typed error *before*
+any payload is interpreted — the same contract the snapshot container
+enforces — and the errors themselves must survive a pickle round trip,
+because replica-pool workers raise them across a process boundary.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+import pytest
+
+from repro.storage import (
+    CorruptDeltaError,
+    CorruptSnapshotError,
+    FormatVersionError,
+    JournalTruncatedError,
+    SnapshotError,
+    StaleSnapshotError,
+)
+from repro.storage.delta import (
+    DELTA_FORMAT_VERSION,
+    DELTA_MAGIC,
+    FRAME_DELTA,
+    FRAME_SNAPSHOT,
+    encode_delta_frame,
+    encode_snapshot_frame,
+    iter_frames,
+)
+
+PAYLOAD = {
+    "from_version": 3,
+    "to_version": 5,
+    "records": [{"mutation": {"version": 4, "op": "add_expert"}}],
+    "hints": {"incremental": True},
+}
+
+_HEADER = struct.Struct("<8sHHII")
+
+
+# ----------------------------------------------------------------------
+# round trips
+# ----------------------------------------------------------------------
+def test_delta_frame_round_trips():
+    frames = list(iter_frames(encode_delta_frame(PAYLOAD)))
+    assert frames == [(FRAME_DELTA, PAYLOAD)]
+
+
+def test_snapshot_frame_round_trips_raw_bytes():
+    container = b"\x00\x01arbitrary container bytes\xff"
+    frames = list(iter_frames(encode_snapshot_frame(container)))
+    assert frames == [(FRAME_SNAPSHOT, container)]
+
+
+def test_mixed_stream_preserves_frame_order():
+    stream = (
+        encode_snapshot_frame(b"snap")
+        + encode_delta_frame(PAYLOAD)
+        + encode_delta_frame({**PAYLOAD, "from_version": 5, "to_version": 6})
+    )
+    kinds = [kind for kind, _ in iter_frames(stream)]
+    assert kinds == [FRAME_SNAPSHOT, FRAME_DELTA, FRAME_DELTA]
+
+
+def test_empty_stream_yields_nothing():
+    assert list(iter_frames(b"")) == []
+
+
+# ----------------------------------------------------------------------
+# corruption: every damaged byte range has a typed, located error
+# ----------------------------------------------------------------------
+def test_truncated_header_is_corrupt():
+    with pytest.raises(CorruptDeltaError, match="truncated header"):
+        list(iter_frames(encode_delta_frame(PAYLOAD)[: _HEADER.size - 1]))
+
+
+def test_truncated_payload_is_corrupt():
+    with pytest.raises(CorruptDeltaError, match="truncated payload"):
+        list(iter_frames(encode_delta_frame(PAYLOAD)[:-1]))
+
+
+def test_bad_magic_is_corrupt():
+    data = bytearray(encode_delta_frame(PAYLOAD))
+    data[:8] = b"NOTDELTA"
+    with pytest.raises(CorruptDeltaError, match="bad magic"):
+        list(iter_frames(bytes(data)))
+
+
+def test_payload_bit_flip_fails_crc():
+    data = bytearray(encode_delta_frame(PAYLOAD))
+    data[-3] ^= 0x40
+    with pytest.raises(CorruptDeltaError, match="CRC mismatch"):
+        list(iter_frames(bytes(data)))
+
+
+def test_unknown_frame_kind_is_corrupt():
+    payload = b"x"
+    header = _HEADER.pack(
+        DELTA_MAGIC, DELTA_FORMAT_VERSION, 9, 1, zlib.crc32(payload)
+    )
+    with pytest.raises(CorruptDeltaError, match="unknown frame kind 9"):
+        list(iter_frames(header + payload))
+
+
+def test_second_frame_errors_after_first_yields():
+    stream = encode_delta_frame(PAYLOAD) + b"garbage-that-is-no-header!"
+    frames = iter_frames(stream)
+    assert next(frames)[0] == FRAME_DELTA
+    with pytest.raises(CorruptDeltaError, match="frame 1"):
+        next(frames)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        {"to_version": 5, "records": []},  # missing from_version
+        {"from_version": 1, "to_version": 2, "records": "no"},
+        {"from_version": 2.5, "to_version": 5, "records": []},
+        ["not", "an", "object"],
+    ],
+)
+def test_malformed_delta_payload_structure(payload):
+    with pytest.raises(CorruptDeltaError, match="malformed delta payload"):
+        list(iter_frames(encode_delta_frame(payload)))
+
+
+def test_backwards_version_range_is_corrupt():
+    bad = {**PAYLOAD, "from_version": 5, "to_version": 5}
+    with pytest.raises(CorruptDeltaError, match="backwards version range"):
+        list(iter_frames(encode_delta_frame(bad)))
+
+
+def test_undecodable_json_payload_is_corrupt():
+    payload = b"\xff\xfenot json"
+    header = _HEADER.pack(
+        DELTA_MAGIC,
+        DELTA_FORMAT_VERSION,
+        FRAME_DELTA,
+        len(payload),
+        zlib.crc32(payload),
+    )
+    with pytest.raises(CorruptDeltaError, match="undecodable delta payload"):
+        list(iter_frames(header + payload))
+
+
+def test_newer_format_version_is_typed_not_corrupt():
+    data = bytearray(encode_delta_frame(PAYLOAD))
+    struct.pack_into("<H", data, 8, DELTA_FORMAT_VERSION + 1)
+    with pytest.raises(FormatVersionError) as exc_info:
+        list(iter_frames(bytes(data)))
+    assert exc_info.value.found == DELTA_FORMAT_VERSION + 1
+    assert exc_info.value.supported == DELTA_FORMAT_VERSION
+
+
+# ----------------------------------------------------------------------
+# error taxonomy and cross-process transport
+# ----------------------------------------------------------------------
+def test_delta_errors_slot_into_the_snapshot_hierarchy():
+    assert issubclass(CorruptDeltaError, CorruptSnapshotError)
+    assert issubclass(JournalTruncatedError, StaleSnapshotError)
+    assert issubclass(CorruptDeltaError, SnapshotError)
+    assert issubclass(JournalTruncatedError, SnapshotError)
+
+
+def test_journal_truncated_error_pickles_with_attributes():
+    # Replica-pool workers raise this across a process boundary; the
+    # default exception reduce replays args=(message,), which would
+    # crash the two-argument constructor on unpickle.
+    error = JournalTruncatedError(7, 12)
+    clone = pickle.loads(pickle.dumps(error))
+    assert isinstance(clone, JournalTruncatedError)
+    assert (clone.since_version, clone.floor) == (7, 12)
+    assert str(clone) == str(error)
+
+
+def test_format_version_error_pickles_with_attributes():
+    error = FormatVersionError(9, 1)
+    clone = pickle.loads(pickle.dumps(error))
+    assert (clone.found, clone.supported) == (9, 1)
+    assert str(clone) == str(error)

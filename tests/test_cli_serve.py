@@ -309,3 +309,36 @@ def test_server_mode_end_to_end_over_unix_socket(tiny_snapshot):
                     pass
         thread.join(timeout=60)
         assert result == [0]
+
+
+def test_serve_replicate_requires_a_persistent_server(tmp_path, capsys):
+    path = write_input(tmp_path, GOOD_LINES)
+    assert (
+        main(["--scale", "tiny", "serve", "--input", path, "--replicate"])
+        == 2
+    )
+    assert "--replicate needs a persistent server" in capsys.readouterr().err
+
+
+def test_serve_replicate_requires_a_snapshot(capsys):
+    assert (
+        main(
+            ["--scale", "tiny", "serve", "--listen", "127.0.0.1:0",
+             "--replicate"]
+        )
+        == 2
+    )
+    assert "--replicate requires --snapshot" in capsys.readouterr().err
+
+
+def test_serve_max_lag_requires_replicate(tmp_path, capsys):
+    assert (
+        main(
+            ["serve", "--listen", "127.0.0.1:0", "--snapshot",
+             str(tmp_path / "store"), "--max-lag-ms", "50"]
+        )
+        == 2
+    )
+    assert "--max-lag-ms only applies with --replicate" in (
+        capsys.readouterr().err
+    )
