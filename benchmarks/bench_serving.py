@@ -44,9 +44,10 @@ import time
 from pathlib import Path
 
 from _bench_json import write_json_report
+from repro import obs
 from repro.api import TeamFormationEngine, TeamRequest
 from repro.eval.workload import SCALE_CONFIGS, benchmark_network, sample_projects
-from repro.serving.metrics import LatencyReservoir
+from repro.obs import LatencyReservoir
 from repro.serving.pool import EngineReplicaPool, usable_cores
 from repro.serving.server import BackgroundServer, TeamServer, store_backend_loader
 from repro.serving.server_conn import ServingClient
@@ -96,6 +97,12 @@ def main(argv: list[str] | None = None) -> int:
         "of p50 — auto-relaxed under 4 usable cores",
     )
     parser.add_argument(
+        "--max-trace-overhead", type=float, default=0.0,
+        help="fail (exit 1) when the traced sequential pass is slower "
+        "than the untraced one by more than this ratio (e.g. 1.05) — "
+        "auto-relaxed under 4 usable cores",
+    )
+    parser.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -124,6 +131,39 @@ def main(argv: list[str] | None = None) -> int:
         t0 = time.perf_counter()
         sequential = sequential_engine.solve_many(requests)
         sequential_s = time.perf_counter() - t0
+
+        # Tracing-overhead pass (PR 9): the same warm batch on the same
+        # engine, untraced vs span-traced.  The first sequential pass
+        # above doubles as the warm-up, so both measured passes here hit
+        # fully warm caches; the per-layer counter deltas around the
+        # traced pass become the per-stage breakdown in the JSON report.
+        # Best-of-3 on both sides: a single warm pass is only ~100ms at
+        # the small scale, where one scheduler preemption would swamp a
+        # few-percent overhead signal.
+        untraced_s = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            untraced = sequential_engine.solve_many(requests)
+            untraced_s = min(untraced_s, time.perf_counter() - t0)
+        tracer = obs.get_tracer()
+        counters_before = dict(obs.global_registry().snapshot()["counters"])
+        tracer.enable()
+        try:
+            traced_s = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                traced = sequential_engine.solve_many(requests)
+                traced_s = min(traced_s, time.perf_counter() - t0)
+        finally:
+            tracer.disable()
+            tracer.clear()
+        counters_after = obs.global_registry().snapshot()["counters"]
+        stages = {
+            name: round(value - counters_before.get(name, 0), 6)
+            for name, value in sorted(counters_after.items())
+            if value != counters_before.get(name, 0)
+        }
+        trace_overhead = traced_s / untraced_s if untraced_s else 1.0
 
         threaded_engine = TeamFormationEngine.from_snapshot(store)
         t0 = time.perf_counter()
@@ -160,6 +200,15 @@ def main(argv: list[str] | None = None) -> int:
     if [TeamResponse.from_json(r).canonical_json() for r in served] != expected:
         print("FAIL: persistent-server answers differ from sequential")
         return 1
+    if [r.canonical_json() for r in untraced] != expected:
+        print("FAIL: repeat sequential answers differ from the first pass")
+        return 1
+    if [r.canonical_json() for r in traced] != expected:
+        print("FAIL: traced answers are not byte-identical to untraced")
+        return 1
+    if not any(r.timing and r.timing.trace for r in traced):
+        print("FAIL: traced pass attached no span trees")
+        return 1
     if [r.canonical_json() for r in threaded] != expected:
         print("FAIL: threaded solve_many answers differ from sequential")
         return 1
@@ -193,7 +242,14 @@ def main(argv: list[str] | None = None) -> int:
         f"p50={latency['p50_ms']:.1f}ms p95={latency['p95_ms']:.1f}ms "
         f"p99={latency['p99_ms']:.1f}ms"
     )
-    print("  identity          : byte-identical responses, 0 oracle builds")
+    print(
+        f"  tracing overhead  : {untraced_s:8.3f}s untraced vs "
+        f"{traced_s:8.3f}s traced ({trace_overhead:.3f}x)"
+    )
+    print(
+        "  identity          : byte-identical responses (traced included), "
+        "0 oracle builds"
+    )
 
     status = 0
     if args.min_speedup > 0:
@@ -236,6 +292,24 @@ def main(argv: list[str] | None = None) -> int:
                 f"  latency gate      : p99/p50 = {p99_ratio:.1f}x < "
                 f"{args.max_p99_ratio:.1f}x satisfied"
             )
+    if args.max_trace_overhead > 0:
+        if cores < 4:
+            print(
+                f"  trace gate        : relaxed to identity-only "
+                f"({cores} usable core(s) < 4; wall-clock ratios are "
+                "noise on a preempted runner)"
+            )
+        elif trace_overhead >= args.max_trace_overhead:
+            print(
+                f"FAIL: tracing overhead {trace_overhead:.3f}x at or above "
+                f"the {args.max_trace_overhead:.2f}x bound"
+            )
+            status = 1
+        else:
+            print(
+                f"  trace gate        : overhead {trace_overhead:.3f}x < "
+                f"{args.max_trace_overhead:.2f}x satisfied"
+            )
     if args.json:
         write_json_report(
             args.json,
@@ -256,6 +330,12 @@ def main(argv: list[str] | None = None) -> int:
                 "latency_mean_ms": latency["mean_ms"],
                 "latency_max_ms": latency["max_ms"],
                 "max_p99_ratio": args.max_p99_ratio,
+                "untraced_seconds": untraced_s,
+                "traced_seconds": traced_s,
+                "trace_passes": 3,
+                "trace_overhead": trace_overhead,
+                "max_trace_overhead": args.max_trace_overhead,
+                "stages": stages,
                 "gate_passed": status == 0,
             },
         )

@@ -15,8 +15,11 @@ the way the unit suite (in-process loop) cannot:
    must re-resolve LATEST with zero failed in-flight requests and
    byte-identical answers before and after (same network version);
 4. check the stats-op counters add up: every request received is
-   answered or rejected exactly once;
-5. SIGTERM and assert a graceful exit with code 0;
+   answered or rejected exactly once, and the per-layer metrics
+   (``stats["layers"]`` plus the ``{"op": "metrics"}`` Prometheus
+   scrape) are non-zero and consistent with the server counters;
+5. SIGTERM and assert a graceful exit with code 0, then assert the
+   ``--slow-ms 0`` slow-query log emitted span trees on stderr;
 6. restart with ``--replicate`` and run a mutate-then-solve
    convergence pass: a ``{"op": "mutate"}`` burst must report the
    followers caught up (``replica_version == primary_version``) and
@@ -40,7 +43,10 @@ from pathlib import Path
 
 from repro.serving.server_conn import ServingClient
 
-SOLVE = {"skills": ["graphics", "sound"], "solver": "greedy", "lam": 0.4}
+# Skills the tiny-scale synthetic network actually covers, so the
+# stream exercises the full solve path (root sweep, kernel queries)
+# rather than the no-holders early return.
+SOLVE = {"skills": ["streamology", "streamics"], "solver": "greedy", "lam": 0.4}
 STREAM_REQUESTS = 40
 OVERLOAD_BURST = 8
 OVERLOAD_RETRIES = 10
@@ -97,7 +103,8 @@ def main() -> int:
         check=True,
     )
 
-    print("== starting server ==", flush=True)
+    print("== starting server (--slow-ms 0: every request logs) ==", flush=True)
+    slow_log = tmp / "server-stderr.log"
     proc = subprocess.Popen(
         [
             sys.executable, "-m", "repro.cli", "serve",
@@ -106,7 +113,9 @@ def main() -> int:
             "--max-pending", "2",
             "--workers", "1",
             "--stats-interval", "5",
+            "--slow-ms", "0",
         ],
+        stderr=slow_log.open("wb"),
     )
     try:
         wait_for_socket(sock, proc, timeout=120)
@@ -187,6 +196,53 @@ def main() -> int:
             f"p50={latency['p50_ms']:.1f}ms p99={latency['p99_ms']:.1f}ms"
         )
 
+        print("== per-layer metrics (stats + prometheus scrape) ==", flush=True)
+        layers = stats.get("layers", {}).get("counters", {})
+        engine_solves = layers.get("engine_solves", 0)
+        answered_found = counters.get("answered_found", 0)
+        if engine_solves < answered_found:
+            fail(
+                f"engine_solves={engine_solves} cannot be below "
+                f"answered_found={answered_found}"
+            )
+        oracle_outcomes = sum(
+            count for name, count in layers.items()
+            if name.startswith("engine_oracle_")
+        )
+        # Identical repeat solves reuse a memoized finder without an
+        # oracle-cache lookup, so outcomes <= solves; but the stream
+        # must have resolved the cache at least once, and never more
+        # often than it solved.
+        if not 1 <= oracle_outcomes <= engine_solves:
+            fail(
+                f"oracle cache outcomes ({oracle_outcomes}) inconsistent "
+                f"with solves ({engine_solves})"
+            )
+        kernel_queries = sum(
+            count for name, count in layers.items()
+            if name.startswith("kernel_queries_")
+        )
+        if kernel_queries <= 0:
+            fail(f"no kernel queries counted in layers: {sorted(layers)}")
+        with ServingClient.connect_unix(str(sock)) as client:
+            stats = client.round_trip({"op": "stats"})
+            scraped = client.round_trip({"op": "metrics"})
+        if not scraped.get("content_type", "").startswith("text/plain"):
+            fail(f"metrics op returned no text exposition: {scraped}")
+        text = scraped["text"]
+        received_line = (
+            f"repro_requests_received "
+            f"{stats['counters']['requests_received']}"
+        )
+        for needle in (received_line, "repro_engine_solves",
+                       "# TYPE repro_request_ms summary"):
+            if needle not in text:
+                fail(f"prometheus scrape is missing {needle!r}")
+        print(
+            f"   layers: engine_solves={engine_solves} "
+            f"kernel_queries={kernel_queries}; scrape consistent"
+        )
+
         print("== graceful shutdown ==", flush=True)
         proc.send_signal(signal.SIGTERM)
         try:
@@ -200,6 +256,24 @@ def main() -> int:
         if proc.poll() is None:
             proc.kill()
             proc.wait()
+
+    print("== slow-query log ==", flush=True)
+    slow_trees = []
+    for line in slow_log.read_text().splitlines():
+        if '"slow_ms"' not in line:
+            continue  # stats-interval chatter, startup banner, ...
+        try:
+            entry = json.loads(line[line.index("{"):])
+        except (ValueError, json.JSONDecodeError):
+            continue
+        if "trace" in entry:
+            slow_trees.append(entry)
+    if not slow_trees:
+        fail(f"--slow-ms 0 emitted no slow-query lines into {slow_log}")
+    first = slow_trees[0]["trace"]
+    if first.get("name") != "request" or not first.get("children"):
+        fail(f"slow-query trace is not a request span tree: {first}")
+    print(f"   {len(slow_trees)} slow-query span trees logged")
 
     print("== replicated server: mutate-then-solve convergence ==", flush=True)
     rsock = tmp / "serve-repl.sock"
@@ -249,6 +323,23 @@ def main() -> int:
                 f"   converged: network_version {version} -> "
                 f"{after['network_version']}, "
                 f"{mutated['snapshot_fallbacks']} snapshot fallbacks"
+            )
+
+            stats = client.round_trip({"op": "stats"})
+            counters = stats["counters"]
+            if counters.get("op_mutate", 0) != (
+                counters.get("mutate_ok", 0)
+                + counters.get("mutate_failed", 0)
+            ):
+                fail(f"mutate outcomes do not add up: {counters}")
+            if counters.get("mutate_ok", 0) < 1:
+                fail(f"mutate burst left mutate_ok at 0: {counters}")
+            layers = stats.get("layers", {}).get("counters", {})
+            if layers.get("pool_syncs", 0) < 1:
+                fail(f"mutate did not count a replication sync: {layers}")
+            print(
+                f"   mutate counters consistent; "
+                f"pool_syncs={layers['pool_syncs']}"
             )
 
         proc.send_signal(signal.SIGTERM)

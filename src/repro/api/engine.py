@@ -61,6 +61,7 @@ same version-keyed incremental path mutations use.
 
 from __future__ import annotations
 
+import contextvars
 import threading
 from collections.abc import Callable, Iterable, Iterator, Sequence
 from concurrent.futures import ThreadPoolExecutor
@@ -81,6 +82,7 @@ from ..expertise.serialize import expert_from_dict, mutation_from_dict
 from ..graph.adjacency import Graph, GraphError
 from ..graph.distance import DijkstraOracle, DistanceOracle, build_oracle
 from ..graph.pll import PrunedLandmarkLabeling
+from .. import obs
 from ..serving.locks import ReadWriteLock
 from ..storage.codec import (
     EngineSnapshotState,
@@ -213,9 +215,21 @@ class TeamFormationEngine:
         of the engine's reader/writer lock for the whole solve, so a
         concurrent :meth:`mutate` / :meth:`refresh_scales` can never
         tear it mid-flight.
+
+        When tracing is active this opens an ``engine.solve`` span; if
+        that span turns out to be the trace *root* (a standalone traced
+        solve, no server above it), the finished tree is attached to the
+        response via :meth:`TeamResponse.with_trace` — identity-safe,
+        since the tree rides inside ``timing``.
         """
-        with self._rw.read_locked():
-            return self._adapter(request.solver).solve(request)
+        obs.global_registry().counter("engine_solves").inc()
+        sp = obs.span("engine.solve", solver=request.solver)
+        with sp:
+            with self._rw.read_locked():
+                response = self._adapter(request.solver).solve(request)
+        if sp.is_recording and sp.is_root:
+            response = response.with_trace(sp.to_dict())
+        return response
 
     def solve_many(
         self,
@@ -256,11 +270,18 @@ class TeamFormationEngine:
         )
         if parallel is None or parallel == 1 or len(requests) <= 1:
             return [answer(request) for request in requests]
+        # One private context copy per request: worker threads re-enter
+        # the caller's context so an active trace span parents each
+        # request's engine spans (thread pools do not propagate context,
+        # and one shared Context object cannot be entered concurrently).
+        contexts = [contextvars.copy_context() for _ in requests]
         with ThreadPoolExecutor(
             max_workers=min(parallel, len(requests)),
             thread_name_prefix="solve-many",
         ) as pool:
-            return list(pool.map(answer, requests))
+            return list(
+                pool.map(lambda ctx, req: ctx.run(answer, req), contexts, requests)
+            )
 
     def solve_isolated(self, request: TeamRequest) -> TeamResponse:
         """:meth:`solve`, with failures returned in-band as responses.
@@ -351,6 +372,21 @@ class TeamFormationEngine:
     ) -> tuple[tuple[Graph, DistanceOracle], str]:
         """The entry for ``base`` at the *current* network version.
 
+        Instrumented wrapper over :meth:`_entry_flight`: one
+        ``engine.oracle`` span whose ``outcome`` attribute is the
+        ``how`` below, plus an ``engine_oracle_<how>`` counter.
+        """
+        with obs.span("engine.oracle", base=str(base[1])) as sp:
+            entry, how = self._entry_flight(cache, base, bound)
+            sp.set_attribute("outcome", how)
+        obs.global_registry().counter(f"engine_oracle_{how}").inc()
+        return entry, how
+
+    def _entry_flight(
+        self, cache: dict, base: tuple, bound: int
+    ) -> tuple[tuple[Graph, DistanceOracle], str]:
+        """The uninstrumented body of :meth:`_entry`.
+
         Returns ``(entry, how)`` where ``how`` records what it cost:
         ``"cached"`` (already current), ``"incremental"`` (a stale entry
         absorbed the delta onto a clone), or ``"rebuilt"`` (fresh
@@ -372,7 +408,13 @@ class TeamFormationEngine:
                 if entry is not None:
                     return entry, "cached"
                 build_lock = self._build_locks.setdefault(key, threading.Lock())
-            with build_lock:
+            if not build_lock.acquire(blocking=False):
+                # Contended: another thread owns this flight.  Count the
+                # wait and time it as its own span before blocking.
+                obs.global_registry().counter("engine_singleflight_waits").inc()
+                with obs.span("engine.singleflight_wait", base=str(base[1])):
+                    build_lock.acquire()
+            try:
                 with self._mutex:
                     if self._build_locks.get(key) is not build_lock:
                         # This flight was deregistered while we waited
@@ -412,6 +454,8 @@ class TeamFormationEngine:
                     with self._mutex:
                         if self._build_locks.get(key) is build_lock:
                             del self._build_locks[key]
+            finally:
+                build_lock.release()
 
     def _claim_stale(
         self, cache: dict, base: tuple
@@ -475,13 +519,15 @@ class TeamFormationEngine:
         steps = self._plan_incremental(delta, base, oracle)
         if steps is None:
             return None
-        graph, oracle = self._clone_entry(graph, oracle, base)
-        for step in steps:
-            if step[0] == "node":
-                oracle.add_node(step[1])
-            else:
-                _, u, v, weight = step
-                oracle.insert_edge(u, v, weight)
+        obs.global_registry().counter("engine_journal_replays").inc()
+        with obs.span("engine.journal_replay", steps=len(steps)):
+            graph, oracle = self._clone_entry(graph, oracle, base)
+            for step in steps:
+                if step[0] == "node":
+                    oracle.add_node(step[1])
+                else:
+                    _, u, v, weight = step
+                    oracle.insert_edge(u, v, weight)
         return graph, oracle
 
     def _clone_entry(
@@ -937,6 +983,10 @@ class TeamFormationEngine:
         gap and lineage semantics as :meth:`apply_delta_stream`, for a
         single frame.
         """
+        with obs.span("engine.delta_apply"):
+            return self._apply_delta_payload(payload)
+
+    def _apply_delta_payload(self, payload: dict) -> dict:
         current = self.network.version
         from_version, to_version = payload["from_version"], payload["to_version"]
         if to_version <= current:

@@ -18,6 +18,7 @@ domain objects: a :class:`TeamPayload` can be rebuilt into a
 
 from __future__ import annotations
 
+import dataclasses
 import json
 from dataclasses import dataclass
 from typing import Any
@@ -332,17 +333,29 @@ class TimingInfo:
     ``oracle_builds`` counts PLL constructions during the solve: on the
     engine's multi-query hot path it should be 0 for every request after
     the first one that shares a cached oracle.
+
+    ``trace`` optionally carries the finished span tree of the request
+    (:meth:`repro.obs.Span.to_dict`) when the server was asked to trace.
+    It rides here — and only here — because ``canonical_json()`` nulls
+    the whole ``timing`` field: a traced response stays byte-identical
+    to an untraced one under the serving identity contract.  Omitted
+    from the dict/JSON forms when absent, so untraced payloads keep
+    their exact pre-tracing byte form.
     """
 
     solve_seconds: float
     oracle_builds: int = 0
+    trace: dict[str, Any] | None = None
 
     def to_dict(self) -> dict[str, Any]:
         """This message as a JSON-ready dict (inverse of ``from_dict``)."""
-        return {
+        out: dict[str, Any] = {
             "solve_seconds": self.solve_seconds,
             "oracle_builds": self.oracle_builds,
         }
+        if self.trace is not None:
+            out["trace"] = self.trace
+        return out
 
     @classmethod
     def from_dict(cls, data: dict[str, Any]) -> "TimingInfo":
@@ -350,6 +363,7 @@ class TimingInfo:
         return cls(
             solve_seconds=float(data["solve_seconds"]),
             oracle_builds=int(data["oracle_builds"]),
+            trace=data.get("trace"),
         )
 
 
@@ -408,6 +422,22 @@ class TeamResponse:
             error=message,
             error_kind=kind,
         )
+
+    def with_trace(self, tree: dict[str, Any] | None) -> "TeamResponse":
+        """A copy carrying ``tree`` in ``timing.trace`` (identity-safe).
+
+        No-op (returns ``self``) when there is no tree or no timing to
+        attach it to — admission-layer rejections never ran a solver
+        and carry no :class:`TimingInfo`.
+        """
+        if tree is None or self.timing is None:
+            return self
+        timing = TimingInfo(
+            solve_seconds=self.timing.solve_seconds,
+            oracle_builds=self.timing.oracle_builds,
+            trace=tree,
+        )
+        return dataclasses.replace(self, timing=timing)
 
     def to_dict(self) -> dict[str, Any]:
         """This message as a JSON-ready dict (inverse of ``from_dict``)."""

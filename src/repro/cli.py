@@ -221,6 +221,12 @@ def build_parser() -> argparse.ArgumentParser:
         "than M ms behind the primary (typed 'stale_replica' response; "
         "default: answer at any staleness)",
     )
+    pserve.add_argument(
+        "--slow-ms", type=float, default=None, metavar="M",
+        help="server mode: log any request slower than M ms as one "
+        "structured JSON line (full span tree) on the repro.obs.slow "
+        "logger (0 = log every request; default: off)",
+    )
 
     pmut = sub.add_parser(
         "mutate",
@@ -309,7 +315,22 @@ def build_parser() -> argparse.ArgumentParser:
     pr = sub.add_parser("runtime", help="Section 4.1 per-query runtime")
     pr.add_argument("--projects", type=int, default=5)
 
-    sub.add_parser("stats", help="dataset characterization table")
+    pst = sub.add_parser(
+        "stats",
+        help="dataset characterization table (or, with --prom, "
+        "Prometheus-format metrics)",
+    )
+    pst.add_argument(
+        "--prom", action="store_true",
+        help="print Prometheus text-format metrics instead of the "
+        "dataset table (local process registry, or a live server's "
+        "with --connect)",
+    )
+    pst.add_argument(
+        "--connect", metavar="ADDR", default=None,
+        help="with --prom: scrape a running server via its in-band "
+        '{"op": "metrics"} op; ADDR is HOST:PORT or a Unix socket path',
+    )
 
     pp = sub.add_parser("pareto", help="Pareto-optimal teams (future work)")
     pp.add_argument("--num-skills", type=int, default=4)
@@ -330,6 +351,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_snapshot(args)
     if args.experiment == "serve":
         return _run_serve(args)
+    if args.experiment == "stats" and (args.prom or args.connect):
+        # Metrics exposition needs no network build: scrape a live
+        # server (--connect) or render this process's own registry.
+        return _run_prom_stats(args)
     if args.experiment in ("solve", "mutate") and args.snapshot:
         try:
             engine = TeamFormationEngine.from_snapshot(args.snapshot)
@@ -538,6 +563,40 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_prom_stats(args) -> int:
+    """``stats --prom``: Prometheus text, local registry or a live server."""
+    from .obs import global_registry, render_prometheus
+
+    if args.connect:
+        from .serving.server_conn import ServingClient
+
+        addr = args.connect
+        try:
+            if ":" in addr and "/" not in addr:
+                host, _, port_text = addr.rpartition(":")
+                try:
+                    port = int(port_text)
+                except ValueError:
+                    print(f"stats: invalid port {port_text!r}", file=sys.stderr)
+                    return 2
+                client = ServingClient.connect_tcp(host, port)
+            else:
+                client = ServingClient.connect_unix(addr)
+        except OSError as exc:
+            print(f"stats: cannot connect to {addr}: {exc}", file=sys.stderr)
+            return 2
+        with client:
+            reply = client.round_trip({"op": "metrics"})
+        text = reply.get("text")
+        if not isinstance(text, str):
+            print(f"stats: malformed metrics reply: {reply}", file=sys.stderr)
+            return 2
+        print(text, end="")
+        return 0
+    print(render_prometheus(global_registry().snapshot()), end="")
+    return 0
+
+
 def _run_server(args) -> int:
     """Run the persistent server (``serve --listen``/``--unix``)."""
     import asyncio
@@ -581,6 +640,9 @@ def _run_server(args) -> int:
     if args.default_deadline_ms is not None and args.default_deadline_ms < 0:
         print("serve: --default-deadline-ms must be non-negative", file=sys.stderr)
         return 2
+    if args.slow_ms is not None and args.slow_ms < 0:
+        print("serve: --slow-ms must be non-negative", file=sys.stderr)
+        return 2
     host = port = None
     if args.listen is not None:
         host, sep, port_text = args.listen.rpartition(":")
@@ -617,6 +679,7 @@ def _run_server(args) -> int:
         default_deadline_ms=args.default_deadline_ms,
         workers=args.workers,
         stats_interval=args.stats_interval,
+        slow_ms=args.slow_ms,
     )
 
     async def run() -> None:

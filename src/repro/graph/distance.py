@@ -35,9 +35,11 @@ increase guard is best-effort only.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Iterable
 from typing import Protocol, runtime_checkable
 
+from .. import obs
 from .adjacency import Graph, GraphError, Node
 from .dijkstra import dijkstra, reconstruct_path
 from .fifo import evict_for_insert
@@ -212,12 +214,25 @@ def build_oracle(
     ``None`` uses the module default (see
     :func:`set_default_index_workers`).  The resulting labels do not
     depend on the worker count.
+
+    Instrumented: each build opens an ``oracle.build`` span and lands
+    in the ``oracle_builds_<kind>`` counter and the ``oracle_build``
+    latency reservoir of the process-wide registry.
     """
-    if kind == "pll":
-        return PrunedLandmarkLabeling(
-            graph,
-            workers=_default_index_workers if workers is None else workers,
+    if kind not in ("pll", "dijkstra"):
+        raise ValueError(
+            f"unknown oracle kind {kind!r}; expected 'pll' or 'dijkstra'"
         )
-    if kind == "dijkstra":
-        return DijkstraOracle(graph)
-    raise ValueError(f"unknown oracle kind {kind!r}; expected 'pll' or 'dijkstra'")
+    registry = obs.global_registry()
+    start = time.perf_counter()
+    with obs.span("oracle.build", kind=kind, nodes=len(graph)):
+        if kind == "pll":
+            oracle: DistanceOracle = PrunedLandmarkLabeling(
+                graph,
+                workers=_default_index_workers if workers is None else workers,
+            )
+        else:
+            oracle = DijkstraOracle(graph)
+    registry.counter(f"oracle_builds_{kind}").inc()
+    registry.reservoir("oracle_build").observe(time.perf_counter() - start)
+    return oracle

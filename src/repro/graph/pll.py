@@ -87,10 +87,12 @@ import heapq
 import multiprocessing
 import pickle
 import queue as queue_module
+import time
 from array import array
 from bisect import bisect_left
 from collections.abc import Iterable
 
+from .. import obs
 from .adjacency import Graph, GraphError, Node
 from .centrality import betweenness_centrality
 from .dijkstra import shortest_path
@@ -110,6 +112,25 @@ __all__ = [
     "default_landmark_order",
     "pll_build_count",
 ]
+
+# Per-kernel counter instruments, resolved once per process instead of
+# three registry lookups per query batch (the query path is hot enough
+# that the lookups alone showed up in profiles).  Module-level on
+# purpose: oracles are cloned for journal replay, and instrument
+# objects hold locks that must not be deep-copied.
+_KERNEL_INSTRUMENTS: dict[str, tuple] = {}
+
+
+def _kernel_instruments(effective: str) -> tuple:
+    instruments = _KERNEL_INSTRUMENTS.get(effective)
+    if instruments is None:
+        registry = obs.global_registry()
+        instruments = _KERNEL_INSTRUMENTS[effective] = (
+            registry.counter(f"kernel_queries_{effective}"),
+            registry.counter(f"kernel_targets_{effective}"),
+            registry.counter(f"kernel_seconds_{effective}"),
+        )
+    return instruments
 
 #: Monotone count of completed PLL index constructions in this process.
 #: Oracle-reuse tests snapshot it before a sweep and assert how many
@@ -725,7 +746,11 @@ class PrunedLandmarkLabeling:
         rows = self._rows()
         if rows is None:
             return self._flat
+        start = time.perf_counter()
         flat = FlatLabelStore.from_rows(self._order, self._rank, *rows)
+        registry = obs.global_registry()
+        registry.counter("pll_freezes").inc()
+        registry.reservoir("pll_freeze").observe(time.perf_counter() - start)
         if self.kernel == "dict":
             return flat
         self._flat = flat
@@ -805,15 +830,40 @@ class PrunedLandmarkLabeling:
         per source in a bounded FIFO cache, so repeated sweeps from the
         same root (top-k search, lambda sweeps) cost one dict probe per
         target.
+
+        Instrumented at batch granularity: each call lands in the
+        ``kernel_queries_<k>`` / ``kernel_targets_<k>`` /
+        ``kernel_seconds_<k>`` counters for the *effective* kernel
+        (``dict`` / ``flat-py`` / ``numpy``).  A ``pll.query`` child
+        span is recorded — only when a trace is active — for *cold*
+        sources (no memoized state yet): those calls are where the
+        kernel actually works, while warm memo probes would flood the
+        span tree and dominate the tracing overhead without saying
+        anything (they still count in the counters).
         """
+        start = time.perf_counter()
+        cold = source not in self._source_cache
         if self.kernel == "dict":
-            return self._distances_from_rows(source, targets)
-        flat = self._flat
-        if flat is None:
-            flat = self._freeze()
-        if self._use_numpy:
-            return self._distances_from_vector(flat, source, targets)
-        return self._distances_from_flat(flat, source, targets)
+            effective = "dict"
+            out = self._distances_from_rows(source, targets)
+        else:
+            flat = self._flat
+            if flat is None:
+                flat = self._freeze()
+            if self._use_numpy:
+                effective = "numpy"
+                out = self._distances_from_vector(flat, source, targets)
+            else:
+                effective = "flat-py"
+                out = self._distances_from_flat(flat, source, targets)
+        elapsed = time.perf_counter() - start
+        queries, targets_c, seconds = _kernel_instruments(effective)
+        queries.inc()
+        targets_c.inc(len(out))
+        seconds.inc(elapsed)
+        if cold:
+            obs.record("pll.query", elapsed, kernel=effective, targets=len(out))
+        return out
 
     def _distances_from_rows(
         self, source: Node, targets: Iterable[Node]

@@ -45,6 +45,8 @@ import sys
 from array import array
 from collections.abc import Iterable, Sequence
 
+from .. import obs
+
 try:  # optional fast path; the stdlib kernels are always available
     import numpy as _np
 except ImportError:  # pragma: no cover - numpy-less environments
@@ -117,6 +119,7 @@ class FlatLabelStore:
         as landmark ranks via ``rank_of`` so the columns carry no object
         references at all.
         """
+        obs.global_registry().counter("flat_store_from_rows").inc()
         offsets = array(OFFSET_TYPECODE, [0])
         ranks = array(RANK_TYPECODE)
         dists = array(DIST_TYPECODE)
@@ -145,6 +148,7 @@ class FlatLabelStore:
         referenced, not copied, so a warm start performs no per-entry
         work.
         """
+        obs.global_registry().counter("flat_store_from_columns").inc()
         offsets = array(OFFSET_TYPECODE, [0])
         total = 0
         for count in counts:
@@ -244,6 +248,7 @@ class FlatLabelStore:
         carry gathers ``inf``), at roughly half the iterations and none
         of the rank comparisons.
         """
+        obs.global_registry().counter("flat_batch_row_mins").inc()
         offsets, ranks, dists = self.offsets, self.ranks, self.dists
         dense = [_INF] * self.num_rows
         for p in range(offsets[src_row], offsets[src_row + 1]):
@@ -279,6 +284,7 @@ class FlatLabelStore:
         amortized across every target the source is ever swept against
         (the caller memoizes the returned vector per source).
         """
+        obs.global_registry().counter("flat_row_mins_numpy").inc()
         np_ranks, np_dists, np_offsets = self._np_views()
         n = self.num_rows
         total = len(np_ranks)

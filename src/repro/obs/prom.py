@@ -1,0 +1,69 @@
+"""Prometheus text-format exposition for a metrics snapshot.
+
+Renders the ``{"counters": ..., "gauges": ..., "latency": ...}`` dict
+produced by :meth:`MetricsRegistry.snapshot` as Prometheus text format
+0.0.4 — counters and gauges as single samples, latency reservoirs as
+summaries (``quantile`` labels plus ``_count`` / ``_sum`` / ``_max``).
+
+Pure string formatting over plain dicts: no client library, no
+registry coupling, so the same renderer serves both the in-band
+``{"op": "metrics"}`` admin op and ``repro-teams stats --prom``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+__all__ = ["render_prometheus"]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+_QUANTILE_KEYS = (("p50_ms", "0.5"), ("p95_ms", "0.95"), ("p99_ms", "0.99"))
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_OK.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = f"_{clean}"
+    return clean
+
+
+def _format_value(value: Any) -> str:
+    number = float(value)
+    if number.is_integer():
+        return str(int(number))
+    return repr(number)
+
+
+def render_prometheus(snapshot: dict[str, Any], *, prefix: str = "repro") -> str:
+    """Render one metrics snapshot as Prometheus exposition text."""
+    lines: list[str] = []
+
+    for name, value in sorted(snapshot.get("counters", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, value in sorted(snapshot.get("gauges", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}"
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name, summary in sorted(snapshot.get("latency", {}).items()):
+        metric = f"{prefix}_{_sanitize(name)}_ms"
+        count = int(summary.get("count", 0))
+        lines.append(f"# TYPE {metric} summary")
+        for key, quantile in _QUANTILE_KEYS:
+            if key in summary:
+                lines.append(
+                    f'{metric}{{quantile="{quantile}"}} '
+                    f"{_format_value(summary[key])}"
+                )
+        lines.append(f"{metric}_count {count}")
+        mean = float(summary.get("mean_ms", 0.0))
+        lines.append(f"{metric}_sum {_format_value(mean * count)}")
+        if "max_ms" in summary:
+            lines.append(f"{metric}_max {_format_value(summary['max_ms'])}")
+
+    return "\n".join(lines) + "\n" if lines else ""

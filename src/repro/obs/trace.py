@@ -1,0 +1,373 @@
+"""Zero-dependency trace/span API with contextvar propagation.
+
+A *trace* is one tree of :class:`Span` objects describing a single
+logical operation (usually one served request).  Spans record wall and
+CPU time (``time.perf_counter`` / ``time.thread_time``), structured
+attributes, and deterministic per-trace integer ids (root = 1, then
+creation order), so two traces of the same request shape compare
+structurally equal.
+
+Propagation rides a :mod:`contextvars` variable: entering a span makes
+it the implicit parent for spans opened below it, across ``await``
+points and — via :meth:`Tracer.run` — across explicit thread hops
+(``loop.run_in_executor`` does *not* propagate context by itself).
+
+The tracer is bounded everywhere so it can stay on in production:
+
+* at most :data:`MAX_CHILDREN` recorded children per span (excess
+  increments the parent's ``dropped`` counter and returns a no-op);
+* at most :data:`MAX_TRACES` finished root spans retained in the
+  in-memory buffer (:meth:`Tracer.recent`).
+
+Nothing here imports outside the stdlib, and nothing here touches the
+canonical response path: span trees ride in ``TimingInfo.trace``,
+which ``canonical_json()`` already nulls.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import threading
+import time
+from typing import Any, Callable
+
+__all__ = [
+    "MAX_CHILDREN",
+    "MAX_TRACES",
+    "Span",
+    "Tracer",
+    "current_span",
+    "get_tracer",
+    "record",
+    "span",
+    "trace",
+]
+
+MAX_CHILDREN = 128
+MAX_TRACES = 64
+
+_current_span: contextvars.ContextVar["Span | None"] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+class Span:
+    """One timed node in a trace tree.
+
+    Use as a context manager (``with tracer.span("engine.solve"):``) or
+    drive :meth:`start` / :meth:`finish` explicitly when the lifetime
+    crosses coroutine/thread boundaries (the server's root request span
+    does this: started at admission, finished at dispatch).
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "trace_id",
+        "attributes",
+        "children",
+        "dropped",
+        "wall_ms",
+        "cpu_ms",
+        "_parent",
+        "_tracer",
+        "_next_child_id",
+        "_wall_start",
+        "_cpu_start",
+        "_token",
+        "_finished",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        span_id: int,
+        trace_id: str,
+        tracer: "Tracer | None",
+        parent: "Span | None",
+        attributes: dict[str, Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.attributes: dict[str, Any] = dict(attributes or {})
+        self.children: list[Span] = []
+        self.dropped = 0
+        self.wall_ms: float = 0.0
+        self.cpu_ms: float = 0.0
+        self._parent = parent
+        self._tracer = tracer
+        self._next_child_id = span_id + 1
+        self._wall_start: float | None = None
+        self._cpu_start: float | None = None
+        self._token: contextvars.Token | None = None
+        self._finished = False
+
+    @property
+    def is_recording(self) -> bool:
+        """False only for the shared no-op span."""
+        return True
+
+    @property
+    def is_root(self) -> bool:
+        return self._parent is None
+
+    # -- id allocation -------------------------------------------------
+    def _root(self) -> "Span":
+        node = self
+        while node._parent is not None:
+            node = node._parent
+        return node
+
+    def _allocate_id(self) -> int:
+        root = self._root()
+        span_id = root._next_child_id
+        root._next_child_id += 1
+        return span_id
+
+    # -- lifecycle -----------------------------------------------------
+    def start(self) -> "Span":
+        """Begin timing (wall + CPU clocks); returns ``self``."""
+        self._wall_start = time.perf_counter()
+        self._cpu_start = time.thread_time()
+        return self
+
+    def finish(self) -> "Span":
+        """Stop timing (idempotent); a finished root lands in the buffer."""
+        if self._finished:
+            return self
+        self._finished = True
+        if self._wall_start is not None:
+            self.wall_ms = (time.perf_counter() - self._wall_start) * 1e3
+        if self._cpu_start is not None:
+            self.cpu_ms = (time.thread_time() - self._cpu_start) * 1e3
+        if self._parent is None and self._tracer is not None:
+            self._tracer._retain(self)
+        return self
+
+    def __enter__(self) -> "Span":
+        self.start()
+        self._token = _current_span.set(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._token is not None:
+            _current_span.reset(self._token)
+            self._token = None
+        self.finish()
+
+    # -- structure -----------------------------------------------------
+    def child(self, name: str, **attributes: Any) -> "Span":
+        """Create (but do not start) a child span, or a no-op at cap."""
+        if len(self.children) >= MAX_CHILDREN:
+            self.dropped += 1
+            return _NOOP
+        child = Span(
+            name,
+            span_id=self._allocate_id(),
+            trace_id=self.trace_id,
+            tracer=self._tracer,
+            parent=self,
+            attributes=attributes,
+        )
+        self.children.append(child)
+        return child
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        """Attach one structured attribute to this span."""
+        self.attributes[key] = value
+
+    def to_dict(self) -> dict[str, Any]:
+        """This span (and its subtree) as one JSON-ready dict."""
+        node: dict[str, Any] = {
+            "id": self.span_id,
+            "name": self.name,
+            "wall_ms": round(self.wall_ms, 3),
+            "cpu_ms": round(self.cpu_ms, 3),
+        }
+        if self._parent is None:
+            node["trace_id"] = self.trace_id
+        if self.attributes:
+            node["attrs"] = dict(self.attributes)
+        if self.dropped:
+            node["dropped"] = self.dropped
+        if self.children:
+            node["children"] = [c.to_dict() for c in self.children]
+        return node
+
+
+class _NoopSpan(Span):
+    """Absorbs children of an over-cap span without recording anything.
+
+    Deliberately does *not* set the contextvar on ``__enter__``: spans
+    opened below a dropped span attach to the still-current real
+    ancestor, whose cap then drops them too.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(
+            "noop", span_id=0, trace_id="", tracer=None, parent=None
+        )
+
+    @property
+    def is_recording(self) -> bool:
+        return False
+
+    def start(self) -> "Span":
+        return self
+
+    def finish(self) -> "Span":
+        return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        return None
+
+    def child(self, name: str, **attributes: Any) -> "Span":
+        return self
+
+    def set_attribute(self, key: str, value: Any) -> None:
+        return None
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Factory for spans plus a bounded buffer of finished traces.
+
+    ``enabled`` gates whether *implicit* roots are created: with the
+    tracer disabled, :meth:`span` outside any active trace returns the
+    shared no-op, so instrumented library code costs one contextvar
+    read.  :meth:`trace` always records — the server uses it so
+    ``--slow-ms`` works without globally enabling tracing.
+    """
+
+    def __init__(self, *, max_traces: int = MAX_TRACES) -> None:
+        self.enabled = False
+        self._max_traces = max_traces
+        self._finished: list[Span] = []
+        self._lock = threading.Lock()
+        self._next_trace = 0
+
+    # -- configuration -------------------------------------------------
+    def enable(self) -> None:
+        """Start recording implicit roots from :meth:`span`."""
+        self.enabled = True
+
+    def disable(self) -> None:
+        """Stop recording implicit roots (active traces still record)."""
+        self.enabled = False
+
+    # -- span creation -------------------------------------------------
+    def _new_trace_id(self) -> str:
+        with self._lock:
+            self._next_trace += 1
+            return f"t{self._next_trace}"
+
+    def trace(self, name: str, **attributes: Any) -> Span:
+        """A new recording root span, regardless of ``enabled``."""
+        return Span(
+            name,
+            span_id=1,
+            trace_id=self._new_trace_id(),
+            tracer=self,
+            parent=None,
+            attributes=attributes,
+        )
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """A child of the current span, a new root, or a no-op."""
+        parent = _current_span.get()
+        if parent is not None:
+            return parent.child(name, **attributes)
+        if self.enabled:
+            return self.trace(name, **attributes)
+        return _NOOP
+
+    def run(self, span: Span, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` with ``span`` current in *this* thread.
+
+        The bridge for executor hops: ``run_in_executor(ex, tracer.run,
+        root, backend.solve, request)`` re-parents everything the solve
+        opens under ``root`` even though the event-loop context did not
+        follow the callable into the pool thread.
+        """
+        token = _current_span.set(span)
+        try:
+            return fn(*args)
+        finally:
+            _current_span.reset(token)
+
+    def record(self, name: str, wall_seconds: float, **attributes: Any) -> None:
+        """Attach an already-measured event as a finished child span.
+
+        For code that times itself anyway (the kernel query path):
+        no-op unless a trace is active, so the hot path never pays for
+        span bookkeeping when nobody is looking.
+        """
+        parent = _current_span.get()
+        if parent is None:
+            return
+        if len(parent.children) >= MAX_CHILDREN:
+            # Over-cap fast path: the kernel hot loop calls this once
+            # per batched query, so skip the kwargs repack and no-op
+            # span round trip that `child()` would pay.
+            parent.dropped += 1
+            return
+        child = parent.child(name, **attributes)
+        child.wall_ms = wall_seconds * 1e3
+        child._finished = True
+
+    # -- finished-trace buffer ----------------------------------------
+    def _retain(self, root: Span) -> None:
+        with self._lock:
+            self._finished.append(root)
+            if len(self._finished) > self._max_traces:
+                del self._finished[: len(self._finished) - self._max_traces]
+
+    def recent(self) -> list[Span]:
+        """The most recent finished root spans, oldest first (bounded)."""
+        with self._lock:
+            return list(self._finished)
+
+    def clear(self) -> None:
+        """Drop every retained finished trace."""
+        with self._lock:
+            self._finished.clear()
+
+
+_TRACER = Tracer()
+
+
+def get_tracer() -> Tracer:
+    """The process-wide default tracer."""
+    return _TRACER
+
+
+def current_span() -> Span | None:
+    """The span currently active in this context, if any."""
+    return _current_span.get()
+
+
+def span(name: str, **attributes: Any) -> Span:
+    """Shortcut for ``get_tracer().span(...)`` — the instrumentation
+
+    entry point used across the engine, kernels, pool, and replication.
+    """
+    return _TRACER.span(name, **attributes)
+
+
+def trace(name: str, **attributes: Any) -> Span:
+    """Shortcut for ``get_tracer().trace(...)``."""
+    return _TRACER.trace(name, **attributes)
+
+
+def record(name: str, wall_seconds: float, **attributes: Any) -> None:
+    """Shortcut for ``get_tracer().record(...)``."""
+    _TRACER.record(name, wall_seconds, **attributes)

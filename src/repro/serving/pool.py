@@ -26,11 +26,13 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import threading
+import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from .. import obs
 from ..storage.codec import warm_bases_from_meta
 from ..storage.format import read_container
 from ..storage.store import resolve_snapshot_path
@@ -280,40 +282,68 @@ class EngineReplicaPool:
                 for request in requests
             ]
         stamp = self._replica_version if self._log is not None else None
+        registry = obs.global_registry()
+        registry.counter("pool_batches").inc()
+        registry.counter("pool_requests").inc(len(requests))
         if not self._workers:
             assert self._local is not None
             # Round-trip through JSON even in-process, so degraded mode
             # returns the exact bytes worker mode would.
-            return [
-                self._stamped(
-                    TeamResponse.from_json(response.to_json()), stamp
-                )
-                for response in self._local.solve_many(requests)
-            ]
-        jobs = plan_jobs(requests, len(self._workers), self._warm_bases)
-        # Route the whole batch under ONE lock acquisition, then submit
-        # and await entirely outside it.  Routing is pure bookkeeping
-        # (a cursor bump or a dict lookup); holding `_route_lock` across
-        # submission — let alone across `future.result()` — would
-        # serialize concurrent callers of a pool that exists to overlap
-        # them (the PR-7 single-request server path did exactly that).
-        with self._route_lock:
-            routed = [(self._route_locked(pin), job) for pin, job in jobs]
-        pending = []
-        for worker_index, job in routed:
-            payload = [(index, requests[index].to_json()) for index in job]
-            pending.append(
-                self._workers[worker_index].submit(_serve_job, payload)
-            )
-        responses: "list[TeamResponse | None]" = [None] * len(requests)
-        # future.result() raises BrokenProcessPool if a worker died
-        # mid-job (OOM kill, segfault) — an error the caller sees, never
-        # a silently-respawned worker and a hang.
-        for future in pending:
-            for index, text in future.result():
-                responses[index] = self._stamped(
-                    TeamResponse.from_json(text), stamp
-                )
+            with obs.span(
+                "pool.solve_many", mode="degraded", requests=len(requests)
+            ):
+                return [
+                    self._stamped(
+                        TeamResponse.from_json(response.to_json()), stamp
+                    )
+                    for response in self._local.solve_many(requests)
+                ]
+        with obs.span(
+            "pool.solve_many", mode="workers", requests=len(requests)
+        ):
+            with obs.span("pool.route"):
+                jobs = plan_jobs(requests, len(self._workers), self._warm_bases)
+                # Route the whole batch under ONE lock acquisition, then
+                # submit and await entirely outside it.  Routing is pure
+                # bookkeeping (a cursor bump or a dict lookup); holding
+                # `_route_lock` across submission — let alone across
+                # `future.result()` — would serialize concurrent callers
+                # of a pool that exists to overlap them (the PR-7
+                # single-request server path did exactly that).
+                with self._route_lock:
+                    routed = [
+                        (self._route_locked(pin), job) for pin, job in jobs
+                    ]
+            registry.counter("pool_jobs").inc(len(routed))
+            with obs.span("pool.submit", jobs=len(routed)):
+                pending = []
+                for worker_index, job in routed:
+                    payload = [
+                        (index, requests[index].to_json()) for index in job
+                    ]
+                    registry.gauge(f"pool_depth_r{worker_index}").add(1)
+                    pending.append(
+                        (
+                            worker_index,
+                            self._workers[worker_index].submit(
+                                _serve_job, payload
+                            ),
+                        )
+                    )
+            responses: "list[TeamResponse | None]" = [None] * len(requests)
+            # future.result() raises BrokenProcessPool if a worker died
+            # mid-job (OOM kill, segfault) — an error the caller sees,
+            # never a silently-respawned worker and a hang.
+            with obs.span("pool.await"):
+                for worker_index, future in pending:
+                    try:
+                        answers = future.result()
+                    finally:
+                        registry.gauge(f"pool_depth_r{worker_index}").add(-1)
+                    for index, text in answers:
+                        responses[index] = self._stamped(
+                            TeamResponse.from_json(text), stamp
+                        )
         assert all(r is not None for r in responses)
         return responses  # type: ignore[return-value]
 
@@ -423,22 +453,32 @@ class EngineReplicaPool:
             raise RuntimeError("no replication log attached (attach_primary)")
         if self._closed:
             raise RuntimeError("the replica pool has been closed")
+        registry = obs.global_registry()
+        registry.counter("pool_syncs").inc()
+        start = time.perf_counter()
         try:
-            data = log.delta_since(self._replica_version)
-        except JournalTruncatedError:
-            data = None
-        if data is not None:
-            if not data:
-                return self._replica_version  # already at the tip
             try:
-                return self.apply_delta(data)
-            except StaleSnapshotError:
-                # A replica's state cannot absorb the delta (diverged
-                # lineage): repair it the same way a truncated journal
-                # is repaired — with the primary's full state.
-                pass
-        self._snapshot_fallbacks += 1
-        return self.apply_delta(log.snapshot_frame())
+                data = log.delta_since(self._replica_version)
+            except JournalTruncatedError:
+                data = None
+            if data is not None:
+                if not data:
+                    return self._replica_version  # already at the tip
+                try:
+                    return self.apply_delta(data)
+                except StaleSnapshotError:
+                    # A replica's state cannot absorb the delta (diverged
+                    # lineage): repair it the same way a truncated journal
+                    # is repaired — with the primary's full state.
+                    pass
+            self._snapshot_fallbacks += 1
+            registry.counter("pool_sync_fallbacks").inc()
+            return self.apply_delta(log.snapshot_frame())
+        finally:
+            registry.reservoir("pool_sync").observe(time.perf_counter() - start)
+            registry.gauge("replication_lag_ms").set(
+                log.lag_ms(self._replica_version)
+            )
 
     def apply_delta(self, data: bytes) -> int:
         """Broadcast one delta stream to every replica; returns the version.
@@ -454,15 +494,18 @@ class EngineReplicaPool:
             assert self._local is not None
             from .replication import ReplicaFollower
 
-            follower = ReplicaFollower(self._local)
-            follower.apply(data)
+            with obs.span("pool.apply_delta", bytes=len(data)):
+                follower = ReplicaFollower(self._local)
+                follower.apply(data)
             self._local = follower.engine
             self._replica_version = follower.version
             return self._replica_version
-        futures = [
-            worker.submit(_apply_delta_job, data) for worker in self._workers
-        ]
-        versions = {future.result() for future in futures}
+        with obs.span("pool.apply_delta", bytes=len(data)):
+            futures = [
+                worker.submit(_apply_delta_job, data)
+                for worker in self._workers
+            ]
+            versions = {future.result() for future in futures}
         if len(versions) != 1:
             raise RuntimeError(
                 f"replicas diverged after delta apply: versions {sorted(versions)}"

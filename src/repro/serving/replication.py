@@ -270,17 +270,21 @@ class ReplicationLog:
         diverge".  A follower past the floor is priced at the floor's
         drop time: at least that stale.
         """
+        from .. import obs
+
         now = time.monotonic()
+        lag = 0.0
         with self._lock:
-            if replica_version >= self._tip_locked():
-                return 0.0
-            base = self._floor_time
-            if replica_version >= self._floor:
-                for record in self._records:
-                    if record.mutation.version > replica_version:
-                        base = record.t
-                        break
-        return max(0.0, (now - base) * 1000.0)
+            if replica_version < self._tip_locked():
+                base = self._floor_time
+                if replica_version >= self._floor:
+                    for record in self._records:
+                        if record.mutation.version > replica_version:
+                            base = record.t
+                            break
+                lag = max(0.0, (now - base) * 1000.0)
+        obs.global_registry().gauge("replication_lag_ms").set(lag)
+        return lag
 
     def close(self) -> None:
         """Detach from the network (idempotent); the log stops growing."""
@@ -338,6 +342,7 @@ class ReplicaFollower:
         from the shipped container, and subsequent delta frames in the
         *same* stream continue from the new engine's version.
         """
+        from .. import obs
         from ..api.engine import TeamFormationEngine
 
         report: dict = {
@@ -347,26 +352,41 @@ class ReplicaFollower:
             "snapshot_fallbacks": 0,
             "reconciled": None,
         }
+        start = time.perf_counter()
         hints_incremental = True
-        for kind, payload in iter_frames(data):
-            report["frames"] += 1
-            if kind == FRAME_SNAPSHOT:
-                self._engine = TeamFormationEngine.from_snapshot_bytes(payload)
-                report["snapshot_fallbacks"] += 1
-                continue
-            frame = self._engine.apply_delta_payload(payload)
-            report["applied"] += frame["applied"]
-            report["skipped"] += frame["skipped"]
-            if frame["applied"]:
-                hints_incremental = (
-                    hints_incremental and frame["incremental_hint"]
-                )
-        if report["applied"] and hints_incremental:
-            report["reconciled"] = self._engine.apply_updates()
+        with obs.span("replication.apply", bytes=len(data)) as sp:
+            for kind, payload in iter_frames(data):
+                report["frames"] += 1
+                if kind == FRAME_SNAPSHOT:
+                    self._engine = TeamFormationEngine.from_snapshot_bytes(
+                        payload
+                    )
+                    report["snapshot_fallbacks"] += 1
+                    continue
+                frame = self._engine.apply_delta_payload(payload)
+                report["applied"] += frame["applied"]
+                report["skipped"] += frame["skipped"]
+                if frame["applied"]:
+                    hints_incremental = (
+                        hints_incremental and frame["incremental_hint"]
+                    )
+            if report["applied"] and hints_incremental:
+                report["reconciled"] = self._engine.apply_updates()
+            sp.set_attribute("applied", report["applied"])
         self.frames += report["frames"]
         self.applied += report["applied"]
         self.skipped += report["skipped"]
         self.snapshot_fallbacks += report["snapshot_fallbacks"]
+        registry = obs.global_registry()
+        registry.counter("replication_frames").inc(report["frames"])
+        registry.counter("replication_records_applied").inc(report["applied"])
+        registry.counter("replication_records_skipped").inc(report["skipped"])
+        registry.counter("replication_snapshot_fallbacks").inc(
+            report["snapshot_fallbacks"]
+        )
+        registry.reservoir("replication_delta_apply").observe(
+            time.perf_counter() - start
+        )
         return report
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -57,8 +57,9 @@ from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 from typing import IO
 
+from .. import obs
 from ..api.messages import TeamRequest, TeamResponse
-from .metrics import MetricsRegistry
+from ..obs import MetricsRegistry, render_prometheus
 from .server_conn import serve_connection
 
 __all__ = [
@@ -75,6 +76,11 @@ __all__ = [
 ]
 
 logger = logging.getLogger("repro.serving")
+
+#: The slow-query log: one structured JSON line (full span tree) per
+#: over-threshold request, kept on its own logger so operators can route
+#: it (e.g. to a file) without touching the serving log.
+_slow_logger = logging.getLogger("repro.obs.slow")
 
 
 def read_requests(
@@ -408,15 +414,24 @@ class _Lease:
 
 
 class _Pending:
-    """One admitted request waiting for (or occupying) a worker."""
+    """One admitted request waiting for (or occupying) a worker.
 
-    __slots__ = ("request", "expiry", "arrival", "future")
+    ``span`` is the request's root trace span (``None`` when tracing is
+    off) and ``queue_span`` its queue-wait child, started at admission
+    and finished when a dispatcher picks the item up.
+    """
 
-    def __init__(self, request, expiry, arrival, future) -> None:
+    __slots__ = ("request", "expiry", "arrival", "future", "span", "queue_span")
+
+    def __init__(
+        self, request, expiry, arrival, future, span=None, queue_span=None
+    ) -> None:
         self.request = request
         self.expiry = expiry
         self.arrival = arrival
         self.future = future
+        self.span = span
+        self.queue_span = queue_span
 
 
 #: Sentinel that tells a dispatcher task to exit.
@@ -448,6 +463,16 @@ class TeamServer:
     drain_timeout:
         Upper bound on waiting for in-flight requests during
         :meth:`stop`.
+    slow_ms:
+        Slow-query threshold: any request whose root span outlives it
+        is logged — full span tree, one structured JSON line — on the
+        ``repro.obs.slow`` logger and counted in ``slow_queries``.
+        ``None`` (default) disables the log.
+    trace_requests:
+        When true, every answered request carries its finished span
+        tree in ``timing.trace``.  Identity-safe: ``canonical_json()``
+        nulls ``timing``, so traced and untraced responses stay
+        byte-identical under the serving identity contract.
     """
 
     def __init__(
@@ -460,6 +485,8 @@ class TeamServer:
         stats_interval: float = 0.0,
         drain_timeout: float = 30.0,
         metrics: MetricsRegistry | None = None,
+        slow_ms: float | None = None,
+        trace_requests: bool = False,
     ) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be positive")
@@ -467,12 +494,18 @@ class TeamServer:
             raise ValueError("workers must be positive")
         if default_deadline_ms is not None and default_deadline_ms < 0:
             raise ValueError("default_deadline_ms must be non-negative")
+        if slow_ms is not None and slow_ms < 0:
+            raise ValueError("slow_ms must be non-negative")
         self._loader = loader
         self._max_pending = max_pending
         self._default_deadline_ms = default_deadline_ms
         self._workers = workers
         self._stats_interval = stats_interval
         self._drain_timeout = drain_timeout
+        self._slow_ms = slow_ms
+        self._trace_requests = trace_requests
+        # Per-request root spans exist when either surface needs them.
+        self._tracing = slow_ms is not None or trace_requests
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._loop: asyncio.AbstractEventLoop | None = None
         self._queue: asyncio.Queue | None = None
@@ -627,6 +660,11 @@ class TeamServer:
         metrics = self.metrics
         metrics.counter("requests_received").inc()
         arrival = self._loop.time()
+        root = queue_span = None
+        if self._tracing:
+            root = obs.get_tracer().trace(
+                "request", solver=request.solver
+            ).start()
         deadline_ms = (
             request.deadline_ms
             if request.deadline_ms is not None
@@ -635,17 +673,25 @@ class TeamServer:
         expiry = arrival + deadline_ms / 1e3 if deadline_ms is not None else None
         if self._stopping:
             metrics.counter("rejected_overloaded").inc()
+            self._finish_trace(root, "overloaded")
             return TeamResponse.for_error(
                 request, "overloaded", "server is shutting down"
             ).to_json()
         if expiry is not None and expiry <= arrival:
             metrics.counter("rejected_deadline").inc()
+            self._finish_trace(root, "deadline_exceeded")
             return self._deadline_response(request, deadline_ms)
-        item = _Pending(request, expiry, arrival, self._loop.create_future())
+        if root is not None:
+            queue_span = root.child("queue_wait").start()
+        item = _Pending(
+            request, expiry, arrival, self._loop.create_future(),
+            root, queue_span,
+        )
         try:
             self._queue.put_nowait(item)
         except asyncio.QueueFull:
             metrics.counter("rejected_overloaded").inc()
+            self._finish_trace(root, "overloaded")
             return TeamResponse.for_error(
                 request,
                 "overloaded",
@@ -654,6 +700,25 @@ class TeamServer:
             ).to_json()
         metrics.gauge("pending").set(self._queue.qsize())
         return await item.future
+
+    def _finish_trace(self, root, outcome: str) -> None:
+        """Finish a request's root span; log it when over ``slow_ms``."""
+        if root is None:
+            return
+        root.set_attribute("outcome", outcome)
+        root.finish()
+        if self._slow_ms is not None and root.wall_ms >= self._slow_ms:
+            self.metrics.counter("slow_queries").inc()
+            _slow_logger.warning(
+                json.dumps(
+                    {
+                        "slow_ms": round(root.wall_ms, 3),
+                        "threshold_ms": self._slow_ms,
+                        "trace": root.to_dict(),
+                    },
+                    sort_keys=True,
+                )
+            )
 
     @staticmethod
     def _deadline_response(request: TeamRequest, deadline_ms: int | None) -> str:
@@ -680,8 +745,11 @@ class TeamServer:
             metrics.gauge("pending").set(self._queue.qsize())
             if item is _STOP:  # pragma: no cover - legacy escape hatch
                 return
+            if item.queue_span is not None:
+                item.queue_span.finish()
             if item.expiry is not None and self._loop.time() >= item.expiry:
                 metrics.counter("rejected_deadline").inc()
+                self._finish_trace(item.span, "deadline_exceeded")
                 item.future.set_result(
                     self._deadline_response(
                         item.request,
@@ -697,9 +765,21 @@ class TeamServer:
             self._in_flight += 1
             metrics.gauge("in_flight").set(self._in_flight)
             try:
-                response = await self._loop.run_in_executor(
-                    self._executor, backend.solve, item.request
-                )
+                if item.span is not None:
+                    # Executor threads do not inherit the loop's
+                    # context: tracer.run re-parents everything the
+                    # solve opens under this request's root span.
+                    response = await self._loop.run_in_executor(
+                        self._executor,
+                        obs.get_tracer().run,
+                        item.span,
+                        backend.solve,
+                        item.request,
+                    )
+                else:
+                    response = await self._loop.run_in_executor(
+                        self._executor, backend.solve, item.request
+                    )
             except Exception as exc:  # noqa: BLE001 - serving boundary
                 logger.exception("backend solve failed")
                 response = TeamResponse.for_error(
@@ -711,10 +791,17 @@ class TeamServer:
                 lease.release()
             if response.found:
                 metrics.counter("answered_found").inc()
+                outcome = "found"
             elif response.error_kind in (None, "uncoverable", "intractable"):
                 metrics.counter("answered_no_team").inc()
+                outcome = "no_team"
             else:
                 metrics.counter("answered_error").inc()
+                outcome = response.error_kind or "error"
+            if item.span is not None:
+                self._finish_trace(item.span, outcome)
+                if self._trace_requests:
+                    response = response.with_trace(item.span.to_dict())
             metrics.reservoir("request").observe(self._loop.time() - item.arrival)
             if not item.future.done():
                 item.future.set_result(response.to_json())
@@ -736,6 +823,12 @@ class TeamServer:
             return {"op": "ping", "ok": True}
         if name == "stats":
             return self.stats()
+        if name == "metrics":
+            return {
+                "op": "metrics",
+                "content_type": "text/plain; version=0.0.4",
+                "text": render_prometheus(self.merged_metrics()),
+            }
         if name == "reload":
             return await self.reload(reason="admin op")
         if name == "mutate":
@@ -754,10 +847,12 @@ class TeamServer:
         without a ``mutate`` method (plain engine/pool) answer a typed
         refusal — mutation requires ``serve --replicate``.
         """
+        metrics = self.metrics
         ops = data.get("ops")
         if not isinstance(ops, list) or not all(
             isinstance(entry, dict) for entry in ops
         ):
+            metrics.counter("mutate_failed").inc()
             return {
                 "op": "mutate",
                 "ok": False,
@@ -769,6 +864,7 @@ class TeamServer:
         try:
             mutate = getattr(backend, "mutate", None)
             if mutate is None:
+                metrics.counter("mutate_failed").inc()
                 return {
                     "op": "mutate",
                     "ok": False,
@@ -779,6 +875,7 @@ class TeamServer:
             report = await asyncio.to_thread(mutate, ops)
         except Exception as exc:  # noqa: BLE001 - serving boundary
             logger.exception("mutate op failed")
+            metrics.counter("mutate_failed").inc()
             return {
                 "op": "mutate",
                 "ok": False,
@@ -786,7 +883,34 @@ class TeamServer:
             }
         finally:
             lease.release()
+        # Every mutate lands in exactly one of mutate_ok/mutate_failed,
+        # so op_mutate == mutate_ok + mutate_failed post-quiesce.  A
+        # completed backend mutate always synced the followers (even a
+        # partial-prefix failure syncs what landed), hence the
+        # replication counters here.
+        metrics.counter(
+            "mutate_ok" if report.get("ok") else "mutate_failed"
+        ).inc()
+        metrics.counter("mutate_ops_applied").inc(int(report.get("applied", 0)))
+        metrics.counter("replication_syncs").inc()
+        metrics.gauge("replication_snapshot_fallbacks").set(
+            float(report.get("snapshot_fallbacks", 0))
+        )
         return {"op": "mutate", **report}
+
+    def merged_metrics(self) -> dict:
+        """Server registry + per-layer global registry, one snapshot.
+
+        Name collisions cannot happen by convention: layer
+        instrumentation prefixes its names (``engine_``, ``kernel_``,
+        ``oracle_``, ``pool_``, ``replication_``, ``pll_``, ``flat_``)
+        while the server registry keeps the PR-7 vocabulary.
+        """
+        merged = self.metrics.snapshot()
+        layers = obs.global_registry().snapshot()
+        for section in ("counters", "gauges", "latency"):
+            merged[section] = {**merged[section], **layers.get(section, {})}
+        return merged
 
     def stats(self) -> dict:
         """The stats-op envelope: server facts, backend, metrics."""
@@ -803,6 +927,7 @@ class TeamServer:
             },
             "backend": self._lease.backend.describe(),
             **self.metrics.snapshot(),
+            "layers": obs.global_registry().snapshot(),
         }
 
     # ------------------------------------------------------------------

@@ -50,7 +50,9 @@ __all__ = [
 ]
 
 #: Ops the connection handler dispatches to the server.
-ADMIN_OPS = frozenset({"stats", "reload", "ping", "shutdown", "mutate"})
+ADMIN_OPS = frozenset(
+    {"stats", "metrics", "reload", "ping", "shutdown", "mutate"}
+)
 
 #: Per-line size bound: a line this long is an attack or a bug, either
 #: way it must not buffer unboundedly inside the reader.

@@ -1,0 +1,75 @@
+"""Tracing must never change what a response *is*.
+
+The identity contract this PR pins: span trees ride exclusively in
+``TimingInfo.trace``, which ``canonical_json()`` nulls along with the
+rest of timing — so a traced solve and an untraced solve of the same
+request produce byte-identical canonical JSON, and an untraced
+response's wire bytes are unchanged from before tracing existed (no
+``"trace"`` key appears unless a tree was attached).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.api import TeamFormationEngine, TeamRequest
+from repro.api.messages import TeamResponse, TimingInfo
+from repro.obs import get_tracer
+
+from ..api.conftest import PROJECT, build_figure1_network
+
+GREEDY = TeamRequest(skills=PROJECT, solver="greedy")
+
+
+def test_untraced_timing_serializes_without_a_trace_key():
+    timing = TimingInfo(solve_seconds=0.25, oracle_builds=1)
+    assert "trace" not in timing.to_dict()
+    # And the round trip tolerates both shapes.
+    assert TimingInfo.from_dict(timing.to_dict()).trace is None
+    traced = TimingInfo(solve_seconds=0.25, oracle_builds=1, trace={"id": 1})
+    assert traced.to_dict()["trace"] == {"id": 1}
+    assert TimingInfo.from_dict(traced.to_dict()).trace == {"id": 1}
+
+
+def test_with_trace_is_a_noop_without_a_tree_or_timing():
+    engine = TeamFormationEngine(build_figure1_network())
+    response = engine.solve(GREEDY)
+    assert response.with_trace(None) is response
+    stripped = TeamResponse.from_dict(
+        {**response.to_dict(), "timing": None}
+    )
+    assert stripped.with_trace({"id": 1}) is stripped
+
+
+def test_enabled_tracer_attaches_a_tree_and_canonical_bytes_match():
+    untraced_engine = TeamFormationEngine(build_figure1_network())
+    untraced = untraced_engine.solve(GREEDY)
+    assert untraced.timing.trace is None
+
+    tracer = get_tracer()
+    traced_engine = TeamFormationEngine(build_figure1_network())
+    tracer.enable()
+    try:
+        traced = traced_engine.solve(GREEDY)
+    finally:
+        tracer.disable()
+        tracer.clear()
+
+    tree = traced.timing.trace
+    assert tree is not None and tree["name"] == "engine.solve"
+    names = {tree["name"]}
+    stack = list(tree.get("children", ()))
+    while stack:
+        node = stack.pop()
+        names.add(node["name"])
+        stack.extend(node.get("children", ()))
+    assert {"engine.solve", "engine.oracle", "pll.query"} <= names
+
+    # The tree rides in timing and nowhere else: canonical form (which
+    # nulls timing) is byte-identical traced vs untraced...
+    assert traced.canonical_json() == untraced.canonical_json()
+    # ...and the wire form differs from untraced *only* inside timing.
+    traced_wire = json.loads(traced.to_json())
+    untraced_wire = json.loads(untraced.to_json())
+    traced_wire["timing"] = untraced_wire["timing"] = None
+    assert traced_wire == untraced_wire

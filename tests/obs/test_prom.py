@@ -1,0 +1,71 @@
+"""Prometheus text exposition over a registry snapshot.
+
+What a scraper actually parses: ``# TYPE`` lines, counter/gauge
+samples, and summary quantiles with ``_count`` / ``_sum`` / ``_max``
+companions.  The renderer is pure string formatting over the
+``MetricsRegistry.snapshot()`` dict, so these tests drive it with both
+real registries and hand-built snapshots.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry, render_prometheus
+
+
+def test_empty_snapshot_renders_empty():
+    assert render_prometheus(MetricsRegistry().snapshot()) == ""
+    assert render_prometheus({}) == ""
+
+
+def test_counters_and_gauges_render_with_types():
+    registry = MetricsRegistry()
+    registry.counter("requests_received").inc(5)
+    registry.gauge("pending").set(2)
+    text = render_prometheus(registry.snapshot())
+    assert "# TYPE repro_requests_received counter\n" in text
+    assert "repro_requests_received 5\n" in text
+    assert "# TYPE repro_pending gauge\n" in text
+    assert "repro_pending 2\n" in text
+    assert text.endswith("\n")
+
+
+def test_latency_summary_has_quantiles_count_sum_max():
+    registry = MetricsRegistry()
+    reservoir = registry.reservoir("request")
+    for ms in (1, 2, 3, 4):
+        reservoir.observe(ms / 1e3)
+    text = render_prometheus(registry.snapshot())
+    assert "# TYPE repro_request_ms summary\n" in text
+    assert 'repro_request_ms{quantile="0.5"}' in text
+    assert 'repro_request_ms{quantile="0.95"}' in text
+    assert 'repro_request_ms{quantile="0.99"}' in text
+    assert "repro_request_ms_count 4\n" in text
+    assert "repro_request_ms_max 4\n" in text
+    # _sum reconstructs from mean * count (the snapshot carries means).
+    sum_line = next(
+        line for line in text.splitlines()
+        if line.startswith("repro_request_ms_sum ")
+    )
+    assert float(sum_line.split()[1]) == pytest.approx(10.0)
+
+
+def test_metric_names_are_sanitized():
+    snapshot = {"counters": {"pool depth/r0": 1, "9lives": 2}}
+    text = render_prometheus(snapshot)
+    assert "repro_pool_depth_r0 1\n" in text
+    assert "repro__9lives 2\n" in text  # leading digit guarded
+
+
+def test_prefix_is_configurable_and_output_sorted():
+    snapshot = {"counters": {"b": 2, "a": 1}}
+    text = render_prometheus(snapshot, prefix="teams")
+    lines = [l for l in text.splitlines() if not l.startswith("#")]
+    assert lines == ["teams_a 1", "teams_b 2"]
+
+
+def test_float_counter_values_render_as_floats():
+    snapshot = {"counters": {"kernel_seconds_numpy": 0.125}}
+    text = render_prometheus(snapshot)
+    assert "repro_kernel_seconds_numpy 0.125\n" in text

@@ -1,0 +1,166 @@
+"""The span/trace API: propagation, determinism, and its bounds.
+
+The contracts the instrumentation layers rely on:
+
+* contextvar propagation — a span opened inside another span's ``with``
+  block becomes its child, across ``await`` points and (via
+  :meth:`Tracer.run`) across thread hops;
+* deterministic ids — the root is span 1 and children number in
+  creation order, so two traces of the same request shape compare
+  structurally equal;
+* bounded everything — at most ``MAX_CHILDREN`` recorded children per
+  span and ``MAX_TRACES`` retained traces, so tracing can stay on in a
+  long-lived server;
+* near-zero cost when off — a disabled tracer hands out one shared
+  no-op span.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.trace import MAX_CHILDREN, MAX_TRACES, Tracer, current_span
+
+
+def test_disabled_tracer_hands_out_the_shared_noop():
+    tracer = Tracer()
+    first = tracer.span("engine.solve")
+    second = tracer.span("engine.oracle")
+    assert first is second  # the shared no-op
+    assert not first.is_recording
+    with first as span:
+        # The no-op never becomes the current span, so instrumented
+        # code below it still sees "no trace active".
+        assert current_span() is None
+        span.set_attribute("ignored", 1)
+    assert tracer.recent() == []
+
+
+def test_nesting_builds_a_tree_with_deterministic_ids():
+    tracer = Tracer()
+    tracer.enable()
+    with tracer.span("request") as root:
+        with tracer.span("engine.solve", solver="greedy") as solve:
+            with tracer.span("engine.oracle") as oracle:
+                assert current_span() is oracle
+            with tracer.span("pll.query"):
+                pass
+        assert current_span() is root
+    assert root.is_root and root.is_recording
+    assert [c.name for c in root.children] == ["engine.solve"]
+    assert [c.name for c in solve.children] == ["engine.oracle", "pll.query"]
+    # Root is 1; descendants number in creation order.
+    assert root.span_id == 1
+    assert solve.span_id == 2
+    assert [c.span_id for c in solve.children] == [3, 4]
+    tree = root.to_dict()
+    assert tree["trace_id"] == root.trace_id
+    assert tree["children"][0]["attrs"] == {"solver": "greedy"}
+
+
+def test_trace_ids_are_sequential_and_spans_retained_in_order():
+    tracer = Tracer()
+    first = tracer.trace("request")
+    second = tracer.trace("request")
+    assert (first.trace_id, second.trace_id) == ("t1", "t2")
+    with second:
+        pass
+    with first:
+        pass
+    assert [s.trace_id for s in tracer.recent()] == ["t2", "t1"]
+
+
+def test_trace_records_even_when_disabled():
+    tracer = Tracer()
+    assert not tracer.enabled
+    with tracer.trace("request") as root:
+        with tracer.span("engine.solve"):
+            pass
+    # The server's --slow-ms path: explicit traces always record, so
+    # the slow-query log works without globally enabling tracing.
+    assert [c.name for c in root.children] == ["engine.solve"]
+    assert tracer.recent() == [root]
+
+
+def test_child_cap_drops_excess_and_counts_them():
+    tracer = Tracer()
+    with tracer.trace("request") as root:
+        for i in range(MAX_CHILDREN + 10):
+            with tracer.span(f"query-{i}"):
+                pass
+    assert len(root.children) == MAX_CHILDREN
+    assert root.dropped == 10
+    assert root.to_dict()["dropped"] == 10
+
+
+def test_children_of_a_dropped_span_are_dropped_too():
+    tracer = Tracer()
+    with tracer.trace("request") as root:
+        for i in range(MAX_CHILDREN):
+            with tracer.span(f"filler-{i}"):
+                pass
+        with tracer.span("over-cap"):
+            # The no-op did not become current, so this nests under the
+            # real root — whose cap drops it as well.
+            with tracer.span("grandchild"):
+                pass
+    assert len(root.children) == MAX_CHILDREN
+    assert root.dropped == 2
+    assert all(not c.children for c in root.children)
+
+
+def test_trace_buffer_is_bounded():
+    tracer = Tracer()
+    for i in range(MAX_TRACES + 7):
+        with tracer.trace(f"request-{i}"):
+            pass
+    recent = tracer.recent()
+    assert len(recent) == MAX_TRACES
+    assert recent[0].name == "request-7"  # oldest overflow evicted
+    tracer.clear()
+    assert tracer.recent() == []
+
+
+def test_run_reparents_work_done_in_another_thread():
+    tracer = Tracer()
+    root = tracer.trace("request").start()
+
+    def solve() -> None:
+        # The executor hop: the loop's context did not follow us here,
+        # but tracer.run installed `root` as current for this call.
+        with tracer.span("engine.solve"):
+            pass
+
+    thread = threading.Thread(target=tracer.run, args=(root, solve))
+    thread.start()
+    thread.join()
+    root.finish()
+    assert [c.name for c in root.children] == ["engine.solve"]
+    # And the worker thread's contextvar was reset on the way out.
+    assert current_span() is None
+
+
+def test_record_attaches_a_premeasured_child():
+    tracer = Tracer()
+    with tracer.trace("request") as root:
+        tracer.record("pll.query", 0.25, kernel="numpy", targets=64)
+    child = root.children[0]
+    assert child.name == "pll.query"
+    assert child.wall_ms == 250.0
+    assert child.attributes == {"kernel": "numpy", "targets": 64}
+    # Without an active span, record() is a no-op (the kernel hot path
+    # outside any trace pays nothing for span bookkeeping).
+    tracer.record("pll.query", 0.5)
+    assert len(root.children) == 1
+
+
+def test_span_timings_are_positive_and_finish_is_idempotent():
+    tracer = Tracer()
+    with tracer.trace("request") as root:
+        for _ in range(1000):
+            pass
+    first = root.wall_ms
+    assert first >= 0.0
+    root.finish()  # idempotent: does not re-measure or re-retain
+    assert root.wall_ms == first
+    assert tracer.recent() == [root]

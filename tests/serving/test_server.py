@@ -136,6 +136,10 @@ def assert_accounted(stats: dict) -> None:
         + c.get("rejected_deadline", 0)
     )
     assert c.get("requests_received", 0) == answered
+    # PR 9: every mutate op resolved to exactly one outcome counter.
+    assert c.get("op_mutate", 0) == (
+        c.get("mutate_ok", 0) + c.get("mutate_failed", 0)
+    )
 
 
 # ----------------------------------------------------------------------
@@ -534,3 +538,113 @@ def test_mutate_op_validates_the_ops_payload(snapshot_store):
             assert envelope["ok"] is False
             assert '"ops" list' in envelope["error"]
         assert client.round_trip({"op": "ping"}) == {"op": "ping", "ok": True}
+
+
+# ----------------------------------------------------------------------
+# observability (PR 9): metrics op, mutate counters, slow log, tracing
+# ----------------------------------------------------------------------
+def test_metrics_op_returns_prometheus_text(snapshot_store):
+    with running_server(store_backend_loader(snapshot_store)) as srv:
+        with srv.client() as client:
+            assert client.round_trip(GREEDY.to_dict())["found"]
+            envelope = client.round_trip({"op": "metrics"})
+            assert envelope["op"] == "metrics"
+            assert envelope["content_type"].startswith("text/plain")
+            text = envelope["text"]
+            assert "# TYPE repro_requests_received counter" in text
+            assert "repro_requests_received 1" in text
+            # The per-layer registry is merged into the same exposition.
+            assert "repro_engine_solves" in text
+
+
+def test_mutate_outcomes_are_counted(snapshot_store):
+    from repro.serving.server import replicated_backend_loader
+
+    loader = replicated_backend_loader(snapshot_store, replicas=1)
+    with running_server(loader) as srv, srv.client() as client:
+        ok = client.round_trip({"op": "mutate", "ops": MUTATION_OPS})
+        assert ok["ok"] is True
+        failing = client.round_trip(
+            {"op": "mutate", "ops": [{"op": "remove_expert", "id": "ghost"}]}
+        )
+        assert failing["ok"] is False
+        invalid = client.round_trip({"op": "mutate", "ops": "nonsense"})
+        assert invalid["ok"] is False
+
+        c = counters(client)
+        assert c["op_mutate"] == 3
+        assert c["mutate_ok"] == 1
+        assert c["mutate_failed"] == 2
+        assert c["mutate_ops_applied"] == len(MUTATION_OPS)
+        assert c["replication_syncs"] >= 1
+        assert_accounted(client.round_trip({"op": "stats"}))
+
+
+def test_slow_query_log_emits_the_span_tree(snapshot_store, caplog):
+    import logging
+
+    with caplog.at_level(logging.WARNING, logger="repro.obs.slow"):
+        with running_server(
+            store_backend_loader(snapshot_store), slow_ms=0.0
+        ) as srv:
+            with srv.client() as client:
+                assert client.round_trip(GREEDY.to_dict())["found"]
+                wait_for(
+                    lambda: any(
+                        r.name == "repro.obs.slow" for r in caplog.records
+                    )
+                )
+                assert counters(client).get("slow_queries", 0) >= 1
+    record = next(r for r in caplog.records if r.name == "repro.obs.slow")
+    payload = json.loads(record.getMessage())
+    assert payload["threshold_ms"] == 0.0
+    assert payload["slow_ms"] >= 0.0
+    tree = payload["trace"]
+    assert tree["name"] == "request"
+    names = set()
+
+    def walk(node):
+        names.add(node["name"])
+        for child in node.get("children", ()):
+            walk(child)
+
+    walk(tree)
+    assert {"request", "queue_wait", "engine.solve"} <= names
+
+
+def test_traced_request_carries_span_tree_and_stays_canonical(
+    snapshot_store,
+):
+    loader = lambda: PoolBackend(  # noqa: E731 - tiny test-only loader
+        EngineReplicaPool(snapshot_store, replicas=1)
+    )
+    reference = TeamFormationEngine.from_snapshot(snapshot_store)
+    expected = canonical(reference.solve(GREEDY).to_json())
+    with running_server(loader, trace_requests=True) as srv:
+        with srv.client() as client:
+            raw = client.round_trip_raw(GREEDY.to_dict())
+            response = json.loads(raw)
+            tree = response["timing"]["trace"]
+            names = set()
+
+            def walk(node):
+                names.add(node["name"])
+                for child in node.get("children", ()):
+                    walk(child)
+
+            walk(tree)
+            # Acceptance: the tree covers admission -> pool -> engine
+            # cache -> kernel query in one connected trace.
+            assert {
+                "request",
+                "queue_wait",
+                "pool.solve_many",
+                "engine.solve",
+                "engine.oracle",
+                "pll.query",
+            } <= names
+            assert tree["span_id" if "span_id" in tree else "id"] == 1
+            assert tree["attrs"]["outcome"] == "found"
+            # Identity: the trace rides in timing only, which canonical
+            # form nulls -- traced bytes reduce to the untraced answer.
+            assert canonical(raw) == expected

@@ -342,3 +342,63 @@ def test_serve_max_lag_requires_replicate(tmp_path, capsys):
     assert "--max-lag-ms only applies with --replicate" in (
         capsys.readouterr().err
     )
+
+
+# ----------------------------------------------------------------------
+# observability flags (PR 9): --slow-ms and `stats --prom`
+# ----------------------------------------------------------------------
+def test_serve_negative_slow_ms_exits_2(capsys):
+    assert (
+        main(
+            [
+                "--scale", "tiny", "serve",
+                "--unix", "/tmp/x.sock",
+                "--slow-ms", "-1",
+            ]
+        )
+        == 2
+    )
+    assert "--slow-ms must be non-negative" in capsys.readouterr().err
+
+
+def test_stats_prom_renders_local_registry(capsys):
+    from repro.obs import global_registry
+
+    global_registry().counter("cli_prom_probe").inc(3)
+    assert main(["stats", "--prom"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE repro_cli_prom_probe counter" in out
+    assert "repro_cli_prom_probe 3" in out
+
+
+def test_stats_prom_connect_scrapes_a_live_server(tiny_snapshot, capsys):
+    """`stats --prom --connect` prints the server's merged exposition."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.serving.server import BackgroundServer, TeamServer
+    from repro.serving.server import store_backend_loader
+    from repro.serving.server_conn import ServingClient
+
+    with tempfile.TemporaryDirectory(prefix="cli-prom-") as tmp:
+        sock = str(Path(tmp) / "s.sock")
+        server = TeamServer(store_backend_loader(tiny_snapshot))
+        background = BackgroundServer(server, unix_path=sock)
+        background.start()
+        try:
+            with ServingClient.connect_unix(sock) as client:
+                client.round_trip(
+                    {"skills": ["graphics", "sound"], "solver": "greedy"}
+                )
+            assert main(["stats", "--prom", "--connect", sock]) == 0
+            out = capsys.readouterr().out
+            assert "repro_requests_received 1" in out
+            assert "repro_engine_solves" in out
+        finally:
+            background.stop()
+
+
+def test_stats_prom_connect_refused_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "nope.sock")
+    assert main(["stats", "--prom", "--connect", missing]) == 2
+    assert "cannot connect" in capsys.readouterr().err
