@@ -81,7 +81,9 @@ from ..expertise.network import ExpertNetwork, NetworkMutation
 from ..expertise.serialize import expert_from_dict, mutation_from_dict
 from ..graph.adjacency import Graph, GraphError
 from ..graph.distance import DijkstraOracle, DistanceOracle, build_oracle
+from ..graph.partition import ShardPlan, plan_shards
 from ..graph.pll import PrunedLandmarkLabeling
+from ..graph.sharded_oracle import ShardedPLLOracle
 from .. import obs
 from ..serving.locks import ReadWriteLock
 from ..storage.codec import (
@@ -89,6 +91,7 @@ from ..storage.codec import (
     OracleEntryState,
     decode_engine_snapshot,
     encode_engine_snapshot,
+    strip_shard_tag,
 )
 from ..storage.delta import FRAME_DELTA, iter_frames
 from ..storage.errors import (
@@ -133,6 +136,14 @@ class TeamFormationEngine:
     index_workers:
         Worker processes for PLL construction (``None`` = module
         default, see ``--parallel-index``).
+    shards:
+        Partition the collaboration graph into this many shards and
+        serve every PLL index as a
+        :class:`~repro.graph.sharded_oracle.ShardedPLLOracle` (per-shard
+        labels + boundary-distance summary; answers are exactly the
+        monolithic oracle's).  ``None`` (default) keeps the monolithic
+        index.  Cache keys gain the deterministic shard-plan hash, so a
+        sharded engine never aliases a monolithic entry.
     max_cached_oracles, max_cached_finders:
         FIFO bounds on the oracle and finder caches.  Gamma arrives over
         the wire as a continuous float, so a long-lived serving loop fed
@@ -152,11 +163,19 @@ class TeamFormationEngine:
         oracle_kind: str = "pll",
         registry: SolverRegistry | None = None,
         index_workers: int | None = None,
+        shards: int | None = None,
         max_cached_oracles: int = 16,
         max_cached_finders: int = 128,
     ) -> None:
         if max_cached_oracles < 1 or max_cached_finders < 1:
             raise ValueError("cache bounds must be positive")
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be positive")
+        self.shards = shards
+        # Shard plans memoized per network version (cheap relative to a
+        # build, but recomputing components + articulation cuts on every
+        # solve would still show); guarded by `_mutex`.
+        self._shard_plans: dict[int, ShardPlan] = {}
         self._network = network
         self.scales = scales or ObjectiveScales.from_network(network)
         self.sa_mode: SaMode = sa_mode
@@ -354,15 +373,53 @@ class TeamFormationEngine:
         else:
             effective_gamma = 1.0 if objective == "ca" else gamma
             base = (kind, "fold", effective_gamma)
+        base = self._tag_sharded(base)
         return self._entry(self._search_cache, base, self._max_cached_oracles)[0]
 
     def raw_oracle(self, oracle_kind: str | None = None) -> DistanceOracle:
         """The (cached) oracle over the plain communication-cost graph."""
         kind = oracle_kind or self.oracle_kind
         entry, _ = self._entry(
-            self._raw_oracles, (kind, "raw"), self._max_cached_oracles
+            self._raw_oracles,
+            self._tag_sharded((kind, "raw")),
+            self._max_cached_oracles,
         )
         return entry[1]
+
+    # ------------------------------------------------------------------
+    # sharding
+    # ------------------------------------------------------------------
+    def _shard_plan(self) -> ShardPlan:
+        """The (memoized) shard plan for the current network version.
+
+        Computed from the raw collaboration graph's topology; the cc and
+        fold search graphs are pure reweightings of it, so one plan is
+        valid for every flavor at a given version.  Deterministic and
+        seed-independent, hence identical in every process serving the
+        same network.
+        """
+        version = self._network.version
+        with self._mutex:
+            plan = self._shard_plans.get(version)
+        if plan is not None:
+            return plan
+        plan = plan_shards(self._network.graph, self.shards)
+        with self._mutex:
+            while len(self._shard_plans) >= 4:
+                self._shard_plans.pop(next(iter(self._shard_plans)), None)
+            return self._shard_plans.setdefault(version, plan)
+
+    def _tag_sharded(self, base: tuple) -> tuple:
+        """Append the shard tag ``("shards", K, plan_hash)`` when active.
+
+        Only PLL bases shard (a lazy Dijkstra oracle has no label store
+        to split); a monolithic engine's keys are byte-for-byte what
+        they were before sharding existed.
+        """
+        if self.shards is None or base[0] != "pll":
+            return base
+        plan = self._shard_plan()
+        return (*base, ("shards", self.shards, plan.plan_hash))
 
     # ------------------------------------------------------------------
     # versioned cache reconciliation
@@ -478,7 +535,15 @@ class TeamFormationEngine:
     def _build_entry(self, base: tuple) -> tuple[Graph, DistanceOracle]:
         """Build the search graph + oracle for ``base`` from scratch."""
         graph = self._derive_graph(base, self.network)
-        return graph, build_oracle(graph, base[0], workers=self._index_workers)
+        plan = None
+        if base is not strip_shard_tag(base):
+            # Sharded base: partition the derived graph itself (same
+            # topology as the raw graph at this version, so the plan —
+            # and its hash — match the one the key was tagged with).
+            plan = plan_shards(graph, base[-1][1])
+        return graph, build_oracle(
+            graph, base[0], workers=self._index_workers, shard_plan=plan
+        )
 
     def _derive_graph(self, base: tuple, network: ExpertNetwork) -> Graph:
         """The derived graph ``base`` indexes, built over ``network``.
@@ -488,7 +553,7 @@ class TeamFormationEngine:
         the persisted labels were computed over) rather than the
         engine's possibly-newer live network.
         """
-        flavor = base[1]
+        flavor = strip_shard_tag(base)[1]
         if flavor == "raw":
             return network.graph
         if flavor == "cc":
@@ -729,6 +794,18 @@ class TeamFormationEngine:
             for key, (_graph, oracle) in cache.items():
                 if key[-1] != version:
                     continue
+                if isinstance(oracle, ShardedPLLOracle):
+                    shard_labels, boundary = oracle.export_state()
+                    entries.append(
+                        OracleEntryState(
+                            cache=cache_name,
+                            base=key[:-1],
+                            version=version,
+                            shard_labels=tuple(shard_labels),
+                            boundary=boundary,
+                        )
+                    )
+                    continue
                 if not isinstance(oracle, PrunedLandmarkLabeling):
                     continue
                 entries.append(
@@ -747,8 +824,38 @@ class TeamFormationEngine:
                 sa_mode=self.sa_mode,
                 oracle_kind=self.oracle_kind,
                 entries=tuple(entries),
+                shards=self.shards,
+                shard_residency=(
+                    self._shard_residency() if self.shards is not None else None
+                ),
             )
         )
+
+    def _shard_residency(self) -> dict[str, int]:
+        """``{skill: home shard}`` — where each skill's holders mostly live.
+
+        The *home shard* of a skill is the shard holding the majority of
+        the experts with that skill (by the plan's own home-shard
+        assignment; ties break to the lowest shard id).  The serving
+        batcher uses this map — persisted in the snapshot meta — to
+        group splittable requests by shard residency without loading
+        the network.
+        """
+        plan = self._shard_plan()
+        index = self._network.skill_index
+        residency: dict[str, int] = {}
+        for skill in sorted(index.skills()):
+            votes: dict[int, int] = {}
+            for expert in index.experts_with(skill):
+                if not plan.has_node(expert):
+                    continue
+                home = plan.home_shard(expert)
+                votes[home] = votes.get(home, 0) + 1
+            if not votes:
+                continue
+            best = max(votes.items(), key=lambda kv: (kv[1], -kv[0]))
+            residency[skill] = best[0]
+        return residency
 
     @classmethod
     def from_snapshot(
@@ -887,6 +994,7 @@ class TeamFormationEngine:
             index_workers=index_workers,
             max_cached_oracles=max_cached_oracles,
             max_cached_finders=max_cached_finders,
+            shards=state.shards,
         )
         for entry in state.entries:
             cache = (
@@ -897,6 +1005,22 @@ class TeamFormationEngine:
             if len(cache) >= engine._max_cached_oracles:
                 continue
             graph = engine._derive_graph(entry.base, snapshot_net)
+            if entry.shard_labels is not None:
+                # Sharded entry: the plan is recomputed deterministically
+                # from the derived graph (only labels and the boundary
+                # summary are persisted), so the restore involves zero
+                # PLL builds and zero partitioner divergence.
+                try:
+                    plan = plan_shards(graph, len(entry.shard_labels))
+                    oracle: DistanceOracle = ShardedPLLOracle.from_state(
+                        graph, plan, entry.shard_labels, entry.boundary or {}
+                    )
+                except GraphError as exc:
+                    raise CorruptSnapshotError(
+                        f"oracle entry {entry.base!r}: {exc}"
+                    ) from None
+                cache[(*entry.base, entry.version)] = (graph, oracle)
+                continue
             try:
                 if "counts" in entry.labels:
                     # Flat snapshot columns are adopted as the live

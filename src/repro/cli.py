@@ -152,6 +152,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="warm-start the engine from a snapshot store/file instead of "
         "building the --scale network (see 'snapshot save')",
     )
+    psolve.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="partition the collaboration graph into K shards and serve "
+        "from per-shard PLL indexes plus a boundary summary (answers "
+        "are identical to the monolithic index; ignored with "
+        "--snapshot, which carries its own shard count)",
+    )
 
     pserve = sub.add_parser(
         "serve",
@@ -222,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         "default: answer at any staleness)",
     )
     pserve.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="partition the collaboration graph into K shards (per-shard "
+        "PLL indexes + boundary summary, identical answers); ignored "
+        "with --snapshot, which carries its own shard count",
+    )
+    pserve.add_argument(
         "--slow-ms", type=float, default=None, metavar="M",
         help="server mode: log any request slower than M ms as one "
         "structured JSON line (full span tree) on the repro.obs.slow "
@@ -272,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warm", action="store_true",
         help="skip prebuilding the default search/raw indexes before saving "
         "(the snapshot then warm-starts the network only)",
+    )
+    ps_save.add_argument(
+        "--shards", type=_positive_int, default=None, metavar="K",
+        help="build the engine sharded: K per-shard PLL indexes plus a "
+        "boundary summary are persisted, and loaders (solve/serve "
+        "--snapshot, replica pools) restore the same sharded layout",
     )
     ps_load = snap_sub.add_parser(
         "load", help="load + verify a snapshot and report what it restores"
@@ -379,7 +398,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         file=sys.stderr,
     )
     if args.experiment == "solve":
-        return _run_solve(TeamFormationEngine(network), args)
+        return _run_solve(
+            TeamFormationEngine(network, shards=args.shards), args
+        )
     if args.experiment == "mutate":
         return _run_mutate(TeamFormationEngine(network), args)
     if args.experiment == "figure3":
@@ -444,7 +465,7 @@ def _run_snapshot(args) -> int:
     try:
         if args.snapshot_cmd == "save":
             network = benchmark_network(args.scale, seed=args.seed)
-            engine = TeamFormationEngine(network)
+            engine = TeamFormationEngine(network, shards=args.shards)
             if not args.no_warm:
                 # The default serving indexes: Algorithm 1's folded
                 # search graph at --gamma, and RarestFirst's raw graph.
@@ -546,7 +567,7 @@ def _run_serve(args) -> int:
                 engine = TeamFormationEngine.from_snapshot(args.snapshot)
             else:
                 network = benchmark_network(args.scale, seed=args.seed)
-                engine = TeamFormationEngine(network)
+                engine = TeamFormationEngine(network, shards=args.shards)
             tally = serve_batch(
                 lambda batch: engine.solve_many(batch, parallel=args.parallel),
                 requests,
@@ -665,7 +686,9 @@ def _run_server(args) -> int:
         loader = store_backend_loader(args.snapshot, replicas=args.replicas)
     else:
         network = benchmark_network(args.scale, seed=args.seed)
-        loader = fixed_engine_loader(TeamFormationEngine(network))
+        loader = fixed_engine_loader(
+            TeamFormationEngine(network, shards=args.shards)
+        )
     # Reload/stats/shutdown events should be visible on stderr even
     # without the caller configuring logging.
     logging.basicConfig(

@@ -224,15 +224,22 @@ class Graph:
     # derived graphs
     # ------------------------------------------------------------------
     def subgraph(self, nodes: Iterable[Node]) -> "Graph":
-        """Return the induced subgraph on ``nodes`` (attributes shared by copy)."""
+        """Return the induced subgraph on ``nodes`` (attributes shared by copy).
+
+        Nodes and edges are inserted in the *parent's* insertion order, not
+        the (hash-seed dependent) order of the ``nodes`` iterable, so the
+        result is bit-for-bit reproducible across processes — the same
+        guarantee PR 4 established for ``ExpertNetwork.subnetwork``.
+        """
         keep = set(nodes)
         missing = [n for n in keep if n not in self._adj]
         if missing:
             raise GraphError(f"nodes not in graph: {missing!r}")
+        ordered = [n for n in self._adj if n in keep]
         sub = Graph()
-        for node in keep:
+        for node in ordered:
             sub.add_node(node, **self._node_data[node])
-        for node in keep:
+        for node in ordered:
             for neighbor, w in self._adj[node].items():
                 if neighbor in keep and not sub.has_edge(node, neighbor):
                     sub.add_edge(node, neighbor, weight=w)

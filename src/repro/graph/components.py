@@ -37,14 +37,21 @@ def bfs_order(graph: Graph, source: Node) -> Iterator[Node]:
 
 
 def connected_components(graph: Graph) -> list[set[Node]]:
-    """All connected components, largest first."""
-    remaining = set(graph.nodes())
+    """All connected components, largest first.
+
+    Starts are taken in graph insertion order (not set order, which is
+    hash-seed dependent), so equal-size components come back in a
+    cross-process deterministic order and downstream consumers such as
+    the shard partitioner stay reproducible.
+    """
+    seen: set[Node] = set()
     components: list[set[Node]] = []
-    while remaining:
-        start = next(iter(remaining))
+    for start in graph.nodes():
+        if start in seen:
+            continue
         component = set(bfs_order(graph, start))
         components.append(component)
-        remaining -= component
+        seen |= component
     components.sort(key=len, reverse=True)
     return components
 

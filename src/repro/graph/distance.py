@@ -206,7 +206,11 @@ class DijkstraOracle:
 
 
 def build_oracle(
-    graph: Graph, kind: str = "pll", *, workers: int | None = None
+    graph: Graph,
+    kind: str = "pll",
+    *,
+    workers: int | None = None,
+    shard_plan=None,
 ) -> DistanceOracle:
     """Factory: ``"pll"`` (paper's index) or ``"dijkstra"`` (lazy).
 
@@ -214,6 +218,13 @@ def build_oracle(
     ``None`` uses the module default (see
     :func:`set_default_index_workers`).  The resulting labels do not
     depend on the worker count.
+
+    ``shard_plan`` (a :class:`~repro.graph.partition.ShardPlan`) turns
+    the ``"pll"`` kind into a
+    :class:`~repro.graph.sharded_oracle.ShardedPLLOracle`: one PLL per
+    shard plus the boundary-distance summary, answering exactly what the
+    monolithic index would.  Ignored for ``"dijkstra"`` (a lazy oracle
+    has no label store to shard).
 
     Instrumented: each build opens an ``oracle.build`` span and lands
     in the ``oracle_builds_<kind>`` counter and the ``oracle_build``
@@ -225,12 +236,20 @@ def build_oracle(
         )
     registry = obs.global_registry()
     start = time.perf_counter()
-    with obs.span("oracle.build", kind=kind, nodes=len(graph)):
+    attrs = {"kind": kind, "nodes": len(graph)}
+    if shard_plan is not None and kind == "pll":
+        attrs["shards"] = shard_plan.num_shards
+    with obs.span("oracle.build", **attrs):
         if kind == "pll":
-            oracle: DistanceOracle = PrunedLandmarkLabeling(
-                graph,
-                workers=_default_index_workers if workers is None else workers,
-            )
+            effective = _default_index_workers if workers is None else workers
+            if shard_plan is not None:
+                from .sharded_oracle import ShardedPLLOracle
+
+                oracle: DistanceOracle = ShardedPLLOracle(
+                    graph, shard_plan, workers=effective
+                )
+            else:
+                oracle = PrunedLandmarkLabeling(graph, workers=effective)
         else:
             oracle = DijkstraOracle(graph)
     registry.counter(f"oracle_builds_{kind}").inc()

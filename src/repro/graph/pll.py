@@ -469,6 +469,12 @@ class PrunedLandmarkLabeling:
     #: back to a rebuild for everything else.
     supports_incremental = True
 
+    #: Shard index stamped on ``pll.query`` spans when this index serves
+    #: one shard of a :class:`~repro.graph.sharded_oracle.ShardedPLLOracle`
+    #: (a class attribute so clones and snapshot-restored indexes default
+    #: to the monolithic behavior without touching every constructor).
+    _obs_shard: int | None = None
+
     def __init__(
         self,
         graph: Graph,
@@ -862,7 +868,16 @@ class PrunedLandmarkLabeling:
         targets_c.inc(len(out))
         seconds.inc(elapsed)
         if cold:
-            obs.record("pll.query", elapsed, kernel=effective, targets=len(out))
+            if self._obs_shard is None:
+                obs.record("pll.query", elapsed, kernel=effective, targets=len(out))
+            else:
+                obs.record(
+                    "pll.query",
+                    elapsed,
+                    kernel=effective,
+                    targets=len(out),
+                    shard=self._obs_shard,
+                )
         return out
 
     def _distances_from_rows(

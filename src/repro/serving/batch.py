@@ -18,15 +18,25 @@ The placement rule keeps the pool-wide guarantee:
   parallelism, no build anywhere;
 * a **cold** group is pinned to a single replica, so the missing index
   is built at most once pool-wide.
+
+When the snapshot was built by a *sharded* engine, its meta carries a
+``{skill: home shard}`` residency map.  Passing it to :func:`plan_jobs`
+refines the splittable branch: instead of dealing a warm group
+round-robin, requests are sub-grouped by the majority home shard of
+their skills and each sub-group is pinned with a ``("shard", i)`` key.
+The pool's sticky pin table then sends every shard-``i`` group to the
+same replica batch after batch, so each replica's PLL source cache and
+boundary-summary working set stay hot for *one* shard's neighborhood
+instead of thrashing across all of them.
 """
 
 from __future__ import annotations
 
-from collections.abc import Collection, Sequence
+from collections.abc import Collection, Mapping, Sequence
 
 from ..api.messages import TeamRequest
 
-__all__ = ["request_index_key", "plan_jobs"]
+__all__ = ["request_index_key", "request_home_shard", "plan_jobs"]
 
 #: Solvers that never touch a distance oracle: their requests are
 #: always free to spread across replicas.
@@ -62,10 +72,32 @@ def request_index_key(request: TeamRequest) -> tuple | None:
     return (kind, "fold", effective_gamma)
 
 
+def request_home_shard(
+    request: TeamRequest, shard_residency: Mapping[str, int]
+) -> int | None:
+    """Majority home shard of ``request``'s skills, or ``None``.
+
+    Each skill votes for its home shard (where most of its holders
+    live, per the residency map persisted in a sharded snapshot's
+    meta); the request goes where most of its skills point, ties to
+    the lowest shard id.  ``None`` when no skill is in the map — the
+    request has no shard affinity and should be dealt round-robin.
+    """
+    votes: dict[int, int] = {}
+    for skill in request.skills:
+        home = shard_residency.get(skill)
+        if home is not None:
+            votes[home] = votes.get(home, 0) + 1
+    if not votes:
+        return None
+    return max(votes.items(), key=lambda kv: (kv[1], -kv[0]))[0]
+
+
 def plan_jobs(
     requests: Sequence[TeamRequest],
     replicas: int,
     warm_bases: Collection[tuple],
+    shard_residency: Mapping[str, int] | None = None,
 ) -> list[tuple[tuple | None, list[int]]]:
     """Partition a batch into per-replica jobs of request *indices*.
 
@@ -78,6 +110,14 @@ def plan_jobs(
     the missing index is built at most once pool-wide *across batches*,
     not merely within one.  The caller reassembles responses by index,
     so job order never affects the response order.
+
+    With ``shard_residency`` (the ``{skill: home shard}`` map from a
+    sharded snapshot's meta), splittable *index-backed* groups are
+    instead sub-grouped by :func:`request_home_shard` and pinned with
+    ``("shard", i)`` keys, keeping each shard's query locality on one
+    replica; requests with no shard affinity still deal round-robin.
+    No-index solver groups ignore residency — they never touch labels,
+    so affinity buys nothing and balance wins.
     """
     if replicas < 1:
         raise ValueError("replicas must be positive")
@@ -95,12 +135,26 @@ def plan_jobs(
             # build to duplicate, so pinning would only serialize.
             or (dijkstra_backed and key[1] != "pareto")
         )
-        if splittable:
-            if replicas > 1 and len(indices) > 1:
-                for offset in range(min(replicas, len(indices))):
-                    jobs.append((None, indices[offset::replicas]))
-            else:
-                jobs.append((None, indices))
-        else:
+        if not splittable:
             jobs.append((key, indices))
+            continue
+        if shard_residency is not None and key is not None and replicas > 1:
+            by_shard: dict[int, list[int]] = {}
+            free: list[int] = []
+            for index in indices:
+                home = request_home_shard(requests[index], shard_residency)
+                if home is None:
+                    free.append(index)
+                else:
+                    by_shard.setdefault(home, []).append(index)
+            for shard in sorted(by_shard):
+                jobs.append((("shard", shard), by_shard[shard]))
+            indices = free
+            if not indices:
+                continue
+        if replicas > 1 and len(indices) > 1:
+            for offset in range(min(replicas, len(indices))):
+                jobs.append((None, indices[offset::replicas]))
+        else:
+            jobs.append((None, indices))
     return [(pin, job) for pin, job in jobs if job]

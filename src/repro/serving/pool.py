@@ -161,6 +161,15 @@ class EngineReplicaPool:
         # snapshot exceptions; a worker initializer crash would not.
         meta, _sections = read_container(self._path)
         self._warm_bases = frozenset(warm_bases_from_meta(meta))
+        # Sharded snapshots carry a {skill: home shard} residency map;
+        # the batch planner uses it to pin shard-local request groups
+        # (see repro.serving.batch).  Absent on monolithic snapshots.
+        residency = meta.get("shard_residency")
+        self._shard_residency: dict[str, int] | None = (
+            {str(k): int(v) for k, v in residency.items()}
+            if isinstance(residency, dict)
+            else None
+        )
         # Replication state (attach_primary): which network version the
         # replicas currently serve, and the bounded-staleness budget.
         self._replica_version = int(meta.get("network_version", 0))
@@ -302,7 +311,12 @@ class EngineReplicaPool:
             "pool.solve_many", mode="workers", requests=len(requests)
         ):
             with obs.span("pool.route"):
-                jobs = plan_jobs(requests, len(self._workers), self._warm_bases)
+                jobs = plan_jobs(
+                    requests,
+                    len(self._workers),
+                    self._warm_bases,
+                    self._shard_residency,
+                )
                 # Route the whole batch under ONE lock acquisition, then
                 # submit and await entirely outside it.  Routing is pure
                 # bookkeeping (a cursor bump or a dict lookup); holding

@@ -251,6 +251,31 @@ class ReplicationLog:
             }
         return encode_delta_frame(payload)
 
+    def compact(self, floor: int) -> int:
+        """Raise the log's floor to ``floor``, dropping covered records.
+
+        The snapshot-store GC calls this after deleting old snapshots:
+        any follower that would need history at or below ``floor`` can
+        no longer be served a snapshot from that era anyway, so holding
+        the delta records buys nothing — a follower that far behind
+        gets :class:`JournalTruncatedError` from :meth:`delta_since`
+        and falls back to a full-state transfer, exactly as if the
+        capacity bound had evicted the records.
+
+        The floor never moves backwards and never past the tip.
+        Returns the effective floor after compaction.
+        """
+        with self._lock:
+            target = min(max(floor, self._floor), self._tip_locked())
+            while (
+                self._records
+                and self._records[0].mutation.version <= target
+            ):
+                dropped = self._records.popleft()
+                self._floor_time = dropped.t
+            self._floor = target
+            return self._floor
+
     def snapshot_frame(self) -> bytes:
         """A full-state transfer: the primary's engine as one frame.
 

@@ -11,7 +11,12 @@ sections; this module defines what is *in* them for an engine snapshot:
   ``sa_mode`` / ``oracle_kind``, and one metadata record per persisted
   oracle-cache entry (which cache, graph flavor, gamma, the network
   version the entry is keyed at, and which label section holds it).
-* ``labels/<i>`` — one 2-hop-cover label store in a flat array layout::
+* ``labels/<i>`` — one 2-hop-cover label store in a flat array layout
+  (for a *sharded* entry this section is replaced by one
+  ``labels/<i>/shard/<j>`` section per shard in the identical layout
+  plus a ``labels/<i>/boundary`` JSON section carrying the boundary
+  node list and raw summary edges; the entry record in ``engine`` lists
+  both, and pre-sharding snapshots load unchanged)::
 
       u32  node count N
       u32  length of the landmark-order JSON
@@ -56,6 +61,7 @@ __all__ = [
     "decode_labels_flat",
     "encode_engine_snapshot",
     "decode_engine_snapshot",
+    "strip_shard_tag",
 ]
 
 # array typecodes are platform-sized; resolve the 4-byte ones once.
@@ -262,7 +268,12 @@ class OracleEntryState:
     cache: str
     base: tuple
     version: int
-    labels: dict
+    labels: dict | None = None
+    #: Per-shard label states + boundary summary document for entries
+    #: holding a :class:`~repro.graph.sharded_oracle.ShardedPLLOracle`
+    #: (``labels`` is ``None`` for those; see ``export_state``).
+    shard_labels: tuple[dict, ...] | None = None
+    boundary: dict | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -275,21 +286,46 @@ class EngineSnapshotState:
     sa_mode: str
     oracle_kind: str
     entries: tuple[OracleEntryState, ...]
+    #: Shard count of a sharded engine (``None`` = monolithic).
+    shards: int | None = None
+    #: Planning hint duplicated into the manifest meta: skill -> home
+    #: shard of the majority of its holders (see ``plan_jobs``).
+    shard_residency: dict[str, int] | None = None
+
+
+def strip_shard_tag(base: tuple) -> tuple:
+    """The flavor core of a cache base, shard tag removed.
+
+    Sharded engines append ``("shards", K, plan_hash)`` to their cache
+    bases; request planning (``serving/batch.py``) matches on the flavor
+    core only, so warm-base lookups see the same shape either way.
+    """
+    if base and isinstance(base[-1], tuple) and base[-1][:1] == ("shards",):
+        return base[:-1]
+    return base
 
 
 def _base_to_meta(base: tuple) -> dict[str, Any]:
-    meta: dict[str, Any] = {"kind": base[0], "flavor": base[1]}
-    if base[1] == "fold":
-        meta["gamma"] = base[2]
+    core = strip_shard_tag(base)
+    meta: dict[str, Any] = {"kind": core[0], "flavor": core[1]}
+    if core[1] == "fold":
+        meta["gamma"] = core[2]
+    if core is not base:
+        meta["shards"] = base[-1][1]
+        meta["plan_hash"] = base[-1][2]
     return meta
 
 
 def _base_from_meta(meta: dict[str, Any]) -> tuple:
     if meta["flavor"] == "fold":
-        return (meta["kind"], "fold", float(meta["gamma"]))
-    if meta["flavor"] not in ("cc", "raw"):
+        core: tuple = (meta["kind"], "fold", float(meta["gamma"]))
+    elif meta["flavor"] in ("cc", "raw"):
+        core = (meta["kind"], meta["flavor"])
+    else:
         raise CorruptSnapshotError(f"unknown graph flavor {meta['flavor']!r}")
-    return (meta["kind"], meta["flavor"])
+    if "shards" in meta:
+        return (*core, ("shards", int(meta["shards"]), str(meta["plan_hash"])))
+    return core
 
 
 def encode_engine_snapshot(
@@ -302,30 +338,45 @@ def encode_engine_snapshot(
         "network": json.dumps(network_dict, sort_keys=True).encode("utf-8")
     }
     for i, entry in enumerate(state.entries):
-        section = f"labels/{i}"
-        labels = entry.labels
-        if "counts" in labels:
-            sections[section] = encode_flat_labels(labels)
+        record = {
+            "cache": entry.cache,
+            "version": entry.version,
+            **_base_to_meta(entry.base),
+        }
+        if entry.shard_labels is not None:
+            # One label section per shard + the boundary summary, all
+            # listed in the entry record (and therefore the manifest)
+            # so loaders know the layout before touching any payload.
+            shard_sections = []
+            for j, shard_state in enumerate(entry.shard_labels):
+                name = f"labels/{i}/shard/{j}"
+                sections[name] = encode_flat_labels(shard_state)
+                shard_sections.append(name)
+            boundary_section = f"labels/{i}/boundary"
+            sections[boundary_section] = json.dumps(
+                entry.boundary or {}, sort_keys=True
+            ).encode("utf-8")
+            record["shard_sections"] = shard_sections
+            record["boundary_section"] = boundary_section
         else:
-            sections[section] = encode_labels(labels)
-        entry_meta.append(
-            {
-                "cache": entry.cache,
-                "version": entry.version,
-                "section": section,
-                **_base_to_meta(entry.base),
-            }
-        )
-    sections["engine"] = json.dumps(
-        {
-            "edge_scale": state.edge_scale,
-            "authority_scale": state.authority_scale,
-            "sa_mode": state.sa_mode,
-            "oracle_kind": state.oracle_kind,
-            "entries": entry_meta,
-        },
-        sort_keys=True,
-    ).encode("utf-8")
+            section = f"labels/{i}"
+            labels = entry.labels
+            if "counts" in labels:
+                sections[section] = encode_flat_labels(labels)
+            else:
+                sections[section] = encode_labels(labels)
+            record["section"] = section
+        entry_meta.append(record)
+    engine_doc: dict[str, Any] = {
+        "edge_scale": state.edge_scale,
+        "authority_scale": state.authority_scale,
+        "sa_mode": state.sa_mode,
+        "oracle_kind": state.oracle_kind,
+        "entries": entry_meta,
+    }
+    if state.shards is not None:
+        engine_doc["shards"] = state.shards
+    sections["engine"] = json.dumps(engine_doc, sort_keys=True).encode("utf-8")
     meta = {
         "kind": SNAPSHOT_KIND,
         "network_version": state.network.version,
@@ -337,6 +388,10 @@ def encode_engine_snapshot(
         # `read_meta` alone — no CRC pass, no label decode.
         "warm": [_base_to_meta(entry.base) for entry in state.entries],
     }
+    if state.shards is not None:
+        meta["shards"] = state.shards
+    if state.shard_residency is not None:
+        meta["shard_residency"] = state.shard_residency
     return meta, sections
 
 
@@ -349,7 +404,10 @@ def warm_bases_from_meta(meta: dict[str, Any]) -> tuple[tuple, ...]:
     — a correct, merely conservative answer.
     """
     try:
-        return tuple(_base_from_meta(entry) for entry in meta.get("warm", ()))
+        return tuple(
+            strip_shard_tag(_base_from_meta(entry))
+            for entry in meta.get("warm", ())
+        )
     except (KeyError, TypeError, CorruptSnapshotError):
         return ()
 
@@ -381,14 +439,35 @@ def decode_engine_snapshot(
     entries = []
     try:
         for record in engine["entries"]:
-            entries.append(
-                OracleEntryState(
-                    cache=record["cache"],
-                    base=_base_from_meta(record),
-                    version=int(record["version"]),
-                    labels=decode_labels_flat(sections[record["section"]]),
+            if "shard_sections" in record:
+                shard_labels = tuple(
+                    decode_labels_flat(sections[name])
+                    for name in record["shard_sections"]
                 )
-            )
+                boundary = _json_section(sections, record["boundary_section"])
+                if not isinstance(boundary, dict):
+                    raise CorruptSnapshotError(
+                        "boundary summary section is not a JSON object"
+                    )
+                entries.append(
+                    OracleEntryState(
+                        cache=record["cache"],
+                        base=_base_from_meta(record),
+                        version=int(record["version"]),
+                        shard_labels=shard_labels,
+                        boundary=boundary,
+                    )
+                )
+            else:
+                entries.append(
+                    OracleEntryState(
+                        cache=record["cache"],
+                        base=_base_from_meta(record),
+                        version=int(record["version"]),
+                        labels=decode_labels_flat(sections[record["section"]]),
+                    )
+                )
+        shards = engine.get("shards")
         state = EngineSnapshotState(
             network=network,
             edge_scale=float(engine["edge_scale"]),
@@ -396,6 +475,7 @@ def decode_engine_snapshot(
             sa_mode=engine["sa_mode"],
             oracle_kind=engine["oracle_kind"],
             entries=tuple(entries),
+            shards=None if shards is None else int(shards),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CorruptSnapshotError(f"invalid engine section ({exc})") from None

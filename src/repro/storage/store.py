@@ -128,13 +128,20 @@ class SnapshotStore:
         :class:`SnapshotError` when the store holds no snapshot at all.
         """
         pointer = self.root / _LATEST
+        dangling: Path | None = None
         if pointer.exists():
             name = pointer.read_text(encoding="utf-8").strip()
             path = self.root / name
             if _SNAP_NAME.match(name) and path.exists():
                 return path
+            dangling = path
         infos = self.list()
         if not infos:
+            if dangling is not None:
+                raise SnapshotError(
+                    f"LATEST points to {dangling}, which does not exist, "
+                    f"and store {self.root} holds no other snapshot"
+                )
             raise SnapshotError(f"no snapshots in store {self.root}")
         return self.root / infos[-1].name
 
@@ -179,11 +186,20 @@ class SnapshotStore:
     # ------------------------------------------------------------------
     # retention
     # ------------------------------------------------------------------
-    def gc(self, *, retain: int | None = None) -> list[str]:
+    def gc(self, *, retain: int | None = None, log=None) -> list[str]:
         """Delete all but the ``retain`` newest snapshots.
 
         The LATEST target is never deleted.  Returns the removed file
         names (oldest first).
+
+        With ``log`` (a :class:`repro.serving.replication.ReplicationLog`),
+        the log is compacted in the same breath: its floor is raised to
+        the oldest *retained* snapshot's network version.  Any follower
+        that still needed older delta history could only have come from
+        a snapshot this GC just deleted, so keeping those records buys
+        nothing — such a follower's next sync gets the typed
+        ``JournalTruncatedError`` and falls back to a full-state
+        transfer.
         """
         keep = self.retain if retain is None else retain
         if keep is None or keep < 1:
@@ -199,4 +215,8 @@ class SnapshotStore:
                 continue
             (self.root / info.name).unlink(missing_ok=True)
             removed.append(info.name)
+        if log is not None and removed:
+            remaining = self.list()
+            if remaining:
+                log.compact(min(info.network_version for info in remaining))
         return removed

@@ -1,5 +1,10 @@
 """Unit tests for traversal/connectivity helpers."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.graph import (
@@ -37,6 +42,66 @@ def test_connected_components_sorted_by_size(two_components):
     comps = connected_components(two_components)
     assert [len(c) for c in comps] == [3, 2, 1]
     assert comps[0] == {"a", "b", "c"}
+
+
+def test_components_of_all_singletons():
+    g = Graph()
+    for name in ("s1", "s2", "s3"):
+        g.add_node(name)
+    comps = connected_components(g)
+    assert [len(c) for c in comps] == [1, 1, 1]
+    assert {frozenset(c) for c in comps} == {
+        frozenset({"s1"}),
+        frozenset({"s2"}),
+        frozenset({"s3"}),
+    }
+
+
+def test_equal_size_components_keep_insertion_order():
+    """Ties in the size sort resolve to graph insertion order.
+
+    The shard partitioner walks this list to seed its regions; a
+    hash-order tie-break would make shard plans differ between
+    processes.
+    """
+    g = Graph()
+    for c in ("zz", "aa", "mm"):  # deliberately not sorted
+        g.add_edge(f"{c}0", f"{c}1")
+    comps = connected_components(g)
+    # All three are size 2; discovery order must follow insertion order.
+    assert [min(c) for c in comps] == ["zz0", "aa0", "mm0"]
+
+
+_SUBPROCESS_COMPONENTS = """
+import json
+from repro.graph import Graph, connected_components
+
+g = Graph()
+for c in ("zz", "aa", "mm", "qq"):
+    g.add_edge(c + "0", c + "1")
+g.add_node("lonely")
+comps = connected_components(g)
+print(json.dumps([sorted(map(repr, c)) for c in comps]))
+"""
+
+
+@pytest.mark.parametrize("hashseed", ["0", "7", "31337"])
+def test_component_order_is_cross_process_deterministic(hashseed):
+    env = dict(os.environ, PYTHONHASHSEED=hashseed)
+    out = subprocess.run(
+        [sys.executable, "-c", _SUBPROCESS_COMPONENTS],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    assert json.loads(out.stdout) == [
+        ["'zz0'", "'zz1'"],
+        ["'aa0'", "'aa1'"],
+        ["'mm0'", "'mm1'"],
+        ["'qq0'", "'qq1'"],
+        ["'lonely'"],
+    ]
 
 
 def test_is_connected_full_and_subset(two_components):

@@ -1,0 +1,174 @@
+"""Differential tests: the sharded oracle vs the monolithic PLL index.
+
+The hard contract (ISSUE PR-10): for every ``(u, v)`` the sharded
+oracle's distance is the *same float* the monolithic index returns, and
+its paths are valid shortest paths.  Weights are dyadic (exactly
+representable sums) wherever bit-identity is asserted, so float
+associativity cannot blur the comparison.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.graph import Graph, GraphError
+from repro.graph.partition import plan_shards
+from repro.graph.pll import PrunedLandmarkLabeling, pll_build_count
+from repro.graph.sharded_oracle import ShardedPLLOracle
+
+
+def dyadic_random_graph(
+    rng: random.Random, *, n: int = 30, p: float = 0.1
+) -> Graph:
+    """A random graph whose weights are multiples of 1/64 (exact sums)."""
+    g = Graph()
+    for i in range(n):
+        g.add_node(f"v{i}")
+    for i in range(1, n):
+        j = rng.randrange(i)
+        g.add_edge(f"v{i}", f"v{j}", weight=rng.randint(1, 64) / 64.0)
+    for i in range(n):
+        for j in range(i + 1, n):
+            if rng.random() < p:
+                g.add_edge(f"v{i}", f"v{j}", weight=rng.randint(1, 64) / 64.0)
+    return g
+
+
+def path_length(g: Graph, path: list) -> float:
+    return sum(g.weight(a, b) for a, b in zip(path, path[1:]))
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3])
+@pytest.mark.parametrize("k", [1, 2, 4, 7])
+def test_distances_bit_identical_to_monolithic(seed, k):
+    rng = random.Random(seed)
+    g = dyadic_random_graph(rng, n=28, p=0.08)
+    if seed % 2:  # half the cases: add a disconnected island + isolate
+        g.add_edge("isl0", "isl1", weight=0.5)
+        g.add_node("alone")
+    mono = PrunedLandmarkLabeling(g)
+    sharded = ShardedPLLOracle(g, shards=k)
+    nodes = list(g.nodes())
+    for u in nodes:
+        expected = mono.distances_from(u, nodes)
+        got = sharded.distances_from(u, nodes)
+        assert got == expected  # == is exact: inf == inf, bit-equal floats
+        for v in nodes[:6]:
+            assert sharded.distance(u, v) == mono.distance(u, v)
+
+
+@pytest.mark.parametrize("k", [2, 4])
+def test_paths_are_valid_shortest_paths(k):
+    rng = random.Random(9)
+    g = dyadic_random_graph(rng, n=24, p=0.1)
+    mono = PrunedLandmarkLabeling(g)
+    sharded = ShardedPLLOracle(g, shards=k)
+    nodes = list(g.nodes())
+    for u in nodes[::3]:
+        for v in nodes[::4]:
+            d = mono.distance(u, v)
+            if math.isinf(d):
+                with pytest.raises(GraphError):
+                    sharded.path(u, v)
+                continue
+            path = sharded.path(u, v)
+            assert path[0] == u and path[-1] == v
+            assert path_length(g, path) == pytest.approx(d, abs=1e-12)
+
+
+def test_distances_many_matches_monolithic():
+    rng = random.Random(5)
+    g = dyadic_random_graph(rng, n=20, p=0.12)
+    mono = PrunedLandmarkLabeling(g)
+    sharded = ShardedPLLOracle(g, shards=3)
+    nodes = list(g.nodes())
+    sources, targets = nodes[:7], nodes[7:]
+    assert sharded.distances_many(sources, targets) == mono.distances_many(
+        sources, targets
+    )
+
+
+def test_unknown_nodes_raise():
+    g = Graph.from_edges([("a", "b")])
+    sharded = ShardedPLLOracle(g, shards=2)
+    with pytest.raises(GraphError):
+        sharded.distance("a", "ghost")
+    with pytest.raises(GraphError):
+        sharded.distances_from("ghost", ["a"])
+    with pytest.raises(GraphError):
+        sharded.path("ghost", "a")
+
+
+def test_self_distance_is_zero_and_disconnected_is_inf():
+    g = Graph.from_edges([("a", "b", 0.5)])
+    g.add_node("island")
+    sharded = ShardedPLLOracle(g, shards=2)
+    assert sharded.distance("a", "a") == 0.0
+    assert sharded.distance("island", "island") == 0.0
+    assert math.isinf(sharded.distance("a", "island"))
+
+
+def test_mutation_is_refused():
+    g = Graph.from_edges([("a", "b")])
+    sharded = ShardedPLLOracle(g, shards=2)
+    assert sharded.supports_incremental is False
+    with pytest.raises(GraphError):
+        sharded.insert_edge("a", "b", 0.1)
+    with pytest.raises(GraphError):
+        sharded.add_node("c")
+
+
+def test_plan_must_cover_the_graph():
+    g = Graph.from_edges([("a", "b"), ("b", "c")])
+    partial = plan_shards(Graph.from_edges([("a", "b")]), 2)
+    with pytest.raises(GraphError):
+        ShardedPLLOracle(g, partial)
+
+
+def test_introspection_shapes():
+    rng = random.Random(2)
+    g = dyadic_random_graph(rng, n=18, p=0.1)
+    sharded = ShardedPLLOracle(g, shards=3)
+    assert sharded.num_shards == 3
+    total = 0
+    for i in range(3):
+        pll = sharded.shard_index(i)
+        assert isinstance(pll, PrunedLandmarkLabeling)
+        assert sharded.label_bytes(i) == pll.total_label_entries * 16
+        total += pll.total_label_entries
+    assert sharded.total_label_entries == total
+    assert sharded.label_bytes() == total * 16
+
+
+# ----------------------------------------------------------------------
+# persistence: export_state / from_state
+# ----------------------------------------------------------------------
+def test_state_round_trip_zero_builds():
+    rng = random.Random(3)
+    g = dyadic_random_graph(rng, n=26, p=0.1)
+    sharded = ShardedPLLOracle(g, shards=4)
+    shard_labels, boundary = sharded.export_state()
+    before = pll_build_count()
+    restored = ShardedPLLOracle.from_state(
+        g, sharded.plan, shard_labels, boundary
+    )
+    assert pll_build_count() == before  # zero PLL constructions
+    nodes = list(g.nodes())
+    for u in nodes[::2]:
+        assert restored.distances_from(u, nodes) == sharded.distances_from(
+            u, nodes
+        )
+
+
+def test_from_state_rejects_mismatched_shapes():
+    g = Graph.from_edges([("a", "b"), ("c", "d")])
+    sharded = ShardedPLLOracle(g, shards=2)
+    shard_labels, boundary = sharded.export_state()
+    with pytest.raises(GraphError):
+        ShardedPLLOracle.from_state(g, sharded.plan, shard_labels[:1], boundary)
+    bad = dict(boundary, boundary=["a", "ghost-extra"])
+    with pytest.raises(GraphError):
+        ShardedPLLOracle.from_state(g, sharded.plan, shard_labels, bad)

@@ -12,7 +12,11 @@ from __future__ import annotations
 import pytest
 
 from repro.api import TeamFormationEngine, TeamRequest
-from repro.serving.batch import plan_jobs, request_index_key
+from repro.serving.batch import (
+    plan_jobs,
+    request_home_shard,
+    request_index_key,
+)
 from repro.serving.pool import EngineReplicaPool
 from repro.storage import SnapshotError
 
@@ -99,6 +103,96 @@ def test_plan_jobs_single_replica_is_one_job_per_group():
     assert sorted(i for _, job in jobs for i in job) == [0, 1]
     with pytest.raises(ValueError):
         plan_jobs(requests, replicas=0, warm_bases=())
+
+
+# ----------------------------------------------------------------------
+# shard-residency placement (PR-10)
+# ----------------------------------------------------------------------
+RESIDENCY = {"SN": 0, "TM": 0, "DB": 1}
+
+
+def test_request_home_shard_majority_and_ties():
+    assert request_home_shard(GREEDY, RESIDENCY) == 0  # SN+TM both vote 0
+    assert request_home_shard(
+        TeamRequest(skills=("DB",), solver="greedy"), RESIDENCY
+    ) == 1
+    # Tie between shard 0 (SN) and shard 1 (DB): lowest shard id wins.
+    assert request_home_shard(
+        TeamRequest(skills=("SN", "DB"), solver="greedy"), RESIDENCY
+    ) == 0
+    # No known skill: no affinity.
+    assert request_home_shard(
+        TeamRequest(skills=("ML",), solver="greedy"), RESIDENCY
+    ) is None
+
+
+def test_plan_jobs_pins_warm_groups_by_shard_residency():
+    warm = {("pll", "fold", 0.6)}
+    requests = [
+        GREEDY.replace(lam=0.1),  # shard 0
+        TeamRequest(skills=("DB",), solver="greedy"),  # shard 1
+        GREEDY.replace(lam=0.2),  # shard 0
+        TeamRequest(skills=("ML",), solver="greedy"),  # no affinity
+    ]
+    jobs = plan_jobs(requests, 3, warm, RESIDENCY)
+    assert sorted(i for _, job in jobs for i in job) == [0, 1, 2, 3]
+    by_pin = {pin: job for pin, job in jobs}
+    assert by_pin[("shard", 0)] == [0, 2]
+    assert by_pin[("shard", 1)] == [1]
+    assert by_pin[None] == [3]
+
+
+def test_plan_jobs_residency_ignores_no_index_groups():
+    requests = [
+        GREEDY.replace(solver="sa_optimal", lam=lam) for lam in (0.1, 0.2)
+    ]
+    jobs = plan_jobs(requests, 2, (), RESIDENCY)
+    assert all(pin is None for pin, _ in jobs), (
+        "no-index solvers never touch labels; balance beats affinity"
+    )
+
+
+def test_plan_jobs_residency_keeps_cold_groups_pinned_by_base():
+    requests = [GREEDY.replace(gamma=0.9)]  # cold: not in warm_bases
+    jobs = plan_jobs(requests, 2, (), RESIDENCY)
+    assert jobs == [((("pll", "fold", 0.9)), [0])]
+
+
+def test_plan_jobs_residency_noop_on_single_replica():
+    requests = [GREEDY, GREEDY.replace(lam=0.9)]
+    warm = {("pll", "fold", 0.6)}
+    assert plan_jobs(requests, 1, warm, RESIDENCY) == plan_jobs(
+        requests, 1, warm
+    )
+
+
+def test_plan_jobs_without_residency_unchanged():
+    warm = {("pll", "fold", 0.6)}
+    requests = [GREEDY.replace(lam=lam) for lam in (0.1, 0.2, 0.3, 0.4)]
+    assert plan_jobs(requests, 2, warm) == plan_jobs(
+        requests, 2, warm, None
+    )
+
+
+def test_sharded_snapshot_pool_answers_identical(tmp_path):
+    """A pool over a sharded snapshot == the sharded engine == monolithic."""
+    engine = TeamFormationEngine(build_figure1_network(), shards=2)
+    engine.search_oracle("sa-ca-cc", SNAPSHOT_GAMMA)
+    engine.raw_oracle()
+    store = tmp_path / "sharded-store"
+    engine.save_snapshot(store)
+    requests = [
+        GREEDY.replace(lam=lam) for lam in (0.2, 0.4, 0.6)
+    ] + [GREEDY.replace(solver="rarest_first")]
+    expected = [canonical(r) for r in engine.solve_many(requests)]
+    mono = TeamFormationEngine(build_figure1_network())
+    assert [
+        canonical(r) for r in mono.solve_many(requests)
+    ] == expected, "sharded engine must match monolithic before pooling"
+    with EngineReplicaPool(store, replicas=2) as pool:
+        assert pool._shard_residency is not None
+        got = [canonical(r) for r in pool.solve_many(requests)]
+    assert got == expected
 
 
 # ----------------------------------------------------------------------

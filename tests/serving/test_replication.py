@@ -375,3 +375,83 @@ def test_delta_stream_hints_survive_framing():
     assert frames[0][1]["hints"] == {"incremental": True}
     report = follower.apply(log.delta_since(follower.version))
     assert report["reconciled"] is not None  # eager incremental pass ran
+
+
+# ----------------------------------------------------------------------
+# log compaction (PR-10): snapshot GC raises the delta floor
+# ----------------------------------------------------------------------
+def test_compact_drops_covered_records_and_raises_floor():
+    primary, log, _ = make_pair()
+    base = primary.network.version
+    with primary.mutate() as network:
+        for i in range(4):
+            network.update_h_index("liu", 10 + i)
+    assert log.floor == base
+    floor = log.compact(base + 2)
+    assert floor == base + 2 == log.floor
+    # History at or below the new floor is gone...
+    with pytest.raises(JournalTruncatedError):
+        log.delta_since(base)
+    with pytest.raises(JournalTruncatedError):
+        log.delta_since(base + 1)
+    # ...and from the floor onward the delta is still exact.
+    assert log.delta_since(base + 2) != b""
+    assert log.delta_since(log.version) == b""
+
+
+def test_compact_never_lowers_the_floor_nor_passes_the_tip():
+    primary, log, _ = make_pair()
+    with primary.mutate() as network:
+        network.update_h_index("liu", 42)
+    tip = log.version
+    assert log.compact(tip + 100) == tip  # clamped to the tip
+    assert log.compact(tip - 5) == tip  # never lowered
+    assert log.floor == tip
+
+
+def test_store_gc_compacts_the_attached_log(tmp_path):
+    """GC'ing old snapshots truncates the delta history they anchored.
+
+    A follower pinned at a version older than every retained snapshot
+    gets the typed JournalTruncatedError on its next sync and repairs
+    itself through the full-snapshot fallback -- the same end state a
+    capacity eviction produces.
+    """
+    from repro.storage import SnapshotStore
+
+    primary, log, follower = make_pair()
+    store = SnapshotStore(tmp_path / "store", retain=None)
+    pinned_version = follower.version
+    for i in range(3):
+        with primary.mutate() as network:
+            network.update_h_index("liu", 20 + i)
+        primary.save_snapshot(store)
+    removed = store.gc(retain=1, log=log)
+    assert len(removed) == 2
+    remaining = store.list()
+    assert len(remaining) == 1
+    assert log.floor == remaining[0].network_version
+    # The pinned follower predates the floor: typed truncation...
+    with pytest.raises(JournalTruncatedError):
+        log.delta_since(pinned_version)
+    # ...and the snapshot-frame fallback fully repairs it.
+    report = follower.apply(log.snapshot_frame())
+    assert report["snapshot_fallbacks"] == 1
+    assert follower.version == primary.network.version
+    assert canonical(follower.engine.solve(GREEDY)) == canonical(
+        primary.solve(GREEDY)
+    )
+
+
+def test_store_gc_without_log_is_unchanged(tmp_path):
+    from repro.storage import SnapshotStore
+
+    primary, log, _ = make_pair()
+    store = SnapshotStore(tmp_path / "store", retain=None)
+    floor_before = log.floor
+    for i in range(2):
+        with primary.mutate() as network:
+            network.update_h_index("liu", 30 + i)
+        primary.save_snapshot(store)
+    store.gc(retain=1)
+    assert log.floor == floor_before

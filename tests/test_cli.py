@@ -379,3 +379,112 @@ def test_chart_default_is_explicit_for_all_subcommands():
                  ["solve", "--skills", "x"]):
         args = build_parser().parse_args(argv)
         assert args.chart is False
+
+
+def test_solve_snapshot_empty_store_exits_2_naming_path(tmp_path, capsys):
+    store = tmp_path / "empty"
+    store.mkdir()
+    assert (
+        main(["solve", "--snapshot", str(store), "--skills", "graphics"]) == 2
+    )
+    err = capsys.readouterr().err
+    assert str(store) in err
+    assert "Traceback" not in err
+
+
+def test_solve_snapshot_dangling_latest_exits_2_naming_target(
+    tmp_path, capsys
+):
+    store = tmp_path / "dangling"
+    store.mkdir()
+    (store / "LATEST").write_text("snap-000001-v0.snap\n")
+    assert (
+        main(["solve", "--snapshot", str(store), "--skills", "graphics"]) == 2
+    )
+    err = capsys.readouterr().err
+    assert "snap-000001-v0.snap" in err, "must name the missing target"
+    assert "Traceback" not in err
+
+
+def test_solve_snapshot_missing_file_exits_2_naming_path(tmp_path, capsys):
+    missing = tmp_path / "nope.snap"
+    assert (
+        main(["solve", "--snapshot", str(missing), "--skills", "graphics"])
+        == 2
+    )
+    err = capsys.readouterr().err
+    assert str(missing) in err
+    assert "Traceback" not in err
+
+
+def test_serve_snapshot_dangling_latest_exits_2(
+    tmp_path, capsys, monkeypatch
+):
+    import io
+
+    store = tmp_path / "dangling"
+    store.mkdir()
+    (store / "LATEST").write_text("snap-000042-v7.snap\n")
+    monkeypatch.setattr(
+        "sys.stdin", io.StringIO('{"skills": ["graphics"]}\n')
+    )
+    assert main(["serve", "--snapshot", str(store)]) == 2
+    err = capsys.readouterr().err
+    assert "snap-000042-v7.snap" in err
+    assert "Traceback" not in err
+
+
+def test_solve_with_shards_matches_unsharded(capsys):
+    assert (
+        main(
+            [
+                "--scale",
+                "tiny",
+                "solve",
+                "--skills",
+                "graphation",
+                "--shards",
+                "3",
+                "--json",
+            ]
+        )
+        == 0
+    )
+    sharded = capsys.readouterr().out
+    assert (
+        main(
+            ["--scale", "tiny", "solve", "--skills", "graphation", "--json"]
+        )
+        == 0
+    )
+    mono = capsys.readouterr().out
+    import json as _json
+
+    a, b = _json.loads(sharded), _json.loads(mono)
+    a.pop("timing"), b.pop("timing")
+    assert a == b
+
+
+def test_snapshot_save_with_shards_round_trips(tmp_path, capsys):
+    store = str(tmp_path / "sharded-store")
+    assert (
+        main(
+            [
+                "--scale",
+                "tiny",
+                "snapshot",
+                "save",
+                "--store",
+                store,
+                "--shards",
+                "2",
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert (
+        main(["solve", "--snapshot", store, "--skills", "graphation"]) == 0
+    )
+    captured = capsys.readouterr()
+    assert "0 index builds" in captured.out
